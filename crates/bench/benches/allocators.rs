@@ -1,0 +1,122 @@
+//! Criterion benches of the allocation algorithms themselves: greedy,
+//! memetic and the LP-optimal solver, scaling in query classes and
+//! backends. The paper's Section 3.3 motivation — the exact problem is
+//! intractable, the greedy runs in polynomial time — shows up directly
+//! in these numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcpa_core::classify::{Classification, QueryClass};
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::fragment::Catalog;
+use qcpa_core::greedy;
+use qcpa_core::memetic::{self, MemeticConfig};
+use qcpa_lp::model::{optimal_allocation, OptimalConfig};
+
+/// A synthetic workload with `k` classes over `k` fragments: class `i`
+/// reads fragments `{i, (i+1) % k}`; every third class is an update.
+fn synthetic(k: usize) -> (Catalog, Classification) {
+    let mut catalog = Catalog::new();
+    let frags: Vec<_> = (0..k)
+        .map(|i| catalog.add_table(format!("T{i}"), 100 + (i as u64 * 37) % 400))
+        .collect();
+    let raw: Vec<f64> = (0..k).map(|i| 1.0 + (i % 5) as f64).collect();
+    let total: f64 = raw.iter().sum();
+    let classes = (0..k)
+        .map(|i| {
+            let fs = [frags[i], frags[(i + 1) % k]];
+            if i % 3 == 2 {
+                QueryClass::update(i as u32, fs, raw[i] / total)
+            } else {
+                QueryClass::read(i as u32, fs, raw[i] / total)
+            }
+        })
+        .collect();
+    (
+        catalog,
+        Classification::from_classes(classes).expect("valid"),
+    )
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy");
+    for &k in &[8usize, 32, 128] {
+        let (catalog, cls) = synthetic(k);
+        let cluster = ClusterSpec::homogeneous(10);
+        group.bench_with_input(BenchmarkId::new("classes", k), &k, |b, _| {
+            b.iter(|| greedy::allocate(&cls, &catalog, &cluster))
+        });
+    }
+    for &n in &[4usize, 16, 64] {
+        let (catalog, cls) = synthetic(32);
+        let cluster = ClusterSpec::homogeneous(n);
+        group.bench_with_input(BenchmarkId::new("backends", n), &n, |b, _| {
+            b.iter(|| greedy::allocate(&cls, &catalog, &cluster))
+        });
+    }
+    group.finish();
+}
+
+fn bench_memetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memetic");
+    group.sample_size(10);
+    for &k in &[8usize, 32] {
+        let (catalog, cls) = synthetic(k);
+        let cluster = ClusterSpec::homogeneous(8);
+        let cfg = MemeticConfig {
+            iterations: 10,
+            population: 9,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("classes", k), &k, |b, _| {
+            b.iter(|| memetic::allocate(&cls, &catalog, &cluster, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ksafety(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ksafety");
+    let (catalog, cls) = synthetic(32);
+    let cluster = ClusterSpec::homogeneous(8);
+    for &k in &[0usize, 1, 2] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| greedy::allocate_ksafe(&cls, &catalog, &cluster, k))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lp_optimal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_optimal");
+    group.sample_size(10);
+    // Small instances only — the exact solver is exponential, which is
+    // the entire point of the greedy heuristic.
+    for &k in &[4usize, 6] {
+        let (catalog, cls) = synthetic(k);
+        let cluster = ClusterSpec::homogeneous(3);
+        group.bench_with_input(BenchmarkId::new("classes", k), &k, |b, _| {
+            b.iter(|| {
+                optimal_allocation(
+                    &cls,
+                    &catalog,
+                    &cluster,
+                    &OptimalConfig {
+                        max_nodes: 5_000,
+                        time_limit: std::time::Duration::from_secs(10),
+                        incumbent: None,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy,
+    bench_memetic,
+    bench_ksafety,
+    bench_lp_optimal
+);
+criterion_main!(benches);

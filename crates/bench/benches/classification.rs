@@ -1,0 +1,58 @@
+//! Criterion bench of journal classification (Section 3.1): grouping
+//! throughput on growing journals at both granularities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qcpa_core::classify::{Classification, Granularity};
+use qcpa_core::journal::Journal;
+use qcpa_workloads::tpch::tpch;
+
+fn journal_of(per_query: u64) -> (qcpa_core::fragment::Catalog, Journal) {
+    let w = tpch(1.0);
+    let j = w.journal(per_query);
+    (w.catalog, j)
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify");
+    for &per in &[100u64, 10_000, 1_000_000] {
+        let (catalog, journal) = journal_of(per);
+        group.throughput(Throughput::Elements(journal.total()));
+        for (label, g) in [
+            ("table", Granularity::Table),
+            ("column", Granularity::Fragment),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, per), &per, |b, _| {
+                b.iter(|| {
+                    Classification::from_journal(&journal, &catalog, g).expect("journal is valid")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_journal_recording(c: &mut Criterion) {
+    use qcpa_core::journal::Query;
+    let w = tpch(1.0);
+    let queries: Vec<Query> = w
+        .journal(1)
+        .entries()
+        .iter()
+        .map(|e| e.query.clone())
+        .collect();
+    let mut group = c.benchmark_group("journal_record");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("10k_executions", |b| {
+        b.iter(|| {
+            let mut j = Journal::new();
+            for i in 0..10_000 {
+                j.record(queries[i % queries.len()].clone());
+            }
+            j
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify, bench_journal_recording);
+criterion_main!(benches);

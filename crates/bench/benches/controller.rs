@@ -1,0 +1,103 @@
+//! Criterion bench of the running controller: request execution
+//! throughput and full reallocation latency on the bookshop-scale
+//! substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qcpa_controller::{Cdbs, Request, WriteRequest};
+use qcpa_core::classify::Granularity;
+use qcpa_storage::engine::{AggFunc, ScanQuery};
+use qcpa_storage::predicate::{CmpOp, Predicate};
+use qcpa_storage::schema::{ColumnDef, Schema, TableDef};
+use qcpa_storage::table::Table;
+use qcpa_storage::types::{DataType, Value};
+
+fn bookshop(rows: i64) -> (Schema, Vec<Table>) {
+    let mut schema = Schema::new();
+    schema.add_table(TableDef::new(
+        "item",
+        vec![
+            ColumnDef::new("i_id", DataType::I64, 8),
+            ColumnDef::new("i_title", DataType::Str, 24),
+            ColumnDef::new("i_price", DataType::F64, 8),
+        ],
+    ));
+    schema.add_table(TableDef::new(
+        "orders",
+        vec![
+            ColumnDef::new("o_id", DataType::I64, 8),
+            ColumnDef::new("o_item", DataType::I64, 8),
+            ColumnDef::new("o_qty", DataType::I64, 8),
+        ],
+    ));
+    let mut item = Table::new(schema.table("item").unwrap().clone());
+    for i in 0..rows {
+        item.append(vec![
+            Value::I64(i),
+            Value::Str(format!("book {i}")),
+            Value::F64(5.0 + (i % 40) as f64),
+        ]);
+    }
+    let mut orders = Table::new(schema.table("orders").unwrap().clone());
+    for i in 0..rows * 4 {
+        orders.append(vec![Value::I64(i), Value::I64(i % rows), Value::I64(1)]);
+    }
+    (schema, vec![item, orders])
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let (schema, tables) = bookshop(2_000);
+    let mut cdbs = Cdbs::new(schema, tables, 3);
+    let read = Request::Read(
+        ScanQuery::all("item")
+            .select(&["i_price"])
+            .filter(Predicate::cmp("i_id", CmpOp::Lt, Value::I64(100)))
+            .agg(AggFunc::Avg, "i_price"),
+    );
+    let mut next_id = 1_000_000i64;
+    let mut group = c.benchmark_group("controller_execute");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("read_scan_aggregate", |b| {
+        b.iter(|| cdbs.execute(&read).expect("read works"))
+    });
+    group.bench_function("rowa_insert", |b| {
+        b.iter(|| {
+            next_id += 1;
+            cdbs.execute(&Request::Write(WriteRequest::insert(
+                "orders",
+                vec![Value::I64(next_id), Value::I64(1), Value::I64(1)],
+            )))
+            .expect("write works")
+        })
+    });
+    group.finish();
+}
+
+fn bench_reallocate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_reallocate");
+    group.sample_size(10);
+    group.bench_function("classify_allocate_move", |b| {
+        b.iter_with_setup(
+            || {
+                let (schema, tables) = bookshop(2_000);
+                let mut cdbs = Cdbs::new(schema, tables, 3);
+                let read = Request::Read(
+                    ScanQuery::all("item")
+                        .select(&["i_price"])
+                        .agg(AggFunc::Avg, "i_price"),
+                );
+                for _ in 0..5 {
+                    cdbs.execute(&read).expect("read works");
+                }
+                cdbs
+            },
+            |mut cdbs| {
+                cdbs.reallocate(3, Granularity::Fragment, None)
+                    .expect("history recorded")
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_execute, bench_reallocate);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench of the Hungarian method (Section 3.4): O(n³)
+//! scaling of the min-cost matching used for physical allocation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcpa_matching::hungarian;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn random_cost(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..n).map(|_| rng.gen_range(0.0..1e6)).collect())
+        .collect()
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    for &n in &[4usize, 16, 64, 128] {
+        let cost = random_cost(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| hungarian(&cost))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching_pipeline(c: &mut Criterion) {
+    use qcpa_core::classify::Granularity;
+    use qcpa_core::cluster::ClusterSpec;
+    use qcpa_core::greedy;
+    use qcpa_matching::physical::match_allocations;
+    use qcpa_workloads::common::classify_and_stream;
+    use qcpa_workloads::tpch::tpch;
+
+    let w = tpch(1.0);
+    let journal = w.journal(100);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Fragment, 0.2);
+    let mut group = c.benchmark_group("match_allocations");
+    for &n in &[4usize, 10, 20] {
+        let cluster = ClusterSpec::homogeneous(n);
+        let old = greedy::allocate(&cw.classification, &w.catalog, &cluster);
+        let new = qcpa_core::allocation::Allocation::full_replication(&cw.classification, &cluster);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| match_allocations(&old, &new, &w.catalog))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hungarian, bench_matching_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench of the discrete-event simulator: request routing
+//! throughput for batch and open-loop drivers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qcpa_core::classify::Granularity;
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::greedy;
+use qcpa_sim::engine::{run_batch, run_open, SimConfig};
+use qcpa_workloads::common::classify_and_stream;
+use qcpa_workloads::tpcapp::tpcapp;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_batch(c: &mut Criterion) {
+    let w = tpcapp(300);
+    let journal = w.journal(100_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 1.0 / 900.0);
+    let mut group = c.benchmark_group("sim_batch");
+    for &n in &[2usize, 10] {
+        let cluster = ClusterSpec::homogeneous(n);
+        let alloc = greedy::allocate(&cw.classification, &w.catalog, &cluster);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let reqs = cw.stream.sample_batch(100_000, 0.0, &mut rng);
+        group.throughput(Throughput::Elements(reqs.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                run_batch(
+                    &alloc,
+                    &cw.classification,
+                    &cluster,
+                    &w.catalog,
+                    &reqs,
+                    &SimConfig::default(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_open(c: &mut Criterion) {
+    let w = tpcapp(300);
+    let journal = w.journal(100_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 1.0 / 900.0);
+    let cluster = ClusterSpec::homogeneous(4);
+    let alloc = greedy::allocate(&cw.classification, &w.catalog, &cluster);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let reqs = cw.stream.sample_poisson(2_000.0, 30.0, 0.0, &mut rng);
+    let mut group = c.benchmark_group("sim_open");
+    group.throughput(Throughput::Elements(reqs.len() as u64));
+    group.bench_function("poisson_60k", |b| {
+        b.iter(|| {
+            run_open(
+                &alloc,
+                &cw.classification,
+                &cluster,
+                &w.catalog,
+                &reqs,
+                0.0,
+                &SimConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch, bench_open);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Ablation study: heterogeneous.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::ablations::heterogeneous()
+}

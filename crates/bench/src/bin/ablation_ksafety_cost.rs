@@ -1,0 +1,4 @@
+//! Ablation study: ksafety_cost.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::ablations::ksafety_cost()
+}

@@ -1,0 +1,4 @@
+//! Ablation study: memetic_gain.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::ablations::memetic_gain()
+}

@@ -1,0 +1,4 @@
+//! Ablation study: partitioning.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::ablations::partitioning()
+}

@@ -1,0 +1,4 @@
+//! Ablation study: propagation.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::ablations::propagation()
+}

@@ -1,0 +1,4 @@
+//! Ablation study: robustness.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::ablations::robustness()
+}

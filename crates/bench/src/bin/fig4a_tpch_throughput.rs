@@ -1,0 +1,4 @@
+//! Figure 4(a): TPC-H throughput and speedup.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::tpch::fig4a()
+}

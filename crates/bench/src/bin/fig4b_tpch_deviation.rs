@@ -1,0 +1,4 @@
+//! Figure 4(b): TPC-H throughput deviation.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::tpch::fig4b()
+}

@@ -1,0 +1,4 @@
+//! Figure 4(c): TPC-H degree of replication.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::tpch::fig4c()
+}

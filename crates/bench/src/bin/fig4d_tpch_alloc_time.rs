@@ -1,0 +1,4 @@
+//! Figure 4(d): TPC-H duration of the allocation.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::tpch::fig4d()
+}

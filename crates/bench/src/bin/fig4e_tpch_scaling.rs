@@ -1,0 +1,4 @@
+//! Figure 4(e): TPC-H scaling at SF 1 and SF 10.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::tpch::fig4e()
+}

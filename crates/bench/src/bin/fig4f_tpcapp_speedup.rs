@@ -1,0 +1,4 @@
+//! Figure 4(f): TPC-App speedup.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::tpcapp::fig4f()
+}

@@ -1,0 +1,4 @@
+//! Figure 4(g): TPC-App throughput.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::tpcapp::fig4g()
+}

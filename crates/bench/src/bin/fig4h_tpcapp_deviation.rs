@@ -1,0 +1,4 @@
+//! Figure 4(h): TPC-App throughput deviation.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::tpcapp::fig4h()
+}

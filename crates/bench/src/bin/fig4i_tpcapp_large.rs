@@ -1,0 +1,4 @@
+//! Figure 4(i): TPC-App large scale.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::tpcapp::fig4i()
+}

@@ -1,0 +1,4 @@
+//! Figure 4(j): load balance TPC-H vs TPC-App.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::balance::fig4j()
+}

@@ -1,0 +1,4 @@
+//! Figure 4(k): replication histogram (table-based).
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::balance::fig4k()
+}

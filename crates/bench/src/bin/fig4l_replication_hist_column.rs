@@ -1,0 +1,4 @@
+//! Figure 4(l): replication histogram (column-based).
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::balance::fig4l()
+}

@@ -1,0 +1,4 @@
+//! Section 5: active servers vs workload.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::autoscale::fig5_nodes()
+}

@@ -1,0 +1,4 @@
+//! Section 5: response time with vs without scaling.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::autoscale::fig5_response()
+}

@@ -1,0 +1,4 @@
+//! Figure 6: query-class distribution over a day.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::autoscale::fig6()
+}

@@ -1,0 +1,29 @@
+//! Runs every experiment in sequence (the full evaluation).
+fn main() -> std::io::Result<()> {
+    use qcpa_bench::experiments::*;
+    tables::tab_readonly()?;
+    tables::tab_appendix()?;
+    tpch::fig4a()?;
+    tpch::fig4b()?;
+    tpch::fig4c()?;
+    tpch::fig4d()?;
+    tpch::fig4e()?;
+    tpcapp::fig4f()?;
+    tpcapp::fig4g()?;
+    tpcapp::fig4h()?;
+    tpcapp::fig4i()?;
+    balance::fig4j()?;
+    balance::fig4k()?;
+    balance::fig4l()?;
+    autoscale::fig5_nodes()?;
+    autoscale::fig5_response()?;
+    autoscale::fig6()?;
+    ablations::partitioning()?;
+    ablations::memetic_gain()?;
+    ablations::propagation()?;
+    ablations::robustness()?;
+    ablations::ksafety_cost()?;
+    ablations::heterogeneous()?;
+    println!("All experiments done; CSVs in results/.");
+    Ok(())
+}

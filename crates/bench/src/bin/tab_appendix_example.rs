@@ -1,0 +1,4 @@
+//! Appendix A worked example.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::tables::tab_appendix()
+}

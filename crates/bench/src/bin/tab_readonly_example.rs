@@ -1,0 +1,4 @@
+//! Section 3 read-only allocation example tables.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::tables::tab_readonly()
+}

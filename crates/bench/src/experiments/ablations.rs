@@ -1,0 +1,386 @@
+//! Ablation studies beyond the paper's figures: they isolate the design
+//! choices DESIGN.md calls out.
+//!
+//! * [`partitioning`] — table vs predicate (horizontal) granularity on
+//!   a hot/cold-range workload (Section 3.1's classification choices);
+//! * [`memetic_gain`] — what the memetic refinement buys over the plain
+//!   greedy (Algorithm 2 vs Algorithm 1);
+//! * [`propagation`] — ROWA vs primary-copy vs lazy replication
+//!   (Section 2's protocol discussion);
+//! * [`robustness`] — speedup under weight drift, plain vs robustified
+//!   allocations (Section 5).
+
+use qcpa_core::allocation::Allocation;
+use qcpa_core::classify::Granularity;
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::memetic::{self, MemeticConfig};
+use qcpa_core::{greedy, robust, ClassId};
+use qcpa_sim::engine::{run_open, SimConfig, UpdatePropagation};
+use qcpa_workloads::common::classify_and_stream;
+use qcpa_workloads::hpart::hot_ranges;
+use qcpa_workloads::tpcapp::tpcapp;
+use qcpa_workloads::tpch::tpch;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::harness::{f2, Csv};
+
+/// Ablation: classification granularity on the hot/cold-range workload.
+/// Horizontal (predicate) fragments confine the hot range's writes;
+/// table granularity lets them contaminate every cold-range report.
+pub fn partitioning() -> std::io::Result<()> {
+    println!("== Ablation: horizontal (predicate) vs table granularity ==");
+    let w = hot_ranges(8);
+    let journal = w.journal(0.10, 0.12, 1_000);
+    let mut csv = Csv::create(
+        "ablation_partitioning",
+        &[
+            "backends",
+            "granularity",
+            "speedup",
+            "degree_of_replication",
+        ],
+    )?;
+    println!(
+        "{:>8} {:>22} {:>8} {:>12}",
+        "backends", "granularity", "speedup", "replication"
+    );
+    for n in [2usize, 4, 8] {
+        let cluster = ClusterSpec::homogeneous(n);
+        for (label, cls) in [
+            ("table", w.classify_table(&journal)),
+            ("horizontal", w.classify_horizontal(&journal)),
+        ] {
+            let alloc = greedy::allocate(&cls, &w.catalog, &cluster);
+            alloc.validate(&cls, &cluster).expect("valid");
+            let s = alloc.speedup(&cluster);
+            let r = alloc.degree_of_replication(&cls, &w.catalog);
+            println!("{n:>8} {label:>22} {s:>8.2} {r:>12.2}");
+            csv.row(&[n.to_string(), label.into(), f2(s), f2(r)])?;
+        }
+    }
+    println!("-> {}\n", csv.path().display());
+    Ok(())
+}
+
+/// Ablation: greedy (Algorithm 1) vs memetic refinement (Algorithm 2):
+/// scale and stored bytes on the evaluation workloads.
+pub fn memetic_gain() -> std::io::Result<()> {
+    println!("== Ablation: greedy vs memetic refinement ==");
+    let mut csv = Csv::create(
+        "ablation_memetic",
+        &["workload", "backends", "algorithm", "scale", "gbytes"],
+    )?;
+    println!(
+        "{:>8} {:>9} {:>9} {:>11} {:>11} {:>11} {:>11}",
+        "workload", "backends", "", "greedy", "", "memetic", ""
+    );
+    println!(
+        "{:>8} {:>9} {:>11} {:>11} {:>11} {:>11}",
+        "", "", "scale", "GB", "scale", "GB"
+    );
+    let tpch_w = tpch(1.0);
+    let tpch_j = tpch_w.journal(100);
+    let tpcapp_w = tpcapp(300);
+    let tpcapp_j = tpcapp_w.journal(100_000);
+    let cases = [
+        (
+            "tpch",
+            &tpch_w.catalog,
+            classify_and_stream(&tpch_j, &tpch_w.catalog, Granularity::Fragment, 0.2),
+        ),
+        (
+            "tpcapp",
+            &tpcapp_w.catalog,
+            classify_and_stream(
+                &tpcapp_j,
+                &tpcapp_w.catalog,
+                Granularity::Fragment,
+                1.0 / 900.0,
+            ),
+        ),
+    ];
+    for (name, catalog, cw) in &cases {
+        for n in [4usize, 10] {
+            let cluster = ClusterSpec::homogeneous(n);
+            let g = greedy::allocate(&cw.classification, catalog, &cluster);
+            let m = memetic::optimize(
+                g.clone(),
+                &cw.classification,
+                catalog,
+                &cluster,
+                &MemeticConfig::default(),
+            );
+            let row = |a: &Allocation| (a.scale(&cluster), a.total_bytes(catalog) as f64 / 1e9);
+            let (gs, gb) = row(&g);
+            let (ms, mb) = row(&m);
+            println!("{name:>8} {n:>9} {gs:>11.3} {gb:>11.2} {ms:>11.3} {mb:>11.2}");
+            csv.row(&[
+                name.to_string(),
+                n.to_string(),
+                "greedy".into(),
+                f2(gs),
+                f2(gb),
+            ])?;
+            csv.row(&[
+                name.to_string(),
+                n.to_string(),
+                "memetic".into(),
+                f2(ms),
+                f2(mb),
+            ])?;
+        }
+    }
+    println!("(memetic never raises scale; ties break toward fewer stored bytes)");
+    println!("-> {}\n", csv.path().display());
+    Ok(())
+}
+
+/// Ablation: update propagation protocols on TPC-App full replication —
+/// mean response time and total replica work.
+pub fn propagation() -> std::io::Result<()> {
+    println!(
+        "== Ablation: ROWA vs primary copy vs lazy replication (TPC-App, full replication) =="
+    );
+    let w = tpcapp(300);
+    let journal = w.journal(100_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 1.0 / 900.0);
+    let mut csv = Csv::create(
+        "ablation_propagation",
+        &[
+            "backends",
+            "protocol",
+            "mean_response_ms",
+            "p95_response_ms",
+            "busy_secs",
+        ],
+    )?;
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>10}",
+        "backends", "protocol", "mean (ms)", "p95 (ms)", "work (s)"
+    );
+    for n in [2usize, 4, 8] {
+        let cluster = ClusterSpec::homogeneous(n);
+        let full = Allocation::full_replication(&cw.classification, &cluster);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        // Offered load at 60 % of the n-backend ROWA capacity.
+        let rate = 0.6 * 900.0 * n as f64 / (0.75 + 0.25 * n as f64);
+        let reqs = cw.stream.sample_poisson(rate, 30.0, 0.02, &mut rng);
+        for (label, prop) in [
+            ("rowa", UpdatePropagation::Rowa),
+            ("primary-copy", UpdatePropagation::PrimaryCopy),
+            (
+                "lazy(0.4)",
+                UpdatePropagation::Lazy {
+                    batching_discount: 0.4,
+                },
+            ),
+        ] {
+            let cfg = SimConfig {
+                propagation: prop,
+                ..Default::default()
+            };
+            let rep = run_open(
+                &full,
+                &cw.classification,
+                &cluster,
+                &w.catalog,
+                &reqs,
+                0.0,
+                &cfg,
+            );
+            let busy: f64 = rep.busy.iter().sum();
+            println!(
+                "{n:>8} {label:>14} {:>14.2} {:>12.2} {busy:>10.1}",
+                rep.mean_response * 1e3,
+                rep.p95_response * 1e3
+            );
+            csv.row(&[
+                n.to_string(),
+                label.into(),
+                f2(rep.mean_response * 1e3),
+                f2(rep.p95_response * 1e3),
+                f2(busy),
+            ])?;
+        }
+    }
+    println!("-> {}\n", csv.path().display());
+    Ok(())
+}
+
+/// Ablation: Section 5 robustness — predicted speedup after a class's
+/// weight grows, for the plain allocation versus one provisioned with
+/// spare replicas (`robust::robustify`). Uses the paper's own Figure 2
+/// worst case: on four backends, class C3 is hosted only on B4, so
+/// raising it to 27 % drops the speedup to 4/1.08 = 3.7 — unless a
+/// spare replica lets the excess shift.
+pub fn robustness() -> std::io::Result<()> {
+    use qcpa_core::classify::{Classification, QueryClass};
+    use qcpa_core::fragment::Catalog;
+
+    println!("== Ablation: robustness to weight changes (Section 5, Figure 2 example) ==");
+    let mut catalog = Catalog::new();
+    let a = catalog.add_table("A", 100);
+    let b = catalog.add_table("B", 100);
+    let c = catalog.add_table("C", 100);
+    let cls = Classification::from_classes(vec![
+        QueryClass::read(0, [a], 0.30),
+        QueryClass::read(1, [b], 0.25),
+        QueryClass::read(2, [c], 0.25),
+        QueryClass::read(3, [a, b], 0.20),
+    ])
+    .expect("example classes are valid");
+    let cluster = ClusterSpec::homogeneous(4);
+    let plain = greedy::allocate(&cls, &catalog, &cluster);
+    let mut hardened = plain.clone();
+    let spares = robust::robustify(&mut hardened, &cls, &catalog, &cluster, 0.10);
+    hardened.validate(&cls, &cluster).expect("valid");
+
+    let brittle = ClassId(2); // class C3, hosted only on B4
+    println!(
+        "class C3 capable backends: plain {} vs hardened {} ({} spare replicas)",
+        plain.capable_backends(&cls, brittle).len(),
+        hardened.capable_backends(&cls, brittle).len(),
+        spares
+    );
+
+    let mut csv = Csv::create(
+        "ablation_robustness",
+        &["c3_weight_percent", "plain_speedup", "hardened_speedup"],
+    )?;
+    println!("{:>10} {:>14} {:>16}", "weight(C3)", "plain", "hardened");
+    for pct in [25, 27, 30, 35, 40] {
+        let new_w = pct as f64 / 100.0;
+        let sp = robust::speedup_after_weight_change(&plain, &cls, &cluster, brittle, new_w);
+        let sh = robust::speedup_after_weight_change(&hardened, &cls, &cluster, brittle, new_w);
+        println!("{pct:>9}% {sp:>14.2} {sh:>16.2}");
+        csv.row(&[pct.to_string(), f2(sp), f2(sh)])?;
+    }
+    println!("(the paper's worst case: 27 % -> 3.7 without spare replicas)");
+    println!("-> {}\n", csv.path().display());
+    Ok(())
+}
+
+/// Ablation: the cost of k-safety (Appendix C) — scale, speedup and
+/// degree of replication as the redundancy target grows, plus the
+/// surviving speedup after the worst single failure.
+pub fn ksafety_cost() -> std::io::Result<()> {
+    use qcpa_core::ksafety;
+
+    println!("== Ablation: the cost of k-safety (TPC-App, 6 backends) ==");
+    let w = tpcapp(300);
+    let journal = w.journal(100_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 1.0 / 900.0);
+    let cluster = ClusterSpec::homogeneous(6);
+    let mut csv = Csv::create(
+        "ablation_ksafety",
+        &[
+            "k",
+            "scale",
+            "speedup",
+            "degree_of_replication",
+            "worst_survivor_speedup",
+        ],
+    )?;
+    println!(
+        "{:>3} {:>8} {:>8} {:>12} {:>22}",
+        "k", "scale", "speedup", "replication", "worst-failure speedup"
+    );
+    for k in 0..=3usize {
+        let alloc = ksafety::allocate(&cw.classification, &w.catalog, &cluster, k);
+        alloc.validate(&cw.classification, &cluster).expect("valid");
+        // Not survivable at all if *any* single failure loses a class.
+        let outcomes: Vec<Option<f64>> = cluster
+            .ids()
+            .map(|b| {
+                ksafety::fail_backends(&alloc, &cw.classification, &cluster, &[b]).and_then(
+                    |survived| {
+                        let sc = ksafety::surviving_cluster(&cluster, &[b])?;
+                        Some(survived.speedup(&sc))
+                    },
+                )
+            })
+            .collect();
+        let worst = if outcomes.iter().any(|o| o.is_none()) {
+            f64::NAN
+        } else {
+            outcomes
+                .iter()
+                .flatten()
+                .fold(f64::INFINITY, |a, &s| a.min(s))
+        };
+        let worst_str = if !worst.is_nan() && worst.is_finite() {
+            format!("{worst:.2}")
+        } else {
+            "not survivable".to_string()
+        };
+        println!(
+            "{k:>3} {:>8.3} {:>8.2} {:>12.2} {worst_str:>22}",
+            alloc.scale(&cluster),
+            alloc.speedup(&cluster),
+            alloc.degree_of_replication(&cw.classification, &w.catalog),
+        );
+        csv.row(&[
+            k.to_string(),
+            f2(alloc.scale(&cluster)),
+            f2(alloc.speedup(&cluster)),
+            f2(alloc.degree_of_replication(&cw.classification, &w.catalog)),
+            if !worst.is_nan() && worst.is_finite() {
+                f2(worst)
+            } else {
+                String::new()
+            },
+        ])?;
+    }
+    println!("-> {}\n", csv.path().display());
+    Ok(())
+}
+
+/// Ablation: heterogeneous clusters — the same workload on four equal
+/// backends versus four backends of uneven power (same total capacity).
+/// The allocation assigns shares proportional to `load(B)` (Eq. 7), so
+/// the *speedup* (Eq. 19, relative to the average backend) is
+/// comparable.
+pub fn heterogeneous() -> std::io::Result<()> {
+    println!("== Ablation: homogeneous vs heterogeneous clusters (Appendix A style) ==");
+    let w = tpcapp(300);
+    let journal = w.journal(100_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 1.0 / 900.0);
+    let mut csv = Csv::create(
+        "ablation_heterogeneous",
+        &["cluster", "scale", "speedup", "max_backend_share"],
+    )?;
+    println!(
+        "{:>28} {:>8} {:>8} {:>12}",
+        "cluster", "scale", "speedup", "max share"
+    );
+    let shapes: [(&str, Vec<f64>); 3] = [
+        ("4 equal", vec![1.0, 1.0, 1.0, 1.0]),
+        ("30/30/20/20 (Appendix A)", vec![3.0, 3.0, 2.0, 2.0]),
+        ("one big, three small", vec![4.0, 1.0, 1.0, 1.0]),
+    ];
+    for (label, raw) in &shapes {
+        let cluster = ClusterSpec::heterogeneous(raw);
+        let alloc = greedy::allocate(&cw.classification, &w.catalog, &cluster);
+        alloc.validate(&cw.classification, &cluster).expect("valid");
+        let max_share = cluster
+            .ids()
+            .map(|b| alloc.assigned_load(b))
+            .fold(0.0f64, f64::max);
+        println!(
+            "{label:>28} {:>8.3} {:>8.2} {:>11.1}%",
+            alloc.scale(&cluster),
+            alloc.speedup(&cluster),
+            max_share * 100.0,
+        );
+        csv.row(&[
+            label.to_string(),
+            f2(alloc.scale(&cluster)),
+            f2(alloc.speedup(&cluster)),
+            f2(max_share * 100.0),
+        ])?;
+    }
+    println!("(strong backends absorb proportionally more weight, Eq. 7/15)");
+    println!("-> {}\n", csv.path().display());
+    Ok(())
+}

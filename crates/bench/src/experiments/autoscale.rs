@@ -1,0 +1,165 @@
+//! Autonomic scaling and workload-pattern experiments (Section 5):
+//! the "active servers vs workload" figure, the response-time
+//! comparison with/without scaling, and the Figure 6 class
+//! distribution.
+
+use qcpa_autoscale::controller::{run_day, AutoscaleConfig};
+use qcpa_sim::engine::SimConfig;
+use qcpa_workloads::trace::{diurnal, CLASS_NAMES};
+
+use crate::harness::{f2, f4, Csv};
+
+fn hhmm(secs: f64) -> String {
+    let h = (secs / 3600.0).floor() as u32 % 24;
+    let m = ((secs % 3600.0) / 60.0).floor() as u32;
+    format!("{h:02}:{m:02}")
+}
+
+/// Section 5, "Number of Active Servers Compared to Workload": replay
+/// the diurnal trace (×40, ≈ 250 q/s peak) under the autonomic
+/// controller and report requests/10 min and active nodes.
+pub fn fig5_nodes() -> std::io::Result<()> {
+    println!("== Section 5: active servers vs workload (trace ×40) ==");
+    let trace = diurnal(40.0);
+    let cfg = AutoscaleConfig::default();
+    let recs = run_day(&trace, &cfg, &SimConfig::default(), 42, None);
+    let mut csv = Csv::create(
+        "fig5_autoscale_nodes",
+        &["time", "requests_per_10min", "active_nodes", "moved_bytes"],
+    )?;
+    println!("{:>6} {:>16} {:>7}", "time", "req/10min", "nodes");
+    for r in &recs {
+        if (r.start as u64).is_multiple_of(3600) {
+            println!(
+                "{:>6} {:>16.0} {:>7}",
+                hhmm(r.start),
+                r.rate * 600.0,
+                r.backends
+            );
+        }
+        csv.row(&[
+            hhmm(r.start),
+            f2(r.rate * 600.0),
+            r.backends.to_string(),
+            r.moved_bytes.to_string(),
+        ])?;
+    }
+    let max_nodes = recs.iter().map(|r| r.backends).max().unwrap_or(0);
+    let node_hours: f64 = recs.iter().map(|r| r.backends as f64).sum::<f64>() / 6.0;
+    println!(
+        "peak nodes: {max_nodes}; node-hours: {node_hours:.0} (static max-size system: {:.0})",
+        cfg.max_backends as f64 * 24.0
+    );
+    println!("-> {}\n", csv.path().display());
+    Ok(())
+}
+
+/// Section 5, "Average Response Time Compared to Workload": the
+/// autoscaled system versus the static maximum-size system.
+pub fn fig5_response() -> std::io::Result<()> {
+    println!("== Section 5: response time with vs without scaling ==");
+    let trace = diurnal(40.0);
+    let cfg = AutoscaleConfig::default();
+    let auto = run_day(&trace, &cfg, &SimConfig::default(), 42, None);
+    let fixed = run_day(
+        &trace,
+        &cfg,
+        &SimConfig::default(),
+        42,
+        Some(cfg.max_backends),
+    );
+    let mut csv = Csv::create(
+        "fig5_autoscale_response",
+        &[
+            "time",
+            "requests_per_10min",
+            "response_ms_scaling",
+            "response_ms_static",
+        ],
+    )?;
+    println!(
+        "{:>6} {:>14} {:>18} {:>18}",
+        "time", "req/10min", "w/ scaling (ms)", "w/o scaling (ms)"
+    );
+    for (a, f) in auto.iter().zip(&fixed) {
+        if (a.start as u64).is_multiple_of(3600) {
+            println!(
+                "{:>6} {:>14.0} {:>18.1} {:>18.1}",
+                hhmm(a.start),
+                a.rate * 600.0,
+                a.mean_response * 1000.0,
+                f.mean_response * 1000.0
+            );
+        }
+        csv.row(&[
+            hhmm(a.start),
+            f2(a.rate * 600.0),
+            f2(a.mean_response * 1000.0),
+            f2(f.mean_response * 1000.0),
+        ])?;
+    }
+    let avg = |rs: &[qcpa_autoscale::controller::WindowRecord]| {
+        rs.iter().map(|r| r.mean_response).sum::<f64>() / rs.len() as f64 * 1000.0
+    };
+    let worst = auto.iter().map(|r| r.mean_response).fold(0.0f64, f64::max) * 1000.0;
+    println!(
+        "day averages: {:.1} ms with scaling vs {:.1} ms static; worst scaled window {:.1} ms",
+        avg(&auto),
+        avg(&fixed),
+        worst
+    );
+    println!("(the paper: ≈10 ms average, never above 50 ms)");
+    println!("-> {}\n", csv.path().display());
+    Ok(())
+}
+
+/// Section 5, Figure 6: distribution of the five query classes over the
+/// day — class B dominates 3 am – 8 am.
+pub fn fig6() -> std::io::Result<()> {
+    println!("== Figure 6: distribution of query classes over a day (req/10min) ==");
+    let trace = diurnal(40.0);
+    let mut csv = Csv::create(
+        "fig6_class_distribution",
+        &[
+            "time", "class_a", "class_b", "class_c", "class_d", "class_e",
+        ],
+    )?;
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "time", "A", "B", "C", "D", "E"
+    );
+    for half_hour in 0..48 {
+        let t = half_hour as f64 * 1800.0;
+        let rate10 = trace.rate_at(t) * 600.0;
+        let mix = trace.mix_at(t);
+        let per: Vec<f64> = mix.iter().map(|m| m * rate10).collect();
+        if half_hour % 2 == 0 {
+            println!(
+                "{:>6} {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+                hhmm(t),
+                per[0],
+                per[1],
+                per[2],
+                per[3],
+                per[4]
+            );
+        }
+        csv.row(&[
+            hhmm(t),
+            f4(per[0]),
+            f4(per[1]),
+            f4(per[2]),
+            f4(per[3]),
+            f4(per[4]),
+        ])?;
+    }
+    // Verify the headline property.
+    let night = trace.mix_at(5.0 * 3600.0);
+    println!(
+        "(class {} carries {:.0}% of the 5 am load)",
+        CLASS_NAMES[1],
+        night[1] * 100.0
+    );
+    println!("-> {}\n", csv.path().display());
+    Ok(())
+}

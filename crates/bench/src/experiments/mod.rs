@@ -1,0 +1,9 @@
+//! One module per experiment family; every `run()` prints the paper's
+//! rows and writes `results/<id>.csv`.
+
+pub mod ablations;
+pub mod autoscale;
+pub mod balance;
+pub mod tables;
+pub mod tpcapp;
+pub mod tpch;

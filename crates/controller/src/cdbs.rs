@@ -1,0 +1,1324 @@
+//! The cluster database system: controller + backends, executable.
+
+use qcpa_core::allocation::Allocation;
+use qcpa_core::classify::{Classification, Granularity};
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::fragment::{Catalog, FragmentId};
+use qcpa_core::greedy;
+use qcpa_core::journal::{Journal, Query};
+use qcpa_core::memetic::{self, MemeticConfig};
+use qcpa_matching::elastic::{scale_in, scale_out};
+use qcpa_storage::engine::{BackendStore, QueryResult, StorageError};
+use qcpa_storage::fragmentation::extract_vertical;
+use qcpa_storage::schema::Schema;
+use qcpa_storage::table::Table;
+
+use crate::layout::{layout_from_allocation, TableLayout};
+use crate::partition::PartitionScheme;
+use crate::request::{referenced_columns, Request, WriteKind};
+use qcpa_storage::engine::{AggFunc, QueryResult as QR, ScanQuery};
+use qcpa_storage::fragmentation::extract_horizontal;
+use qcpa_storage::types::Value;
+
+/// Errors from the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CdbsError {
+    /// The request references an unknown table.
+    UnknownTable(String),
+    /// No backend stores all the data the request needs.
+    NoCapableBackend {
+        /// The request's table.
+        table: String,
+        /// The referenced columns.
+        columns: Vec<String>,
+    },
+    /// A backend overlapped an update's data without covering it — the
+    /// layout violates the Eq. 8/10 invariants.
+    InconsistentLayout {
+        /// The offending backend index.
+        backend: usize,
+        /// The request's table.
+        table: String,
+    },
+    /// Storage-level failure.
+    Storage(StorageError),
+    /// Reallocation needs a non-empty query history.
+    EmptyJournal,
+}
+
+impl std::fmt::Display for CdbsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CdbsError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            CdbsError::NoCapableBackend { table, columns } => {
+                write!(f, "no backend stores {columns:?} of {table:?}")
+            }
+            CdbsError::InconsistentLayout { backend, table } => write!(
+                f,
+                "backend {backend} overlaps but does not cover an update on {table:?}"
+            ),
+            CdbsError::Storage(e) => write!(f, "storage error: {e}"),
+            CdbsError::EmptyJournal => write!(f, "no query history to classify"),
+        }
+    }
+}
+
+impl std::error::Error for CdbsError {}
+
+impl From<StorageError> for CdbsError {
+    fn from(e: StorageError) -> Self {
+        CdbsError::Storage(e)
+    }
+}
+
+/// Result of executing one request.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The query result (reads only).
+    pub result: Option<QueryResult>,
+    /// Backends that processed the request (one for reads, the ROWA set
+    /// for writes).
+    pub backends: Vec<usize>,
+    /// The measured cost recorded in the journal (rows touched).
+    pub cost: f64,
+}
+
+/// Result of a reallocation.
+#[derive(Debug, Clone)]
+pub struct ReallocationReport {
+    /// Bytes bulk-loaded into backends (data that actually moved).
+    pub moved_bytes: u64,
+    /// Fragments newly loaded.
+    pub loaded_fragments: usize,
+    /// Fragments kept in place.
+    pub kept_fragments: usize,
+    /// The classification the allocation was computed from.
+    pub classification: Classification,
+    /// The computed allocation (already matched onto the old one).
+    pub allocation: Allocation,
+}
+
+/// A running cluster database system (Figure 3): master copy,
+/// controller state and the backend stores.
+pub struct Cdbs {
+    schema: Schema,
+    master: Vec<Table>,
+    partitions: Vec<PartitionScheme>,
+    catalog: Catalog,
+    backends: Vec<BackendStore>,
+    layouts: Vec<TableLayout>,
+    allocation: Allocation,
+    cumulative_cost: Vec<f64>,
+    journal: Journal,
+}
+
+impl Cdbs {
+    /// Boots the system with a full replica of every table on each of
+    /// `n_backends` backends (the paper's starting configuration, used
+    /// to record an initial weight distribution).
+    pub fn new(schema: Schema, tables: Vec<Table>, n_backends: usize) -> Self {
+        Self::with_partitioning(schema, tables, n_backends, Vec::new())
+    }
+
+    /// Like [`Cdbs::new`], additionally range-partitioning the named
+    /// tables (Section 3.1's predicate-based classification): requests
+    /// on partitioned tables are classified by the partitions their
+    /// predicates touch, and reallocation places partitions
+    /// independently.
+    pub fn with_partitioning(
+        schema: Schema,
+        tables: Vec<Table>,
+        n_backends: usize,
+        partitions: Vec<PartitionScheme>,
+    ) -> Self {
+        assert!(n_backends > 0, "need at least one backend");
+        assert_eq!(
+            schema.tables.len(),
+            tables.len(),
+            "one table instance per schema table"
+        );
+        for p in &partitions {
+            let def = schema
+                .table(&p.table)
+                .unwrap_or_else(|| panic!("unknown partitioned table {:?}", p.table));
+            assert!(
+                def.column_index(&p.column).is_some(),
+                "unknown partition column {:?}",
+                p.column
+            );
+        }
+        let catalog = build_cdbs_catalog(&schema, &tables, &partitions);
+        let mut backends: Vec<BackendStore> =
+            (0..n_backends).map(|_| BackendStore::new()).collect();
+        let mut boot_layout = TableLayout::default();
+        for (def, t) in schema.tables.iter().zip(&tables) {
+            if let Some(scheme) = partitions.iter().find(|p| p.table == def.name) {
+                for store in backends.iter_mut() {
+                    for part in 0..scheme.n_parts() {
+                        store.bulk_load(extract_horizontal(
+                            t,
+                            &scheme.range_predicate(part),
+                            part as u32,
+                        ));
+                    }
+                }
+                boot_layout
+                    .parts
+                    .insert(def.name.clone(), (0..scheme.n_parts()).collect());
+            } else {
+                for store in backends.iter_mut() {
+                    store.bulk_load(qcpa_storage::fragmentation::extract_full(t));
+                }
+                boot_layout.columns.insert(
+                    def.name.clone(),
+                    def.columns.iter().map(|c| c.name.clone()).collect(),
+                );
+            }
+        }
+        // Full-replication allocation over the boot fragments.
+        let mut allocation = Allocation::empty(0, n_backends);
+        for set in allocation.fragments.iter_mut() {
+            for f in catalog.fragments() {
+                let partitioned_table = partitions.iter().any(|p| p.table == f.name);
+                match f.kind {
+                    qcpa_core::fragment::FragmentKind::Table if !partitioned_table => {
+                        set.insert(f.id);
+                    }
+                    qcpa_core::fragment::FragmentKind::Horizontal { .. } => {
+                        set.insert(f.id);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Self {
+            schema,
+            master: tables,
+            partitions,
+            catalog,
+            layouts: vec![boot_layout; n_backends],
+            backends,
+            allocation,
+            cumulative_cost: vec![0.0; n_backends],
+            journal: Journal::new(),
+        }
+    }
+
+    fn scheme_for(&self, table: &str) -> Option<&PartitionScheme> {
+        self.partitions.iter().find(|p| p.table == table)
+    }
+
+    /// Number of backends.
+    pub fn n_backends(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The recorded query history.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Per-backend stored bytes.
+    pub fn stored_bytes(&self) -> Vec<u64> {
+        self.backends.iter().map(|b| b.byte_size()).collect()
+    }
+
+    /// Per-backend accumulated work (the scheduler's balance state).
+    pub fn accumulated_cost(&self) -> &[f64] {
+        &self.cumulative_cost
+    }
+
+    /// The column fragment ids for `table.columns` (used for journal
+    /// recording).
+    fn column_fragments(&self, table: &str, cols: &[String]) -> Vec<FragmentId> {
+        cols.iter()
+            .filter_map(|c| self.catalog.by_name(&format!("{table}.{c}")))
+            .collect()
+    }
+
+    /// Executes one request: reads go to the least-loaded capable
+    /// backend, writes fan out ROWA. Every request is recorded in the
+    /// journal with its measured cost.
+    pub fn execute(&mut self, request: &Request) -> Result<ExecOutcome, CdbsError> {
+        let table_name = request.table().to_string();
+        let def = self
+            .schema
+            .table(&table_name)
+            .ok_or_else(|| CdbsError::UnknownTable(table_name.clone()))?
+            .clone();
+        let cols = referenced_columns(request, &def);
+        if let Some(scheme) = self.scheme_for(&table_name).cloned() {
+            return self.execute_partitioned(request, &scheme);
+        }
+        let frags = self.column_fragments(&table_name, &cols);
+
+        match request {
+            Request::Read(q) => {
+                let capable: Vec<usize> = (0..self.backends.len())
+                    .filter(|&b| self.layouts[b].covers(&table_name, &cols))
+                    .collect();
+                let &b = capable
+                    .iter()
+                    .min_by(|&&x, &&y| {
+                        self.cumulative_cost[x]
+                            .partial_cmp(&self.cumulative_cost[y])
+                            .expect("costs are finite")
+                            .then(x.cmp(&y))
+                    })
+                    .ok_or_else(|| CdbsError::NoCapableBackend {
+                        table: table_name.clone(),
+                        columns: cols.clone(),
+                    })?;
+                let frag_name = self.layouts[b]
+                    .fragment_name(&self.schema, &table_name)
+                    .expect("capable backend stores the table");
+                let mut translated = q.clone();
+                translated.table = frag_name.clone();
+                let result = self.backends[b].execute(&translated)?;
+                // Measured cost: rows scanned (the stored fragment's
+                // cardinality — a full scan in this engine).
+                let cost = self.backends[b]
+                    .table(&frag_name)
+                    .map(|t| t.len() as f64)
+                    .unwrap_or(1.0)
+                    .max(1.0);
+                self.cumulative_cost[b] += cost;
+                self.journal.record(Query::read(
+                    format!("R {table_name} [{}]", cols.join(",")),
+                    frags,
+                    cost,
+                ));
+                Ok(ExecOutcome {
+                    result: Some(result),
+                    backends: vec![b],
+                    cost,
+                })
+            }
+            Request::Write(w) => {
+                let targets: Vec<usize> = (0..self.backends.len())
+                    .filter(|&b| self.layouts[b].overlaps(&table_name, &cols))
+                    .collect();
+                if targets.is_empty() {
+                    return Err(CdbsError::NoCapableBackend {
+                        table: table_name.clone(),
+                        columns: cols.clone(),
+                    });
+                }
+                let mut cost = 1.0f64;
+                for &b in &targets {
+                    if !self.layouts[b].covers(&table_name, &cols) {
+                        return Err(CdbsError::InconsistentLayout {
+                            backend: b,
+                            table: table_name.clone(),
+                        });
+                    }
+                    let frag_name = self.layouts[b]
+                        .fragment_name(&self.schema, &table_name)
+                        .expect("covering backend stores the table");
+                    match &w.kind {
+                        WriteKind::Insert(row) => {
+                            // Project the row onto the stored columns.
+                            let stored = &self.layouts[b].columns[&table_name];
+                            let projected: Vec<_> = def
+                                .columns
+                                .iter()
+                                .zip(row.iter())
+                                .filter(|(c, _)| stored.contains(&c.name))
+                                .map(|(_, v)| v.clone())
+                                .collect();
+                            self.backends[b].insert(&frag_name, projected)?;
+                        }
+                        WriteKind::Update {
+                            predicate,
+                            column,
+                            value,
+                        } => {
+                            let changed = self.backends[b].update(
+                                &frag_name,
+                                predicate.as_ref(),
+                                column,
+                                value.clone(),
+                            )?;
+                            cost = cost.max(changed as f64);
+                        }
+                    }
+                    self.cumulative_cost[b] += cost;
+                }
+                // Keep the master copy authoritative.
+                let mi = self
+                    .schema
+                    .tables
+                    .iter()
+                    .position(|t| t.name == table_name)
+                    .expect("table exists");
+                match &w.kind {
+                    WriteKind::Insert(row) => self.master[mi].append(row.clone()),
+                    WriteKind::Update {
+                        predicate,
+                        column,
+                        value,
+                    } => {
+                        self.master[mi].update(predicate.as_ref(), column, value.clone());
+                    }
+                }
+                self.journal.record(Query::update(
+                    format!("W {table_name} [{}]", cols.join(",")),
+                    frags,
+                    cost,
+                ));
+                Ok(ExecOutcome {
+                    result: None,
+                    backends: targets,
+                    cost,
+                })
+            }
+        }
+    }
+
+    /// Executes a request against a range-partitioned table: reads go
+    /// to one backend covering every touched partition (results are
+    /// combined across its partition fragments), writes fan out ROWA to
+    /// every backend overlapping the touched partitions.
+    fn execute_partitioned(
+        &mut self,
+        request: &Request,
+        scheme: &PartitionScheme,
+    ) -> Result<ExecOutcome, CdbsError> {
+        let table_name = scheme.table.clone();
+        let n_columns = self
+            .schema
+            .table(&table_name)
+            .expect("scheme validated at construction")
+            .columns
+            .len();
+        let touched: Vec<usize> = match request {
+            Request::Read(q) => scheme.touched(q.predicate.as_ref()),
+            Request::Write(w) => match &w.kind {
+                WriteKind::Insert(row) => {
+                    let idx = self
+                        .schema
+                        .table(&table_name)
+                        .and_then(|d| d.column_index(&scheme.column))
+                        .expect("scheme validated at construction");
+                    match row.get(idx) {
+                        Some(Value::I64(v)) => vec![scheme.part_of(*v)],
+                        _ => (0..scheme.n_parts()).collect(),
+                    }
+                }
+                WriteKind::Update { predicate, .. } => scheme.touched(predicate.as_ref()),
+            },
+        };
+        let frags: Vec<FragmentId> = touched
+            .iter()
+            .filter_map(|&p| self.catalog.by_name(&scheme.fragment_name(p)))
+            .collect();
+
+        match request {
+            Request::Read(q) => {
+                let capable: Vec<usize> = (0..self.backends.len())
+                    .filter(|&b| self.layouts[b].covers_parts(&table_name, &touched, n_columns))
+                    .collect();
+                let &b = capable
+                    .iter()
+                    .min_by(|&&x, &&y| {
+                        self.cumulative_cost[x]
+                            .partial_cmp(&self.cumulative_cost[y])
+                            .expect("costs are finite")
+                            .then(x.cmp(&y))
+                    })
+                    .ok_or_else(|| CdbsError::NoCapableBackend {
+                        table: table_name.clone(),
+                        columns: vec![format!("partitions {touched:?}")],
+                    })?;
+                // A whole-table copy answers directly; otherwise combine
+                // over the stored partition fragments.
+                let whole = self.layouts[b]
+                    .columns
+                    .get(&table_name)
+                    .map(|c| c.len() == n_columns)
+                    .unwrap_or(false);
+                let (result, cost) = if whole {
+                    let res = self.backends[b].execute(q)?;
+                    let cost = self.backends[b]
+                        .table(&table_name)
+                        .map(|t| t.len() as f64)
+                        .unwrap_or(1.0);
+                    (res, cost)
+                } else {
+                    combine_partition_scan(&self.backends[b], q, scheme, &touched)?
+                };
+                let cost = cost.max(1.0);
+                self.cumulative_cost[b] += cost;
+                self.journal.record(Query::read(
+                    format!("R {table_name}#{touched:?}"),
+                    frags,
+                    cost,
+                ));
+                Ok(ExecOutcome {
+                    result: Some(result),
+                    backends: vec![b],
+                    cost,
+                })
+            }
+            Request::Write(w) => {
+                let targets: Vec<usize> = (0..self.backends.len())
+                    .filter(|&b| self.layouts[b].overlaps_parts(&table_name, &touched))
+                    .collect();
+                if targets.is_empty() {
+                    return Err(CdbsError::NoCapableBackend {
+                        table: table_name.clone(),
+                        columns: vec![format!("partitions {touched:?}")],
+                    });
+                }
+                let mut cost = 1.0f64;
+                for &b in &targets {
+                    if !self.layouts[b].covers_parts(&table_name, &touched, n_columns) {
+                        return Err(CdbsError::InconsistentLayout {
+                            backend: b,
+                            table: table_name.clone(),
+                        });
+                    }
+                    let whole = self.layouts[b]
+                        .columns
+                        .get(&table_name)
+                        .map(|c| c.len() == n_columns)
+                        .unwrap_or(false);
+                    match &w.kind {
+                        WriteKind::Insert(row) => {
+                            let frag = if whole {
+                                table_name.clone()
+                            } else {
+                                scheme.fragment_name(touched[0])
+                            };
+                            self.backends[b].insert(&frag, row.clone())?;
+                        }
+                        WriteKind::Update {
+                            predicate,
+                            column,
+                            value,
+                        } => {
+                            if whole {
+                                let changed = self.backends[b].update(
+                                    &table_name,
+                                    predicate.as_ref(),
+                                    column,
+                                    value.clone(),
+                                )?;
+                                cost = cost.max(changed as f64);
+                            } else {
+                                for &p in &touched {
+                                    let frag = scheme.fragment_name(p);
+                                    if self.backends[b].table(&frag).is_none() {
+                                        continue;
+                                    }
+                                    let changed = self.backends[b].update(
+                                        &frag,
+                                        predicate.as_ref(),
+                                        column,
+                                        value.clone(),
+                                    )?;
+                                    cost = cost.max(changed as f64);
+                                }
+                            }
+                        }
+                    }
+                    self.cumulative_cost[b] += cost;
+                }
+                let mi = self
+                    .schema
+                    .tables
+                    .iter()
+                    .position(|t| t.name == table_name)
+                    .expect("table exists");
+                match &w.kind {
+                    WriteKind::Insert(row) => self.master[mi].append(row.clone()),
+                    WriteKind::Update {
+                        predicate,
+                        column,
+                        value,
+                    } => {
+                        self.master[mi].update(predicate.as_ref(), column, value.clone());
+                    }
+                }
+                self.journal.record(Query::update(
+                    format!("W {table_name}#{touched:?}"),
+                    frags,
+                    cost,
+                ));
+                Ok(ExecOutcome {
+                    result: None,
+                    backends: targets,
+                    cost,
+                })
+            }
+        }
+    }
+
+    /// Reallocates the system: classifies the recorded journal at the
+    /// given granularity, computes a (memetic-refined) allocation for
+    /// `n_backends`, matches it cost-minimally onto the current layout
+    /// (Hungarian; elastic padding when the backend count changes), and
+    /// physically moves only the fragments that changed.
+    pub fn reallocate(
+        &mut self,
+        n_backends: usize,
+        granularity: Granularity,
+        refine: Option<&MemeticConfig>,
+    ) -> Result<ReallocationReport, CdbsError> {
+        assert!(n_backends > 0, "need at least one backend");
+        if self.journal.is_empty() {
+            return Err(CdbsError::EmptyJournal);
+        }
+        // Fresh sizes: the data may have grown since boot.
+        self.catalog = build_cdbs_catalog(&self.schema, &self.master, &self.partitions);
+
+        let cls = Classification::from_journal(&self.journal, &self.catalog, granularity)
+            .map_err(|_| CdbsError::EmptyJournal)?;
+        let cluster = ClusterSpec::homogeneous(n_backends);
+        let mut alloc = greedy::allocate(&cls, &self.catalog, &cluster);
+        if let Some(cfg) = refine {
+            alloc = memetic::optimize(alloc, &cls, &self.catalog, &cluster, cfg);
+        }
+        alloc
+            .validate(&cls, &cluster)
+            .expect("allocator output is valid");
+
+        // Match onto the running system to minimize movement.
+        let old_n = self.backends.len();
+        let matched = if n_backends >= old_n {
+            scale_out(&self.allocation, &alloc, &self.catalog).allocation
+        } else {
+            let plan = scale_in(&self.allocation, &alloc, &self.catalog);
+            // Drop the decommissioned physical nodes, keeping order.
+            let keep: Vec<usize> = (0..old_n)
+                .filter(|b| !plan.decommissioned.contains(b))
+                .collect();
+            let mut shrunk = Allocation::empty(plan.allocation.n_classes(), keep.len());
+            for (new_b, &old_b) in keep.iter().enumerate() {
+                shrunk.fragments[new_b] = plan.allocation.fragments[old_b].clone();
+                for c in 0..plan.allocation.n_classes() {
+                    shrunk.assign[c][new_b] = plan.allocation.assign[c][old_b];
+                }
+            }
+            self.backends = keep
+                .iter()
+                .map(|&b| std::mem::take(&mut self.backends[b]))
+                .collect();
+            self.layouts.truncate(keep.len());
+            self.cumulative_cost = keep.iter().map(|&b| self.cumulative_cost[b]).collect();
+            shrunk
+        };
+        while self.backends.len() < matched.n_backends() {
+            self.backends.push(BackendStore::new());
+            self.layouts.push(TableLayout::default());
+            self.cumulative_cost.push(0.0);
+        }
+
+        // Physically realize the new layouts.
+        let new_layouts = layout_from_allocation(&matched, &self.catalog, &self.schema);
+        let mut moved_bytes = 0u64;
+        let mut loaded = 0usize;
+        let mut kept = 0usize;
+        for (b, layout) in new_layouts.iter().enumerate() {
+            let mut wanted: Vec<String> = layout
+                .columns
+                .keys()
+                .map(|t| layout.fragment_name(&self.schema, t).expect("stored table"))
+                .collect();
+            for (t, parts) in &layout.parts {
+                let scheme = self
+                    .partitions
+                    .iter()
+                    .find(|p| &p.table == t)
+                    .expect("partition fragments imply a scheme");
+                wanted.extend(parts.iter().map(|&p| scheme.fragment_name(p)));
+            }
+            // Drop stale fragments.
+            let stale: Vec<String> = self.backends[b]
+                .fragment_names()
+                .filter(|n| !wanted.contains(&n.to_string()))
+                .map(|s| s.to_string())
+                .collect();
+            for name in stale {
+                self.backends[b].drop_fragment(&name);
+            }
+            // Load missing partition fragments from the master copy.
+            for (t, parts) in &layout.parts {
+                let scheme = self
+                    .partitions
+                    .iter()
+                    .find(|p| &p.table == t)
+                    .expect("partition fragments imply a scheme")
+                    .clone();
+                let mi = self
+                    .schema
+                    .tables
+                    .iter()
+                    .position(|d| &d.name == t)
+                    .expect("table exists");
+                for &p in parts {
+                    let frag_name = scheme.fragment_name(p);
+                    if self.backends[b].table(&frag_name).is_some() {
+                        kept += 1;
+                        continue;
+                    }
+                    moved_bytes += self.backends[b].bulk_load(extract_horizontal(
+                        &self.master[mi],
+                        &scheme.range_predicate(p),
+                        p as u32,
+                    ));
+                    loaded += 1;
+                }
+            }
+            // Load missing fragments from the master copy.
+            for table_name in layout.columns.keys() {
+                let frag_name = layout
+                    .fragment_name(&self.schema, table_name)
+                    .expect("stored table");
+                if self.backends[b].table(&frag_name).is_some() {
+                    kept += 1;
+                    continue;
+                }
+                let mi = self
+                    .schema
+                    .tables
+                    .iter()
+                    .position(|t| &t.name == table_name)
+                    .expect("table exists");
+                let stored = &layout.columns[table_name];
+                let data = if stored.len() == self.schema.tables[mi].columns.len() {
+                    qcpa_storage::fragmentation::extract_full(&self.master[mi])
+                } else {
+                    let col_refs: Vec<&str> = stored.iter().map(|s| s.as_str()).collect();
+                    extract_vertical(&self.master[mi], &col_refs)
+                };
+                moved_bytes += self.backends[b].bulk_load(data);
+                loaded += 1;
+            }
+        }
+
+        self.layouts = new_layouts;
+        self.allocation = matched.clone();
+        Ok(ReallocationReport {
+            moved_bytes,
+            loaded_fragments: loaded,
+            kept_fragments: kept,
+            classification: cls,
+            allocation: matched,
+        })
+    }
+
+    /// Clears the query history (e.g. after a reallocation, to adapt to
+    /// a fresh workload phase).
+    pub fn clear_journal(&mut self) {
+        self.journal = Journal::new();
+    }
+}
+
+/// Builds the controller's fragment catalog: tables and columns for
+/// plain tables (matching [`build_catalog`]'s sizing), table +
+/// horizontal fragments for range-partitioned tables, sized by the
+/// *actual* per-range row counts of the master copy.
+fn build_cdbs_catalog(
+    schema: &Schema,
+    master: &[Table],
+    partitions: &[PartitionScheme],
+) -> Catalog {
+    let mut catalog = Catalog::new();
+    for (def, table) in schema.tables.iter().zip(master) {
+        let rows = table.len() as u64;
+        let tid = catalog.add_table(def.name.clone(), def.row_width() * rows);
+        if let Some(scheme) = partitions.iter().find(|p| p.table == def.name) {
+            let idx = def
+                .column_index(&scheme.column)
+                .expect("scheme validated at construction");
+            let mut counts = vec![0u64; scheme.n_parts()];
+            for r in 0..table.len() {
+                if let Some(Value::I64(v)) = table.value(r, &def.columns[idx].name) {
+                    counts[scheme.part_of(v)] += 1;
+                }
+            }
+            for (p, &c) in counts.iter().enumerate() {
+                catalog.add_horizontal(tid, p as u32, scheme.fragment_name(p), def.row_width() * c);
+            }
+        } else {
+            let pk_width = def.primary_key().byte_width as u64;
+            for (i, col) in def.columns.iter().enumerate() {
+                let width = col.byte_width as u64;
+                let size = if i == 0 {
+                    width * rows
+                } else {
+                    (width + pk_width) * rows
+                };
+                catalog.add_column(tid, format!("{}.{}", def.name, col.name), size);
+            }
+        }
+    }
+    catalog
+}
+
+/// Runs a scan over the stored fragments of the touched partitions and
+/// combines the partial results (rows concatenate; COUNT/SUM add,
+/// MIN/MAX fold, AVG recombines from per-partition SUM and COUNT).
+/// Returns the combined result and the scan cost (rows read).
+fn combine_partition_scan(
+    store: &BackendStore,
+    q: &ScanQuery,
+    scheme: &PartitionScheme,
+    touched: &[usize],
+) -> Result<(QR, f64), CdbsError> {
+    let mut cost = 0.0f64;
+    if let Some((func, column)) = &q.aggregate {
+        let mut count_total = 0.0f64;
+        let mut sum_total = 0.0f64;
+        let mut min: Option<f64> = None;
+        let mut max: Option<f64> = None;
+        for &p in touched {
+            let frag = scheme.fragment_name(p);
+            if store.table(&frag).is_none() {
+                continue;
+            }
+            cost += store.table(&frag).map(|t| t.len() as f64).unwrap_or(0.0);
+            let mut part_q = q.clone();
+            part_q.table = frag.clone();
+            // COUNT over the same selection (needed for AVG and COUNT).
+            let mut count_q = part_q.clone();
+            count_q.aggregate = Some((AggFunc::Count, column.clone()));
+            if let QR::Scalar(Some(c)) = store.execute(&count_q)? {
+                count_total += c;
+            }
+            match func {
+                AggFunc::Count => {}
+                AggFunc::Sum | AggFunc::Avg => {
+                    let mut sum_q = part_q.clone();
+                    sum_q.aggregate = Some((AggFunc::Sum, column.clone()));
+                    if let QR::Scalar(Some(s)) = store.execute(&sum_q)? {
+                        sum_total += s;
+                    }
+                }
+                AggFunc::Min | AggFunc::Max => {
+                    if let QR::Scalar(Some(v)) = store.execute(&part_q)? {
+                        min = Some(min.map_or(v, |m: f64| m.min(v)));
+                        max = Some(max.map_or(v, |m: f64| m.max(v)));
+                    }
+                }
+            }
+        }
+        let scalar = match func {
+            AggFunc::Count => Some(count_total),
+            AggFunc::Sum => Some(sum_total),
+            AggFunc::Avg => {
+                if count_total > 0.0 {
+                    Some(sum_total / count_total)
+                } else {
+                    None
+                }
+            }
+            AggFunc::Min => min,
+            AggFunc::Max => max,
+        };
+        return Ok((QR::Scalar(scalar), cost));
+    }
+    let mut rows = Vec::new();
+    for &p in touched {
+        let frag = scheme.fragment_name(p);
+        if store.table(&frag).is_none() {
+            continue;
+        }
+        cost += store.table(&frag).map(|t| t.len() as f64).unwrap_or(0.0);
+        let mut part_q = q.clone();
+        part_q.table = frag;
+        match store.execute(&part_q)? {
+            QR::Rows(mut r) => rows.append(&mut r),
+            QR::Scalar(_) => unreachable!("no aggregate requested"),
+        }
+    }
+    Ok((QR::Rows(rows), cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::WriteRequest;
+    use qcpa_storage::engine::AggFunc;
+    use qcpa_storage::engine::ScanQuery;
+    use qcpa_storage::predicate::{CmpOp, Predicate};
+    use qcpa_storage::schema::{ColumnDef, TableDef};
+    use qcpa_storage::types::{DataType, Value};
+
+    fn bookshop() -> (Schema, Vec<Table>) {
+        let mut schema = Schema::new();
+        schema.add_table(TableDef::new(
+            "item",
+            vec![
+                ColumnDef::new("i_id", DataType::I64, 8),
+                ColumnDef::new("i_title", DataType::Str, 24),
+                ColumnDef::new("i_price", DataType::F64, 8),
+            ],
+        ));
+        schema.add_table(TableDef::new(
+            "orders",
+            vec![
+                ColumnDef::new("o_id", DataType::I64, 8),
+                ColumnDef::new("o_item", DataType::I64, 8),
+                ColumnDef::new("o_qty", DataType::I64, 8),
+            ],
+        ));
+        let mut item = Table::new(schema.table("item").unwrap().clone());
+        for i in 0..50 {
+            item.append(vec![
+                Value::I64(i),
+                Value::Str(format!("book-{i}")),
+                Value::F64(5.0 + i as f64),
+            ]);
+        }
+        let mut orders = Table::new(schema.table("orders").unwrap().clone());
+        for i in 0..200 {
+            orders.append(vec![
+                Value::I64(i),
+                Value::I64(i % 50),
+                Value::I64(1 + i % 3),
+            ]);
+        }
+        (schema, vec![item, orders])
+    }
+
+    fn price_query() -> Request {
+        Request::Read(
+            ScanQuery::all("item")
+                .select(&["i_price"])
+                .agg(AggFunc::Avg, "i_price"),
+        )
+    }
+
+    fn order_query() -> Request {
+        Request::Read(
+            ScanQuery::all("orders")
+                .select(&["o_qty"])
+                .agg(AggFunc::Sum, "o_qty"),
+        )
+    }
+
+    #[test]
+    fn boots_fully_replicated_and_serves_queries() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 3);
+        let out = cdbs.execute(&price_query()).unwrap();
+        assert_eq!(out.backends.len(), 1);
+        match out.result.unwrap() {
+            QueryResult::Scalar(Some(avg)) => assert!((avg - 29.5).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(cdbs.journal().total(), 1);
+    }
+
+    #[test]
+    fn reads_balance_across_backends() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 3);
+        for _ in 0..9 {
+            cdbs.execute(&price_query()).unwrap();
+        }
+        let costs = cdbs.accumulated_cost();
+        let max = costs.iter().copied().fold(0.0f64, f64::max);
+        let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(max - min <= 50.0 + 1e-9, "costs {costs:?}");
+    }
+
+    #[test]
+    fn writes_fan_out_rowa_and_stay_consistent() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 3);
+        let w = Request::Write(WriteRequest::update(
+            "item",
+            Some(Predicate::cmp("i_id", CmpOp::Lt, Value::I64(10))),
+            "i_price",
+            Value::F64(1.0),
+        ));
+        let out = cdbs.execute(&w).unwrap();
+        assert_eq!(out.backends.len(), 3, "full replication: all backends");
+        // Every backend answers the post-update query identically.
+        let q = ScanQuery::all("item")
+            .filter(Predicate::cmp("i_price", CmpOp::Eq, Value::F64(1.0)))
+            .agg(AggFunc::Count, "i_id");
+        for _ in 0..3 {
+            let out = cdbs.execute(&Request::Read(q.clone())).unwrap();
+            assert_eq!(out.result.unwrap(), QueryResult::Scalar(Some(10.0)));
+        }
+    }
+
+    #[test]
+    fn reallocation_specializes_backends_and_reduces_storage() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 2);
+        for _ in 0..6 {
+            cdbs.execute(&price_query()).unwrap();
+            cdbs.execute(&order_query()).unwrap();
+        }
+        let before: u64 = cdbs.stored_bytes().iter().sum();
+        let report = cdbs.reallocate(2, Granularity::Fragment, None).unwrap();
+        let after: u64 = cdbs.stored_bytes().iter().sum();
+        assert!(
+            after < before,
+            "partial replication stores less: {after} vs {before}"
+        );
+        assert!(report.moved_bytes > 0);
+        // Queries still work and return the same answers.
+        let out = cdbs.execute(&price_query()).unwrap();
+        assert_eq!(out.result.unwrap(), QueryResult::Scalar(Some(29.5)));
+        let out = cdbs.execute(&order_query()).unwrap();
+        assert!(matches!(out.result.unwrap(), QueryResult::Scalar(Some(_))));
+    }
+
+    #[test]
+    fn writes_after_reallocation_hit_only_overlapping_backends() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 2);
+        for _ in 0..6 {
+            cdbs.execute(&price_query()).unwrap();
+            cdbs.execute(&order_query()).unwrap();
+        }
+        // Record some writes so the update class is classified.
+        let upd = Request::Write(WriteRequest::update(
+            "item",
+            Some(Predicate::cmp("i_id", CmpOp::Eq, Value::I64(1))),
+            "i_price",
+            Value::F64(9.9),
+        ));
+        cdbs.execute(&upd).unwrap();
+        cdbs.reallocate(2, Granularity::Fragment, None).unwrap();
+        let out = cdbs.execute(&upd).unwrap();
+        assert!(
+            out.backends.len() < 2 || cdbs.stored_bytes().iter().all(|&b| b > 0),
+            "update fans out only to overlapping backends"
+        );
+        // The answer is still consistent wherever the read lands.
+        let q = Request::Read(
+            ScanQuery::all("item")
+                .select(&["i_price"])
+                .filter(Predicate::cmp("i_id", CmpOp::Eq, Value::I64(1))),
+        );
+        let out = cdbs.execute(&q).unwrap();
+        match out.result.unwrap() {
+            QueryResult::Rows(rows) => assert_eq!(rows[0][0], Value::F64(9.9)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn elastic_scale_out_and_in() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 2);
+        for _ in 0..4 {
+            cdbs.execute(&price_query()).unwrap();
+            cdbs.execute(&order_query()).unwrap();
+        }
+        let r4 = cdbs.reallocate(4, Granularity::Table, None).unwrap();
+        assert_eq!(cdbs.n_backends(), 4);
+        assert!(r4.allocation.n_backends() == 4);
+        cdbs.execute(&price_query()).unwrap();
+
+        let r2 = cdbs.reallocate(2, Granularity::Table, None).unwrap();
+        assert_eq!(cdbs.n_backends(), 2);
+        assert!(r2.kept_fragments + r2.loaded_fragments > 0);
+        let out = cdbs.execute(&price_query()).unwrap();
+        assert!(matches!(out.result.unwrap(), QueryResult::Scalar(Some(_))));
+    }
+
+    #[test]
+    fn inserts_grow_master_and_reallocation_reflects_growth() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 2);
+        cdbs.execute(&price_query()).unwrap();
+        for i in 0..100 {
+            cdbs.execute(&Request::Write(WriteRequest::insert(
+                "orders",
+                vec![Value::I64(1000 + i), Value::I64(0), Value::I64(1)],
+            )))
+            .unwrap();
+        }
+        cdbs.execute(&order_query()).unwrap();
+        let report = cdbs.reallocate(2, Granularity::Table, None).unwrap();
+        // orders grew from 200 to 300 rows — the fresh catalog must see it.
+        let orders_frag = report
+            .classification
+            .classes
+            .iter()
+            .flat_map(|c| c.fragments.iter())
+            .find(|f| {
+                // any fragment of the orders table
+                matches!(cdbs.catalog_fragment_table(**f).as_deref(), Some("orders"))
+            });
+        assert!(orders_frag.is_some());
+        let out = cdbs.execute(&order_query()).unwrap();
+        match out.result.unwrap() {
+            QueryResult::Scalar(Some(sum)) => assert!(sum > 0.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 1);
+        let err = cdbs
+            .execute(&Request::Read(ScanQuery::all("ghost")))
+            .unwrap_err();
+        assert!(matches!(err, CdbsError::UnknownTable(_)));
+    }
+
+    #[test]
+    fn reallocation_requires_history() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 2);
+        let err = cdbs.reallocate(2, Granularity::Table, None).unwrap_err();
+        assert_eq!(err, CdbsError::EmptyJournal);
+    }
+}
+
+impl Cdbs {
+    /// Test helper: the owning table name of a catalog fragment.
+    #[doc(hidden)]
+    pub fn catalog_fragment_table(&self, f: FragmentId) -> Option<String> {
+        let table = self.catalog.table_of(f);
+        Some(self.catalog.fragment(table).name.clone())
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+    use crate::request::WriteRequest;
+    use qcpa_storage::engine::{AggFunc, ScanQuery};
+    use qcpa_storage::predicate::{CmpOp, Predicate};
+    use qcpa_storage::schema::{ColumnDef, TableDef};
+    use qcpa_storage::types::DataType;
+
+    /// An `events` table range-partitioned by day: days 0..9 cold,
+    /// 10..19 warm, 20+ hot.
+    fn partitioned_cdbs(n: usize) -> Cdbs {
+        let mut schema = Schema::new();
+        schema.add_table(TableDef::new(
+            "events",
+            vec![
+                ColumnDef::new("e_id", DataType::I64, 8),
+                ColumnDef::new("e_day", DataType::I64, 8),
+                ColumnDef::new("e_value", DataType::F64, 8),
+            ],
+        ));
+        schema.add_table(TableDef::new(
+            "users",
+            vec![
+                ColumnDef::new("u_id", DataType::I64, 8),
+                ColumnDef::new("u_name", DataType::Str, 20),
+            ],
+        ));
+        let mut events = Table::new(schema.table("events").unwrap().clone());
+        for i in 0..300i64 {
+            events.append(vec![
+                Value::I64(i),
+                Value::I64(i % 30),
+                Value::F64(i as f64),
+            ]);
+        }
+        let mut users = Table::new(schema.table("users").unwrap().clone());
+        for i in 0..20i64 {
+            users.append(vec![Value::I64(i), Value::Str(format!("user {i}"))]);
+        }
+        Cdbs::with_partitioning(
+            schema,
+            vec![events, users],
+            n,
+            vec![PartitionScheme::new("events", "e_day", vec![10, 20])],
+        )
+    }
+
+    fn hot_count() -> Request {
+        Request::Read(
+            ScanQuery::all("events")
+                .select(&["e_id"])
+                .filter(Predicate::cmp("e_day", CmpOp::Ge, Value::I64(20)))
+                .agg(AggFunc::Count, "e_id"),
+        )
+    }
+
+    fn total_sum() -> Request {
+        Request::Read(
+            ScanQuery::all("events")
+                .select(&["e_value"])
+                .agg(AggFunc::Sum, "e_value"),
+        )
+    }
+
+    fn scalar(out: &ExecOutcome) -> f64 {
+        match out.result.as_ref().expect("read result") {
+            QR::Scalar(Some(v)) => *v,
+            other => panic!("expected scalar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partitioned_reads_combine_across_fragments() {
+        let mut cdbs = partitioned_cdbs(2);
+        // Hot partition has days 20..29: 10 of each day's 10 rows.
+        assert_eq!(scalar(&cdbs.execute(&hot_count()).unwrap()), 100.0);
+        // Full-table sum spans all three partitions.
+        let expected: f64 = (0..300).map(|i| i as f64).sum();
+        assert_eq!(scalar(&cdbs.execute(&total_sum()).unwrap()), expected);
+        // Avg recombines from per-partition sums and counts.
+        let avg = Request::Read(
+            ScanQuery::all("events")
+                .select(&["e_value"])
+                .agg(AggFunc::Avg, "e_value"),
+        );
+        assert!((scalar(&cdbs.execute(&avg).unwrap()) - expected / 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn journal_classifies_by_partition_sets() {
+        let mut cdbs = partitioned_cdbs(2);
+        cdbs.execute(&hot_count()).unwrap();
+        cdbs.execute(&total_sum()).unwrap();
+        cdbs.execute(&hot_count()).unwrap();
+        // Two distinct read classes: {hot partition} and {all partitions}.
+        assert_eq!(cdbs.journal().distinct(), 2);
+        assert_eq!(cdbs.journal().total(), 3);
+    }
+
+    #[test]
+    fn reallocation_places_partitions_independently() {
+        let mut cdbs = partitioned_cdbs(3);
+        // Hot-range writes dominate the hot partition's weight; cold
+        // reporting carries the read load — the write class must pin
+        // the hot partition to few backends.
+        for i in 0..12 {
+            cdbs.execute(&Request::Write(WriteRequest::update(
+                "events",
+                Some(Predicate::cmp("e_day", CmpOp::Ge, Value::I64(25))),
+                "e_value",
+                Value::F64(0.0),
+            )))
+            .unwrap();
+            cdbs.execute(&Request::Write(WriteRequest::update(
+                "events",
+                Some(Predicate::cmp("e_day", CmpOp::Ge, Value::I64(22))),
+                "e_value",
+                Value::F64(1.0),
+            )))
+            .unwrap();
+            if i % 2 == 0 {
+                cdbs.execute(&hot_count()).unwrap();
+            }
+            // Cold-range report.
+            cdbs.execute(&Request::Read(
+                ScanQuery::all("events")
+                    .select(&["e_value"])
+                    .filter(Predicate::cmp("e_day", CmpOp::Lt, Value::I64(10)))
+                    .agg(AggFunc::Count, "e_value"),
+            ))
+            .unwrap();
+        }
+        let before: u64 = cdbs.stored_bytes().iter().sum();
+        // The memetic refinement consolidates the hot partition's write
+        // replicas (the greedy alone plateaus at full spread here).
+        let refine = MemeticConfig::default();
+        let report = cdbs
+            .reallocate(3, qcpa_core::classify::Granularity::Fragment, Some(&refine))
+            .unwrap();
+        let after: u64 = cdbs.stored_bytes().iter().sum();
+        assert!(
+            after < before,
+            "partial placement stores less: {after} vs {before}"
+        );
+        // The hot partition (fragment "events#2") lives on fewer than
+        // all backends — the writes pinned it.
+        let hot = report
+            .allocation
+            .fragments
+            .iter()
+            .filter(|set| {
+                set.iter().any(|f| {
+                    matches!(
+                        cdbs.catalog_fragment_kind(*f),
+                        Some((name, true)) if name == "events#2"
+                    )
+                })
+            })
+            .count();
+        assert!(hot < 3, "hot partition on {hot}/3 backends");
+        // Answers unchanged after the physical move.
+        assert_eq!(scalar(&cdbs.execute(&hot_count()).unwrap()), 100.0);
+    }
+
+    #[test]
+    fn partitioned_writes_fan_out_and_stay_consistent() {
+        let mut cdbs = partitioned_cdbs(2);
+        let zap = Request::Write(WriteRequest::update(
+            "events",
+            Some(Predicate::cmp("e_day", CmpOp::Eq, Value::I64(5))),
+            "e_value",
+            Value::F64(-1.0),
+        ));
+        let out = cdbs.execute(&zap).unwrap();
+        assert_eq!(out.backends.len(), 2, "boot layout replicates everywhere");
+        let count = Request::Read(
+            ScanQuery::all("events")
+                .select(&["e_id"])
+                .filter(Predicate::cmp("e_value", CmpOp::Eq, Value::F64(-1.0)))
+                .agg(AggFunc::Count, "e_id"),
+        );
+        for _ in 0..2 {
+            assert_eq!(scalar(&cdbs.execute(&count).unwrap()), 10.0);
+        }
+    }
+
+    #[test]
+    fn inserts_route_to_the_owning_partition() {
+        let mut cdbs = partitioned_cdbs(2);
+        cdbs.execute(&Request::Write(WriteRequest::insert(
+            "events",
+            vec![Value::I64(9_000), Value::I64(25), Value::F64(1.0)],
+        )))
+        .unwrap();
+        assert_eq!(scalar(&cdbs.execute(&hot_count()).unwrap()), 101.0);
+        // The journal recorded the insert against the hot partition only.
+        let insert_entry = cdbs
+            .journal()
+            .entries()
+            .iter()
+            .find(|e| e.query.text.starts_with("W events#[2]"))
+            .expect("insert classified to partition 2");
+        assert_eq!(insert_entry.query.fragments.len(), 1);
+    }
+
+    #[test]
+    fn mixed_partitioned_and_plain_tables_coexist() {
+        let mut cdbs = partitioned_cdbs(2);
+        let users = Request::Read(
+            ScanQuery::all("users")
+                .select(&["u_name"])
+                .agg(AggFunc::Count, "u_name"),
+        );
+        assert_eq!(scalar(&cdbs.execute(&users).unwrap()), 20.0);
+        cdbs.execute(&hot_count()).unwrap();
+        cdbs.reallocate(2, qcpa_core::classify::Granularity::Fragment, None)
+            .unwrap();
+        assert_eq!(scalar(&cdbs.execute(&users).unwrap()), 20.0);
+        assert_eq!(scalar(&cdbs.execute(&hot_count()).unwrap()), 100.0);
+    }
+}
+
+impl Cdbs {
+    /// Test helper: a fragment's name and whether it is horizontal.
+    #[doc(hidden)]
+    pub fn catalog_fragment_kind(&self, f: FragmentId) -> Option<(String, bool)> {
+        let frag = self.catalog.fragment(f);
+        Some((
+            frag.name.clone(),
+            matches!(
+                frag.kind,
+                qcpa_core::fragment::FragmentKind::Horizontal { .. }
+            ),
+        ))
+    }
+}

@@ -1,0 +1,65 @@
+//! # qcpa-controller
+//!
+//! The paper's prototype, as a library (Figure 3): a **controller** in
+//! front of shared-nothing backend stores that
+//!
+//! * executes read requests on one backend holding all referenced data
+//!   (least-accumulated-work-first among the capable backends),
+//! * fans updates out to every backend holding any referenced fragment
+//!   (ROWA), keeping replicas consistent,
+//! * records every request in the **query history** with its measured
+//!   cost (rows touched),
+//! * and on demand **reallocates**: classifies the recorded journal,
+//!   computes a partial replication (greedy + memetic), derives each
+//!   backend's physical column layout, extracts the fragments from the
+//!   master copy and bulk-loads them — moving only the data that
+//!   changed.
+//!
+//! This is the piece that turns the analytical model into a running
+//! system; `examples/controller_cdbs.rs` drives it end to end.
+//!
+//! ```
+//! use qcpa_controller::{Cdbs, Request, WriteRequest};
+//! use qcpa_core::classify::Granularity;
+//! use qcpa_storage::engine::{AggFunc, ScanQuery};
+//! use qcpa_storage::schema::{ColumnDef, Schema, TableDef};
+//! use qcpa_storage::table::Table;
+//! use qcpa_storage::types::{DataType, Value};
+//!
+//! let mut schema = Schema::new();
+//! schema.add_table(TableDef::new(
+//!     "item",
+//!     vec![
+//!         ColumnDef::new("i_id", DataType::I64, 8),
+//!         ColumnDef::new("i_price", DataType::F64, 8),
+//!     ],
+//! ));
+//! let mut item = Table::new(schema.table("item").unwrap().clone());
+//! for i in 0..100 {
+//!     item.append(vec![Value::I64(i), Value::F64(i as f64)]);
+//! }
+//!
+//! // Boot two fully replicated backends and serve a query.
+//! let mut cdbs = Cdbs::new(schema, vec![item], 2);
+//! let q = Request::Read(ScanQuery::all("item").agg(AggFunc::Count, "i_id"));
+//! let out = cdbs.execute(&q).unwrap();
+//! assert_eq!(out.backends.len(), 1);
+//!
+//! // After some history, reallocate to a partial replication.
+//! for _ in 0..5 { cdbs.execute(&q).unwrap(); }
+//! let report = cdbs.reallocate(2, Granularity::Fragment, None).unwrap();
+//! assert!(report.classification.len() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdbs;
+pub mod layout;
+pub mod partition;
+pub mod request;
+
+pub use cdbs::{Cdbs, CdbsError, ExecOutcome, ReallocationReport};
+pub use layout::{layout_from_allocation, TableLayout};
+pub use partition::PartitionScheme;
+pub use request::{referenced_columns, Request, WriteKind, WriteRequest};

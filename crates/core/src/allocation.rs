@@ -1,0 +1,628 @@
+//! Allocations: which fragments each backend stores and how query-class
+//! load is assigned (Section 3.2, Eq. 5–16).
+//!
+//! An [`Allocation`] is pure data: per-backend fragment sets plus an
+//! `assign` matrix giving the share of each class's weight handled by
+//! each backend. All algorithms ([`crate::greedy`], [`crate::memetic`],
+//! the LP in `qcpa-lp`) produce this same type, so they are
+//! interchangeable and can be validated against the paper's constraints
+//! (Eq. 8–11) and compared on the same cost metric.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::classify::Classification;
+use crate::cluster::ClusterSpec;
+use crate::error::InvalidAllocation;
+use crate::fragment::{Catalog, FragmentId};
+use crate::journal::QueryKind;
+use crate::{approx_eq, BackendId, ClassId, EPS};
+
+/// A partial replication: per-backend fragment sets and the assignment of
+/// query-class load shares to backends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// `fragments[b]` — the set of fragments stored on backend `b`.
+    pub fragments: Vec<BTreeSet<FragmentId>>,
+    /// `assign[c][b]` — the share of class `c`'s weight assigned to
+    /// backend `b` (Eq. 8). For update classes this is either 0 or the
+    /// full class weight (Eq. 10).
+    pub assign: Vec<Vec<f64>>,
+}
+
+impl Allocation {
+    /// An empty allocation: `backends` empty fragment sets, all
+    /// assignments zero.
+    pub fn empty(n_classes: usize, n_backends: usize) -> Self {
+        Self {
+            fragments: vec![BTreeSet::new(); n_backends],
+            assign: vec![vec![0.0; n_backends]; n_classes],
+        }
+    }
+
+    /// The trivial full replication: every backend stores every fragment
+    /// referenced by any class; read load is split proportionally to
+    /// `load(B)`; every update class runs everywhere (ROWA).
+    pub fn full_replication(cls: &Classification, cluster: &ClusterSpec) -> Self {
+        let n = cluster.len();
+        let all: BTreeSet<FragmentId> = cls
+            .classes
+            .iter()
+            .flat_map(|c| c.fragments.iter().copied())
+            .collect();
+        let mut assign = vec![vec![0.0; n]; cls.len()];
+        for c in &cls.classes {
+            for b in cluster.ids() {
+                assign[c.id.idx()][b.idx()] = match c.kind {
+                    QueryKind::Read => c.weight * cluster.load(b),
+                    QueryKind::Update => c.weight,
+                };
+            }
+        }
+        Self {
+            fragments: vec![all; n],
+            assign,
+        }
+    }
+
+    /// Number of backends in the allocation.
+    pub fn n_backends(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Number of classes in the allocation.
+    pub fn n_classes(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// `assignedLoad(B)` (Eq. 14): the sum of all class shares assigned
+    /// to backend `b`.
+    pub fn assigned_load(&self, b: BackendId) -> f64 {
+        self.assign.iter().map(|row| row[b.idx()]).sum()
+    }
+
+    /// The allocation's `scale` factor (Eq. 15):
+    /// `max(1, max_B assignedLoad(B) / load(B))`. A scale of 1 means the
+    /// workload fits perfectly; larger values measure the throughput lost
+    /// to replicated updates and imbalance.
+    pub fn scale(&self, cluster: &ClusterSpec) -> f64 {
+        let max = cluster
+            .ids()
+            .map(|b| self.assigned_load(b) / cluster.load(b))
+            .fold(0.0, f64::max);
+        max.max(1.0)
+    }
+
+    /// The theoretical speedup of this allocation (Eq. 18/19):
+    /// `|B| / scale`.
+    pub fn speedup(&self, cluster: &ClusterSpec) -> f64 {
+        cluster.len() as f64 / self.scale(cluster)
+    }
+
+    /// Degree of replication `r` (Eq. 28): total bytes stored across all
+    /// backends divided by the size of the unreplicated database. The
+    /// database size is taken as the size of the union of all fragments
+    /// referenced by the classification (the fragments the allocation is
+    /// about).
+    pub fn degree_of_replication(&self, cls: &Classification, catalog: &Catalog) -> f64 {
+        let referenced: BTreeSet<FragmentId> = cls
+            .classes
+            .iter()
+            .flat_map(|c| c.fragments.iter().copied())
+            .collect();
+        let db_size = catalog.size_of_set(&referenced) as f64;
+        self.total_bytes(catalog) as f64 / db_size
+    }
+
+    /// Total bytes stored across all backends (each replica counted).
+    pub fn total_bytes(&self, catalog: &Catalog) -> u64 {
+        self.fragments
+            .iter()
+            .map(|set| catalog.size_of_set(set))
+            .sum()
+    }
+
+    /// Number of backends storing each fragment, indexed by fragment id.
+    /// Fragments never allocated have count 0.
+    pub fn replica_counts(&self, catalog: &Catalog) -> Vec<u32> {
+        let mut counts = vec![0u32; catalog.len()];
+        for set in &self.fragments {
+            for f in set {
+                counts[f.idx()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Relative deviation from balance (Figure 4(j)): per backend, the
+    /// processing time for its share is `assignedLoad(B)/load(B)`; the
+    /// metric is the maximum relative deviation of any backend from the
+    /// mean processing time.
+    pub fn balance_deviation(&self, cluster: &ClusterSpec) -> f64 {
+        let times: Vec<f64> = cluster
+            .ids()
+            .map(|b| self.assigned_load(b) / cluster.load(b))
+            .collect();
+        let avg = times.iter().sum::<f64>() / times.len() as f64;
+        if avg <= EPS {
+            return 0.0;
+        }
+        times
+            .iter()
+            .map(|t| (t - avg).abs() / avg)
+            .fold(0.0, f64::max)
+    }
+
+    /// The backends capable of processing class `c`: those storing all of
+    /// its fragments (Eq. 8's precondition).
+    pub fn capable_backends(&self, cls: &Classification, c: ClassId) -> Vec<BackendId> {
+        let frags = &cls.classes[c.idx()].fragments;
+        (0..self.n_backends())
+            .filter(|&b| frags.iter().all(|f| self.fragments[b].contains(f)))
+            .map(|b| BackendId(b as u32))
+            .collect()
+    }
+
+    /// Checks the validity constraints of Section 3.2:
+    ///
+    /// * Eq. 8 — a class assigned to a backend requires all its fragments
+    ///   there;
+    /// * Eq. 9 — every read class is completely assigned;
+    /// * Eq. 10 — every update class runs with full weight on every
+    ///   backend holding any of its fragments (ROWA);
+    /// * Eq. 11 — every update class is assigned at least once.
+    pub fn validate(
+        &self,
+        cls: &Classification,
+        cluster: &ClusterSpec,
+    ) -> Result<(), InvalidAllocation> {
+        if self.n_backends() != cluster.len() {
+            return Err(InvalidAllocation::WrongBackendCount {
+                allocation: self.n_backends(),
+                cluster: cluster.len(),
+            });
+        }
+        if self.n_classes() != cls.len() {
+            return Err(InvalidAllocation::WrongClassCount {
+                allocation: self.n_classes(),
+                classification: cls.len(),
+            });
+        }
+        for c in &cls.classes {
+            let row = &self.assign[c.id.idx()];
+            for (bi, &v) in row.iter().enumerate() {
+                let b = BackendId(bi as u32);
+                if v < -EPS {
+                    return Err(InvalidAllocation::NegativeAssignment {
+                        class: c.id,
+                        backend: b,
+                        value: v,
+                    });
+                }
+                if v > EPS {
+                    if let Some(&missing) =
+                        c.fragments.iter().find(|f| !self.fragments[bi].contains(f))
+                    {
+                        return Err(InvalidAllocation::MissingFragment {
+                            class: c.id,
+                            backend: b,
+                            fragment: missing,
+                        });
+                    }
+                }
+            }
+            match c.kind {
+                QueryKind::Read => {
+                    let assigned: f64 = row.iter().sum();
+                    if !approx_eq_loose(assigned, c.weight) {
+                        return Err(InvalidAllocation::ReadNotFullyAssigned {
+                            class: c.id,
+                            assigned,
+                            weight: c.weight,
+                        });
+                    }
+                }
+                QueryKind::Update => {
+                    let mut anywhere = false;
+                    for (bi, &v) in row.iter().enumerate() {
+                        let overlaps = c.fragments.iter().any(|f| self.fragments[bi].contains(f));
+                        if overlaps {
+                            if !approx_eq_loose(v, c.weight) {
+                                return Err(InvalidAllocation::UpdateNotReplicated {
+                                    class: c.id,
+                                    backend: BackendId(bi as u32),
+                                    assigned: v,
+                                });
+                            }
+                            anywhere = true;
+                        } else if v > EPS {
+                            // Assigned without data — caught above by Eq. 8
+                            // unless the class's own fragments are absent.
+                            return Err(InvalidAllocation::MissingFragment {
+                                class: c.id,
+                                backend: BackendId(bi as u32),
+                                fragment: *c.fragments.iter().next().expect("non-empty class"),
+                            });
+                        }
+                    }
+                    if !anywhere && c.weight > EPS {
+                        return Err(InvalidAllocation::UpdateUnassigned { class: c.id });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-establishes the update constraints after read assignments or
+    /// fragment sets changed (used by mutation operators and local
+    /// search):
+    ///
+    /// 1. each backend's fragment set is shrunk to what its assigned read
+    ///    classes need (garbage collection),
+    /// 2. update classes overlapping no backend are anchored on the
+    ///    least-loaded backend,
+    /// 3. the Eq. 8/10 fixpoint is applied: any backend holding a
+    ///    fragment of an update class receives *all* of that class's
+    ///    fragments and its full weight.
+    pub fn normalize(&mut self, cls: &Classification, cluster: &ClusterSpec) {
+        let n = self.n_backends();
+        // 1. needed fragments per backend from read classes.
+        let mut needed: Vec<BTreeSet<FragmentId>> = vec![BTreeSet::new(); n];
+        for &r in cls.read_ids() {
+            for (b, set) in needed.iter_mut().enumerate() {
+                if self.assign[r.idx()][b] > EPS {
+                    set.extend(cls.classes[r.idx()].fragments.iter().copied());
+                }
+            }
+        }
+        // 2. anchor update classes that would otherwise disappear. The
+        //    anchor carries the class's full update closure so chained
+        //    update classes co-locate instead of spreading via the
+        //    fixpoint below. Preference order keeps `normalize`
+        //    idempotent and minimizes new replication: (a) a backend
+        //    already needing overlapping data, (b) a backend currently
+        //    hosting the class, (c) the least-loaded backend.
+        for &u in cls.update_ids() {
+            let frags = &cls.classes[u.idx()].fragments;
+            let overlaps_any = (0..n).any(|b| frags.iter().any(|f| needed[b].contains(f)));
+            if !overlaps_any {
+                let closure = cls.placement_fragments(u);
+                let colocated = (0..n).find(|&b| closure.iter().any(|f| needed[b].contains(f)));
+                let current = (0..n).find(|&b| self.assign[u.idx()][b] > EPS);
+                let target = colocated.or(current).unwrap_or_else(|| {
+                    (0..n)
+                        .min_by(|&a, &b| {
+                            let la = read_load(&needed, cls, a) / cluster.load(BackendId(a as u32));
+                            let lb = read_load(&needed, cls, b) / cluster.load(BackendId(b as u32));
+                            la.partial_cmp(&lb).expect("loads are finite")
+                        })
+                        .expect("cluster is non-empty")
+                });
+                needed[target].extend(closure);
+            }
+        }
+        // 3. fixpoint: holding any fragment of an update class forces all
+        //    of its fragments.
+        loop {
+            let mut grew = false;
+            for &u in cls.update_ids() {
+                let frags = &cls.classes[u.idx()].fragments;
+                for set in needed.iter_mut() {
+                    if frags.iter().any(|f| set.contains(f))
+                        && !frags.iter().all(|f| set.contains(f))
+                    {
+                        set.extend(frags.iter().copied());
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        self.fragments = needed;
+        // Recompute update assignments per Eq. 10.
+        for &u in cls.update_ids() {
+            let frags = &cls.classes[u.idx()].fragments;
+            let w = cls.classes[u.idx()].weight;
+            for b in 0..n {
+                self.assign[u.idx()][b] = if frags.iter().any(|f| self.fragments[b].contains(f)) {
+                    w
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+
+    /// Re-applies the ROWA constraints (Eq. 8/10) after fragments were
+    /// force-added to backends, *without* garbage collection: existing
+    /// fragment placements — including zero-weight spare replicas — are
+    /// kept and only grown to the update-closure fixpoint, and update
+    /// assignments are recomputed. Used by the k-safety repair and the
+    /// Section 5 robustness extension, where extra replicas are the
+    /// point.
+    pub fn sync_updates(&mut self, cls: &Classification) {
+        loop {
+            let mut grew = false;
+            for &u in cls.update_ids() {
+                let frags = &cls.classes[u.idx()].fragments;
+                for set in self.fragments.iter_mut() {
+                    if frags.iter().any(|f| set.contains(f))
+                        && !frags.iter().all(|f| set.contains(f))
+                    {
+                        set.extend(frags.iter().copied());
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        for &u in cls.update_ids() {
+            let frags = &cls.classes[u.idx()].fragments;
+            let w = cls.weight(u);
+            for b in 0..self.n_backends() {
+                self.assign[u.idx()][b] = if frags.iter().any(|f| self.fragments[b].contains(f)) {
+                    w
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+
+    /// The optimization cost of this allocation: primarily `scale`
+    /// (throughput), secondarily stored bytes (replication overhead).
+    pub fn cost(&self, cluster: &ClusterSpec, catalog: &Catalog) -> AllocCost {
+        AllocCost {
+            scale: self.scale(cluster),
+            bytes: self.total_bytes(catalog),
+        }
+    }
+}
+
+fn read_load(needed: &[BTreeSet<FragmentId>], _cls: &Classification, b: usize) -> f64 {
+    // Cheap proxy during anchoring: number of fragments already needed.
+    needed[b].len() as f64
+}
+
+/// Lexicographic allocation cost: lower `scale` wins; ties (within
+/// [`EPS`]) are broken by fewer stored bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocCost {
+    /// The allocation's scale factor (Eq. 15); throughput is `|B|/scale`.
+    pub scale: f64,
+    /// Total stored bytes across all backends.
+    pub bytes: u64,
+}
+
+impl AllocCost {
+    /// True if `self` is strictly better than `other`.
+    pub fn better_than(&self, other: &AllocCost) -> bool {
+        if approx_eq(self.scale, other.scale) {
+            self.bytes < other.bytes
+        } else {
+            self.scale < other.scale
+        }
+    }
+}
+
+impl Eq for AllocCost {}
+
+impl PartialOrd for AllocCost {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AllocCost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if approx_eq(self.scale, other.scale) {
+            self.bytes.cmp(&other.bytes)
+        } else {
+            self.scale
+                .partial_cmp(&other.scale)
+                .expect("scale is finite")
+        }
+    }
+}
+
+/// Weight-sum tolerance matching the classification's: assignments are
+/// sums of many floating point shares.
+fn approx_eq_loose(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::QueryClass;
+
+    fn setup() -> (Catalog, Classification, ClusterSpec) {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 100);
+        let c = cat.add_table("C", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.30),
+            QueryClass::read(1, [b], 0.25),
+            QueryClass::read(2, [c], 0.25),
+            QueryClass::read(3, [a, b], 0.20),
+        ])
+        .unwrap();
+        (cat, cls, ClusterSpec::homogeneous(2))
+    }
+
+    #[test]
+    fn full_replication_is_valid_and_scale_one_for_reads() {
+        let (cat, cls, cluster) = setup();
+        let alloc = Allocation::full_replication(&cls, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        assert!((alloc.scale(&cluster) - 1.0).abs() < 1e-9);
+        assert!((alloc.speedup(&cluster) - 2.0).abs() < 1e-9);
+        assert!((alloc.degree_of_replication(&cls, &cat) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_replication_with_updates_amdahl() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.75),
+            QueryClass::update(1, [b], 0.25),
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(10);
+        let alloc = Allocation::full_replication(&cls, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        // Eq. 29 of the paper: speedup = 1/(0.75/10 + 0.25) = 3.07...
+        let expected = 1.0 / (0.75 / 10.0 + 0.25);
+        assert!((alloc.speedup(&cluster) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_catches_missing_fragment() {
+        let (_, cls, cluster) = setup();
+        let mut alloc = Allocation::empty(cls.len(), 2);
+        // Assign class 0 (on A) to backend 0 which lacks A.
+        alloc.assign[0][0] = 0.30;
+        let err = alloc.validate(&cls, &cluster).unwrap_err();
+        assert!(matches!(err, InvalidAllocation::MissingFragment { .. }));
+    }
+
+    #[test]
+    fn validate_catches_partial_read() {
+        let (_, cls, cluster) = setup();
+        let mut alloc = Allocation::full_replication(&cls, &cluster);
+        alloc.assign[0][0] = 0.0; // drop part of class 0's weight
+        let err = alloc.validate(&cls, &cluster).unwrap_err();
+        assert!(matches!(
+            err,
+            InvalidAllocation::ReadNotFullyAssigned { .. }
+        ));
+    }
+
+    #[test]
+    fn validate_catches_rowa_violation() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.8),
+            QueryClass::update(1, [a], 0.2),
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(2);
+        let mut alloc = Allocation::full_replication(&cls, &cluster);
+        alloc.assign[1][1] = 0.0; // backend 1 holds A but doesn't run the update
+        let err = alloc.validate(&cls, &cluster).unwrap_err();
+        assert!(matches!(err, InvalidAllocation::UpdateNotReplicated { .. }));
+    }
+
+    #[test]
+    fn normalize_restores_rowa() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.4),
+            QueryClass::read(1, [b], 0.4),
+            QueryClass::update(2, [a], 0.2),
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(2);
+        let mut alloc = Allocation::empty(cls.len(), 2);
+        alloc.assign[0][0] = 0.4;
+        alloc.assign[1][1] = 0.4;
+        alloc.normalize(&cls, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        // Update on A must follow class 0 to backend 0 only.
+        assert!((alloc.assign[2][0] - 0.2).abs() < 1e-9);
+        assert_eq!(alloc.assign[2][1], 0.0);
+        assert!(!alloc.fragments[1].iter().any(|f| f.idx() == 0));
+    }
+
+    #[test]
+    fn normalize_fixpoint_chains_updates() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 1);
+        let b = cat.add_table("B", 1);
+        let c = cat.add_table("C", 1);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.6),
+            QueryClass::update(1, [a, b], 0.2),
+            QueryClass::update(2, [b, c], 0.2),
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(1);
+        let mut alloc = Allocation::empty(cls.len(), 1);
+        alloc.assign[0][0] = 0.6;
+        alloc.normalize(&cls, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        // Backend 0 must end up with A, B (via U1) and C (via U2).
+        assert_eq!(alloc.fragments[0].len(), 3);
+        assert!((alloc.assign[1][0] - 0.2).abs() < 1e-9);
+        assert!((alloc.assign[2][0] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_anchors_orphan_updates() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.7),
+            QueryClass::update(1, [b], 0.3), // no read touches B
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(2);
+        let mut alloc = Allocation::empty(cls.len(), 2);
+        alloc.assign[0][0] = 0.7;
+        alloc.normalize(&cls, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        let placements: usize = (0..2).filter(|&i| alloc.assign[1][i] > EPS).count();
+        assert_eq!(placements, 1, "orphan update anchored exactly once");
+    }
+
+    #[test]
+    fn cost_ordering_lexicographic() {
+        let a = AllocCost {
+            scale: 1.0,
+            bytes: 100,
+        };
+        let b = AllocCost {
+            scale: 1.0,
+            bytes: 50,
+        };
+        let c = AllocCost {
+            scale: 1.2,
+            bytes: 10,
+        };
+        assert!(b.better_than(&a));
+        assert!(a.better_than(&c));
+        assert!(b < a && a < c);
+    }
+
+    #[test]
+    fn balance_deviation_zero_when_balanced() {
+        let (_, cls, cluster) = setup();
+        let alloc = Allocation::full_replication(&cls, &cluster);
+        assert!(alloc.balance_deviation(&cluster) < 1e-9);
+    }
+
+    #[test]
+    fn replica_counts_and_capability() {
+        let (cat, cls, cluster) = setup();
+        let alloc = Allocation::full_replication(&cls, &cluster);
+        assert_eq!(alloc.replica_counts(&cat), vec![2, 2, 2]);
+        assert_eq!(
+            alloc.capable_backends(&cls, ClassId(3)).len(),
+            2,
+            "full replication: everyone can serve every class"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Error types for classification and allocation validation.
+
+use crate::fragment::FragmentId;
+use crate::{BackendId, ClassId};
+
+/// Errors building a [`crate::classify::Classification`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassificationError {
+    /// The journal contained no queries.
+    EmptyJournal,
+    /// Class ids must be dense indices `0..n`.
+    NonDenseIds {
+        /// Index at which the mismatch occurred.
+        expected: usize,
+        /// The id actually found there.
+        found: ClassId,
+    },
+    /// A query class referenced no fragments.
+    EmptyClass {
+        /// The offending class.
+        class: ClassId,
+    },
+    /// A class had a negative weight.
+    NegativeWeight {
+        /// The offending class.
+        class: ClassId,
+    },
+    /// Class weights must sum to 1.
+    WeightsNotNormalized {
+        /// The actual sum.
+        sum: f64,
+    },
+}
+
+impl std::fmt::Display for ClassificationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyJournal => write!(f, "journal contains no queries"),
+            Self::NonDenseIds { expected, found } => {
+                write!(
+                    f,
+                    "class ids must be dense: expected C{expected}, found {found}"
+                )
+            }
+            Self::EmptyClass { class } => write!(f, "query class {class} references no fragments"),
+            Self::NegativeWeight { class } => write!(f, "query class {class} has negative weight"),
+            Self::WeightsNotNormalized { sum } => {
+                write!(f, "class weights must sum to 1, got {sum}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClassificationError {}
+
+/// Violations of the allocation validity constraints (Eq. 8–11) detected
+/// by [`crate::allocation::Allocation::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidAllocation {
+    /// The allocation's backend count differs from the cluster's.
+    WrongBackendCount {
+        /// Backends in the allocation.
+        allocation: usize,
+        /// Backends in the cluster.
+        cluster: usize,
+    },
+    /// The allocation's class count differs from the classification's.
+    WrongClassCount {
+        /// Classes in the allocation's assign matrix.
+        allocation: usize,
+        /// Classes in the classification.
+        classification: usize,
+    },
+    /// Eq. 8: a class is assigned to a backend missing one of its fragments.
+    MissingFragment {
+        /// The class assigned there.
+        class: ClassId,
+        /// The backend lacking data.
+        backend: BackendId,
+        /// A fragment the backend is missing.
+        fragment: FragmentId,
+    },
+    /// Eq. 9: a read class's assignments don't sum to its weight.
+    ReadNotFullyAssigned {
+        /// The offending read class.
+        class: ClassId,
+        /// Sum of its assignments.
+        assigned: f64,
+        /// Its weight.
+        weight: f64,
+    },
+    /// Eq. 10: an update class overlaps a backend's data but is not
+    /// assigned there with its full weight (ROWA violation).
+    UpdateNotReplicated {
+        /// The offending update class.
+        class: ClassId,
+        /// The backend holding overlapping data.
+        backend: BackendId,
+        /// The (wrong) assigned share.
+        assigned: f64,
+    },
+    /// Eq. 11: an update class is assigned nowhere.
+    UpdateUnassigned {
+        /// The offending update class.
+        class: ClassId,
+    },
+    /// An assignment is negative.
+    NegativeAssignment {
+        /// The offending class.
+        class: ClassId,
+        /// The offending backend.
+        backend: BackendId,
+        /// The negative value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for InvalidAllocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WrongBackendCount {
+                allocation,
+                cluster,
+            } => write!(
+                f,
+                "allocation has {allocation} backends but cluster has {cluster}"
+            ),
+            Self::WrongClassCount {
+                allocation,
+                classification,
+            } => write!(
+                f,
+                "allocation has {allocation} classes but classification has {classification}"
+            ),
+            Self::MissingFragment {
+                class,
+                backend,
+                fragment,
+            } => write!(
+                f,
+                "class {class} assigned to {backend} which lacks fragment {fragment} (Eq. 8)"
+            ),
+            Self::ReadNotFullyAssigned {
+                class,
+                assigned,
+                weight,
+            } => write!(
+                f,
+                "read class {class} assigned {assigned} of weight {weight} (Eq. 9)"
+            ),
+            Self::UpdateNotReplicated {
+                class,
+                backend,
+                assigned,
+            } => write!(
+                f,
+                "update class {class} overlaps {backend} but is assigned {assigned} there (Eq. 10)"
+            ),
+            Self::UpdateUnassigned { class } => {
+                write!(f, "update class {class} is assigned to no backend (Eq. 11)")
+            }
+            Self::NegativeAssignment {
+                class,
+                backend,
+                value,
+            } => write!(f, "assign({class}, {backend}) = {value} < 0"),
+        }
+    }
+}
+
+impl std::error::Error for InvalidAllocation {}

@@ -1,0 +1,280 @@
+//! Data fragments and the fragment catalog.
+//!
+//! A *fragment* is the unit of data placement (Section 3.1 of the paper):
+//! a whole relation (no partitioning), a column of a relation (vertical
+//! partitioning), or a horizontal partition determined by a predicate or
+//! range. The [`Catalog`] registers every fragment with its size in bytes
+//! and records the containment relation between columns/partitions and
+//! their parent tables so classifications can be computed at any
+//! granularity.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a data fragment within a [`Catalog`].
+///
+/// Fragment ids are dense indices: the fragment with id `j` is
+/// `catalog.fragments()[j]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FragmentId(pub u32);
+
+impl FragmentId {
+    /// The fragment id as a usable index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for FragmentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+/// The kind of a data fragment, determining the partitioning granularity
+/// it participates in.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FragmentKind {
+    /// An entire relation (no partitioning).
+    Table,
+    /// A single column (vertical partitioning). `table` is the owning
+    /// relation's fragment.
+    Column {
+        /// The table fragment this column belongs to.
+        table: FragmentId,
+    },
+    /// A horizontal partition of a relation, e.g. a predicate range.
+    Horizontal {
+        /// The table fragment this partition belongs to.
+        table: FragmentId,
+        /// Ordinal of the partition within its table.
+        part: u32,
+    },
+}
+
+/// A registered data fragment: name, byte size, and kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fragment {
+    /// Dense identifier of this fragment.
+    pub id: FragmentId,
+    /// Human readable name, e.g. `"lineitem"` or `"lineitem.l_quantity"`.
+    pub name: String,
+    /// Size of the fragment in bytes.
+    pub size: u64,
+    /// Kind (table / column / horizontal partition).
+    pub kind: FragmentKind,
+}
+
+/// Registry of all data fragments of a database.
+///
+/// The catalog is the bridge between the logical schema (owned by the
+/// storage layer or a workload generator) and the allocation model, which
+/// only needs fragment identities, sizes and the column→table containment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    fragments: Vec<Fragment>,
+    by_name: HashMap<String, FragmentId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table fragment and returns its id.
+    ///
+    /// # Panics
+    /// Panics if a fragment with the same name is already registered.
+    pub fn add_table(&mut self, name: impl Into<String>, size: u64) -> FragmentId {
+        self.add(name.into(), size, FragmentKind::Table)
+    }
+
+    /// Registers a column fragment belonging to `table` and returns its id.
+    ///
+    /// # Panics
+    /// Panics if the name is taken or `table` is not a table fragment.
+    pub fn add_column(
+        &mut self,
+        table: FragmentId,
+        name: impl Into<String>,
+        size: u64,
+    ) -> FragmentId {
+        assert!(
+            matches!(self.fragments[table.idx()].kind, FragmentKind::Table),
+            "parent of a column must be a table fragment"
+        );
+        self.add(name.into(), size, FragmentKind::Column { table })
+    }
+
+    /// Registers a horizontal partition of `table` and returns its id.
+    ///
+    /// # Panics
+    /// Panics if the name is taken or `table` is not a table fragment.
+    pub fn add_horizontal(
+        &mut self,
+        table: FragmentId,
+        part: u32,
+        name: impl Into<String>,
+        size: u64,
+    ) -> FragmentId {
+        assert!(
+            matches!(self.fragments[table.idx()].kind, FragmentKind::Table),
+            "parent of a partition must be a table fragment"
+        );
+        self.add(name.into(), size, FragmentKind::Horizontal { table, part })
+    }
+
+    fn add(&mut self, name: String, size: u64, kind: FragmentKind) -> FragmentId {
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate fragment name {name:?}"
+        );
+        let id = FragmentId(self.fragments.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.fragments.push(Fragment {
+            id,
+            name,
+            size,
+            kind,
+        });
+        id
+    }
+
+    /// All registered fragments, indexable by [`FragmentId::idx`].
+    pub fn fragments(&self) -> &[Fragment] {
+        &self.fragments
+    }
+
+    /// The fragment with the given id.
+    pub fn fragment(&self, id: FragmentId) -> &Fragment {
+        &self.fragments[id.idx()]
+    }
+
+    /// Size in bytes of the fragment with the given id.
+    #[inline]
+    pub fn size(&self, id: FragmentId) -> u64 {
+        self.fragments[id.idx()].size
+    }
+
+    /// Sum of sizes of a set of fragments.
+    pub fn size_of_set<'a>(&self, ids: impl IntoIterator<Item = &'a FragmentId>) -> u64 {
+        ids.into_iter().map(|&f| self.size(f)).sum()
+    }
+
+    /// Looks up a fragment by name.
+    pub fn by_name(&self, name: &str) -> Option<FragmentId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of registered fragments.
+    pub fn len(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// True if no fragments are registered.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+
+    /// Maps a fragment to the fragment representing it at *table*
+    /// granularity: columns and horizontal partitions map to their parent
+    /// table, tables map to themselves.
+    pub fn table_of(&self, id: FragmentId) -> FragmentId {
+        match self.fragments[id.idx()].kind {
+            FragmentKind::Table => id,
+            FragmentKind::Column { table } => table,
+            FragmentKind::Horizontal { table, .. } => table,
+        }
+    }
+
+    /// Total size of the database counting every fragment of the given
+    /// predicate once. Used by the degree-of-replication metric (Eq. 28),
+    /// which needs the size of the unreplicated database at the granularity
+    /// of the allocation.
+    pub fn total_size_where(&self, pred: impl Fn(&Fragment) -> bool) -> u64 {
+        self.fragments
+            .iter()
+            .filter(|f| pred(f))
+            .map(|f| f.size)
+            .sum()
+    }
+
+    /// Ids of all table fragments.
+    pub fn tables(&self) -> impl Iterator<Item = FragmentId> + '_ {
+        self.fragments
+            .iter()
+            .filter(|f| matches!(f.kind, FragmentKind::Table))
+            .map(|f| f.id)
+    }
+
+    /// Ids of all column fragments of the given table.
+    pub fn columns_of(&self, table: FragmentId) -> impl Iterator<Item = FragmentId> + '_ {
+        self.fragments
+            .iter()
+            .filter(move |f| matches!(f.kind, FragmentKind::Column { table: t } if t == table))
+            .map(|f| f.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_and_looks_up_fragments() {
+        let mut cat = Catalog::new();
+        let t = cat.add_table("orders", 1000);
+        let c = cat.add_column(t, "orders.o_id", 100);
+        assert_eq!(cat.by_name("orders"), Some(t));
+        assert_eq!(cat.by_name("orders.o_id"), Some(c));
+        assert_eq!(cat.size(t), 1000);
+        assert_eq!(cat.table_of(c), t);
+        assert_eq!(cat.table_of(t), t);
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn horizontal_partitions_map_to_parent() {
+        let mut cat = Catalog::new();
+        let t = cat.add_table("lineitem", 8000);
+        let h0 = cat.add_horizontal(t, 0, "lineitem.p0", 4000);
+        let h1 = cat.add_horizontal(t, 1, "lineitem.p1", 4000);
+        assert_eq!(cat.table_of(h0), t);
+        assert_eq!(cat.table_of(h1), t);
+        assert_eq!(cat.size_of_set(&[h0, h1]), 8000);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate fragment name")]
+    fn duplicate_names_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_table("t", 1);
+        cat.add_table("t", 2);
+    }
+
+    #[test]
+    fn columns_of_filters_by_table() {
+        let mut cat = Catalog::new();
+        let t1 = cat.add_table("a", 10);
+        let t2 = cat.add_table("b", 10);
+        let c1 = cat.add_column(t1, "a.x", 5);
+        let _c2 = cat.add_column(t2, "b.y", 5);
+        let cols: Vec<_> = cat.columns_of(t1).collect();
+        assert_eq!(cols, vec![c1]);
+    }
+
+    #[test]
+    fn total_size_where_counts_once() {
+        let mut cat = Catalog::new();
+        let t = cat.add_table("a", 10);
+        cat.add_column(t, "a.x", 6);
+        cat.add_column(t, "a.y", 4);
+        let tables = cat.total_size_where(|f| matches!(f.kind, FragmentKind::Table));
+        let columns = cat.total_size_where(|f| matches!(f.kind, FragmentKind::Column { .. }));
+        assert_eq!(tables, 10);
+        assert_eq!(columns, 10);
+    }
+}

@@ -1,0 +1,289 @@
+//! k-safety: surviving the loss of up to `k` backends (Appendix C).
+//!
+//! Two notions are distinguished, as in the paper:
+//!
+//! * **fragment k-safety** (Eq. 46) — every fragment is stored on at
+//!   least `k + 1` backends, so no *data* is lost;
+//! * **query-class k-safety** (Eq. 47) — every query class can be
+//!   *processed* by at least `k + 1` backends, so the CDBS stays fully
+//!   operational without reallocation.
+//!
+//! Class safety implies fragment safety. Allocation with class k-safety
+//! is produced by [`crate::greedy::allocate_ksafe`] (Algorithm 4); this
+//! module provides the checks and the failure simulation used to verify
+//! it.
+
+use crate::allocation::Allocation;
+use crate::classify::Classification;
+use crate::cluster::ClusterSpec;
+use crate::fragment::Catalog;
+use crate::journal::QueryKind;
+use crate::{BackendId, EPS};
+
+pub use crate::greedy::allocate_ksafe as allocate;
+
+/// The fragment-level redundancy (Eq. 46): the minimum number of
+/// backends storing any fragment that is stored at all, minus one.
+/// Returns `None` if no fragment is allocated.
+pub fn fragment_safety(alloc: &Allocation, catalog: &Catalog) -> Option<usize> {
+    alloc
+        .replica_counts(catalog)
+        .into_iter()
+        .filter(|&c| c > 0)
+        .min()
+        .map(|c| c as usize - 1)
+}
+
+/// The query-class-level redundancy (Eq. 47): the minimum over all
+/// classes of the number of backends able to process the class, minus
+/// one. This is the `k` the allocation actually guarantees.
+pub fn class_safety(alloc: &Allocation, cls: &Classification) -> usize {
+    cls.classes
+        .iter()
+        .map(|c| alloc.capable_backends(cls, c.id).len())
+        .min()
+        .unwrap_or(0)
+        .saturating_sub(1)
+}
+
+/// True if the allocation tolerates the loss of any `k` backends while
+/// still processing every query class locally.
+pub fn is_k_safe(alloc: &Allocation, cls: &Classification, k: usize) -> bool {
+    class_safety(alloc, cls) >= k
+}
+
+/// Simulates the failure of the given backends: returns the allocation
+/// restricted to the survivors with read shares redistributed among the
+/// remaining capable backends (proportionally to their relative
+/// performance), or `None` if some query class has no capable survivor.
+///
+/// The returned allocation is indexed by the *surviving* backends in
+/// their original order; pair it with [`surviving_cluster`].
+pub fn fail_backends(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    failed: &[BackendId],
+) -> Option<Allocation> {
+    let survivors: Vec<usize> = (0..alloc.n_backends())
+        .filter(|&b| !failed.iter().any(|f| f.idx() == b))
+        .collect();
+    if survivors.is_empty() {
+        return None;
+    }
+    let mut out = Allocation::empty(cls.len(), survivors.len());
+    for (new_b, &old_b) in survivors.iter().enumerate() {
+        out.fragments[new_b] = alloc.fragments[old_b].clone();
+    }
+    for c in &cls.classes {
+        // Surviving backends able to process the class.
+        let capable: Vec<usize> = (0..survivors.len())
+            .filter(|&nb| c.fragments.iter().all(|f| out.fragments[nb].contains(f)))
+            .collect();
+        if capable.is_empty() && c.weight > EPS {
+            return None;
+        }
+        match c.kind {
+            QueryKind::Read => {
+                let total_perf: f64 = capable
+                    .iter()
+                    .map(|&nb| cluster.load(BackendId(survivors[nb] as u32)))
+                    .sum();
+                for &nb in &capable {
+                    let perf = cluster.load(BackendId(survivors[nb] as u32));
+                    out.assign[c.id.idx()][nb] = c.weight * perf / total_perf;
+                }
+            }
+            QueryKind::Update => {
+                // ROWA on the survivors holding any of its fragments.
+                for (nb, frags) in out.fragments.iter().enumerate() {
+                    if c.fragments.iter().any(|f| frags.contains(f)) {
+                        out.assign[c.id.idx()][nb] = c.weight;
+                    }
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// The cluster restricted to the survivors, with relative performance
+/// renormalized to sum to 1 (Eq. 7).
+pub fn surviving_cluster(cluster: &ClusterSpec, failed: &[BackendId]) -> Option<ClusterSpec> {
+    let raw: Vec<f64> = cluster
+        .ids()
+        .filter(|b| !failed.contains(b))
+        .map(|b| cluster.load(b))
+        .collect();
+    if raw.is_empty() {
+        None
+    } else {
+        Some(ClusterSpec::heterogeneous(&raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::QueryClass;
+    use crate::greedy;
+
+    fn workload() -> (Catalog, Classification) {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 100);
+        let c = cat.add_table("C", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.30),
+            QueryClass::read(1, [b], 0.25),
+            QueryClass::read(2, [c], 0.20),
+            QueryClass::update(3, [a], 0.15),
+            QueryClass::update(4, [c], 0.10),
+        ])
+        .unwrap();
+        (cat, cls)
+    }
+
+    #[test]
+    fn plain_greedy_is_usually_not_1_safe() {
+        let (cat, cls) = workload();
+        let cluster = ClusterSpec::homogeneous(4);
+        let alloc = greedy::allocate(&cls, &cat, &cluster);
+        assert_eq!(class_safety(&alloc, &cls), 0);
+    }
+
+    #[test]
+    fn ksafe_allocation_passes_checks_and_survives_failures() {
+        let (cat, cls) = workload();
+        let cluster = ClusterSpec::homogeneous(4);
+        let alloc = allocate(&cls, &cat, &cluster, 1);
+        alloc.validate(&cls, &cluster).unwrap();
+        assert!(is_k_safe(&alloc, &cls, 1));
+        assert!(fragment_safety(&alloc, &cat).unwrap() >= 1);
+
+        // Any single failure leaves a fully operational system.
+        for b in cluster.ids() {
+            let survived = fail_backends(&alloc, &cls, &cluster, &[b])
+                .unwrap_or_else(|| panic!("failure of {b} must be tolerated"));
+            let sc = surviving_cluster(&cluster, &[b]).unwrap();
+            survived.validate(&cls, &sc).unwrap();
+        }
+    }
+
+    #[test]
+    fn double_failure_defeats_1_safety_sometimes() {
+        let (cat, cls) = workload();
+        let cluster = ClusterSpec::homogeneous(3);
+        let alloc = allocate(&cls, &cat, &cluster, 1);
+        // With 3 backends and k=1, two simultaneous failures may or may
+        // not be survivable — but the allocation must survive every
+        // single failure.
+        for b in cluster.ids() {
+            assert!(fail_backends(&alloc, &cls, &cluster, &[b]).is_some());
+        }
+    }
+
+    #[test]
+    fn failure_redistribution_is_proportional() {
+        let (cat, cls) = workload();
+        let cluster = ClusterSpec::homogeneous(4);
+        let alloc = allocate(&cls, &cat, &cluster, 3); // everything everywhere
+        let survived = fail_backends(&alloc, &cls, &cluster, &[BackendId(0)]).unwrap();
+        let sc = surviving_cluster(&cluster, &[BackendId(0)]).unwrap();
+        survived.validate(&cls, &sc).unwrap();
+        // Reads split evenly over the three survivors.
+        for &r in cls.read_ids() {
+            let w = cls.weight(r);
+            for nb in 0..3 {
+                assert!((survived.assign[r.idx()][nb] - w / 3.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn losing_everything_is_not_survivable() {
+        let (cat, cls) = workload();
+        let cluster = ClusterSpec::homogeneous(2);
+        let alloc = allocate(&cls, &cat, &cluster, 1);
+        let all: Vec<BackendId> = cluster.ids().collect();
+        assert!(fail_backends(&alloc, &cls, &cluster, &all).is_none());
+        assert!(surviving_cluster(&cluster, &all).is_none());
+    }
+}
+
+/// Repairs an allocation to class k-safety *in place*: every query
+/// class gains zero-weight spare replicas on the least-loaded backends
+/// until `min(k + 1, |B|)` backends can process it, with the update
+/// constraints re-synchronized (Eq. 10). Used by the k-safe memetic
+/// optimizer, whose mutations may strip replicas.
+pub fn repair(alloc: &mut Allocation, cls: &Classification, cluster: &ClusterSpec, k: usize) {
+    let n = cluster.len();
+    let target = (k + 1).min(n);
+    loop {
+        let mut changed = false;
+        for c in &cls.classes {
+            let mut hosted = alloc.capable_backends(cls, c.id).len();
+            while hosted < target {
+                let candidate = cluster
+                    .ids()
+                    .filter(|&b| {
+                        !c.fragments
+                            .iter()
+                            .all(|f| alloc.fragments[b.idx()].contains(f))
+                    })
+                    .min_by(|&x, &y| {
+                        let rx = alloc.assigned_load(x) / cluster.load(x);
+                        let ry = alloc.assigned_load(y) / cluster.load(y);
+                        rx.partial_cmp(&ry).expect("loads are finite")
+                    });
+                let Some(b) = candidate else { break };
+                alloc.fragments[b.idx()].extend(cls.placement_fragments(c.id));
+                alloc.sync_updates(cls);
+                hosted = alloc.capable_backends(cls, c.id).len();
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod repair_tests {
+    use super::*;
+    use crate::classify::QueryClass;
+    use crate::greedy;
+
+    #[test]
+    fn repair_reaches_the_target_and_stays_valid() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 100);
+        let c = cat.add_table("C", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.4),
+            QueryClass::read(1, [b], 0.3),
+            QueryClass::update(2, [c], 0.3),
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(4);
+        let mut alloc = greedy::allocate(&cls, &cat, &cluster);
+        assert_eq!(class_safety(&alloc, &cls), 0);
+        repair(&mut alloc, &cls, &cluster, 2);
+        alloc.validate(&cls, &cluster).unwrap();
+        assert!(class_safety(&alloc, &cls) >= 2);
+    }
+
+    #[test]
+    fn repair_is_a_noop_on_already_safe_allocations() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let cls = Classification::from_classes(vec![QueryClass::read(0, [a], 1.0)]).unwrap();
+        let cluster = ClusterSpec::homogeneous(3);
+        let mut alloc = crate::greedy::allocate_ksafe(&cls, &cat, &cluster, 2);
+        let before = alloc.clone();
+        repair(&mut alloc, &cls, &cluster, 2);
+        assert_eq!(alloc.fragments, before.fragments);
+    }
+}

@@ -1,0 +1,398 @@
+//! Local search strategies of the memetic algorithm (Section 3.3,
+//! Eq. 21–26).
+//!
+//! Both strategies try to *reduce replicated update work*, which is what
+//! limits the speedup of update-sensitive allocations (Eq. 17):
+//!
+//! * **Strategy 1** — if an update class is replicated on several
+//!   backends, evacuate the read shares that pin it to one of them so
+//!   the replica (and its fragments) can be dropped (Eq. 21–22).
+//! * **Strategy 2** — trade the replica of a *heavy* update class for a
+//!   replica of a *lighter* one by swapping the pinned read shares
+//!   between two backends (Eq. 23–26).
+//!
+//! Every candidate move is applied to a scratch copy, re-normalized
+//! ([`Allocation::normalize`] restores Eq. 8/10/11) and accepted only if
+//! the lexicographic cost (scale, then stored bytes) strictly improves —
+//! so the search can be liberal in generating candidates without ever
+//! degrading a solution.
+
+use crate::allocation::Allocation;
+use crate::classify::Classification;
+use crate::cluster::ClusterSpec;
+use crate::fragment::Catalog;
+use crate::journal::QueryKind;
+use crate::{ClassId, EPS};
+
+/// Runs both strategies to a fixed point. Returns `true` if the
+/// allocation was improved at least once.
+pub fn improve(
+    alloc: &mut Allocation,
+    cls: &Classification,
+    catalog: &Catalog,
+    cluster: &ClusterSpec,
+) -> bool {
+    let mut improved_any = false;
+    loop {
+        let s1 = drop_update_replicas(alloc, cls, catalog, cluster);
+        let s2 = swap_update_replicas(alloc, cls, catalog, cluster);
+        if s1 || s2 {
+            improved_any = true;
+        } else {
+            return improved_any;
+        }
+    }
+}
+
+/// Backends on which update class `u` currently runs.
+fn placements(alloc: &Allocation, u: ClassId) -> Vec<usize> {
+    (0..alloc.n_backends())
+        .filter(|&b| alloc.assign[u.idx()][b] > EPS)
+        .collect()
+}
+
+/// Strategy 1 (Eq. 21–22): for every update class replicated on several
+/// backends, try to evacuate one replica by moving the read shares that
+/// pin it to other backends that already hold their data.
+pub fn drop_update_replicas(
+    alloc: &mut Allocation,
+    cls: &Classification,
+    catalog: &Catalog,
+    cluster: &ClusterSpec,
+) -> bool {
+    let mut improved = false;
+    let mut cost = alloc.cost(cluster, catalog);
+    for &u in cls.update_ids() {
+        let hosts = placements(alloc, u);
+        if hosts.len() < 2 {
+            continue;
+        }
+        for &b in &hosts {
+            if let Some(candidate) = evacuate(alloc, cls, cluster, u, b, false) {
+                let c = candidate.cost(cluster, catalog);
+                if c.better_than(&cost) {
+                    *alloc = candidate;
+                    cost = c;
+                    improved = true;
+                    break; // placements changed; re-enumerate
+                }
+            }
+        }
+    }
+    improved
+}
+
+/// Strategy 2 (Eq. 23–26): replace the replica of a heavy update class
+/// on backend `b2` with (possibly) a replica of a lighter update class,
+/// by moving the pinned reads to a backend `b1` that already runs the
+/// heavy class and back-filling `b1`'s other reads onto `b2`.
+pub fn swap_update_replicas(
+    alloc: &mut Allocation,
+    cls: &Classification,
+    catalog: &Catalog,
+    cluster: &ClusterSpec,
+) -> bool {
+    let mut improved = false;
+    let mut cost = alloc.cost(cluster, catalog);
+    for &u1 in cls.update_ids() {
+        let hosts = placements(alloc, u1);
+        if hosts.len() < 2 {
+            continue;
+        }
+        for &b2 in &hosts {
+            for &b1 in &hosts {
+                if b1 == b2 {
+                    continue;
+                }
+                if let Some(candidate) = shift_and_backfill(alloc, cls, cluster, u1, b2, b1) {
+                    let c = candidate.cost(cluster, catalog);
+                    if c.better_than(&cost) {
+                        *alloc = candidate;
+                        cost = c;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    improved
+}
+
+/// Tries to move every read share on backend `b` that overlaps update
+/// class `u` onto other backends. If `allow_new_fragments` is false the
+/// receivers must already hold the read class's data (so replication
+/// cannot grow). Returns the normalized candidate, or `None` if some
+/// share cannot be placed without overloading a receiver beyond the
+/// current scale.
+fn evacuate(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    u: ClassId,
+    b: usize,
+    allow_new_fragments: bool,
+) -> Option<Allocation> {
+    let scale = alloc.scale(cluster);
+    let mut cand = alloc.clone();
+    let mut room: Vec<f64> = cluster
+        .ids()
+        .map(|bid| scale * cluster.load(bid) - cand.assigned_load(bid))
+        .collect();
+
+    let victims: Vec<ClassId> = cls
+        .read_ids()
+        .iter()
+        .copied()
+        .filter(|&r| {
+            cand.assign[r.idx()][b] > EPS
+                && cls.classes[u.idx()].overlaps(&cls.classes[r.idx()].fragments)
+        })
+        .collect();
+    if victims.is_empty() {
+        return None;
+    }
+
+    for r in victims {
+        let mut remaining = cand.assign[r.idx()][b];
+        cand.assign[r.idx()][b] = 0.0;
+        // Prefer receivers that already hold the data.
+        let mut receivers: Vec<usize> = (0..cand.n_backends())
+            .filter(|&rb| rb != b)
+            .filter(|&rb| {
+                allow_new_fragments
+                    || cls.classes[r.idx()]
+                        .fragments
+                        .iter()
+                        .all(|f| cand.fragments[rb].contains(f))
+            })
+            .collect();
+        // Most spare room first.
+        receivers.sort_by(|&x, &y| room[y].partial_cmp(&room[x]).expect("room is finite"));
+        for rb in receivers {
+            if remaining <= EPS {
+                break;
+            }
+            let take = remaining.min(room[rb].max(0.0));
+            if take > EPS {
+                cand.assign[r.idx()][rb] += take;
+                room[rb] -= take;
+                remaining -= take;
+            }
+        }
+        if remaining > EPS {
+            return None; // cannot place the full share without overload
+        }
+    }
+    cand.normalize(cls, cluster);
+    Some(cand)
+}
+
+/// Moves the reads pinning `u1` on `b2` over to `b1` (which already runs
+/// `u1`), back-filling `b1`'s non-overlapping reads onto `b2` to keep the
+/// loads near their former level. The receiving backend may gain
+/// fragments; acceptance is decided by the caller's cost check.
+fn shift_and_backfill(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    u1: ClassId,
+    b2: usize,
+    b1: usize,
+) -> Option<Allocation> {
+    let mut cand = alloc.clone();
+    let mut moved = 0.0;
+    // Move reads overlapping u1 from b2 to b1 (Eq. 25's shift).
+    for &r in cls.read_ids() {
+        let share = cand.assign[r.idx()][b2];
+        if share > EPS && cls.classes[u1.idx()].overlaps(&cls.classes[r.idx()].fragments) {
+            cand.assign[r.idx()][b2] = 0.0;
+            cand.assign[r.idx()][b1] += share;
+            moved += share;
+        }
+    }
+    if moved <= EPS {
+        return None;
+    }
+    // Back-fill: move non-overlapping reads from b1 to b2 (Eq. 23/24:
+    // these may pin lighter update classes) until the pair is level.
+    // The target accounts for u1's replica leaving b2 — that dropped
+    // update weight is the whole point of the swap.
+    let la = cand.assigned_load(crate::BackendId(b1 as u32));
+    let lb = cand.assigned_load(crate::BackendId(b2 as u32)) - cls.weight(u1);
+    let target = ((la - lb) / 2.0).max(0.0);
+    let mut backfilled = 0.0;
+    for &r in cls.read_ids() {
+        if backfilled >= target - EPS {
+            break;
+        }
+        let share = cand.assign[r.idx()][b1];
+        if share > EPS && !cls.classes[u1.idx()].overlaps(&cls.classes[r.idx()].fragments) {
+            let take = share.min(target - backfilled);
+            cand.assign[r.idx()][b1] -= take;
+            cand.assign[r.idx()][b2] += take;
+            backfilled += take;
+        }
+    }
+    cand.normalize(cls, cluster);
+    Some(cand)
+}
+
+/// Returns true if the class is a read class — helper used by callers
+/// enumerating mixed class lists.
+pub fn is_read(cls: &Classification, c: ClassId) -> bool {
+    cls.classes[c.idx()].kind == QueryKind::Read
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::QueryClass;
+
+    /// A workload where the greedy splits a read class across two
+    /// backends, pinning its update class twice; strategy 1 or 2 should
+    /// consolidate it.
+    fn replicable_workload() -> (Catalog, Classification, ClusterSpec) {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 100);
+        let c = cat.add_table("C", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.30),
+            QueryClass::read(1, [b], 0.28),
+            QueryClass::read(2, [c], 0.22),
+            QueryClass::update(3, [a], 0.12),
+            QueryClass::update(4, [c], 0.08),
+        ])
+        .unwrap();
+        (cat, cls, ClusterSpec::homogeneous(3))
+    }
+
+    #[test]
+    fn improve_never_worsens_cost() {
+        let (cat, cls, cluster) = replicable_workload();
+        let mut alloc = crate::greedy::allocate(&cls, &cat, &cluster);
+        let before = alloc.cost(&cluster, &cat);
+        improve(&mut alloc, &cls, &cat, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        let after = alloc.cost(&cluster, &cat);
+        assert!(!before.better_than(&after));
+    }
+
+    #[test]
+    fn strategy1_removes_redundant_update_replica() {
+        let (cat, cls, cluster) = replicable_workload();
+        // Hand-build a poor allocation: class 0 split over two backends,
+        // pinning update 3 on both.
+        let mut alloc = Allocation::empty(cls.len(), 3);
+        alloc.assign[0][0] = 0.15;
+        alloc.assign[0][1] = 0.15;
+        alloc.assign[1][1] = 0.28;
+        alloc.assign[2][2] = 0.22;
+        alloc.normalize(&cls, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        assert_eq!(placements(&alloc, ClassId(3)).len(), 2);
+
+        let improved = drop_update_replicas(&mut alloc, &cls, &cat, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        assert!(improved, "should find the consolidation");
+        assert_eq!(
+            placements(&alloc, ClassId(3)).len(),
+            1,
+            "update class no longer replicated"
+        );
+    }
+
+    #[test]
+    fn strategy2_swaps_heavy_replica_for_light() {
+        // Two update classes: heavy U (weight 0.2) and light V (0.05).
+        // Hand-build an allocation where the heavy one is replicated on
+        // two backends while the light one sits on one of them — the
+        // Eq. 23–26 swap should consolidate the heavy update.
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 100);
+        let c = cat.add_table("C", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.30), // reads of A pin heavy U
+            QueryClass::read(1, [b], 0.25), // reads of B pin light V
+            QueryClass::read(2, [c], 0.20),
+            QueryClass::update(3, [a], 0.20), // heavy U
+            QueryClass::update(4, [b], 0.05), // light V
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(2);
+        let mut alloc = Allocation::empty(cls.len(), 2);
+        // Reads of A split over both backends (replicating U), the rest
+        // on backend 0.
+        alloc.assign[0][0] = 0.10;
+        alloc.assign[0][1] = 0.20;
+        alloc.assign[1][0] = 0.25;
+        alloc.assign[2][1] = 0.20;
+        alloc.normalize(&cls, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        assert_eq!(
+            placements(&alloc, ClassId(3)).len(),
+            2,
+            "heavy U starts replicated"
+        );
+        let before = alloc.cost(&cluster, &cat);
+
+        let improved = improve(&mut alloc, &cls, &cat, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        assert!(improved, "the swap/evacuation must fire");
+        let after = alloc.cost(&cluster, &cat);
+        assert!(after.better_than(&before), "{after:?} vs {before:?}");
+        assert_eq!(
+            placements(&alloc, ClassId(3)).len(),
+            1,
+            "heavy update consolidated to one backend"
+        );
+    }
+
+    #[test]
+    fn shift_and_backfill_preserves_validity() {
+        let (cat, cls, cluster) = replicable_workload();
+        let mut alloc = Allocation::empty(cls.len(), 3);
+        alloc.assign[0][0] = 0.15;
+        alloc.assign[0][1] = 0.15;
+        alloc.assign[1][0] = 0.14;
+        alloc.assign[1][1] = 0.14;
+        alloc.assign[2][2] = 0.22;
+        alloc.normalize(&cls, &cluster);
+        let mut probe = alloc.clone();
+        let _ = swap_update_replicas(&mut probe, &cls, &cat, &cluster);
+        probe.validate(&cls, &cluster).unwrap();
+        let cost_after = probe.cost(&cluster, &cat);
+        let cost_before = alloc.cost(&cluster, &cat);
+        assert!(!cost_before.better_than(&cost_after));
+    }
+
+    #[test]
+    fn evacuation_respects_capacity() {
+        let (_cat, cls, cluster) = replicable_workload();
+        // Both backends hosting class 0 are at capacity: no receiver room.
+        let mut alloc = Allocation::empty(cls.len(), 3);
+        alloc.assign[0][0] = 0.30;
+        alloc.assign[1][1] = 0.28;
+        alloc.assign[2][2] = 0.22;
+        alloc.normalize(&cls, &cluster);
+        // Update 3 has one placement; nothing to evacuate.
+        let before = alloc.clone();
+        let improved = drop_update_replicas(&mut alloc, &cls, &Catalog::new_for_test(), &cluster);
+        assert!(!improved);
+        assert_eq!(alloc, before);
+    }
+}
+
+#[cfg(test)]
+impl Catalog {
+    /// Catalog stub for tests that never touch sizes.
+    fn new_for_test() -> Self {
+        let mut cat = Catalog::new();
+        cat.add_table("A", 100);
+        cat.add_table("B", 100);
+        cat.add_table("C", 100);
+        cat
+    }
+}

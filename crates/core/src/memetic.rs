@@ -1,0 +1,481 @@
+//! The memetic (hybrid evolutionary) optimizer (Section 3.3,
+//! Algorithm 2).
+//!
+//! Evolutionary *programming*: mutations derive from a single parent —
+//! no recombination — and a random third of each generation is improved
+//! with the local search strategies of [`crate::localsearch`], making
+//! the algorithm a memetic / hybrid heuristic. Selection is `(λ+µ)`:
+//! the best two thirds of the old population survive together with the
+//! best third of the offspring, which guarantees monotone convergence
+//! of the best cost.
+//!
+//! The initial population is seeded with the greedy solution (faster
+//! convergence than random initialization, as the paper recommends).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::allocation::{AllocCost, Allocation};
+use crate::classify::Classification;
+use crate::cluster::ClusterSpec;
+use crate::fragment::Catalog;
+use crate::{greedy, localsearch, EPS};
+
+/// Tuning knobs of the memetic optimizer.
+#[derive(Debug, Clone)]
+pub struct MemeticConfig {
+    /// Population size `p`. The paper's `(λ+µ)` selection keeps the best
+    /// `2p/3` parents and best `p/3` offspring.
+    pub population: usize,
+    /// Number of generations. Runtime is deterministic in this (the
+    /// paper prefers this over convergence-based stopping).
+    pub iterations: usize,
+    /// Mutation operators applied per offspring (1–3 is typical).
+    pub mutations_per_offspring: usize,
+    /// RNG seed: identical seeds reproduce identical results.
+    pub seed: u64,
+}
+
+impl Default for MemeticConfig {
+    fn default() -> Self {
+        Self {
+            population: 12,
+            iterations: 60,
+            mutations_per_offspring: 2,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Runs the full pipeline: greedy initial solution, then memetic
+/// refinement.
+///
+/// ```
+/// use qcpa_core::prelude::*;
+/// use qcpa_core::memetic::{self, MemeticConfig};
+///
+/// let mut catalog = Catalog::new();
+/// let a = catalog.add_table("A", 100);
+/// let b = catalog.add_table("B", 100);
+/// let cls = Classification::from_classes(vec![
+///     QueryClass::read(0, [a], 0.6),
+///     QueryClass::update(1, [b], 0.4),
+/// ]).unwrap();
+/// let cluster = ClusterSpec::homogeneous(2);
+/// let alloc = memetic::allocate(&cls, &catalog, &cluster, &MemeticConfig::default());
+/// alloc.validate(&cls, &cluster).unwrap();
+/// ```
+pub fn allocate(
+    cls: &Classification,
+    catalog: &Catalog,
+    cluster: &ClusterSpec,
+    cfg: &MemeticConfig,
+) -> Allocation {
+    let initial = greedy::allocate(cls, catalog, cluster);
+    optimize(initial, cls, catalog, cluster, cfg)
+}
+
+/// Algorithm 2: refines `initial` and returns the best allocation found.
+/// The result is never worse than `initial` under the lexicographic
+/// (scale, bytes) cost.
+pub fn optimize(
+    initial: Allocation,
+    cls: &Classification,
+    catalog: &Catalog,
+    cluster: &ClusterSpec,
+    cfg: &MemeticConfig,
+) -> Allocation {
+    assert!(cfg.population >= 3, "population must be at least 3");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let cost_of = |a: &Allocation| a.cost(cluster, catalog);
+
+    let mut population: Vec<(Allocation, AllocCost)> = vec![(initial.clone(), cost_of(&initial))];
+
+    for _ in 0..cfg.iterations {
+        // Line 3: offspring by mutation of random parents.
+        let mut offspring: Vec<(Allocation, AllocCost)> = Vec::with_capacity(cfg.population);
+        for _ in 0..cfg.population {
+            let parent = &population[rng.gen_range(0..population.len())].0;
+            let child = mutate(parent, cls, cluster, cfg.mutations_per_offspring, &mut rng);
+            let c = cost_of(&child);
+            offspring.push((child, c));
+        }
+
+        // Line 4: (λ+µ) selection — best 2/3 parents + best 1/3 offspring.
+        population.sort_by_key(|a| a.1);
+        offspring.sort_by_key(|a| a.1);
+        let keep_old = (cfg.population * 2 / 3).max(1).min(population.len());
+        let keep_new = (cfg.population - keep_old).min(offspring.len());
+        population.truncate(keep_old);
+        population.extend(offspring.into_iter().take(keep_new));
+
+        // Lines 5–9: improve a random third with local search.
+        let improve_count = (population.len() / 3).max(1);
+        let mut idx: Vec<usize> = (0..population.len()).collect();
+        idx.shuffle(&mut rng);
+        for &i in idx.iter().take(improve_count) {
+            let (alloc, cost) = &mut population[i];
+            if localsearch::improve(alloc, cls, catalog, cluster) {
+                *cost = alloc.cost(cluster, catalog);
+            }
+        }
+    }
+
+    // Lines 10–11: the minimum-cost solution.
+    population
+        .into_iter()
+        .min_by(|a, b| a.1.cmp(&b.1))
+        .expect("population is never empty")
+        .0
+}
+
+/// Generates one offspring: `n_ops` random valid mutations of `parent`,
+/// followed by [`Allocation::normalize`] to restore the update
+/// constraints.
+fn mutate<R: Rng>(
+    parent: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    n_ops: usize,
+    rng: &mut R,
+) -> Allocation {
+    let mut child = parent.clone();
+    for _ in 0..n_ops.max(1) {
+        match rng.gen_range(0..4) {
+            0 => move_share(&mut child, cls, rng),
+            1 => split_share(&mut child, cls, rng),
+            2 => consolidate(&mut child, cls, rng),
+            _ => rebalance(&mut child, cls, cluster, rng),
+        }
+    }
+    child.normalize(cls, cluster);
+    child
+}
+
+/// Picks a random read class with a positive share somewhere; returns
+/// (class index, backend index).
+fn random_share<R: Rng>(
+    alloc: &Allocation,
+    cls: &Classification,
+    rng: &mut R,
+) -> Option<(usize, usize)> {
+    let candidates: Vec<(usize, usize)> = cls
+        .read_ids()
+        .iter()
+        .flat_map(|r| {
+            (0..alloc.n_backends())
+                .filter(move |&b| alloc.assign[r.idx()][b] > EPS)
+                .map(move |b| (r.idx(), b))
+        })
+        .collect();
+    candidates.choose(rng).copied()
+}
+
+/// Moves a whole read share to a random other backend.
+fn move_share<R: Rng>(alloc: &mut Allocation, cls: &Classification, rng: &mut R) {
+    let Some((c, from)) = random_share(alloc, cls, rng) else {
+        return;
+    };
+    let n = alloc.n_backends();
+    if n < 2 {
+        return;
+    }
+    let mut to = rng.gen_range(0..n);
+    if to == from {
+        to = (to + 1) % n;
+    }
+    let share = alloc.assign[c][from];
+    alloc.assign[c][from] = 0.0;
+    alloc.assign[c][to] += share;
+}
+
+/// Splits a read share in half across a second backend.
+fn split_share<R: Rng>(alloc: &mut Allocation, cls: &Classification, rng: &mut R) {
+    let Some((c, from)) = random_share(alloc, cls, rng) else {
+        return;
+    };
+    let n = alloc.n_backends();
+    if n < 2 {
+        return;
+    }
+    let mut to = rng.gen_range(0..n);
+    if to == from {
+        to = (to + 1) % n;
+    }
+    let half = alloc.assign[c][from] / 2.0;
+    alloc.assign[c][from] -= half;
+    alloc.assign[c][to] += half;
+}
+
+/// Collapses a read class spread over several backends onto the backend
+/// currently holding its largest share.
+fn consolidate<R: Rng>(alloc: &mut Allocation, cls: &Classification, rng: &mut R) {
+    let spread: Vec<usize> = cls
+        .read_ids()
+        .iter()
+        .map(|r| r.idx())
+        .filter(|&c| {
+            (0..alloc.n_backends())
+                .filter(|&b| alloc.assign[c][b] > EPS)
+                .count()
+                > 1
+        })
+        .collect();
+    let Some(&c) = spread.as_slice().choose(rng) else {
+        return;
+    };
+    let best = (0..alloc.n_backends())
+        .max_by(|&x, &y| {
+            alloc.assign[c][x]
+                .partial_cmp(&alloc.assign[c][y])
+                .expect("shares are finite")
+        })
+        .expect("allocation has backends");
+    let total: f64 = alloc.assign[c].iter().sum();
+    for b in 0..alloc.n_backends() {
+        alloc.assign[c][b] = 0.0;
+    }
+    alloc.assign[c][best] = total;
+}
+
+/// Moves a random share from the most loaded backend (relative to its
+/// performance) to the least loaded one.
+fn rebalance<R: Rng>(
+    alloc: &mut Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    rng: &mut R,
+) {
+    let n = alloc.n_backends();
+    if n < 2 {
+        return;
+    }
+    let ratio = |b: usize| {
+        alloc.assigned_load(crate::BackendId(b as u32)) / cluster.load(crate::BackendId(b as u32))
+    };
+    let hot = (0..n)
+        .max_by(|&x, &y| ratio(x).partial_cmp(&ratio(y)).expect("finite"))
+        .expect("non-empty");
+    let cold = (0..n)
+        .min_by(|&x, &y| ratio(x).partial_cmp(&ratio(y)).expect("finite"))
+        .expect("non-empty");
+    if hot == cold {
+        return;
+    }
+    let on_hot: Vec<usize> = cls
+        .read_ids()
+        .iter()
+        .map(|r| r.idx())
+        .filter(|&c| alloc.assign[c][hot] > EPS)
+        .collect();
+    let Some(&c) = on_hot.as_slice().choose(rng) else {
+        return;
+    };
+    let gap = (ratio(hot) - ratio(cold)) * cluster.load(crate::BackendId(cold as u32)) / 2.0;
+    let take = alloc.assign[c][hot].min(gap.max(EPS));
+    alloc.assign[c][hot] -= take;
+    alloc.assign[c][cold] += take;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::QueryClass;
+
+    fn workload() -> (Catalog, Classification, ClusterSpec) {
+        let mut cat = Catalog::new();
+        let frags: Vec<_> = (0..5)
+            .map(|i| cat.add_table(format!("T{i}"), 50 + 30 * i as u64))
+            .collect();
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [frags[0]], 0.22),
+            QueryClass::read(1, [frags[1]], 0.18),
+            QueryClass::read(2, [frags[2], frags[3]], 0.20),
+            QueryClass::read(3, [frags[4]], 0.15),
+            QueryClass::update(4, [frags[0]], 0.10),
+            QueryClass::update(5, [frags[3]], 0.10),
+            QueryClass::update(6, [frags[4]], 0.05),
+        ])
+        .unwrap();
+        (cat, cls, ClusterSpec::homogeneous(4))
+    }
+
+    #[test]
+    fn memetic_never_worse_than_greedy() {
+        let (cat, cls, cluster) = workload();
+        let g = greedy::allocate(&cls, &cat, &cluster);
+        let m = allocate(&cls, &cat, &cluster, &MemeticConfig::default());
+        m.validate(&cls, &cluster).unwrap();
+        let gc = g.cost(&cluster, &cat);
+        let mc = m.cost(&cluster, &cat);
+        assert!(!gc.better_than(&mc), "memetic {mc:?} vs greedy {gc:?}");
+    }
+
+    #[test]
+    fn memetic_is_deterministic_per_seed() {
+        let (cat, cls, cluster) = workload();
+        let cfg = MemeticConfig {
+            iterations: 10,
+            ..Default::default()
+        };
+        let a = allocate(&cls, &cat, &cluster, &cfg);
+        let b = allocate(&cls, &cat, &cluster, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn offspring_are_always_valid() {
+        let (cat, cls, cluster) = workload();
+        let parent = greedy::allocate(&cls, &cat, &cluster);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..100 {
+            let child = mutate(&parent, &cls, &cluster, 3, &mut rng);
+            child.validate(&cls, &cluster).unwrap();
+        }
+    }
+
+    #[test]
+    fn read_only_workload_keeps_scale_one() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.6),
+            QueryClass::read(1, [b], 0.4),
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(2);
+        let m = allocate(
+            &cls,
+            &cat,
+            &cluster,
+            &MemeticConfig {
+                iterations: 20,
+                ..Default::default()
+            },
+        );
+        m.validate(&cls, &cluster).unwrap();
+        assert!((m.scale(&cluster) - 1.0).abs() < 1e-9);
+    }
+}
+
+/// Algorithm 2 adapted to preserve k-safety (the extension the paper
+/// mentions but omits "due to space limitations"): each offspring is
+/// repaired to `min(k + 1, |B|)` replicas per class before evaluation,
+/// so every member of the population — and the returned optimum —
+/// keeps the redundancy guarantee while the search still reduces scale
+/// and storage.
+pub fn optimize_ksafe(
+    initial: Allocation,
+    cls: &Classification,
+    catalog: &Catalog,
+    cluster: &ClusterSpec,
+    cfg: &MemeticConfig,
+    k: usize,
+) -> Allocation {
+    assert!(cfg.population >= 3, "population must be at least 3");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let harden = |a: &mut Allocation| crate::ksafety::repair(a, cls, cluster, k);
+    let cost_of = |a: &Allocation| a.cost(cluster, catalog);
+
+    let mut seed_alloc = initial;
+    harden(&mut seed_alloc);
+    let seed_cost = cost_of(&seed_alloc);
+    let mut population: Vec<(Allocation, AllocCost)> = vec![(seed_alloc, seed_cost)];
+
+    for _ in 0..cfg.iterations {
+        let mut offspring: Vec<(Allocation, AllocCost)> = Vec::with_capacity(cfg.population);
+        for _ in 0..cfg.population {
+            let parent = &population[rng.gen_range(0..population.len())].0;
+            let mut child = mutate(parent, cls, cluster, cfg.mutations_per_offspring, &mut rng);
+            harden(&mut child);
+            let c = cost_of(&child);
+            offspring.push((child, c));
+        }
+        population.sort_by_key(|a| a.1);
+        offspring.sort_by_key(|a| a.1);
+        let keep_old = (cfg.population * 2 / 3).max(1).min(population.len());
+        let keep_new = (cfg.population - keep_old).min(offspring.len());
+        population.truncate(keep_old);
+        population.extend(offspring.into_iter().take(keep_new));
+
+        let improve_count = (population.len() / 3).max(1);
+        let mut idx: Vec<usize> = (0..population.len()).collect();
+        idx.shuffle(&mut rng);
+        for &i in idx.iter().take(improve_count) {
+            let (alloc, cost) = &mut population[i];
+            if localsearch::improve(alloc, cls, catalog, cluster) {
+                harden(alloc);
+                *cost = alloc.cost(cluster, catalog);
+            }
+        }
+    }
+
+    population
+        .into_iter()
+        .min_by(|a, b| a.1.cmp(&b.1))
+        .expect("population is never empty")
+        .0
+}
+
+#[cfg(test)]
+mod ksafe_tests {
+    use super::*;
+    use crate::classify::QueryClass;
+    use crate::fragment::Catalog;
+    use crate::ksafety;
+
+    #[test]
+    fn ksafe_memetic_keeps_safety_and_never_worsens_the_seed() {
+        let mut cat = Catalog::new();
+        let frags: Vec<_> = (0..5)
+            .map(|i| cat.add_table(format!("T{i}"), 100 + 40 * i as u64))
+            .collect();
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [frags[0]], 0.25),
+            QueryClass::read(1, [frags[1]], 0.20),
+            QueryClass::read(2, [frags[2], frags[3]], 0.20),
+            QueryClass::update(3, [frags[0]], 0.15),
+            QueryClass::update(4, [frags[4]], 0.20),
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(4);
+        let seed = crate::greedy::allocate_ksafe(&cls, &cat, &cluster, 1);
+        let seed_cost = seed.cost(&cluster, &cat);
+        let cfg = MemeticConfig {
+            iterations: 15,
+            ..Default::default()
+        };
+        let out = optimize_ksafe(seed, &cls, &cat, &cluster, &cfg, 1);
+        out.validate(&cls, &cluster).unwrap();
+        assert!(ksafety::is_k_safe(&out, &cls, 1));
+        let out_cost = out.cost(&cluster, &cat);
+        assert!(
+            !seed_cost.better_than(&out_cost),
+            "{out_cost:?} vs seed {seed_cost:?}"
+        );
+    }
+
+    #[test]
+    fn ksafe_memetic_deterministic() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 200);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.6),
+            QueryClass::update(1, [b], 0.4),
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(3);
+        let seed = crate::greedy::allocate_ksafe(&cls, &cat, &cluster, 1);
+        let cfg = MemeticConfig {
+            iterations: 8,
+            ..Default::default()
+        };
+        let x = optimize_ksafe(seed.clone(), &cls, &cat, &cluster, &cfg, 1);
+        let y = optimize_ksafe(seed, &cls, &cat, &cluster, &cfg, 1);
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,96 @@
+//! Random allocation baseline (Section 4.1).
+//!
+//! The paper's evaluation compares against a *random allocation* that
+//! places each query class on a uniformly chosen backend, ignoring load
+//! balance. It still satisfies the validity constraints (reads fully
+//! assigned, ROWA for updates) but the resulting imbalance caps its
+//! speedup — the TPC-H experiment levels out around 2.5.
+
+use rand::Rng;
+
+use crate::allocation::Allocation;
+use crate::classify::Classification;
+use crate::cluster::ClusterSpec;
+
+/// Allocates every read class wholly to a uniformly random backend and
+/// re-establishes the update constraints via
+/// [`Allocation::normalize`].
+pub fn allocate<R: Rng + ?Sized>(
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    rng: &mut R,
+) -> Allocation {
+    let n = cluster.len();
+    let mut alloc = Allocation::empty(cls.len(), n);
+    for &r in cls.read_ids() {
+        let b = rng.gen_range(0..n);
+        alloc.assign[r.idx()][b] = cls.weight(r);
+    }
+    alloc.normalize(cls, cluster);
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::QueryClass;
+    use crate::fragment::Catalog;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn workload() -> (Catalog, Classification) {
+        let mut cat = Catalog::new();
+        let frags: Vec<_> = (0..6)
+            .map(|i| cat.add_table(format!("T{i}"), 100))
+            .collect();
+        let classes = vec![
+            QueryClass::read(0, [frags[0]], 0.2),
+            QueryClass::read(1, [frags[1]], 0.2),
+            QueryClass::read(2, [frags[2]], 0.2),
+            QueryClass::read(3, [frags[3], frags[4]], 0.2),
+            QueryClass::update(4, [frags[0]], 0.1),
+            QueryClass::update(5, [frags[5]], 0.1),
+        ];
+        (cat, Classification::from_classes(classes).unwrap())
+    }
+
+    #[test]
+    fn random_allocation_is_valid() {
+        let (_cat, cls) = workload();
+        let cluster = ClusterSpec::homogeneous(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..50 {
+            let alloc = allocate(&cls, &cluster, &mut rng);
+            alloc.validate(&cls, &cluster).unwrap();
+        }
+    }
+
+    #[test]
+    fn random_allocation_is_usually_imbalanced() {
+        let (cat, cls) = workload();
+        let cluster = ClusterSpec::homogeneous(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut worse = 0;
+        let runs = 20;
+        for _ in 0..runs {
+            let alloc = allocate(&cls, &cluster, &mut rng);
+            let greedy = crate::greedy::allocate(&cls, &cat, &cluster);
+            if alloc.scale(&cluster) > greedy.scale(&cluster) + crate::EPS {
+                worse += 1;
+            }
+        }
+        assert!(
+            worse > runs / 2,
+            "random should usually scale worse than greedy ({worse}/{runs})"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (_cat, cls) = workload();
+        let cluster = ClusterSpec::homogeneous(4);
+        let a = allocate(&cls, &cluster, &mut ChaCha8Rng::seed_from_u64(1));
+        let b = allocate(&cls, &cluster, &mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

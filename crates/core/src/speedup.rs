@@ -1,0 +1,104 @@
+//! Closed-form speedup model (Section 2 and 3.2.1; Eq. 1, 17–19).
+//!
+//! The paper models CDBS throughput with Amdahl's law: read load
+//! parallelizes across backends while replicated update load is the
+//! serial fraction. These closed forms predict the throughput measured
+//! by the simulator and are printed next to the measured series by the
+//! benchmark harness (e.g. Eq. 29/30 for TPC-App).
+
+use crate::classify::Classification;
+
+/// Amdahl's law (Eq. 1): `speedup = 1 / (parallel/nodes + serial)`.
+///
+/// `parallel` and `serial` are workload fractions with
+/// `parallel + serial = 1`.
+///
+/// ```
+/// // Eq. 29 of the paper: 75 % reads, 25 % updates, 10 backends.
+/// let s = qcpa_core::speedup::amdahl(0.75, 0.25, 10);
+/// assert!((s - 3.0769230769).abs() < 1e-6);
+/// ```
+pub fn amdahl(parallel: f64, serial: f64, nodes: usize) -> f64 {
+    assert!(nodes > 0, "need at least one node");
+    assert!(
+        (parallel + serial - 1.0).abs() < 1e-9,
+        "fractions must sum to 1"
+    );
+    1.0 / (parallel / nodes as f64 + serial)
+}
+
+/// Speedup of a fully replicated system (Section 2): all updates are
+/// serial (they run on every node), all reads parallelize.
+pub fn full_replication(read_fraction: f64, nodes: usize) -> f64 {
+    amdahl(read_fraction, 1.0 - read_fraction, nodes)
+}
+
+/// The workload's maximum achievable speedup over any allocation
+/// (Eq. 17): bounded by the heaviest update burden any query class drags
+/// along. Returns `f64::INFINITY` for read-only workloads.
+pub fn max_speedup(cls: &Classification) -> f64 {
+    cls.max_speedup()
+}
+
+/// Speedup of an allocation with the given scale factor in a homogeneous
+/// cluster (Eq. 18): `1 / scaledLoad = nodes / scale`.
+pub fn homogeneous(scale: f64, nodes: usize) -> f64 {
+    assert!(scale >= 1.0 - 1e-9, "scale is at least 1");
+    nodes as f64 / scale
+}
+
+/// Speedup in a heterogeneous cluster (Eq. 19): `|B| / scale` — the
+/// average throughput per backend relative to a single node of average
+/// performance.
+pub fn heterogeneous(scale: f64, backends: usize) -> f64 {
+    homogeneous(scale, backends)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::QueryClass;
+    use crate::fragment::Catalog;
+
+    #[test]
+    fn amdahl_read_only_is_linear() {
+        for n in 1..=16 {
+            assert!((amdahl(1.0, 0.0, n) - n as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn amdahl_eq29() {
+        // TPC-App full replication: 25 % writes, 10 backends → 3.07.
+        let s = full_replication(0.75, 10);
+        assert!((s - 3.0769230769230766).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq30_partial_replication_cap() {
+        // Order_Line writes are 13 % of the weight; allocated exclusively,
+        // scale grows to 1.3 at 10 backends → speedup 7.7.
+        let s = heterogeneous(1.3, 10);
+        assert!((s - 7.6923076923).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_speedup_uses_update_burden() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 1);
+        let b = cat.add_table("B", 1);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.62),
+            QueryClass::read(1, [b], 0.25),
+            QueryClass::update(2, [a], 0.13),
+        ])
+        .unwrap();
+        assert!((max_speedup(&cls) - 1.0 / 0.13).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions must sum to 1")]
+    fn rejects_bad_fractions() {
+        amdahl(0.5, 0.3, 4);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests of the LP stack: simplex solutions are feasible
+//! and optimal against a rational certificate, branch & bound respects
+//! the relaxation bound, and the Appendix-B model never loses to the
+//! greedy heuristic.
+
+use proptest::prelude::*;
+use qcpa_core::classify::{Classification, QueryClass};
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::fragment::Catalog;
+use qcpa_core::greedy;
+use qcpa_lp::mip::{solve_binary, MipConfig, MipStatus};
+use qcpa_lp::model::{optimal_allocation, OptimalConfig};
+use qcpa_lp::simplex::{solve, Constraint, LinearProgram, LpOutcome};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Box-constrained LPs: `min Σ cᵢxᵢ` with `lᵢ ≤ xᵢ ≤ uᵢ` has the
+    /// closed-form optimum `xᵢ = lᵢ if cᵢ > 0 else uᵢ`.
+    #[test]
+    fn simplex_solves_box_lps(
+        bounds in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, -5.0f64..5.0), 1..8),
+    ) {
+        let n = bounds.len();
+        let mut lp = LinearProgram::new(n);
+        let mut expected = 0.0;
+        for (v, &(a, b, c)) in bounds.iter().enumerate() {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            lp.set_objective(v, c);
+            lp.add(Constraint::ge(vec![(v, 1.0)], lo));
+            lp.add(Constraint::le(vec![(v, 1.0)], hi));
+            expected += c * if c > 0.0 { lo } else { hi };
+        }
+        match solve(&lp) {
+            LpOutcome::Optimal { objective, x } => {
+                prop_assert!((objective - expected).abs() < 1e-6,
+                    "objective {objective} vs {expected}");
+                for (v, &(a, b, _)) in bounds.iter().enumerate() {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    prop_assert!(x[v] >= lo - 1e-6 && x[v] <= hi + 1e-6);
+                }
+            }
+            other => prop_assert!(false, "expected optimal, got {other:?}"),
+        }
+    }
+
+    /// Simplex solutions satisfy every constraint of a random feasible
+    /// covering LP.
+    #[test]
+    fn simplex_solutions_are_feasible(
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(0.1f64..5.0, 4), 0.5f64..20.0),
+            1..8,
+        ),
+    ) {
+        let mut lp = LinearProgram::new(4);
+        for v in 0..4 {
+            lp.set_objective(v, 1.0 + v as f64 * 0.3);
+        }
+        for (coeffs, rhs) in &rows {
+            lp.add(Constraint::ge(
+                coeffs.iter().enumerate().map(|(v, &c)| (v, c)).collect(),
+                *rhs,
+            ));
+        }
+        match solve(&lp) {
+            LpOutcome::Optimal { x, .. } => {
+                for (coeffs, rhs) in &rows {
+                    let lhs: f64 = coeffs.iter().zip(&x).map(|(c, v)| c * v).sum();
+                    prop_assert!(lhs >= rhs - 1e-6, "violated: {lhs} < {rhs}");
+                }
+                prop_assert!(x.iter().all(|&v| v >= -1e-9));
+            }
+            other => prop_assert!(false, "covering LPs are feasible, got {other:?}"),
+        }
+    }
+
+    /// The integer optimum is never better than the LP relaxation, and
+    /// its solution is integral.
+    #[test]
+    fn mip_respects_relaxation_bound(
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(proptest::bool::ANY, 5), 1usize..3),
+            1..6,
+        ),
+    ) {
+        // Weighted set cover with binary variables.
+        let mut lp = LinearProgram::new(5);
+        for v in 0..5 {
+            lp.set_objective(v, 1.0 + (v as f64) * 0.7);
+        }
+        let mut any_row = false;
+        for (mask, need) in &rows {
+            let coeffs: Vec<(usize, f64)> = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(v, _)| (v, 1.0))
+                .collect();
+            if coeffs.is_empty() {
+                continue;
+            }
+            let need = (*need).min(coeffs.len());
+            lp.add(Constraint::ge(coeffs, need as f64));
+            any_row = true;
+        }
+        if !any_row {
+            return Ok(());
+        }
+        let relax = match solve(&{
+            let mut r = lp.clone();
+            for v in 0..5 {
+                r.add(Constraint::le(vec![(v, 1.0)], 1.0));
+            }
+            r
+        }) {
+            LpOutcome::Optimal { objective, .. } => objective,
+            _ => return Ok(()), // infeasible cover demands more than available
+        };
+        let out = solve_binary(&lp, &[0, 1, 2, 3, 4], &MipConfig::default());
+        if out.status == MipStatus::Optimal {
+            if let Some(x) = &out.x {
+                prop_assert!(out.objective >= relax - 1e-6,
+                    "MIP {} below relaxation {relax}", out.objective);
+                for &v in x {
+                    prop_assert!((v - v.round()).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    /// On random small instances the Appendix-B optimum never has a
+    /// worse scale than the greedy heuristic, and when scales tie it
+    /// never stores more bytes.
+    #[test]
+    fn optimal_dominates_greedy(
+        sizes in proptest::collection::vec(50u64..500, 3..5),
+        raw in proptest::collection::vec((0.1f64..1.0, proptest::bool::weighted(0.3)), 2..5),
+        n in 2usize..4,
+    ) {
+        let mut cat = Catalog::new();
+        let frags: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| cat.add_table(format!("T{i}"), s))
+            .collect();
+        let total: f64 = raw.iter().map(|(w, _)| w).sum();
+        let classes: Vec<QueryClass> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, upd))| {
+                let f = [frags[i % frags.len()], frags[(i + 1) % frags.len()]];
+                if upd {
+                    QueryClass::update(i as u32, f, w / total)
+                } else {
+                    QueryClass::read(i as u32, f, w / total)
+                }
+            })
+            .collect();
+        let Ok(cls) = Classification::from_classes(classes) else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let g = greedy::allocate(&cls, &cat, &cluster);
+        let out = optimal_allocation(&cls, &cat, &cluster, &OptimalConfig {
+            max_nodes: 3_000,
+            time_limit: std::time::Duration::from_secs(5),
+            incumbent: None,
+        });
+        if out.scale_status == MipStatus::Optimal && out.storage_status == MipStatus::Optimal {
+            let alloc = out.allocation.expect("optimal instances return solutions");
+            alloc.validate(&cls, &cluster).unwrap();
+            prop_assert!(out.scale <= g.scale(&cluster) + 1e-6,
+                "optimal scale {} vs greedy {}", out.scale, g.scale(&cluster));
+            if (out.scale - g.scale(&cluster)).abs() < 1e-6 {
+                prop_assert!(alloc.total_bytes(&cat) <= g.total_bytes(&cat));
+            }
+        }
+    }
+}

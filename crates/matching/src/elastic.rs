@@ -1,0 +1,158 @@
+//! Elastic scaling by matching (Section 5).
+//!
+//! Scaling changes the backend count, but the Hungarian method needs
+//! square matrices. The paper's construction: for **scale-out**, pad the
+//! *old* allocation with empty virtual backends (the unpopulated new
+//! nodes); for **scale-in**, pad the *new* allocation with empty
+//! backends — the old backends matched to them are the ones to
+//! decommission (they ship their data elsewhere for free since empty
+//! targets cost nothing to realize... the cost lands on the receiving
+//! nodes' rows instead).
+
+use qcpa_core::allocation::Allocation;
+use qcpa_core::fragment::Catalog;
+
+use crate::physical::match_allocations;
+
+/// Result of an elastic matching.
+#[derive(Debug, Clone)]
+pub struct ScalePlan {
+    /// The new allocation laid out over the physical nodes
+    /// (`max(old, new)` backends; for scale-in, decommissioned nodes
+    /// have empty fragment sets).
+    pub allocation: Allocation,
+    /// Total bytes that must be moved.
+    pub moved_bytes: u64,
+    /// For scale-in: physical node indices to decommission (empty for
+    /// scale-out).
+    pub decommissioned: Vec<usize>,
+}
+
+/// Matches a larger `new` allocation onto a smaller running `old` one.
+/// The extra nodes start empty and receive whatever the matching assigns
+/// them.
+///
+/// # Panics
+/// Panics if `new` has fewer backends than `old`.
+pub fn scale_out(old: &Allocation, new: &Allocation, catalog: &Catalog) -> ScalePlan {
+    assert!(
+        new.n_backends() >= old.n_backends(),
+        "scale_out requires new ≥ old backends"
+    );
+    let mut padded = old.clone();
+    while padded.n_backends() < new.n_backends() {
+        padded.fragments.push(Default::default());
+        for row in padded.assign.iter_mut() {
+            row.push(0.0);
+        }
+    }
+    let (allocation, moved_bytes) = match_allocations(&padded, new, catalog);
+    ScalePlan {
+        allocation,
+        moved_bytes,
+        decommissioned: Vec::new(),
+    }
+}
+
+/// Matches a smaller `new` allocation onto a larger running `old` one.
+/// The old backends matched to the padded empty targets are
+/// decommissioned.
+///
+/// # Panics
+/// Panics if `new` has more backends than `old`.
+pub fn scale_in(old: &Allocation, new: &Allocation, catalog: &Catalog) -> ScalePlan {
+    assert!(
+        new.n_backends() <= old.n_backends(),
+        "scale_in requires new ≤ old backends"
+    );
+    let mut padded = new.clone();
+    while padded.n_backends() < old.n_backends() {
+        padded.fragments.push(Default::default());
+        for row in padded.assign.iter_mut() {
+            row.push(0.0);
+        }
+    }
+    let (allocation, moved_bytes) = match_allocations(old, &padded, catalog);
+    let decommissioned = (0..allocation.n_backends())
+        .filter(|&b| allocation.fragments[b].is_empty())
+        .collect();
+    ScalePlan {
+        allocation,
+        moved_bytes,
+        decommissioned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcpa_core::classify::{Classification, QueryClass};
+    use qcpa_core::cluster::ClusterSpec;
+    use qcpa_core::greedy;
+
+    fn setup() -> (Catalog, Classification) {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 1000);
+        let b = cat.add_table("B", 2000);
+        let c = cat.add_table("C", 3000);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.30),
+            QueryClass::read(1, [b], 0.25),
+            QueryClass::read(2, [c], 0.25),
+            QueryClass::read(3, [a, b], 0.20),
+        ])
+        .unwrap();
+        (cat, cls)
+    }
+
+    #[test]
+    fn scale_out_reuses_existing_data() {
+        let (cat, cls) = setup();
+        let old = greedy::allocate(&cls, &cat, &ClusterSpec::homogeneous(2));
+        let new = greedy::allocate(&cls, &cat, &ClusterSpec::homogeneous(4));
+        let plan = scale_out(&old, &new, &cat);
+        assert_eq!(plan.allocation.n_backends(), 4);
+        assert!(plan.decommissioned.is_empty());
+        // Moving everything from scratch would cost the full new size.
+        let from_scratch = new.total_bytes(&cat);
+        assert!(
+            plan.moved_bytes < from_scratch,
+            "matching must reuse data ({} vs {})",
+            plan.moved_bytes,
+            from_scratch
+        );
+    }
+
+    #[test]
+    fn scale_in_names_decommissioned_nodes() {
+        let (cat, cls) = setup();
+        let old = greedy::allocate(&cls, &cat, &ClusterSpec::homogeneous(4));
+        let new = greedy::allocate(&cls, &cat, &ClusterSpec::homogeneous(2));
+        let plan = scale_in(&old, &new, &cat);
+        assert_eq!(plan.allocation.n_backends(), 4);
+        assert_eq!(plan.decommissioned.len(), 2);
+        // The surviving nodes carry the complete new allocation.
+        let survivors: u64 = (0..4)
+            .filter(|b| !plan.decommissioned.contains(b))
+            .map(|b| cat.size_of_set(&plan.allocation.fragments[b]))
+            .sum();
+        assert_eq!(survivors, new.total_bytes(&cat));
+    }
+
+    #[test]
+    fn same_size_is_plain_matching() {
+        let (cat, cls) = setup();
+        let old = greedy::allocate(&cls, &cat, &ClusterSpec::homogeneous(3));
+        let plan = scale_out(&old, &old, &cat);
+        assert_eq!(plan.moved_bytes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale_out requires")]
+    fn scale_out_direction_checked() {
+        let (cat, cls) = setup();
+        let old = greedy::allocate(&cls, &cat, &ClusterSpec::homogeneous(4));
+        let new = greedy::allocate(&cls, &cat, &ClusterSpec::homogeneous(2));
+        scale_out(&old, &new, &cat);
+    }
+}

@@ -1,0 +1,187 @@
+//! The Hungarian method (Kuhn–Munkres) for the assignment problem.
+//!
+//! Computes a minimum-cost perfect matching on an `n × n` cost matrix in
+//! `O(n³)` using the potentials/alternating-path formulation. This is
+//! the algorithm the paper uses to materialize a computed allocation on
+//! the existing cluster cost-efficiently (Section 3.4).
+
+/// Solves the assignment problem for the square cost matrix
+/// `cost[row][col]` and returns `(assignment, total_cost)`, where
+/// `assignment[row] = col`.
+///
+/// Costs may be any finite `f64` (negative costs are fine).
+///
+/// # Panics
+/// Panics if the matrix is not square or contains non-finite values.
+///
+/// ```
+/// let cost = vec![
+///     vec![4.0, 1.0, 3.0],
+///     vec![2.0, 0.0, 5.0],
+///     vec![3.0, 2.0, 2.0],
+/// ];
+/// let (assignment, total) = qcpa_matching::hungarian(&cost);
+/// assert_eq!(assignment, vec![1, 0, 2]);
+/// assert_eq!(total, 5.0);
+/// ```
+pub fn hungarian(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+        assert!(row.iter().all(|c| c.is_finite()), "costs must be finite");
+    }
+
+    // Potentials-based O(n³) implementation with 1-based sentinel row 0.
+    const INF: f64 = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    // p[j] = row matched to column j (0 = unmatched sentinel).
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total = assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[r][c])
+        .sum();
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        fn go(cost: &[Vec<f64>], row: usize, used: &mut [bool]) -> f64 {
+            if row == cost.len() {
+                return 0.0;
+            }
+            let mut best = f64::INFINITY;
+            for c in 0..cost.len() {
+                if !used[c] {
+                    used[c] = true;
+                    let v = cost[row][c] + go(cost, row + 1, used);
+                    if v < best {
+                        best = v;
+                    }
+                    used[c] = false;
+                }
+            }
+            best
+        }
+        go(cost, 0, &mut vec![false; cost.len()])
+    }
+
+    #[test]
+    fn identity_is_optimal_for_diagonal_zeros() {
+        let n = 5;
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| if i == j { 0.0 } else { 10.0 }).collect())
+            .collect();
+        let (assignment, total) = hungarian(&cost);
+        assert_eq!(assignment, vec![0, 1, 2, 3, 4]);
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(123);
+        for n in 1..=7usize {
+            for _ in 0..20 {
+                let cost: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..n).map(|_| rng.gen_range(0.0..100.0)).collect())
+                    .collect();
+                let (assignment, total) = hungarian(&cost);
+                // Assignment is a permutation.
+                let mut seen = vec![false; n];
+                for &c in &assignment {
+                    assert!(!seen[c], "column used twice");
+                    seen[c] = true;
+                }
+                let expected = brute_force(&cost);
+                assert!(
+                    (total - expected).abs() < 1e-6,
+                    "n={n}: hungarian {total} vs brute {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        let cost = vec![vec![-5.0, 0.0], vec![0.0, -5.0]];
+        let (assignment, total) = hungarian(&cost);
+        assert_eq!(assignment, vec![0, 1]);
+        assert_eq!(total, -10.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let (assignment, total) = hungarian(&[]);
+        assert!(assignment.is_empty());
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square() {
+        hungarian(&[vec![1.0, 2.0]]);
+    }
+}

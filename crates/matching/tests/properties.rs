@@ -1,0 +1,143 @@
+//! Property-based tests of the matching stack: the Hungarian method is
+//! optimal and permutation-invariant; allocation matching never loses
+//! to the identity mapping; merging covers every segment.
+
+use proptest::prelude::*;
+use qcpa_core::allocation::Allocation;
+use qcpa_core::classify::{Classification, QueryClass};
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::fragment::Catalog;
+use qcpa_core::greedy;
+use qcpa_matching::hungarian;
+use qcpa_matching::merge::merge_allocations;
+use qcpa_matching::physical::{match_allocations, move_cost};
+
+fn brute_force(cost: &[Vec<f64>]) -> f64 {
+    fn go(cost: &[Vec<f64>], row: usize, used: &mut [bool]) -> f64 {
+        if row == cost.len() {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for c in 0..cost.len() {
+            if !used[c] {
+                used[c] = true;
+                best = best.min(cost[row][c] + go(cost, row + 1, used));
+                used[c] = false;
+            }
+        }
+        best
+    }
+    go(cost, 0, &mut vec![false; cost.len()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hungarian equals brute force on every random matrix up to 6×6.
+    #[test]
+    fn hungarian_is_optimal(
+        n in 1usize..=6,
+        seed in proptest::collection::vec(0.0f64..1000.0, 36),
+    ) {
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| seed[i * 6 + j]).collect())
+            .collect();
+        let (assignment, total) = hungarian(&cost);
+        let mut used = vec![false; n];
+        for &c in &assignment {
+            prop_assert!(!used[c]);
+            used[c] = true;
+        }
+        prop_assert!((total - brute_force(&cost)).abs() < 1e-6);
+    }
+
+    /// Shifting every cost by a row-constant changes the total by the
+    /// sum of constants but not the assignment's optimality.
+    #[test]
+    fn hungarian_row_shift_invariance(
+        n in 2usize..=5,
+        seed in proptest::collection::vec(0.0f64..100.0, 25),
+        shifts in proptest::collection::vec(-50.0f64..50.0, 5),
+    ) {
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| seed[i * 5 + j]).collect())
+            .collect();
+        let shifted: Vec<Vec<f64>> = cost
+            .iter()
+            .enumerate()
+            .map(|(i, row)| row.iter().map(|c| c + shifts[i]).collect())
+            .collect();
+        let (_, t1) = hungarian(&cost);
+        let (_, t2) = hungarian(&shifted);
+        let shift_sum: f64 = shifts[..n].iter().sum();
+        prop_assert!((t2 - t1 - shift_sum).abs() < 1e-6);
+    }
+
+    /// match_allocations never moves more bytes than the identity
+    /// mapping would, for random pairs of allocations.
+    #[test]
+    fn matching_dominates_identity(
+        sizes in proptest::collection::vec(10u64..1000, 3..6),
+        wa in proptest::collection::vec(0.05f64..1.0, 3..6),
+        n in 2usize..5,
+        seed in 0u64..100,
+    ) {
+        let mut cat = Catalog::new();
+        let frags: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| cat.add_table(format!("T{i}"), s))
+            .collect();
+        let k = wa.len().min(frags.len());
+        let total: f64 = wa[..k].iter().sum();
+        let classes: Vec<QueryClass> = (0..k)
+            .map(|i| QueryClass::read(i as u32, [frags[i]], wa[i] / total))
+            .collect();
+        let Ok(cls) = Classification::from_classes(classes) else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let old = greedy::allocate(&cls, &cat, &cluster);
+        // A randomized alternative placement.
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed);
+        let new = qcpa_core::random::allocate(&cls, &cluster, &mut rng);
+        let identity: u64 = (0..n).map(|i| move_cost(&new, i, &old, i, &cat)).sum();
+        let (permuted, matched) = match_allocations(&old, &new, &cat);
+        prop_assert!(matched <= identity);
+        // The permuted allocation preserves the multiset of fragment sets.
+        let mut a: Vec<_> = permuted.fragments.clone();
+        let mut b: Vec<_> = new.fragments.clone();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Merged segment allocations cover every segment's fragment needs.
+    #[test]
+    fn merge_covers_all_segments(
+        sizes in proptest::collection::vec(10u64..1000, 4..6),
+        n in 2usize..4,
+        split in 0.2f64..0.8,
+    ) {
+        let mut cat = Catalog::new();
+        let frags: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| cat.add_table(format!("T{i}"), s))
+            .collect();
+        let mk = |hot: f64| {
+            let w = [hot, 1.0 - hot];
+            Classification::from_classes(vec![
+                QueryClass::read(0, [frags[0], frags[1]], w[0]),
+                QueryClass::read(1, [frags[2], frags[3]], w[1]),
+            ])
+            .expect("valid")
+        };
+        let day = mk(split);
+        let night = mk(1.0 - split);
+        let cluster = ClusterSpec::homogeneous(n);
+        let a_day = greedy::allocate(&day, &cat, &cluster);
+        let a_night = greedy::allocate(&night, &cat, &cluster);
+        let merged = merge_allocations(&[a_day, a_night], &cat);
+        merged.for_segment(0, &day).validate(&day, &cluster).unwrap();
+        merged.for_segment(1, &night).validate(&night, &cluster).unwrap();
+    }
+}

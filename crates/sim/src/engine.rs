@@ -1,0 +1,532 @@
+//! The simulation drivers.
+//!
+//! * [`run_batch`]: the paper's throughput experiments — a fixed batch
+//!   of requests flows through the scheduler into per-backend FIFO
+//!   queues; the makespan (time until the last backend drains) gives
+//!   the throughput.
+//! * [`run_open`]: open-loop timed arrivals; each request's response
+//!   time is its queueing delay plus service. Used for the
+//!   autonomic-scaling experiments.
+
+use qcpa_core::allocation::Allocation;
+use qcpa_core::classify::Classification;
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::fragment::Catalog;
+use qcpa_core::journal::QueryKind;
+
+use crate::request::Request;
+use crate::scheduler::Scheduler;
+use crate::service::{LocalityModel, ServiceProfile};
+
+/// How update requests propagate to replicas (Section 2: the paper
+/// evaluates ROWA and notes that primary-copy and lazy replication
+/// "could be easily incorporated into our model and system" — here they
+/// are).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum UpdatePropagation {
+    /// Read-once/write-all: the update executes synchronously on every
+    /// replica; the request completes when the slowest replica is done.
+    #[default]
+    Rowa,
+    /// Primary copy: the request completes when the (lowest-indexed)
+    /// primary replica is done; the other replicas apply the same work
+    /// asynchronously.
+    PrimaryCopy,
+    /// Lazy replication: like primary copy, but secondary replicas
+    /// batch the propagated updates, discounting their work by this
+    /// factor (at the cost of staleness, which the model does not
+    /// charge).
+    Lazy {
+        /// Work multiplier for secondary replicas, in `(0, 1]`.
+        batching_discount: f64,
+    },
+}
+
+/// Simulator knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimConfig {
+    /// Optional caching/locality effect (Section 4.1's super-linear
+    /// speedup source). `None` models cost-proportional backends.
+    pub locality: Option<LocalityModel>,
+    /// Per-replica update synchronization overhead: an update executing
+    /// on `r` backends costs `service × (1 + rowa_overhead × (r − 1))`
+    /// on each of them (ROWA ordering/coordination). The Figure 4(i)
+    /// large-scale experiment uses this to reproduce full replication's
+    /// measured slowdown at 10 nodes; 0 disables it. Only charged under
+    /// [`UpdatePropagation::Rowa`], whose total-order broadcast is what
+    /// the overhead models.
+    pub rowa_overhead: f64,
+    /// Replica update propagation protocol.
+    pub propagation: UpdatePropagation,
+}
+
+/// Result of a batch (throughput) run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Seconds until all queues drained.
+    pub makespan: f64,
+    /// Logical requests per second (updates count once even though they
+    /// fan out).
+    pub throughput: f64,
+    /// Per-backend busy seconds.
+    pub busy: Vec<f64>,
+    /// Number of logical requests processed.
+    pub n_requests: usize,
+    /// Requests that could not be routed (no capable backend) — always
+    /// 0 for a valid allocation.
+    pub unroutable: usize,
+}
+
+impl BatchReport {
+    /// Relative deviation from balance: maximum relative deviation of
+    /// any backend's busy time from the mean (the measured counterpart
+    /// of Figure 4(j)).
+    pub fn balance_deviation(&self) -> f64 {
+        let avg = self.busy.iter().sum::<f64>() / self.busy.len() as f64;
+        if avg <= f64::EPSILON {
+            return 0.0;
+        }
+        self.busy
+            .iter()
+            .map(|b| (b - avg).abs() / avg)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Pushes a batch of requests through the scheduler and measures the
+/// makespan.
+pub fn run_batch(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    requests: &[Request],
+    cfg: &SimConfig,
+) -> BatchReport {
+    let scheduler = Scheduler::new(alloc, cls);
+    let profile = ServiceProfile::new(alloc, cluster, catalog, cfg.locality);
+    let n = cluster.len();
+    let mut busy = vec![0.0f64; n];
+    let mut unroutable = 0usize;
+
+    for r in requests {
+        match r.kind {
+            QueryKind::Read => match scheduler.route_read(r.class, &busy) {
+                Some(b) => busy[b] += profile.effective(b, r.service),
+                None => unroutable += 1,
+            },
+            QueryKind::Update => {
+                let targets = scheduler.route_update(r.class);
+                if targets.is_empty() {
+                    unroutable += 1;
+                } else {
+                    let sync = match cfg.propagation {
+                        UpdatePropagation::Rowa => {
+                            1.0 + cfg.rowa_overhead * (targets.len() as f64 - 1.0)
+                        }
+                        _ => 1.0,
+                    };
+                    for (i, &b) in targets.iter().enumerate() {
+                        let mult = match cfg.propagation {
+                            UpdatePropagation::Lazy { batching_discount } if i > 0 => {
+                                batching_discount
+                            }
+                            _ => sync,
+                        };
+                        busy[b] += profile.effective(b, r.service) * mult;
+                    }
+                }
+            }
+        }
+    }
+
+    let makespan = busy.iter().copied().fold(0.0, f64::max).max(f64::EPSILON);
+    BatchReport {
+        makespan,
+        throughput: (requests.len() - unroutable) as f64 / makespan,
+        busy,
+        n_requests: requests.len(),
+        unroutable,
+    }
+}
+
+/// Result of an open-loop (response-time) run.
+#[derive(Debug, Clone)]
+pub struct OpenReport {
+    /// `(arrival, response)` per request, in arrival order.
+    pub responses: Vec<(f64, f64)>,
+    /// Mean response time in seconds.
+    pub mean_response: f64,
+    /// 95th percentile response time.
+    pub p95_response: f64,
+    /// Per-backend busy seconds.
+    pub busy: Vec<f64>,
+    /// Per-backend utilization over the observation window.
+    pub utilization: Vec<f64>,
+}
+
+/// Runs timed arrivals through the scheduler. `warmup_backlog` seeds
+/// each backend's initial backlog (used by the autoscaler to model
+/// reallocation pauses). Requests must be sorted by arrival time.
+pub fn run_open(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    requests: &[Request],
+    warmup_backlog: f64,
+    cfg: &SimConfig,
+) -> OpenReport {
+    let scheduler = Scheduler::new(alloc, cls);
+    let profile = ServiceProfile::new(alloc, cluster, catalog, cfg.locality);
+    let n = cluster.len();
+    let mut free_at = vec![warmup_backlog.max(0.0); n];
+    let mut busy = vec![0.0f64; n];
+    let mut responses = Vec::with_capacity(requests.len());
+
+    let mut last_t = 0.0f64;
+    for r in requests {
+        debug_assert!(r.arrival >= last_t, "arrivals must be sorted");
+        last_t = r.arrival;
+        let t = r.arrival;
+        let pending: Vec<f64> = free_at.iter().map(|&f| (f - t).max(0.0)).collect();
+        match r.kind {
+            QueryKind::Read => {
+                if let Some(b) = scheduler.route_read(r.class, &pending) {
+                    let svc = profile.effective(b, r.service);
+                    let done = free_at[b].max(t) + svc;
+                    free_at[b] = done;
+                    busy[b] += svc;
+                    responses.push((t, done - t));
+                }
+            }
+            QueryKind::Update => {
+                let targets = scheduler.route_update(r.class).to_vec();
+                let sync = match cfg.propagation {
+                    UpdatePropagation::Rowa => {
+                        1.0 + cfg.rowa_overhead * (targets.len() as f64 - 1.0)
+                    }
+                    _ => 1.0,
+                };
+                let mut done_all: f64 = t;
+                let mut done_primary: f64 = t;
+                for (i, &b) in targets.iter().enumerate() {
+                    let mult = match cfg.propagation {
+                        UpdatePropagation::Lazy { batching_discount } if i > 0 => batching_discount,
+                        _ => sync,
+                    };
+                    let svc = profile.effective(b, r.service) * mult;
+                    let done = free_at[b].max(t) + svc;
+                    free_at[b] = done;
+                    busy[b] += svc;
+                    done_all = done_all.max(done);
+                    if i == 0 {
+                        done_primary = done;
+                    }
+                }
+                let response = match cfg.propagation {
+                    UpdatePropagation::Rowa => done_all - t,
+                    _ => done_primary - t,
+                };
+                if !targets.is_empty() {
+                    responses.push((t, response));
+                }
+            }
+        }
+    }
+
+    let mut sorted: Vec<f64> = responses.iter().map(|&(_, r)| r).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("responses are finite"));
+    let mean_response = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().sum::<f64>() / sorted.len() as f64
+    };
+    let p95_response = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)]
+    };
+    let window = requests.last().map(|r| r.arrival).unwrap_or(0.0).max(1e-9);
+    let utilization = busy.iter().map(|b| b / window).collect();
+    OpenReport {
+        responses,
+        mean_response,
+        p95_response,
+        busy,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestStream;
+    use qcpa_core::classify::QueryClass;
+    use qcpa_core::greedy;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn read_only() -> (Catalog, Classification, RequestStream) {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 100);
+        let c = cat.add_table("C", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.30),
+            QueryClass::read(1, [b], 0.25),
+            QueryClass::read(2, [c], 0.25),
+            QueryClass::read(3, [a, b], 0.20),
+        ])
+        .unwrap();
+        let stream = RequestStream::new(
+            vec![30.0, 25.0, 25.0, 20.0],
+            vec![QueryKind::Read; 4],
+            vec![0.01; 4],
+        );
+        (cat, cls, stream)
+    }
+
+    /// Measured speedup tracks the model's |B|/scale prediction.
+    #[test]
+    fn batch_speedup_matches_model_read_only() {
+        let (cat, cls, stream) = read_only();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let reqs = stream.sample_batch(20_000, 0.0, &mut rng);
+        let cfg = SimConfig::default();
+
+        let c1 = ClusterSpec::homogeneous(1);
+        let a1 = greedy::allocate(&cls, &cat, &c1);
+        let base = run_batch(&a1, &cls, &c1, &cat, &reqs, &cfg);
+
+        for n in [2usize, 4] {
+            let cn = ClusterSpec::homogeneous(n);
+            let an = greedy::allocate(&cls, &cat, &cn);
+            let rep = run_batch(&an, &cls, &cn, &cat, &reqs, &cfg);
+            assert_eq!(rep.unroutable, 0);
+            let speedup = base.makespan / rep.makespan;
+            let predicted = an.speedup(&cn);
+            assert!(
+                (speedup - predicted).abs() / predicted < 0.05,
+                "n={n}: measured {speedup:.2} vs predicted {predicted:.2}"
+            );
+        }
+    }
+
+    /// Updates fan out: full replication saturates per Amdahl (Eq. 1).
+    #[test]
+    fn batch_update_workload_amdahl() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.75),
+            QueryClass::update(1, [a], 0.25),
+        ])
+        .unwrap();
+        let stream = RequestStream::new(
+            vec![75.0, 25.0],
+            vec![QueryKind::Read, QueryKind::Update],
+            vec![0.01, 0.01],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let reqs = stream.sample_batch(40_000, 0.0, &mut rng);
+        let cfg = SimConfig::default();
+
+        let c1 = ClusterSpec::homogeneous(1);
+        let full1 = Allocation::full_replication(&cls, &c1);
+        let base = run_batch(&full1, &cls, &c1, &cat, &reqs, &cfg);
+
+        let c10 = ClusterSpec::homogeneous(10);
+        let full10 = Allocation::full_replication(&cls, &c10);
+        let rep = run_batch(&full10, &cls, &c10, &cat, &reqs, &cfg);
+        let speedup = base.makespan / rep.makespan;
+        let amdahl = qcpa_core::speedup::amdahl(0.75, 0.25, 10);
+        assert!(
+            (speedup - amdahl).abs() / amdahl < 0.06,
+            "measured {speedup:.2} vs Amdahl {amdahl:.2}"
+        );
+    }
+
+    #[test]
+    fn balance_deviation_reflects_skew() {
+        let (cat, cls, stream) = read_only();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let reqs = stream.sample_batch(10_000, 0.0, &mut rng);
+        let c2 = ClusterSpec::homogeneous(2);
+        let alloc = greedy::allocate(&cls, &cat, &c2);
+        let rep = run_batch(&alloc, &cls, &c2, &cat, &reqs, &SimConfig::default());
+        assert!(
+            rep.balance_deviation() < 0.05,
+            "{}",
+            rep.balance_deviation()
+        );
+    }
+
+    #[test]
+    fn open_loop_responses_grow_with_load() {
+        let (cat, cls, stream) = read_only();
+        let c2 = ClusterSpec::homogeneous(2);
+        let alloc = greedy::allocate(&cls, &cat, &c2);
+        let cfg = SimConfig::default();
+        // Capacity: 2 backends × 100 req/s each = 200 req/s.
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let light = stream.sample_poisson(60.0, 60.0, 0.0, &mut rng);
+        let heavy = stream.sample_poisson(180.0, 60.0, 0.0, &mut rng);
+        let rl = run_open(&alloc, &cls, &c2, &cat, &light, 0.0, &cfg);
+        let rh = run_open(&alloc, &cls, &c2, &cat, &heavy, 0.0, &cfg);
+        assert!(rl.mean_response < rh.mean_response);
+        assert!(rl.utilization.iter().all(|&u| u < 0.5));
+        assert!(rh.utilization.iter().any(|&u| u > 0.7));
+    }
+
+    #[test]
+    fn warmup_backlog_delays_early_requests() {
+        let (cat, cls, stream) = read_only();
+        let c2 = ClusterSpec::homogeneous(2);
+        let alloc = greedy::allocate(&cls, &cat, &c2);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let reqs = stream.sample_poisson(10.0, 30.0, 0.0, &mut rng);
+        let cold = run_open(&alloc, &cls, &c2, &cat, &reqs, 5.0, &SimConfig::default());
+        let warm = run_open(&alloc, &cls, &c2, &cat, &reqs, 0.0, &SimConfig::default());
+        assert!(cold.responses[0].1 > warm.responses[0].1 + 4.0);
+    }
+
+    #[test]
+    fn locality_speeds_up_partial_replication() {
+        let (cat, cls, stream) = read_only();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let reqs = stream.sample_batch(10_000, 0.0, &mut rng);
+        let c4 = ClusterSpec::homogeneous(4);
+        let partial = greedy::allocate(&cls, &cat, &c4);
+        let full = Allocation::full_replication(&cls, &c4);
+        let cfg = SimConfig {
+            locality: Some(LocalityModel { floor: 0.7 }),
+            ..Default::default()
+        };
+        let rp = run_batch(&partial, &cls, &c4, &cat, &reqs, &cfg);
+        let rf = run_batch(&full, &cls, &c4, &cat, &reqs, &cfg);
+        assert!(
+            rp.throughput > rf.throughput,
+            "partial {} vs full {}",
+            rp.throughput,
+            rf.throughput
+        );
+    }
+}
+
+#[cfg(test)]
+mod propagation_tests {
+    use super::*;
+    use crate::request::RequestStream;
+    use qcpa_core::classify::{Classification, QueryClass};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A write-heavy workload on full replication: the protocols
+    /// differentiate on replicated update work.
+    fn setup() -> (Catalog, Classification, Vec<Request>) {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.5),
+            QueryClass::update(1, [a], 0.5),
+        ])
+        .unwrap();
+        let stream = RequestStream::new(
+            vec![50.0, 50.0],
+            vec![QueryKind::Read, QueryKind::Update],
+            vec![0.01, 0.01],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let reqs = stream.sample_poisson(120.0, 60.0, 0.0, &mut rng);
+        (cat, cls, reqs)
+    }
+
+    #[test]
+    fn primary_copy_cuts_update_response_not_work() {
+        let (cat, cls, reqs) = setup();
+        let cluster = ClusterSpec::homogeneous(4);
+        let full = Allocation::full_replication(&cls, &cluster);
+        let rowa = run_open(
+            &full,
+            &cls,
+            &cluster,
+            &cat,
+            &reqs,
+            0.0,
+            &SimConfig::default(),
+        );
+        let pc = run_open(
+            &full,
+            &cls,
+            &cluster,
+            &cat,
+            &reqs,
+            0.0,
+            &SimConfig {
+                propagation: UpdatePropagation::PrimaryCopy,
+                ..Default::default()
+            },
+        );
+        assert!(
+            pc.mean_response < rowa.mean_response,
+            "primary copy {} vs ROWA {}",
+            pc.mean_response,
+            rowa.mean_response
+        );
+        // Same total work: the replicas still apply every update.
+        let w_rowa: f64 = rowa.busy.iter().sum();
+        let w_pc: f64 = pc.busy.iter().sum();
+        assert!((w_rowa - w_pc).abs() / w_rowa < 1e-9);
+    }
+
+    #[test]
+    fn lazy_replication_reduces_replica_work() {
+        let (cat, cls, reqs) = setup();
+        let cluster = ClusterSpec::homogeneous(4);
+        let full = Allocation::full_replication(&cls, &cluster);
+        let cfg = SimConfig {
+            propagation: UpdatePropagation::Lazy {
+                batching_discount: 0.4,
+            },
+            ..Default::default()
+        };
+        let lazy = run_batch(&full, &cls, &cluster, &cat, &reqs, &cfg);
+        let rowa = run_batch(&full, &cls, &cluster, &cat, &reqs, &SimConfig::default());
+        assert!(
+            lazy.throughput > rowa.throughput,
+            "lazy {} vs ROWA {}",
+            lazy.throughput,
+            rowa.throughput
+        );
+    }
+
+    #[test]
+    fn protocols_agree_on_single_replica() {
+        let (cat, cls, reqs) = setup();
+        let cluster = ClusterSpec::homogeneous(1);
+        let full = Allocation::full_replication(&cls, &cluster);
+        let rowa = run_open(
+            &full,
+            &cls,
+            &cluster,
+            &cat,
+            &reqs,
+            0.0,
+            &SimConfig::default(),
+        );
+        let pc = run_open(
+            &full,
+            &cls,
+            &cluster,
+            &cat,
+            &reqs,
+            0.0,
+            &SimConfig {
+                propagation: UpdatePropagation::PrimaryCopy,
+                ..Default::default()
+            },
+        );
+        assert!((rowa.mean_response - pc.mean_response).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,38 @@
+//! # qcpa-sim
+//!
+//! A discrete-event simulator of the CDBS processing model (Section 2):
+//! a controller with one FIFO queue per backend, the
+//! *least-pending-request-first* scheduler, and ROWA update fan-out.
+//! Queries are atomic — each read runs entirely on one backend holding
+//! all its data; each update runs on *every* backend holding any of its
+//! data.
+//!
+//! This substitutes for the paper's physical 16-node cluster running
+//! PostgreSQL/MySQL: throughput and speedup are determined by how the
+//! allocation spreads query-class work over backends, which is exactly
+//! what the simulation computes. Two drivers are provided:
+//!
+//! * [`engine::run_batch`] — the paper's throughput experiments: a fixed
+//!   request batch is pushed through the scheduler; throughput is
+//!   `requests / makespan` (Figures 4(a)–(i));
+//! * [`engine::run_open`] — open-loop timed arrivals measuring response
+//!   times, used by the autonomic-scaling experiments (Section 5).
+//!
+//! The optional [`service::LocalityModel`] reproduces the caching
+//! effect the paper observes: backends storing a smaller share of the
+//! database serve queries faster (better cache hit rates, less data to
+//! move from disk), which is why partial replication beats full
+//! replication even on read-only workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod request;
+pub mod scheduler;
+pub mod service;
+
+pub use engine::{run_batch, run_open, BatchReport, OpenReport, SimConfig, UpdatePropagation};
+pub use request::{Request, RequestStream};
+pub use scheduler::Scheduler;
+pub use service::{LocalityModel, ServiceProfile};

@@ -1,0 +1,192 @@
+//! Simulated requests and request streams.
+
+use qcpa_core::journal::QueryKind;
+use qcpa_core::ClassId;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// One request to process: an instance of a query class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// The query class this request belongs to.
+    pub class: ClassId,
+    /// Read or update.
+    pub kind: QueryKind,
+    /// Service demand in seconds on a reference backend (before backend
+    /// speed and locality adjustments).
+    pub service: f64,
+    /// Arrival time in seconds (0 for batch experiments).
+    pub arrival: f64,
+}
+
+/// Generates request sequences by sampling query classes according to
+/// their *frequencies* (how often queries of the class occur — distinct
+/// from their weights, which also factor in per-query cost).
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    /// Per-class occurrence frequency (need not be normalized).
+    pub frequency: Vec<f64>,
+    /// Per-class kind.
+    pub kinds: Vec<QueryKind>,
+    /// Per-class mean service seconds on the reference backend.
+    pub service: Vec<f64>,
+}
+
+impl RequestStream {
+    /// Builds a stream spec.
+    ///
+    /// # Panics
+    /// Panics if the vectors disagree in length, frequencies are
+    /// negative or all zero, or a service time is non-positive for a
+    /// class with positive frequency.
+    pub fn new(frequency: Vec<f64>, kinds: Vec<QueryKind>, service: Vec<f64>) -> Self {
+        assert_eq!(frequency.len(), kinds.len());
+        assert_eq!(frequency.len(), service.len());
+        assert!(
+            frequency.iter().all(|&f| f >= 0.0),
+            "frequencies are non-negative"
+        );
+        assert!(frequency.iter().sum::<f64>() > 0.0, "some class must occur");
+        for (f, s) in frequency.iter().zip(&service) {
+            assert!(*f == 0.0 || *s > 0.0, "occurring classes need service time");
+        }
+        Self {
+            frequency,
+            kinds,
+            service,
+        }
+    }
+
+    /// The weight each class contributes to the workload:
+    /// `freq × service` normalized — consistent with Eq. 4, where weight
+    /// is the summed execution time share.
+    pub fn weights(&self) -> Vec<f64> {
+        let raw: Vec<f64> = self
+            .frequency
+            .iter()
+            .zip(&self.service)
+            .map(|(f, s)| f * s)
+            .collect();
+        let total: f64 = raw.iter().sum();
+        raw.into_iter().map(|w| w / total).collect()
+    }
+
+    /// Samples `n` batch requests (arrival 0). `jitter` perturbs service
+    /// times multiplicatively by `exp(U(-jitter, jitter))`, modelling
+    /// run-to-run variance.
+    pub fn sample_batch(&self, n: usize, jitter: f64, rng: &mut ChaCha8Rng) -> Vec<Request> {
+        let cum = self.cumulative();
+        (0..n)
+            .map(|_| self.sample_one(&cum, 0.0, jitter, rng))
+            .collect()
+    }
+
+    /// Samples a Poisson-process arrival stream with the given rate
+    /// (requests/second) over `duration` seconds.
+    pub fn sample_poisson(
+        &self,
+        rate: f64,
+        duration: f64,
+        jitter: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Request> {
+        assert!(rate > 0.0 && duration > 0.0);
+        let cum = self.cumulative();
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        loop {
+            // Exponential inter-arrival.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            t += -u.ln() / rate;
+            if t >= duration {
+                return out;
+            }
+            out.push(self.sample_one(&cum, t, jitter, rng));
+        }
+    }
+
+    fn cumulative(&self) -> Vec<f64> {
+        let total: f64 = self.frequency.iter().sum();
+        let mut acc = 0.0;
+        self.frequency
+            .iter()
+            .map(|f| {
+                acc += f / total;
+                acc
+            })
+            .collect()
+    }
+
+    fn sample_one(&self, cum: &[f64], arrival: f64, jitter: f64, rng: &mut ChaCha8Rng) -> Request {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let k = cum.partition_point(|&c| c < u).min(cum.len() - 1);
+        let mult = if jitter > 0.0 {
+            rng.gen_range(-jitter..jitter).exp()
+        } else {
+            1.0
+        };
+        Request {
+            class: qcpa_core::ClassId(k as u32),
+            kind: self.kinds[k],
+            service: self.service[k] * mult,
+            arrival,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn stream() -> RequestStream {
+        RequestStream::new(
+            vec![8.0, 2.0],
+            vec![QueryKind::Read, QueryKind::Update],
+            vec![0.01, 0.04],
+        )
+    }
+
+    #[test]
+    fn weights_are_freq_times_service() {
+        let w = stream().weights();
+        // 8×0.01 : 2×0.04 = 0.08 : 0.08 → 50/50.
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_sampling_matches_frequencies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let reqs = stream().sample_batch(10_000, 0.0, &mut rng);
+        let updates = reqs.iter().filter(|r| r.kind == QueryKind::Update).count();
+        let frac = updates as f64 / reqs.len() as f64;
+        assert!((frac - 0.2).abs() < 0.02, "update fraction {frac}");
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let reqs = stream().sample_poisson(100.0, 50.0, 0.0, &mut rng);
+        let rate = reqs.len() as f64 / 50.0;
+        assert!((rate - 100.0).abs() < 10.0, "rate {rate}");
+        assert!(reqs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn jitter_perturbs_but_preserves_scale() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let reqs = stream().sample_batch(5_000, 0.1, &mut rng);
+        let reads: Vec<&Request> = reqs.iter().filter(|r| r.kind == QueryKind::Read).collect();
+        let mean: f64 = reads.iter().map(|r| r.service).sum::<f64>() / reads.len() as f64;
+        assert!((mean - 0.01).abs() < 0.001, "mean {mean}");
+        assert!(reads.iter().any(|r| (r.service - 0.01).abs() > 1e-6));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = stream().sample_batch(100, 0.1, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = stream().sample_batch(100, 0.1, &mut ChaCha8Rng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,151 @@
+//! Request routing: the controller's scheduler.
+//!
+//! Reads go to exactly one backend holding *all* the class's fragments,
+//! chosen by the least-pending-request-first rule (Section 2; the
+//! prototype keeps per-request processing times in its query history,
+//! so "least pending" is measured in outstanding *work* — which is what
+//! makes the strategy competitive for mixes with very skewed per-class
+//! costs, like TPC-App's one heavy read class). Updates fan out to every
+//! backend holding any of the class's fragments (ROWA).
+
+use qcpa_core::allocation::Allocation;
+use qcpa_core::classify::Classification;
+use qcpa_core::journal::QueryKind;
+use qcpa_core::{ClassId, EPS};
+
+/// Precomputed routing tables for one allocation.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    /// Per read class: backends eligible to serve it (capable, and
+    /// preferred by the allocation when it assigned them a share).
+    read_targets: Vec<Vec<usize>>,
+    /// Per update class: backends that must apply it.
+    update_targets: Vec<Vec<usize>>,
+}
+
+impl Scheduler {
+    /// Builds routing tables from an allocation.
+    ///
+    /// For a read class the eligible backends are those the allocation
+    /// assigned a positive share (falling back to all capable backends
+    /// for zero-weight classes). For an update class they are all
+    /// backends overlapping its data — the ROWA set.
+    pub fn new(alloc: &Allocation, cls: &Classification) -> Self {
+        let n = alloc.n_backends();
+        let mut read_targets = vec![Vec::new(); cls.len()];
+        let mut update_targets = vec![Vec::new(); cls.len()];
+        for c in &cls.classes {
+            match c.kind {
+                QueryKind::Read => {
+                    let mut assigned: Vec<usize> = (0..n)
+                        .filter(|&b| alloc.assign[c.id.idx()][b] > EPS)
+                        .collect();
+                    if assigned.is_empty() {
+                        assigned = (0..n)
+                            .filter(|&b| c.fragments.iter().all(|f| alloc.fragments[b].contains(f)))
+                            .collect();
+                    }
+                    read_targets[c.id.idx()] = assigned;
+                }
+                QueryKind::Update => {
+                    update_targets[c.id.idx()] = (0..n)
+                        .filter(|&b| c.fragments.iter().any(|f| alloc.fragments[b].contains(f)))
+                        .collect();
+                }
+            }
+        }
+        Self {
+            read_targets,
+            update_targets,
+        }
+    }
+
+    /// The backend a read of class `c` should go to, given current
+    /// per-backend pending work: least pending first, ties to the lowest
+    /// index. Returns `None` if no backend can serve the class.
+    pub fn route_read(&self, c: ClassId, pending: &[f64]) -> Option<usize> {
+        self.read_targets[c.idx()].iter().copied().min_by(|&a, &b| {
+            pending[a]
+                .partial_cmp(&pending[b])
+                .expect("pending work is finite")
+                .then(a.cmp(&b))
+        })
+    }
+
+    /// The ROWA set for update class `c`.
+    pub fn route_update(&self, c: ClassId) -> &[usize] {
+        &self.update_targets[c.idx()]
+    }
+
+    /// Eligible backends for a read class (diagnostics).
+    pub fn read_targets(&self, c: ClassId) -> &[usize] {
+        &self.read_targets[c.idx()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcpa_core::classify::QueryClass;
+    use qcpa_core::cluster::ClusterSpec;
+    use qcpa_core::fragment::Catalog;
+    use qcpa_core::greedy;
+
+    fn setup() -> (Classification, Allocation) {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.4),
+            QueryClass::read(1, [b], 0.4),
+            QueryClass::update(2, [a], 0.2),
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(2);
+        let alloc = greedy::allocate(&cls, &cat, &cluster);
+        (cls, alloc)
+    }
+
+    #[test]
+    fn reads_route_to_least_pending_capable() {
+        let (cls, alloc) = setup();
+        let s = Scheduler::new(&alloc, &cls);
+        for &r in cls.read_ids() {
+            let targets = s.read_targets(r);
+            assert!(!targets.is_empty());
+            for &b in targets {
+                assert!(cls.classes[r.idx()]
+                    .fragments
+                    .iter()
+                    .all(|f| alloc.fragments[b].contains(f)));
+            }
+        }
+    }
+
+    #[test]
+    fn updates_cover_all_overlapping_backends() {
+        let (cls, alloc) = setup();
+        let s = Scheduler::new(&alloc, &cls);
+        let rowa = s.route_update(qcpa_core::ClassId(2));
+        let expected: Vec<usize> = (0..2)
+            .filter(|&b| alloc.fragments[b].iter().any(|f| f.idx() == 0))
+            .collect();
+        assert_eq!(rowa, expected.as_slice());
+    }
+
+    #[test]
+    fn least_pending_tie_breaks_by_index() {
+        let (cls, _) = setup();
+        let cluster = ClusterSpec::homogeneous(3);
+        let full = Allocation::full_replication(&cls, &cluster);
+        let s = Scheduler::new(&full, &cls);
+        assert_eq!(
+            s.route_read(qcpa_core::ClassId(0), &[1.0, 0.5, 0.5]),
+            Some(1)
+        );
+        assert_eq!(
+            s.route_read(qcpa_core::ClassId(0), &[0.0, 0.0, 0.0]),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the simulator: work conservation, scheduler
+//! sanity, and agreement with the analytical model on random workloads.
+
+use proptest::prelude::*;
+use qcpa_core::allocation::Allocation;
+use qcpa_core::classify::{Classification, QueryClass};
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::fragment::Catalog;
+use qcpa_core::greedy;
+use qcpa_core::journal::QueryKind;
+use qcpa_sim::engine::{run_batch, run_open, SimConfig};
+use qcpa_sim::request::RequestStream;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A random read/update workload over `nf` fragments.
+fn build(weights: &[(f64, bool)]) -> Option<(Catalog, Classification, RequestStream)> {
+    let mut cat = Catalog::new();
+    let frags: Vec<_> = (0..weights.len())
+        .map(|i| cat.add_table(format!("T{i}"), 100))
+        .collect();
+    let total: f64 = weights.iter().map(|(w, _)| w).sum();
+    let classes: Vec<QueryClass> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &(w, upd))| {
+            if upd {
+                QueryClass::update(i as u32, [frags[i]], w / total)
+            } else {
+                QueryClass::read(i as u32, [frags[i]], w / total)
+            }
+        })
+        .collect();
+    let cls = Classification::from_classes(classes).ok()?;
+    let stream = RequestStream::new(
+        weights.iter().map(|&(w, _)| w).collect(),
+        weights
+            .iter()
+            .map(|&(_, u)| {
+                if u {
+                    QueryKind::Update
+                } else {
+                    QueryKind::Read
+                }
+            })
+            .collect(),
+        vec![0.01; weights.len()],
+    );
+    Some((cat, cls, stream))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Work conservation on full replication: total busy time equals
+    /// read service + update service × replicas, exactly.
+    #[test]
+    fn batch_conserves_work(
+        weights in proptest::collection::vec((0.05f64..1.0, proptest::bool::weighted(0.3)), 2..6),
+        n in 1usize..6,
+    ) {
+        let Some((cat, cls, stream)) = build(&weights) else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let full = Allocation::full_replication(&cls, &cluster);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let reqs = stream.sample_batch(2_000, 0.0, &mut rng);
+        let rep = run_batch(&full, &cls, &cluster, &cat, &reqs, &SimConfig::default());
+        prop_assert_eq!(rep.unroutable, 0);
+        let expected: f64 = reqs
+            .iter()
+            .map(|r| match r.kind {
+                QueryKind::Read => r.service,
+                QueryKind::Update => r.service * n as f64,
+            })
+            .sum();
+        let total: f64 = rep.busy.iter().sum();
+        prop_assert!((total - expected).abs() < 1e-6, "{total} vs {expected}");
+    }
+
+    /// The makespan is bounded below by perfect balance and above by a
+    /// single serial backend.
+    #[test]
+    fn makespan_bounds(
+        weights in proptest::collection::vec((0.05f64..1.0, proptest::bool::weighted(0.3)), 2..6),
+        n in 1usize..6,
+    ) {
+        let Some((cat, cls, stream)) = build(&weights) else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let alloc = greedy::allocate(&cls, &cat, &cluster);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let reqs = stream.sample_batch(2_000, 0.0, &mut rng);
+        let rep = run_batch(&alloc, &cls, &cluster, &cat, &reqs, &SimConfig::default());
+        let total: f64 = rep.busy.iter().sum();
+        prop_assert!(rep.makespan >= total / n as f64 - 1e-9);
+        prop_assert!(rep.makespan <= total + 1e-9);
+    }
+
+    /// Open-loop responses are at least the service time and the per-
+    /// backend busy time never exceeds the observation span plus the
+    /// final backlog.
+    #[test]
+    fn open_loop_sanity(
+        weights in proptest::collection::vec((0.05f64..1.0, proptest::bool::weighted(0.3)), 2..5),
+        rate in 10.0f64..200.0,
+    ) {
+        let Some((cat, cls, stream)) = build(&weights) else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(3);
+        let alloc = greedy::allocate(&cls, &cat, &cluster);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let reqs = stream.sample_poisson(rate, 20.0, 0.0, &mut rng);
+        if reqs.is_empty() { return Ok(()); }
+        let rep = run_open(&alloc, &cls, &cluster, &cat, &reqs, 0.0, &SimConfig::default());
+        for &(_, resp) in &rep.responses {
+            prop_assert!(resp >= 0.01 - 1e-9, "response {resp} below service time");
+        }
+        prop_assert_eq!(rep.responses.len(), reqs.len());
+    }
+
+    /// Measured batch speedup of the greedy allocation never exceeds
+    /// the cluster size and tracks the model within a factor.
+    #[test]
+    fn speedup_sane(
+        weights in proptest::collection::vec((0.05f64..1.0, proptest::bool::weighted(0.25)), 2..6),
+        n in 2usize..6,
+    ) {
+        let Some((cat, cls, stream)) = build(&weights) else { return Ok(()); };
+        let c1 = ClusterSpec::homogeneous(1);
+        let a1 = Allocation::full_replication(&cls, &c1);
+        let cn = ClusterSpec::homogeneous(n);
+        let an = greedy::allocate(&cls, &cat, &cn);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let reqs = stream.sample_batch(5_000, 0.0, &mut rng);
+        let cfg = SimConfig::default();
+        let base = run_batch(&a1, &cls, &c1, &cat, &reqs, &cfg);
+        let rep = run_batch(&an, &cls, &cn, &cat, &reqs, &cfg);
+        let speedup = base.makespan / rep.makespan;
+        prop_assert!(speedup <= n as f64 * 1.02, "speedup {speedup} > n={n}");
+        prop_assert!(speedup >= 0.9, "speedup {speedup} collapsed");
+    }
+}

@@ -1,0 +1,98 @@
+//! Bridging a storage [`Schema`] to the allocation model's fragment
+//! [`Catalog`].
+//!
+//! The allocation algorithms only see fragment identities and byte
+//! sizes; this module derives them from a schema plus per-table row
+//! counts: one table fragment per table and one column fragment per
+//! column (sized as the column plus its share of the primary key, since
+//! vertical fragments always carry the key).
+
+use qcpa_core::fragment::{Catalog, FragmentId};
+
+use crate::schema::Schema;
+
+/// Builds a catalog with table- and column-level fragments for the
+/// schema, sized by `row_counts` (same order as `schema.tables`).
+///
+/// Column fragments are named `"<table>.<column>"`. The primary-key
+/// column is registered like any other; non-key column fragments are
+/// sized as `(width + pk_width) × rows` to account for the key copy a
+/// vertical fragment must carry.
+///
+/// # Panics
+/// Panics if `row_counts` does not match the table count.
+pub fn build_catalog(schema: &Schema, row_counts: &[u64]) -> Catalog {
+    assert_eq!(
+        schema.tables.len(),
+        row_counts.len(),
+        "one row count per table"
+    );
+    let mut catalog = Catalog::new();
+    for (table, &rows) in schema.tables.iter().zip(row_counts) {
+        let table_size = table.row_width() * rows;
+        let tid = catalog.add_table(table.name.clone(), table_size);
+        let pk_width = table.primary_key().byte_width as u64;
+        for (i, col) in table.columns.iter().enumerate() {
+            let width = col.byte_width as u64;
+            let size = if i == 0 {
+                width * rows
+            } else {
+                (width + pk_width) * rows
+            };
+            catalog.add_column(tid, format!("{}.{}", table.name, col.name), size);
+        }
+    }
+    catalog
+}
+
+/// Looks up the column fragment for `table.column`.
+pub fn column_fragment(catalog: &Catalog, table: &str, column: &str) -> Option<FragmentId> {
+    catalog.by_name(&format!("{table}.{column}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableDef};
+    use crate::types::DataType;
+
+    #[test]
+    fn sizes_follow_schema() {
+        let mut schema = Schema::new();
+        schema.add_table(TableDef::new(
+            "orders",
+            vec![
+                ColumnDef::new("o_id", DataType::I64, 8),
+                ColumnDef::new("o_total", DataType::F64, 8),
+                ColumnDef::new("o_comment", DataType::Str, 48),
+            ],
+        ));
+        let catalog = build_catalog(&schema, &[1000]);
+        let t = catalog.by_name("orders").unwrap();
+        assert_eq!(catalog.size(t), 64 * 1000);
+        let pk = column_fragment(&catalog, "orders", "o_id").unwrap();
+        assert_eq!(catalog.size(pk), 8 * 1000);
+        let comment = column_fragment(&catalog, "orders", "o_comment").unwrap();
+        assert_eq!(catalog.size(comment), (48 + 8) * 1000);
+        assert_eq!(catalog.table_of(comment), t);
+    }
+
+    #[test]
+    fn one_fragment_per_table_and_column() {
+        let mut schema = Schema::new();
+        schema.add_table(TableDef::new(
+            "a",
+            vec![ColumnDef::new("a_id", DataType::I64, 8)],
+        ));
+        schema.add_table(TableDef::new(
+            "b",
+            vec![
+                ColumnDef::new("b_id", DataType::I64, 8),
+                ColumnDef::new("b_x", DataType::I64, 8),
+            ],
+        ));
+        let catalog = build_catalog(&schema, &[10, 20]);
+        assert_eq!(catalog.len(), 2 + 1 + 2);
+        assert_eq!(catalog.tables().count(), 2);
+    }
+}

@@ -1,0 +1,365 @@
+//! The per-backend store and query execution.
+//!
+//! A [`BackendStore`] plays one backend DBMS of the CDBS: it holds the
+//! tables/fragments the allocation assigned to it, bulk-loads fragment
+//! data, and executes scan queries (selection, projection, aggregation)
+//! and updates. The controller-side code in `qcpa-sim` routes requests
+//! to stores per the allocation.
+
+use std::collections::BTreeMap;
+
+use crate::fragmentation::FragmentData;
+use crate::predicate::Predicate;
+use crate::table::Table;
+use crate::types::Value;
+
+/// Errors from query execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The referenced table is not stored on this backend.
+    NoSuchTable(String),
+    /// The referenced column does not exist in the stored fragment.
+    NoSuchColumn {
+        /// Table name.
+        table: String,
+        /// Missing column.
+        column: String,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NoSuchTable(t) => write!(f, "table {t:?} is not on this backend"),
+            StorageError::NoSuchColumn { table, column } => {
+                write!(f, "column {column:?} not stored for table {table:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Row count.
+    Count,
+    /// Sum of the column's numeric view.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Average.
+    Avg,
+}
+
+/// A scan query: selection + projection or aggregation over one table.
+#[derive(Debug, Clone)]
+pub struct ScanQuery {
+    /// Table (or fragment) name.
+    pub table: String,
+    /// Columns to return; empty means all stored columns.
+    pub projection: Vec<String>,
+    /// Optional row filter.
+    pub predicate: Option<Predicate>,
+    /// Optional aggregate `(function, column)`; replaces the row output.
+    pub aggregate: Option<(AggFunc, String)>,
+}
+
+impl ScanQuery {
+    /// Full scan of a table.
+    pub fn all(table: impl Into<String>) -> Self {
+        Self {
+            table: table.into(),
+            projection: Vec::new(),
+            predicate: None,
+            aggregate: None,
+        }
+    }
+
+    /// Adds a filter.
+    pub fn filter(mut self, p: Predicate) -> Self {
+        self.predicate = Some(p);
+        self
+    }
+
+    /// Restricts the output columns.
+    pub fn select(mut self, columns: &[&str]) -> Self {
+        self.projection = columns.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Aggregates instead of returning rows.
+    pub fn agg(mut self, f: AggFunc, column: impl Into<String>) -> Self {
+        self.aggregate = Some((f, column.into()));
+        self
+    }
+}
+
+/// A query result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// Projected rows.
+    Rows(Vec<Vec<Value>>),
+    /// Aggregate value (`None` over an empty input for Min/Max/Avg).
+    Scalar(Option<f64>),
+}
+
+impl QueryResult {
+    /// The number of rows, or 1 for a scalar.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            QueryResult::Rows(r) => r.len(),
+            QueryResult::Scalar(_) => 1,
+        }
+    }
+}
+
+/// One backend's storage: the fragments assigned to it by name.
+#[derive(Debug, Clone, Default)]
+pub struct BackendStore {
+    tables: BTreeMap<String, Table>,
+}
+
+impl BackendStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bulk-loads fragment data, replacing any same-named fragment.
+    /// Returns the loaded byte count (the quantity the ETL cost model
+    /// prices).
+    pub fn bulk_load(&mut self, fragment: FragmentData) -> u64 {
+        let mut table = Table::new(fragment.def);
+        table.append_rows(fragment.rows);
+        let bytes = table.byte_size();
+        self.tables.insert(table.def.name.clone(), table);
+        bytes
+    }
+
+    /// Drops a fragment; returns whether it existed.
+    pub fn drop_fragment(&mut self, name: &str) -> bool {
+        self.tables.remove(name).is_some()
+    }
+
+    /// Names of the stored fragments.
+    pub fn fragment_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// The stored fragment with the given name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Total stored bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.tables.values().map(|t| t.byte_size()).sum()
+    }
+
+    /// Executes a scan query.
+    pub fn execute(&self, q: &ScanQuery) -> Result<QueryResult, StorageError> {
+        let table = self
+            .tables
+            .get(&q.table)
+            .ok_or_else(|| StorageError::NoSuchTable(q.table.clone()))?;
+        // Validate referenced columns up front.
+        let mut referenced: Vec<&str> = q.projection.iter().map(|s| s.as_str()).collect();
+        if let Some(p) = &q.predicate {
+            referenced.extend(p.columns());
+        }
+        if let Some((_, c)) = &q.aggregate {
+            referenced.push(c);
+        }
+        for c in referenced {
+            if table.def.column_index(c).is_none() {
+                return Err(StorageError::NoSuchColumn {
+                    table: q.table.clone(),
+                    column: c.to_string(),
+                });
+            }
+        }
+
+        let rows = table.select(q.predicate.as_ref());
+        if let Some((f, column)) = &q.aggregate {
+            let idx = table.def.column_index(column).expect("validated above");
+            let vals = rows.iter().map(|&r| {
+                table
+                    .column(column)
+                    .expect("validated above")
+                    .get(r)
+                    .as_f64()
+            });
+            let _ = idx;
+            let scalar = match f {
+                AggFunc::Count => Some(rows.len() as f64),
+                AggFunc::Sum => Some(vals.sum()),
+                AggFunc::Min => vals.fold(None, |acc: Option<f64>, v| {
+                    Some(acc.map_or(v, |a| a.min(v)))
+                }),
+                AggFunc::Max => vals.fold(None, |acc: Option<f64>, v| {
+                    Some(acc.map_or(v, |a| a.max(v)))
+                }),
+                AggFunc::Avg => {
+                    if rows.is_empty() {
+                        None
+                    } else {
+                        Some(vals.sum::<f64>() / rows.len() as f64)
+                    }
+                }
+            };
+            return Ok(QueryResult::Scalar(scalar));
+        }
+
+        let col_idx: Vec<usize> = if q.projection.is_empty() {
+            (0..table.def.columns.len()).collect()
+        } else {
+            q.projection
+                .iter()
+                .map(|c| table.def.column_index(c).expect("validated above"))
+                .collect()
+        };
+        Ok(QueryResult::Rows(table.project(&rows, &col_idx)))
+    }
+
+    /// Inserts a row into a stored fragment.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<(), StorageError> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        t.append(row);
+        Ok(())
+    }
+
+    /// Updates rows in a stored fragment; returns the rows changed.
+    pub fn update(
+        &mut self,
+        table: &str,
+        predicate: Option<&Predicate>,
+        column: &str,
+        value: Value,
+    ) -> Result<usize, StorageError> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| StorageError::NoSuchTable(table.to_string()))?;
+        if t.def.column_index(column).is_none() {
+            return Err(StorageError::NoSuchColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            });
+        }
+        Ok(t.update(predicate, column, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragmentation::extract_full;
+    use crate::predicate::CmpOp;
+    use crate::schema::{ColumnDef, TableDef};
+    use crate::types::DataType;
+
+    fn store_with_items() -> BackendStore {
+        let def = TableDef::new(
+            "item",
+            vec![
+                ColumnDef::new("i_id", DataType::I64, 8),
+                ColumnDef::new("i_price", DataType::F64, 8),
+            ],
+        );
+        let mut t = Table::new(def);
+        for i in 0..20 {
+            t.append(vec![Value::I64(i), Value::F64(i as f64)]);
+        }
+        let mut s = BackendStore::new();
+        s.bulk_load(extract_full(&t));
+        s
+    }
+
+    #[test]
+    fn bulk_load_and_sizes() {
+        let s = store_with_items();
+        assert_eq!(s.byte_size(), 20 * 16);
+        assert_eq!(s.fragment_names().collect::<Vec<_>>(), vec!["item"]);
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let s = store_with_items();
+        let q = ScanQuery::all("item")
+            .filter(Predicate::cmp("i_price", CmpOp::Ge, Value::F64(18.0)))
+            .select(&["i_id"]);
+        match s.execute(&q).unwrap() {
+            QueryResult::Rows(rows) => {
+                assert_eq!(rows, vec![vec![Value::I64(18)], vec![Value::I64(19)]]);
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = store_with_items();
+        let sum = s
+            .execute(&ScanQuery::all("item").agg(AggFunc::Sum, "i_price"))
+            .unwrap();
+        assert_eq!(sum, QueryResult::Scalar(Some(190.0)));
+        let avg = s
+            .execute(&ScanQuery::all("item").agg(AggFunc::Avg, "i_price"))
+            .unwrap();
+        assert_eq!(avg, QueryResult::Scalar(Some(9.5)));
+        let min_empty = s
+            .execute(
+                &ScanQuery::all("item")
+                    .filter(Predicate::cmp("i_id", CmpOp::Gt, Value::I64(100)))
+                    .agg(AggFunc::Min, "i_price"),
+            )
+            .unwrap();
+        assert_eq!(min_empty, QueryResult::Scalar(None));
+    }
+
+    #[test]
+    fn missing_table_and_column_errors() {
+        let s = store_with_items();
+        assert!(matches!(
+            s.execute(&ScanQuery::all("nope")),
+            Err(StorageError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            s.execute(&ScanQuery::all("item").select(&["ghost"])),
+            Err(StorageError::NoSuchColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn insert_and_update() {
+        let mut s = store_with_items();
+        s.insert("item", vec![Value::I64(99), Value::F64(99.0)])
+            .unwrap();
+        let changed = s
+            .update(
+                "item",
+                Some(&Predicate::cmp("i_id", CmpOp::Eq, Value::I64(99))),
+                "i_price",
+                Value::F64(0.5),
+            )
+            .unwrap();
+        assert_eq!(changed, 1);
+        let q = ScanQuery::all("item").agg(AggFunc::Count, "i_id");
+        assert_eq!(s.execute(&q).unwrap(), QueryResult::Scalar(Some(21.0)));
+    }
+
+    #[test]
+    fn drop_fragment_frees_space() {
+        let mut s = store_with_items();
+        assert!(s.drop_fragment("item"));
+        assert!(!s.drop_fragment("item"));
+        assert_eq!(s.byte_size(), 0);
+    }
+}

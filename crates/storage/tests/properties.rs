@@ -1,0 +1,140 @@
+//! Property-based tests of the storage engine: fragment extraction is
+//! lossless, predicates obey boolean algebra, updates hit exactly the
+//! selected rows.
+
+use proptest::prelude::*;
+use qcpa_storage::engine::{AggFunc, BackendStore, QueryResult, ScanQuery};
+use qcpa_storage::fragmentation::{extract_full, extract_horizontal, extract_vertical};
+use qcpa_storage::predicate::{CmpOp, Predicate};
+use qcpa_storage::schema::{ColumnDef, TableDef};
+use qcpa_storage::table::Table;
+use qcpa_storage::types::{DataType, Value};
+
+/// A random two-column table of i64 data plus the pk.
+fn random_table(rows: &[(i64, i64)]) -> Table {
+    let def = TableDef::new(
+        "t",
+        vec![
+            ColumnDef::new("id", DataType::I64, 8),
+            ColumnDef::new("x", DataType::I64, 8),
+            ColumnDef::new("y", DataType::I64, 8),
+        ],
+    );
+    let mut t = Table::new(def);
+    for (i, &(x, y)) in rows.iter().enumerate() {
+        t.append(vec![Value::I64(i as i64), Value::I64(x), Value::I64(y)]);
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Vertical fragments carry every row and reassemble losslessly by
+    /// primary key.
+    #[test]
+    fn vertical_fragments_are_lossless(rows in proptest::collection::vec((any::<i64>(), any::<i64>()), 1..80)) {
+        let t = random_table(&rows);
+        let fx = extract_vertical(&t, &["x"]);
+        let fy = extract_vertical(&t, &["y"]);
+        prop_assert_eq!(fx.rows.len(), rows.len());
+        prop_assert_eq!(fy.rows.len(), rows.len());
+        for (i, &(x, y)) in rows.iter().enumerate() {
+            // Column 0 is the pk, column 1 the payload.
+            prop_assert_eq!(&fx.rows[i][0], &Value::I64(i as i64));
+            prop_assert_eq!(&fx.rows[i][1], &Value::I64(x));
+            prop_assert_eq!(&fy.rows[i][1], &Value::I64(y));
+        }
+        // Byte accounting: both fragments together cost one extra pk.
+        let pk_bytes = 8 * rows.len() as u64;
+        prop_assert_eq!(fx.byte_size() + fy.byte_size(), t.byte_size() + pk_bytes);
+    }
+
+    /// A horizontal split by any threshold partitions the rows exactly.
+    #[test]
+    fn horizontal_split_partitions_rows(
+        rows in proptest::collection::vec((any::<i64>(), any::<i64>()), 1..80),
+        threshold in any::<i64>(),
+    ) {
+        let t = random_table(&rows);
+        let below = extract_horizontal(&t, &Predicate::cmp("x", CmpOp::Lt, Value::I64(threshold)), 0);
+        let above = extract_horizontal(
+            &t,
+            &Predicate::cmp("x", CmpOp::Lt, Value::I64(threshold)).not(),
+            1,
+        );
+        prop_assert_eq!(below.rows.len() + above.rows.len(), rows.len());
+        for r in &below.rows {
+            match &r[1] { Value::I64(x) => prop_assert!(*x < threshold), v => panic!("{v:?}") }
+        }
+        for r in &above.rows {
+            match &r[1] { Value::I64(x) => prop_assert!(*x >= threshold), v => panic!("{v:?}") }
+        }
+    }
+
+    /// De Morgan: NOT (a AND b) selects the same rows as
+    /// (NOT a) OR (NOT b).
+    #[test]
+    fn de_morgan_on_scans(
+        rows in proptest::collection::vec((any::<i64>(), any::<i64>()), 0..60),
+        ta in any::<i64>(),
+        tb in any::<i64>(),
+    ) {
+        let t = random_table(&rows);
+        let a = || Predicate::cmp("x", CmpOp::Gt, Value::I64(ta));
+        let b = || Predicate::cmp("y", CmpOp::Le, Value::I64(tb));
+        let lhs = t.select(Some(&a().and(b()).not()));
+        let rhs = t.select(Some(&a().not().or(b().not())));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Updates change exactly the selected rows and nothing else.
+    #[test]
+    fn update_touches_exactly_the_selection(
+        rows in proptest::collection::vec((0i64..100, any::<i64>()), 1..60),
+        threshold in 0i64..100,
+    ) {
+        let t = random_table(&rows);
+        let mut store = BackendStore::new();
+        store.bulk_load(extract_full(&t));
+        let pred = Predicate::cmp("x", CmpOp::Ge, Value::I64(threshold));
+        let expected = rows.iter().filter(|&&(x, _)| x >= threshold).count();
+        let changed = store.update("t", Some(&pred), "y", Value::I64(-1)).unwrap();
+        prop_assert_eq!(changed, expected);
+        // Count rows now carrying the sentinel that also match the
+        // predicate — at least the changed ones.
+        let q = ScanQuery::all("t")
+            .filter(Predicate::cmp("y", CmpOp::Eq, Value::I64(-1)).and(pred))
+            .agg(AggFunc::Count, "id");
+        match store.execute(&q).unwrap() {
+            QueryResult::Scalar(Some(n)) => prop_assert_eq!(n as usize, expected),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// SUM over a split table equals the sum of SUMs over its horizontal
+    /// fragments (aggregation pushdown correctness).
+    #[test]
+    fn aggregates_distribute_over_horizontal_fragments(
+        rows in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 1..60),
+        threshold in -1000i64..1000,
+    ) {
+        let t = random_table(&rows);
+        let p = Predicate::cmp("x", CmpOp::Lt, Value::I64(threshold));
+        let mut store = BackendStore::new();
+        store.bulk_load(extract_horizontal(&t, &p, 0));
+        store.bulk_load(extract_horizontal(&t, &p.clone().not(), 1));
+        let total: f64 = ["t#0", "t#1"]
+            .iter()
+            .map(|f| {
+                match store.execute(&ScanQuery::all(*f).agg(AggFunc::Sum, "y")).unwrap() {
+                    QueryResult::Scalar(Some(s)) => s,
+                    QueryResult::Scalar(None) => 0.0,
+                    other => panic!("unexpected {other:?}"),
+                }
+            })
+            .sum();
+        let expected: f64 = rows.iter().map(|&(_, y)| y as f64).sum();
+        prop_assert!((total - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,64 @@
+//! Autonomic scaling over a day of the diurnal web trace (Section 5):
+//! the controller grows and shrinks the cluster with the load, then the
+//! sliding-window segmentation computes one merged allocation that
+//! rides the daily pattern without reallocating at all.
+//!
+//! Run with: `cargo run --release --example autonomic_scaling`
+
+use qcpa::autoscale::controller::{run_day, AutoscaleConfig};
+use qcpa::autoscale::segmentation::segmented_allocation;
+use qcpa::core::cluster::ClusterSpec;
+use qcpa::sim::engine::SimConfig;
+use qcpa::workloads::trace::diurnal;
+
+fn main() {
+    let trace = diurnal(40.0);
+    let cfg = AutoscaleConfig::default();
+
+    println!("replaying 24 h of the e-learning trace (x40, ~250 q/s peak)...");
+    let recs = run_day(&trace, &cfg, &SimConfig::default(), 1, None);
+    let peak_nodes = recs.iter().map(|r| r.backends).max().unwrap_or(0);
+    let node_hours: f64 = recs.iter().map(|r| r.backends as f64).sum::<f64>() / 6.0;
+    let mean_ms = recs.iter().map(|r| r.mean_response).sum::<f64>() / recs.len() as f64 * 1e3;
+    let reallocs = recs.iter().filter(|r| r.moved_bytes > 0).count();
+    println!(
+        "autonomic: {} reallocations, peak {} nodes, {:.0} node-hours \
+         (static max-size: {:.0}), mean response {:.1} ms",
+        reallocs,
+        peak_nodes,
+        node_hours,
+        cfg.max_backends as f64 * 24.0,
+        mean_ms
+    );
+    for r in recs.iter().step_by(18) {
+        let bar = "#".repeat(r.backends);
+        println!(
+            "  {:>5.1}h rate {:>5.0} q/s nodes {bar:<8} response {:>6.1} ms",
+            r.start / 3600.0,
+            r.rate,
+            r.mean_response * 1e3
+        );
+    }
+
+    // Alternative to scaling: one merged allocation for all segments.
+    let cluster = ClusterSpec::homogeneous(4);
+    let (segments, merged) = segmented_allocation(&trace, &cluster, 0.35);
+    println!(
+        "\nsegmented alternative: {} workload segments merged into one placement \
+         of {:.2} GB:",
+        segments.len(),
+        merged.total_bytes(&trace.catalog) as f64 / 1e9
+    );
+    for (i, s) in segments.iter().enumerate() {
+        let cls = trace
+            .classification_for_window(s.start, if s.end >= s.start { s.end } else { 86_400.0 });
+        let alloc = merged.for_segment(i, &cls);
+        println!(
+            "  segment {:>2} [{:>5.1}h..{:>5.1}h): speedup {:.2} on the shared layout",
+            i,
+            s.start / 3600.0,
+            s.end / 3600.0,
+            alloc.speedup(&cluster)
+        );
+    }
+}

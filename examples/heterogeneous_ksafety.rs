@@ -1,0 +1,80 @@
+//! Heterogeneous clusters and k-safety: the Appendix A workload on
+//! backends of unequal power, the LP-optimal allocation for comparison,
+//! and a 1-safe allocation surviving the loss of any backend.
+//!
+//! Run with: `cargo run --release --example heterogeneous_ksafety`
+
+use qcpa::core::classify::{Classification, QueryClass};
+use qcpa::core::cluster::ClusterSpec;
+use qcpa::core::fragment::Catalog;
+use qcpa::core::BackendId;
+use qcpa::core::{greedy, ksafety};
+use qcpa::lp::model::{optimal_allocation, OptimalConfig};
+
+fn main() {
+    // Appendix A: 4 reads + 3 updates; backends at 30/30/20/20 %.
+    let mut catalog = Catalog::new();
+    let a = catalog.add_table("A", 100);
+    let b = catalog.add_table("B", 100);
+    let c = catalog.add_table("C", 100);
+    let cls = Classification::from_classes(vec![
+        QueryClass::read(0, [a], 0.24),
+        QueryClass::read(1, [b], 0.20),
+        QueryClass::read(2, [c], 0.20),
+        QueryClass::read(3, [a, b], 0.16),
+        QueryClass::update(4, [a], 0.04),
+        QueryClass::update(5, [b], 0.10),
+        QueryClass::update(6, [c], 0.06),
+    ])
+    .expect("classes are valid");
+    let cluster = ClusterSpec::heterogeneous(&[0.3, 0.3, 0.2, 0.2]);
+
+    let heuristic = greedy::allocate(&cls, &catalog, &cluster);
+    println!(
+        "greedy (Appendix A trace): scale {:.3}, speedup {:.2}, bytes {}",
+        heuristic.scale(&cluster),
+        heuristic.speedup(&cluster),
+        heuristic.total_bytes(&catalog)
+    );
+
+    let out = optimal_allocation(
+        &cls,
+        &catalog,
+        &cluster,
+        &OptimalConfig {
+            incumbent: Some((heuristic.scale(&cluster), heuristic.total_bytes(&catalog))),
+            ..Default::default()
+        },
+    );
+    println!(
+        "optimal (Appendix B LP): scale {:.3} [{:?}], storage bound {:.0}",
+        out.scale, out.scale_status, out.bytes_lower_bound
+    );
+
+    // k-safety: survive any single backend failure without losing the
+    // ability to answer any query class locally.
+    let safe = ksafety::allocate(&cls, &catalog, &cluster, 1);
+    println!(
+        "\n1-safe allocation: class safety k = {}, fragment safety k = {:?}, \
+         scale {:.3} (redundancy costs throughput: plain greedy had {:.3})",
+        ksafety::class_safety(&safe, &cls),
+        ksafety::fragment_safety(&safe, &catalog),
+        safe.scale(&cluster),
+        heuristic.scale(&cluster)
+    );
+    for failed in 0..4u32 {
+        let survivors = ksafety::fail_backends(&safe, &cls, &cluster, &[BackendId(failed)])
+            .expect("1-safe allocation survives any single failure");
+        let sc =
+            ksafety::surviving_cluster(&cluster, &[BackendId(failed)]).expect("survivors remain");
+        survivors
+            .validate(&cls, &sc)
+            .expect("rebalanced allocation is valid");
+        println!(
+            "  backend B{} fails -> rebalanced speedup {:.2} on {} survivors",
+            failed + 1,
+            survivors.speedup(&sc),
+            sc.len()
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Failure injection across the stack: k-safe allocations keep every
+//! workload runnable through backend failures, the simulator agrees,
+//! and the k-safe memetic optimizer preserves the guarantee while
+//! improving cost.
+
+use qcpa::core::allocation::Allocation;
+use qcpa::core::classify::Granularity;
+use qcpa::core::cluster::ClusterSpec;
+use qcpa::core::{greedy, ksafety, memetic};
+use qcpa::sim::engine::{run_batch, SimConfig};
+use qcpa::workloads::common::classify_and_stream;
+use qcpa::workloads::tpcapp::tpcapp;
+use qcpa::workloads::tpch::tpch;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn tpch_1safe_survives_every_single_failure_at_full_service() {
+    let w = tpch(1.0);
+    let journal = w.journal(50);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 0.2);
+    let cluster = ClusterSpec::homogeneous(5);
+    let alloc = ksafety::allocate(&cw.classification, &w.catalog, &cluster, 1);
+    alloc.validate(&cw.classification, &cluster).unwrap();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let reqs = cw.stream.sample_batch(5_000, 0.0, &mut rng);
+
+    for failed in cluster.ids() {
+        let survived = ksafety::fail_backends(&alloc, &cw.classification, &cluster, &[failed])
+            .expect("1-safe: any single failure is survivable");
+        let sc = ksafety::surviving_cluster(&cluster, &[failed]).unwrap();
+        survived.validate(&cw.classification, &sc).unwrap();
+        // The surviving system still processes the whole batch.
+        let rep = run_batch(
+            &survived,
+            &cw.classification,
+            &sc,
+            &w.catalog,
+            &reqs,
+            &SimConfig::default(),
+        );
+        assert_eq!(rep.unroutable, 0, "after failing {failed}");
+        // Read-only: four survivors still split the load evenly.
+        assert!(rep.balance_deviation() < 0.1);
+    }
+}
+
+#[test]
+fn tpcapp_2safe_survives_every_double_failure() {
+    let w = tpcapp(300);
+    let journal = w.journal(50_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 1.0 / 900.0);
+    let cluster = ClusterSpec::homogeneous(5);
+    let alloc = ksafety::allocate(&cw.classification, &w.catalog, &cluster, 2);
+    alloc.validate(&cw.classification, &cluster).unwrap();
+    assert!(ksafety::is_k_safe(&alloc, &cw.classification, 2));
+
+    for a in 0..5u32 {
+        for b in (a + 1)..5u32 {
+            let failed = [qcpa::core::BackendId(a), qcpa::core::BackendId(b)];
+            let survived = ksafety::fail_backends(&alloc, &cw.classification, &cluster, &failed)
+                .unwrap_or_else(|| panic!("2-safe must survive {{B{a}, B{b}}}"));
+            let sc = ksafety::surviving_cluster(&cluster, &failed).unwrap();
+            survived.validate(&cw.classification, &sc).unwrap();
+        }
+    }
+}
+
+#[test]
+fn redundancy_costs_throughput_monotonically() {
+    // More redundancy → more replicated update work → scale can only
+    // grow (Appendix C: "replication reduces performance, if the
+    // replicas introduce replicated updates").
+    let w = tpcapp(300);
+    let journal = w.journal(50_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 1.0 / 900.0);
+    let cluster = ClusterSpec::homogeneous(6);
+    let mut last_scale = 0.0;
+    for k in 0..3usize {
+        let alloc = ksafety::allocate(&cw.classification, &w.catalog, &cluster, k);
+        let scale = alloc.scale(&cluster);
+        assert!(
+            scale >= last_scale - 1e-9,
+            "k={k}: scale {scale} dropped below {last_scale}"
+        );
+        last_scale = scale;
+    }
+}
+
+#[test]
+fn ksafe_memetic_improves_cost_without_losing_safety() {
+    let w = tpcapp(300);
+    let journal = w.journal(50_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 1.0 / 900.0);
+    let cluster = ClusterSpec::homogeneous(5);
+    let seed = ksafety::allocate(&cw.classification, &w.catalog, &cluster, 1);
+    let refined = memetic::optimize_ksafe(
+        seed.clone(),
+        &cw.classification,
+        &w.catalog,
+        &cluster,
+        &memetic::MemeticConfig {
+            iterations: 20,
+            ..Default::default()
+        },
+        1,
+    );
+    refined.validate(&cw.classification, &cluster).unwrap();
+    assert!(ksafety::is_k_safe(&refined, &cw.classification, 1));
+    let sc = seed.cost(&cluster, &w.catalog);
+    let rc = refined.cost(&cluster, &w.catalog);
+    assert!(!sc.better_than(&rc), "refined {rc:?} vs seed {sc:?}");
+}
+
+#[test]
+fn unsafe_allocation_fails_when_its_only_host_dies() {
+    let w = tpcapp(300);
+    let journal = w.journal(50_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 1.0 / 900.0);
+    let cluster = ClusterSpec::homogeneous(5);
+    let alloc = greedy::allocate(&cw.classification, &w.catalog, &cluster);
+    // The heavily updated order_line lives on exactly one backend; kill
+    // it and the system can no longer process the write class.
+    let ol = w.catalog.by_name("order_line").unwrap();
+    let host = (0..5)
+        .find(|&b| alloc.fragments[b].contains(&ol))
+        .expect("order_line is allocated somewhere");
+    let lost = ksafety::fail_backends(
+        &alloc,
+        &cw.classification,
+        &cluster,
+        &[qcpa::core::BackendId(host as u32)],
+    );
+    assert!(
+        lost.is_none(),
+        "losing the only order_line host must be fatal"
+    );
+}
+
+#[test]
+fn full_replication_is_maximally_safe() {
+    let w = tpch(1.0);
+    let journal = w.journal(50);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 0.2);
+    let cluster = ClusterSpec::homogeneous(4);
+    let full = Allocation::full_replication(&cw.classification, &cluster);
+    assert_eq!(ksafety::class_safety(&full, &cw.classification), 3);
+}

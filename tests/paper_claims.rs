@@ -1,0 +1,165 @@
+//! The paper's headline claims, asserted end-to-end:
+//!
+//! * read-only workloads: perfect speedup while cutting storage ≈ 65 %
+//!   versus full replication (abstract, Section 4.1);
+//! * write-heavy workloads: partial replication outperforms full
+//!   replication by a clear factor (abstract claims up to 2.4×);
+//! * the TPC-App speedup caps of Eq. 29 and Eq. 30;
+//! * lineitem is replicated everywhere at 10 backends, order_line is
+//!   pinned to one (Figures 4(k)).
+
+use qcpa::core::allocation::Allocation;
+use qcpa::core::classify::Granularity;
+use qcpa::core::cluster::ClusterSpec;
+use qcpa::core::memetic::{self, MemeticConfig};
+use qcpa::sim::engine::{run_batch, SimConfig};
+use qcpa::workloads::common::classify_and_stream;
+use qcpa::workloads::tpcapp::tpcapp;
+use qcpa::workloads::tpch::tpch;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn tpch_column_allocation_cuts_storage_around_65_percent() {
+    let w = tpch(1.0);
+    let journal = w.journal(100);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Fragment, 0.2);
+    let cluster = ClusterSpec::homogeneous(10);
+    let alloc = memetic::allocate(
+        &cw.classification,
+        &w.catalog,
+        &cluster,
+        &MemeticConfig::default(),
+    );
+    alloc.validate(&cw.classification, &cluster).unwrap();
+    // Perfect speedup...
+    assert!((alloc.speedup(&cluster) - 10.0).abs() < 1e-6);
+    // ...with roughly a third of full replication's storage: the paper
+    // reports a degree of replication of 3.5 at 10 backends (= 65 %
+    // savings).
+    let r = alloc.degree_of_replication(&cw.classification, &w.catalog);
+    assert!(
+        (2.5..=4.5).contains(&r),
+        "degree of replication {r} (expected ≈ 3.5)"
+    );
+    let savings = 1.0 - r / 10.0;
+    assert!(savings > 0.55, "storage savings {:.0}%", savings * 100.0);
+}
+
+#[test]
+fn tpcapp_partial_replication_beats_full_replication_substantially() {
+    let w = tpcapp(300);
+    let journal = w.journal(100_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 1.0 / 900.0);
+    let cluster = ClusterSpec::homogeneous(10);
+    let cfg = SimConfig::default();
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let reqs = cw.stream.sample_batch(100_000, 0.02, &mut rng);
+
+    let full = Allocation::full_replication(&cw.classification, &cluster);
+    let partial = memetic::allocate(
+        &cw.classification,
+        &w.catalog,
+        &cluster,
+        &MemeticConfig::default(),
+    );
+    let tf = run_batch(&full, &cw.classification, &cluster, &w.catalog, &reqs, &cfg).throughput;
+    let tp = run_batch(
+        &partial,
+        &cw.classification,
+        &cluster,
+        &w.catalog,
+        &reqs,
+        &cfg,
+    )
+    .throughput;
+    let factor = tp / tf;
+    assert!(
+        factor > 1.5,
+        "partial replication only {factor:.2}x over full replication"
+    );
+}
+
+#[test]
+fn eq29_full_replication_cap_and_eq30_partial_cap() {
+    let w = tpcapp(300);
+    let journal = w.journal(100_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 1.0 / 900.0);
+    // Eq. 29: full replication's theoretical max at 10 backends ≈ 3.07.
+    let reads: f64 = cw
+        .classification
+        .read_ids()
+        .iter()
+        .map(|&r| cw.classification.weight(r))
+        .sum();
+    assert!((reads - 0.75).abs() < 0.01, "read weight {reads}");
+    let eq29 = qcpa::core::speedup::amdahl(reads, 1.0 - reads, 10);
+    assert!((eq29 - 3.07).abs() < 0.05, "Eq. 29 gives {eq29}");
+    // Eq. 30: the Order_Line write class (13 %) pins the partial
+    // replication cap at 10/1.3 = 7.7.
+    let cap = cw.classification.max_speedup();
+    assert!((cap - 7.7).abs() < 0.2, "Eq. 30 cap {cap}");
+}
+
+#[test]
+fn replication_structure_matches_figure_4k() {
+    // TPC-H at 10 backends: lineitem on every node, every table at
+    // least twice. TPC-App: order_line pinned to exactly one backend.
+    let cluster = ClusterSpec::homogeneous(10);
+
+    let h = tpch(1.0);
+    let hj = h.journal(100);
+    let hcw = classify_and_stream(&hj, &h.catalog, Granularity::Table, 0.2);
+    let halloc = memetic::allocate(
+        &hcw.classification,
+        &h.catalog,
+        &cluster,
+        &MemeticConfig::default(),
+    );
+    let hcounts = halloc.replica_counts(&h.catalog);
+    let lineitem = h.catalog.by_name("lineitem").unwrap();
+    assert_eq!(
+        hcounts[lineitem.idx()],
+        10,
+        "lineitem is referenced by almost every query"
+    );
+    for t in h.catalog.tables() {
+        if hcounts[t.idx()] > 0 {
+            assert!(
+                hcounts[t.idx()] >= 2,
+                "{} replicated {} times",
+                h.catalog.fragment(t).name,
+                hcounts[t.idx()]
+            );
+        }
+    }
+
+    let a = tpcapp(300);
+    let aj = a.journal(100_000);
+    let acw = classify_and_stream(&aj, &a.catalog, Granularity::Table, 1.0 / 900.0);
+    let aalloc = memetic::allocate(
+        &acw.classification,
+        &a.catalog,
+        &cluster,
+        &MemeticConfig::default(),
+    );
+    let acounts = aalloc.replica_counts(&a.catalog);
+    let order_line = a.catalog.by_name("order_line").unwrap();
+    assert_eq!(
+        acounts[order_line.idx()],
+        1,
+        "the heavily updated order_line must live on exactly one backend"
+    );
+}
+
+#[test]
+fn deterministic_pipeline_end_to_end() {
+    let w = tpcapp(300);
+    let journal = w.journal(50_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Fragment, 1.0 / 900.0);
+    let cluster = ClusterSpec::homogeneous(7);
+    let cfg = MemeticConfig::default();
+    let a = memetic::allocate(&cw.classification, &w.catalog, &cluster, &cfg);
+    let b = memetic::allocate(&cw.classification, &w.catalog, &cluster, &cfg);
+    assert_eq!(a, b, "same seed, same inputs, same allocation");
+}

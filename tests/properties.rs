@@ -1,0 +1,189 @@
+//! Property-based tests on the core invariants: random workloads and
+//! clusters must always yield valid allocations obeying the paper's
+//! bounds.
+
+use proptest::prelude::*;
+use qcpa::core::allocation::Allocation;
+use qcpa::core::classify::{Classification, QueryClass};
+use qcpa::core::cluster::ClusterSpec;
+use qcpa::core::fragment::{Catalog, FragmentId};
+use qcpa::core::{greedy, ksafety, memetic, robust};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A random workload: catalog of `n_frags` tables with random sizes,
+/// `n_classes` classes with random fragment subsets, random weights
+/// normalized to 1, a random read/update split.
+#[derive(Debug, Clone)]
+struct RandomWorkload {
+    sizes: Vec<u64>,
+    classes: Vec<(Vec<usize>, f64, bool)>, // (fragment idxs, raw weight, is_update)
+}
+
+fn workload_strategy() -> impl Strategy<Value = RandomWorkload> {
+    let frag_count = 3..8usize;
+    frag_count.prop_flat_map(|nf| {
+        let sizes = proptest::collection::vec(1u64..10_000, nf);
+        let classes = proptest::collection::vec(
+            (
+                proptest::collection::btree_set(0..nf, 1..=nf.min(4)),
+                0.05f64..1.0,
+                proptest::bool::weighted(0.3),
+            ),
+            2..8,
+        );
+        (sizes, classes).prop_map(|(sizes, classes)| RandomWorkload {
+            sizes,
+            classes: classes
+                .into_iter()
+                .map(|(f, w, u)| (f.into_iter().collect(), w, u))
+                .collect(),
+        })
+    })
+}
+
+fn materialize(w: &RandomWorkload) -> (Catalog, Option<Classification>) {
+    let mut catalog = Catalog::new();
+    let ids: Vec<FragmentId> = w
+        .sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| catalog.add_table(format!("T{i}"), s))
+        .collect();
+    let total: f64 = w.classes.iter().map(|(_, w, _)| w).sum();
+    let mut has_read = false;
+    let classes: Vec<QueryClass> = w
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(k, (frags, weight, is_update))| {
+            let frag_ids = frags.iter().map(|&i| ids[i]);
+            if *is_update {
+                QueryClass::update(k as u32, frag_ids, weight / total)
+            } else {
+                has_read = true;
+                QueryClass::read(k as u32, frag_ids, weight / total)
+            }
+        })
+        .collect();
+    let _ = has_read;
+    (catalog, Classification::from_classes(classes).ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The greedy allocator always produces a valid allocation whose
+    /// speedup respects Eq. 17 and whose degree of replication never
+    /// exceeds full replication's.
+    #[test]
+    fn greedy_is_always_valid_and_bounded(w in workload_strategy(), n in 1usize..6) {
+        let (catalog, cls) = materialize(&w);
+        let Some(cls) = cls else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let alloc = greedy::allocate(&cls, &catalog, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        prop_assert!(alloc.scale(&cluster) >= 1.0 - 1e-9);
+        prop_assert!(alloc.speedup(&cluster) <= cls.max_speedup() + 1e-6);
+        prop_assert!(alloc.speedup(&cluster) <= n as f64 + 1e-9);
+        let full = Allocation::full_replication(&cls, &cluster);
+        prop_assert!(alloc.total_bytes(&catalog) <= full.total_bytes(&catalog));
+    }
+
+    /// Heterogeneous clusters: validity holds for arbitrary performance
+    /// vectors.
+    #[test]
+    fn greedy_handles_heterogeneous_clusters(
+        w in workload_strategy(),
+        perf in proptest::collection::vec(0.1f64..10.0, 2..6),
+    ) {
+        let (catalog, cls) = materialize(&w);
+        let Some(cls) = cls else { return Ok(()); };
+        let cluster = ClusterSpec::heterogeneous(&perf);
+        let alloc = greedy::allocate(&cls, &catalog, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        prop_assert!(alloc.speedup(&cluster) <= cluster.len() as f64 + 1e-9);
+    }
+
+    /// The memetic optimizer never returns something worse than its
+    /// greedy seed under the lexicographic (scale, bytes) cost.
+    #[test]
+    fn memetic_never_worse_than_greedy(w in workload_strategy(), n in 2usize..5, seed in 0u64..50) {
+        let (catalog, cls) = materialize(&w);
+        let Some(cls) = cls else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let g = greedy::allocate(&cls, &catalog, &cluster);
+        let m = memetic::optimize(
+            g.clone(),
+            &cls,
+            &catalog,
+            &cluster,
+            &memetic::MemeticConfig { iterations: 6, population: 6, seed, ..Default::default() },
+        );
+        m.validate(&cls, &cluster).unwrap();
+        let gc = g.cost(&cluster, &catalog);
+        let mc = m.cost(&cluster, &catalog);
+        prop_assert!(!gc.better_than(&mc), "memetic {mc:?} worse than greedy {gc:?}");
+    }
+
+    /// k-safety: every class processable by min(k+1, n) backends, and
+    /// any k-subset of failures is survivable.
+    #[test]
+    fn ksafety_guarantee_holds(w in workload_strategy(), n in 2usize..5, k in 0usize..3) {
+        let (catalog, cls) = materialize(&w);
+        let Some(cls) = cls else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let alloc = ksafety::allocate(&cls, &catalog, &cluster, k);
+        alloc.validate(&cls, &cluster).unwrap();
+        let target = (k + 1).min(n);
+        prop_assert!(ksafety::class_safety(&alloc, &cls) + 1 >= target);
+        if k >= 1 && n >= 2 {
+            for b in cluster.ids() {
+                prop_assert!(
+                    ksafety::fail_backends(&alloc, &cls, &cluster, &[b]).is_some(),
+                    "single failure of {b} must be survivable at k={k}"
+                );
+            }
+        }
+    }
+
+    /// `normalize` is idempotent and always restores validity after an
+    /// arbitrary reshuffle of the read assignments.
+    #[test]
+    fn normalize_is_idempotent_and_repairs(w in workload_strategy(), n in 1usize..5, seed in 0u64..100) {
+        let (catalog, cls) = materialize(&w);
+        let Some(cls) = cls else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let _ = catalog;
+        let mut alloc = Allocation::empty(cls.len(), n);
+        // Scatter read weights arbitrarily.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        for &r in cls.read_ids() {
+            let b = rng.gen_range(0..n);
+            alloc.assign[r.idx()][b] = cls.weight(r);
+        }
+        alloc.normalize(&cls, &cluster);
+        alloc.validate(&cls, &cluster).unwrap();
+        let once = alloc.clone();
+        alloc.normalize(&cls, &cluster);
+        prop_assert_eq!(once, alloc);
+    }
+
+    /// Weight changes (Section 5): decreasing any class's weight never
+    /// lowers the predicted speedup.
+    #[test]
+    fn weight_decrease_never_hurts(w in workload_strategy(), n in 2usize..5) {
+        let (catalog, cls) = materialize(&w);
+        let Some(cls) = cls else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let alloc = greedy::allocate(&cls, &catalog, &cluster);
+        let before = alloc.speedup(&cluster);
+        if let Some(&c) = cls.read_ids().first() {
+            let after = robust::speedup_after_weight_change(
+                &alloc, &cls, &cluster, c, cls.weight(c) * 0.5,
+            );
+            prop_assert!(after >= before - 1e-6, "{after} < {before}");
+        }
+    }
+}
