@@ -85,6 +85,7 @@ pub fn run_day(
     seed: u64,
     fixed_backends: Option<usize>,
 ) -> Vec<WindowRecord> {
+    let _span = qcpa_obs::span("autoscale", "run_day");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut n = fixed_backends.unwrap_or(cfg.min_backends);
     let mut cluster = ClusterSpec::homogeneous(n);
@@ -152,6 +153,29 @@ pub fn run_day(
                         scale_in(&alloc, &new_alloc, &trace.catalog)
                     };
                     moved = plan.moved_bytes;
+                    // Record the decision with the load signal that
+                    // triggered it (Section 5's control loop).
+                    let reg = qcpa_obs::global();
+                    reg.counter(if target > n {
+                        "autoscale.scale_out"
+                    } else {
+                        "autoscale.scale_in"
+                    })
+                    .inc();
+                    reg.counter("autoscale.moved_bytes").add(moved);
+                    qcpa_obs::event!(
+                        qcpa_obs::Level::Info,
+                        "autoscale",
+                        if target > n { "scale_out" } else { "scale_in" },
+                        {
+                            "window_start_secs" => start,
+                            "from_backends" => n,
+                            "to_backends" => target,
+                            "mean_response_secs" => report.mean_response,
+                            "max_utilization" => max_util,
+                            "moved_bytes" => moved,
+                        }
+                    );
                     // Bulk load runs in parallel with serving; the pause
                     // models the brief switch-over, bounded by the ETL
                     // transfer of the busiest node.
@@ -169,6 +193,19 @@ pub fn run_day(
         } else {
             alloc = greedy::allocate(&cls, &trace.catalog, &cluster);
         }
+
+        // Per-window convergence series mirroring the record.
+        let reg = qcpa_obs::global();
+        reg.push_series(
+            "autoscale.backends",
+            if fixed_backends.is_some() {
+                n as f64
+            } else {
+                cluster.len() as f64
+            },
+        );
+        reg.push_series("autoscale.mean_response_secs", report.mean_response);
+        reg.push_series("autoscale.utilization", util);
 
         records.push(WindowRecord {
             start,

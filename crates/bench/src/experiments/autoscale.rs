@@ -22,11 +22,15 @@ pub fn fig5_nodes() -> std::io::Result<()> {
     println!("== Section 5: active servers vs workload (trace ×40) ==");
     let trace = diurnal(40.0);
     let cfg = AutoscaleConfig::default();
-    let recs = run_day(&trace, &cfg, &SimConfig::default(), 42, None);
+    // Create the CSV first: it starts the metrics capture the sidecar
+    // snapshots, and run_day feeds the autoscale series.
     let mut csv = Csv::create(
         "fig5_autoscale_nodes",
         &["time", "requests_per_10min", "active_nodes", "moved_bytes"],
     )?;
+    csv.meta("seed", 42);
+    csv.meta("trace", "diurnal x40");
+    let recs = run_day(&trace, &cfg, &SimConfig::default(), 42, None);
     println!("{:>6} {:>16} {:>7}", "time", "req/10min", "nodes");
     for r in &recs {
         if (r.start as u64).is_multiple_of(3600) {
@@ -60,14 +64,6 @@ pub fn fig5_response() -> std::io::Result<()> {
     println!("== Section 5: response time with vs without scaling ==");
     let trace = diurnal(40.0);
     let cfg = AutoscaleConfig::default();
-    let auto = run_day(&trace, &cfg, &SimConfig::default(), 42, None);
-    let fixed = run_day(
-        &trace,
-        &cfg,
-        &SimConfig::default(),
-        42,
-        Some(cfg.max_backends),
-    );
     let mut csv = Csv::create(
         "fig5_autoscale_response",
         &[
@@ -77,6 +73,16 @@ pub fn fig5_response() -> std::io::Result<()> {
             "response_ms_static",
         ],
     )?;
+    csv.meta("seed", 42);
+    csv.meta("trace", "diurnal x40");
+    let auto = run_day(&trace, &cfg, &SimConfig::default(), 42, None);
+    let fixed = run_day(
+        &trace,
+        &cfg,
+        &SimConfig::default(),
+        42,
+        Some(cfg.max_backends),
+    );
     println!(
         "{:>6} {:>14} {:>18} {:>18}",
         "time", "req/10min", "w/ scaling (ms)", "w/o scaling (ms)"

@@ -47,6 +47,8 @@ pub fn fig4j() -> std::io::Result<()> {
         "fig4j_load_balance",
         &["backends", "tpch_deviation", "tpcapp_deviation"],
     )?;
+    csv.meta("seeds", "0..10");
+    csv.meta("strategy", Strategy::ColumnBased.label());
     println!("{:>8} {:>12} {:>12}", "backends", "TPC-H", "TPC-App");
     for n in 1..=10usize {
         let h: f64 = (0..10)
@@ -123,6 +125,10 @@ fn run_hist(
 ) -> std::io::Result<()> {
     let tpch_w = tpch(1.0);
     let tpcapp_w = tpcapp(300);
+    // Create the CSV before the allocations so the memetic convergence
+    // traces land in this experiment's sidecar.
+    let mut csv = Csv::create(name, &["replicas", "tpch_frequency", "tpcapp_frequency"])?;
+    csv.meta("strategy", strategy.label());
     let h_tpch = replication_histogram(
         &tpch_w.journal(100),
         &tpch_w.catalog,
@@ -137,7 +143,6 @@ fn run_hist(
         strategy,
         keep,
     );
-    let mut csv = Csv::create(name, &["replicas", "tpch_frequency", "tpcapp_frequency"])?;
     println!("{:>9} {:>10} {:>10}", "replicas", "TPC-H", "TPC-App");
     for r in 1..=10usize {
         println!("{r:>9} {:>10.1} {:>10.1}", h_tpch[r], h_tpcapp[r]);

@@ -67,6 +67,8 @@ pub fn fig4f() -> std::io::Result<()> {
     let cfg = sim_cfg();
     let seeds: Vec<u64> = (0..5).collect();
     let mut csv = Csv::create("fig4f_tpcapp_speedup", &["backends", "strategy", "speedup"])?;
+    csv.meta("seeds", "0..5");
+    csv.meta("workload", "tpcapp eb300");
     println!(
         "{:>8} {:>14} {:>14} {:>14}",
         "backends", "Full Repl", "Table Based", "Column Based"
@@ -126,6 +128,8 @@ pub fn fig4g() -> std::io::Result<()> {
         "fig4g_tpcapp_throughput",
         &["backends", "strategy", "throughput_qps"],
     )?;
+    csv.meta("seeds", "0..5");
+    csv.meta("workload", "tpcapp eb300");
     println!(
         "{:>8} {:>14} {:>14} {:>14}",
         "backends", "Full Repl", "Table Based", "Column Based"
@@ -161,6 +165,8 @@ pub fn fig4h() -> std::io::Result<()> {
         "fig4h_tpcapp_deviation",
         &["backends", "min_qps", "avg_qps", "max_qps", "rel_deviation"],
     )?;
+    csv.meta("seeds", "0..10");
+    csv.meta("strategy", Strategy::ColumnBased.label());
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>12}",
         "backends", "min", "avg", "max", "deviation"
@@ -197,15 +203,17 @@ pub fn fig4i() -> std::io::Result<()> {
         ..sim_cfg()
     };
     let seeds: Vec<u64> = (0..3).collect();
+    let mut csv = Csv::create(
+        "fig4i_tpcapp_large",
+        &["backends", "strategy", "relative_throughput"],
+    )?;
+    csv.meta("seeds", "0..3");
+    csv.meta("workload", "tpcapp eb12000");
     let base: f64 = seeds
         .iter()
         .map(|&s| measure(&w, Strategy::FullReplication, 1, s, &cfg).throughput)
         .sum::<f64>()
         / seeds.len() as f64;
-    let mut csv = Csv::create(
-        "fig4i_tpcapp_large",
-        &["backends", "strategy", "relative_throughput"],
-    )?;
     println!(
         "{:>8} {:>14} {:>14} {:>14}",
         "backends", "Full Repl", "Table Based", "Column Based"

@@ -69,6 +69,9 @@ pub fn fig4a() -> std::io::Result<()> {
         "fig4a_tpch_throughput",
         &["backends", "strategy", "throughput_qps", "speedup"],
     )?;
+    csv.meta("seeds", "0..5");
+    csv.meta("workload", "tpch sf1");
+    csv.meta("strategies", strategies.map(|s| s.label()).join(" | "));
 
     // Baseline: single backend, full replication.
     let base: f64 = seeds
@@ -107,6 +110,8 @@ pub fn fig4b() -> std::io::Result<()> {
         "fig4b_tpch_deviation",
         &["backends", "min_qps", "avg_qps", "max_qps", "rel_deviation"],
     )?;
+    csv.meta("seeds", "0..10");
+    csv.meta("strategy", Strategy::ColumnBased.label());
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>12}",
         "backends", "min", "avg", "max", "deviation"

@@ -125,21 +125,41 @@ pub fn jitter_journal(journal: &Journal, amount: f64, rng: &mut ChaCha8Rng) -> J
 
 /// Tiny CSV writer: creates `results/<name>.csv`, writes the header and
 /// rows, and echoes nothing (binaries print their own tables).
+///
+/// On drop it also writes a `results/<name>.metrics.json` sidecar: the
+/// experiment name, wall time, git SHA and any [`Csv::meta`] entries,
+/// plus a snapshot of the global [`qcpa_obs`] registry and the captured
+/// event stream. [`Csv::create`] resets the registry so each sidecar
+/// covers exactly its own experiment, and enables `info`-level event
+/// capture unless the user set `QCPA_LOG` themselves.
 pub struct Csv {
     path: PathBuf,
     file: fs::File,
+    started: std::time::Instant,
+    meta: Vec<(String, String)>,
 }
 
 impl Csv {
     /// Creates `results/<name>.csv` (directories included) with the
-    /// given header columns.
+    /// given header columns, and starts a fresh metrics capture for the
+    /// sidecar.
     pub fn create(name: &str, header: &[&str]) -> std::io::Result<Self> {
+        if std::env::var_os("QCPA_LOG").is_none() {
+            qcpa_obs::set_filter("info");
+        }
+        qcpa_obs::global().reset();
+        let _ = qcpa_obs::trace::drain_events();
         let dir = PathBuf::from("results");
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{name}.csv"));
         let mut file = fs::File::create(&path)?;
         writeln!(file, "{}", header.join(","))?;
-        Ok(Self { path, file })
+        Ok(Self {
+            path,
+            file,
+            started: std::time::Instant::now(),
+            meta: Vec::new(),
+        })
     }
 
     /// Writes one row.
@@ -147,9 +167,43 @@ impl Csv {
         writeln!(self.file, "{}", cells.join(","))
     }
 
+    /// Attaches a key/value pair (seed list, strategy, scale factor,
+    /// ...) to the sidecar's `meta` section.
+    pub fn meta(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
     /// The file path (for the binaries' closing message).
     pub fn path(&self) -> &std::path::Path {
         &self.path
+    }
+}
+
+impl Drop for Csv {
+    fn drop(&mut self) {
+        let snapshot = qcpa_obs::global().snapshot();
+        let events = qcpa_obs::trace::drain_events();
+        let experiment = self
+            .path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let mut meta: Vec<(&str, String)> = vec![
+            ("experiment", experiment),
+            (
+                "wall_time_secs",
+                format!("{:.3}", self.started.elapsed().as_secs_f64()),
+            ),
+        ];
+        if let Some(sha) = qcpa_obs::export::git_sha(std::path::Path::new(".")) {
+            meta.push(("git_sha", sha));
+        }
+        for (k, v) in &self.meta {
+            meta.push((k.as_str(), v.clone()));
+        }
+        let sidecar = self.path.with_extension("metrics.json");
+        // Best effort: a failing sidecar must not fail the experiment.
+        let _ = qcpa_obs::export::write_metrics_json(&sidecar, &meta, &snapshot, &events);
     }
 }
 

@@ -240,6 +240,18 @@ impl Cdbs {
     /// backend, writes fan out ROWA. Every request is recorded in the
     /// journal with its measured cost.
     pub fn execute(&mut self, request: &Request) -> Result<ExecOutcome, CdbsError> {
+        let _span = qcpa_obs::span("controller", "execute");
+        let outcome = self.execute_inner(request)?;
+        let reg = qcpa_obs::global();
+        match request {
+            Request::Read(_) => reg.counter("controller.requests.read").inc(),
+            Request::Write(_) => reg.counter("controller.requests.write").inc(),
+        }
+        reg.observe("controller.request_cost_rows", outcome.cost);
+        Ok(outcome)
+    }
+
+    fn execute_inner(&mut self, request: &Request) -> Result<ExecOutcome, CdbsError> {
         let table_name = request.table().to_string();
         let def = self
             .schema
@@ -565,6 +577,7 @@ impl Cdbs {
         granularity: Granularity,
         refine: Option<&MemeticConfig>,
     ) -> Result<ReallocationReport, CdbsError> {
+        let _span = qcpa_obs::span("controller", "reallocate");
         assert!(n_backends > 0, "need at least one backend");
         if self.journal.is_empty() {
             return Err(CdbsError::EmptyJournal);
@@ -696,6 +709,20 @@ impl Cdbs {
                 loaded += 1;
             }
         }
+
+        let reg = qcpa_obs::global();
+        reg.counter("controller.reallocations").inc();
+        reg.counter("controller.etl.moved_bytes").add(moved_bytes);
+        reg.counter("controller.etl.loaded_fragments")
+            .add(loaded as u64);
+        reg.counter("controller.etl.kept_fragments")
+            .add(kept as u64);
+        qcpa_obs::event!(qcpa_obs::Level::Info, "controller", "reallocate", {
+            "backends" => n_backends,
+            "moved_bytes" => moved_bytes,
+            "loaded_fragments" => loaded,
+            "kept_fragments" => kept,
+        });
 
         self.layouts = new_layouts;
         self.allocation = matched.clone();
@@ -1065,6 +1092,26 @@ mod tests {
             .execute(&Request::Read(ScanQuery::all("ghost")))
             .unwrap_err();
         assert!(matches!(err, CdbsError::UnknownTable(_)));
+    }
+
+    #[test]
+    fn execution_and_reallocation_feed_the_registry() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 2);
+        for _ in 0..3 {
+            cdbs.execute(&price_query()).unwrap();
+            cdbs.execute(&order_query()).unwrap();
+        }
+        let report = cdbs.reallocate(2, Granularity::Fragment, None).unwrap();
+        // Counters are monotone, so >= survives parallel tests sharing
+        // the process-global registry.
+        let snap = qcpa_obs::global().snapshot();
+        assert!(snap.counters["controller.requests.read"] >= 6);
+        assert!(snap.counters["controller.reallocations"] >= 1);
+        assert!(snap.counters["controller.etl.moved_bytes"] >= report.moved_bytes);
+        assert!(snap.histograms["span.controller.execute"].count >= 6);
+        assert!(snap.histograms["span.controller.reallocate"].count >= 1);
+        assert!(snap.histograms["controller.request_cost_rows"].count >= 6);
     }
 
     #[test]

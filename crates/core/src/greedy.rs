@@ -56,7 +56,12 @@ pub fn allocate_ksafe(
     cluster: &ClusterSpec,
     k: usize,
 ) -> Allocation {
-    GreedyState::new(cls, catalog, cluster, k).run()
+    let _span = qcpa_obs::span("core", "greedy_allocate");
+    let alloc = GreedyState::new(cls, catalog, cluster, k).run();
+    // The greedy result seeds every refinement — its scale is the
+    // baseline each memetic fitness trace starts from.
+    qcpa_obs::global().push_series("greedy.scale", alloc.scale(cluster));
+    alloc
 }
 
 /// One entry of the work list: a class to place, and whether it is an

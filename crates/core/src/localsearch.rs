@@ -245,6 +245,18 @@ pub fn is_read(cls: &Classification, c: ClassId) -> bool {
 }
 
 #[cfg(test)]
+impl Catalog {
+    /// Catalog stub for tests that never touch sizes.
+    fn new_for_test() -> Self {
+        let mut cat = Catalog::new();
+        cat.add_table("A", 100);
+        cat.add_table("B", 100);
+        cat.add_table("C", 100);
+        cat
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::classify::QueryClass;
@@ -382,17 +394,5 @@ mod tests {
         let improved = drop_update_replicas(&mut alloc, &cls, &Catalog::new_for_test(), &cluster);
         assert!(!improved);
         assert_eq!(alloc, before);
-    }
-}
-
-#[cfg(test)]
-impl Catalog {
-    /// Catalog stub for tests that never touch sizes.
-    fn new_for_test() -> Self {
-        let mut cat = Catalog::new();
-        cat.add_table("A", 100);
-        cat.add_table("B", 100);
-        cat.add_table("C", 100);
-        cat
     }
 }

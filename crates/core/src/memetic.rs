@@ -88,6 +88,7 @@ pub fn optimize(
     cfg: &MemeticConfig,
 ) -> Allocation {
     assert!(cfg.population >= 3, "population must be at least 3");
+    let _span = qcpa_obs::span("core", "memetic_optimize");
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let cost_of = |a: &Allocation| a.cost(cluster, catalog);
 
@@ -106,6 +107,7 @@ pub fn optimize(
         // Line 4: (λ+µ) selection — best 2/3 parents + best 1/3 offspring.
         population.sort_by_key(|a| a.1);
         offspring.sort_by_key(|a| a.1);
+        let acceptance = acceptance_rate(&population, &offspring);
         let keep_old = (cfg.population * 2 / 3).max(1).min(population.len());
         let keep_new = (cfg.population - keep_old).min(offspring.len());
         population.truncate(keep_old);
@@ -121,6 +123,8 @@ pub fn optimize(
                 *cost = alloc.cost(cluster, catalog);
             }
         }
+
+        trace_generation("memetic", &population, acceptance);
     }
 
     // Lines 10–11: the minimum-cost solution.
@@ -129,6 +133,38 @@ pub fn optimize(
         .min_by(|a, b| a.1.cmp(&b.1))
         .expect("population is never empty")
         .0
+}
+
+/// Fraction of this generation's offspring at least as fit as the
+/// worst current parent — how competitive mutation currently is, the
+/// acceptance-rate convergence signal. Both slices must be sorted by
+/// cost.
+fn acceptance_rate(
+    population: &[(Allocation, AllocCost)],
+    offspring: &[(Allocation, AllocCost)],
+) -> f64 {
+    let worst_parent = population.last().expect("population is never empty").1;
+    let accepted = offspring
+        .iter()
+        .filter(|o| !worst_parent.better_than(&o.1))
+        .count();
+    accepted as f64 / offspring.len().max(1) as f64
+}
+
+/// Publishes one generation's convergence telemetry: best/mean scale of
+/// the surviving population and the offspring acceptance rate, as
+/// registry series under `<prefix>.{best,mean}_fitness` and
+/// `<prefix>.acceptance_rate`.
+fn trace_generation(prefix: &str, population: &[(Allocation, AllocCost)], acceptance: f64) {
+    let reg = qcpa_obs::global();
+    let best = population
+        .iter()
+        .map(|p| p.1.scale)
+        .fold(f64::INFINITY, f64::min);
+    let mean = population.iter().map(|p| p.1.scale).sum::<f64>() / population.len() as f64;
+    reg.push_series(&format!("{prefix}.best_fitness"), best);
+    reg.push_series(&format!("{prefix}.mean_fitness"), mean);
+    reg.push_series(&format!("{prefix}.acceptance_rate"), acceptance);
 }
 
 /// Generates one offspring: `n_ops` random valid mutations of `parent`,
@@ -376,6 +412,7 @@ pub fn optimize_ksafe(
     k: usize,
 ) -> Allocation {
     assert!(cfg.population >= 3, "population must be at least 3");
+    let _span = qcpa_obs::span("core", "memetic_optimize_ksafe");
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let harden = |a: &mut Allocation| crate::ksafety::repair(a, cls, cluster, k);
     let cost_of = |a: &Allocation| a.cost(cluster, catalog);
@@ -396,6 +433,7 @@ pub fn optimize_ksafe(
         }
         population.sort_by_key(|a| a.1);
         offspring.sort_by_key(|a| a.1);
+        let acceptance = acceptance_rate(&population, &offspring);
         let keep_old = (cfg.population * 2 / 3).max(1).min(population.len());
         let keep_new = (cfg.population - keep_old).min(offspring.len());
         population.truncate(keep_old);
@@ -411,6 +449,8 @@ pub fn optimize_ksafe(
                 *cost = alloc.cost(cluster, catalog);
             }
         }
+
+        trace_generation("memetic.ksafe", &population, acceptance);
     }
 
     population

@@ -1,0 +1,58 @@
+//! Convergence-telemetry contract of the memetic optimizer: one
+//! best/mean-fitness and acceptance-rate sample per generation in the
+//! global registry.
+//!
+//! Runs as its own integration-test binary (and single test) because it
+//! reads the process-global registry, which concurrent optimizer runs
+//! would otherwise interleave into.
+
+use qcpa_core::classify::{Classification, QueryClass};
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::fragment::Catalog;
+use qcpa_core::memetic::{self, MemeticConfig};
+
+#[test]
+fn optimizer_records_convergence_traces() {
+    let mut cat = Catalog::new();
+    let frags: Vec<_> = (0..5)
+        .map(|i| cat.add_table(format!("T{i}"), 50 + 30 * i as u64))
+        .collect();
+    let cls = Classification::from_classes(vec![
+        QueryClass::read(0, [frags[0]], 0.25),
+        QueryClass::read(1, [frags[1]], 0.20),
+        QueryClass::read(2, [frags[2], frags[3]], 0.20),
+        QueryClass::update(3, [frags[0]], 0.15),
+        QueryClass::update(4, [frags[4]], 0.20),
+    ])
+    .unwrap();
+    let cluster = ClusterSpec::homogeneous(4);
+
+    let iterations = 7;
+    let cfg = MemeticConfig {
+        iterations,
+        ..Default::default()
+    };
+    memetic::allocate(&cls, &cat, &cluster, &cfg);
+
+    let snap = qcpa_obs::global().snapshot();
+    // The greedy seed recorded its baseline scale.
+    assert_eq!(snap.series["greedy.scale"].len(), 1);
+    let best = &snap.series["memetic.best_fitness"];
+    assert_eq!(best.len(), iterations, "one sample per generation");
+    // Monotone convergence: (λ+µ) selection never loses the best.
+    assert!(
+        best.windows(2).all(|w| w[1] <= w[0] + 1e-6),
+        "best-fitness trace must be non-increasing: {best:?}"
+    );
+    // The trace starts no worse than the greedy baseline.
+    assert!(best[0] <= snap.series["greedy.scale"][0] + 1e-6);
+    let mean = &snap.series["memetic.mean_fitness"];
+    assert_eq!(mean.len(), iterations);
+    // Mean is never below best.
+    for (m, b) in mean.iter().zip(best) {
+        assert!(m >= b);
+    }
+    let acc = &snap.series["memetic.acceptance_rate"];
+    assert_eq!(acc.len(), iterations);
+    assert!(acc.iter().all(|&a| (0.0..=1.0).contains(&a)));
+}

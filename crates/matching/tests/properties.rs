@@ -3,7 +3,6 @@
 //! to the identity mapping; merging covers every segment.
 
 use proptest::prelude::*;
-use qcpa_core::allocation::Allocation;
 use qcpa_core::classify::{Classification, QueryClass};
 use qcpa_core::cluster::ClusterSpec;
 use qcpa_core::fragment::Catalog;

@@ -1,0 +1,101 @@
+//! Property-based tests of the metrics layer: histogram quantiles
+//! against a sorted-vector oracle, and snapshot determinism.
+
+use proptest::prelude::*;
+use qcpa_obs::{Histogram, Registry};
+
+/// Exact nearest-rank quantile over the raw samples — the oracle the
+/// bucketed histogram approximates. Mirrors the histogram's rule:
+/// `rank = ceil(q * count)`, 1-based, with `q >= 1` pinned to the max.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    if q >= 1.0 {
+        return *sorted.last().unwrap();
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With 8 sub-buckets per octave the bucket width is ~9%, so the
+    /// reconstructed quantile sits within 10% of the exact
+    /// nearest-rank value over many orders of magnitude.
+    #[test]
+    fn quantiles_track_sorted_vec_oracle(
+        values in proptest::collection::vec(1e-6f64..1e9, 1..200),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &q in qs.iter().chain([1.0].iter()) {
+            let exact = exact_quantile(&sorted, q);
+            let approx = h.quantile(q).unwrap();
+            prop_assert!(
+                (approx - exact).abs() <= exact * 0.10,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    /// Merging shards is equivalent to recording everything into one
+    /// histogram: same count, same quantiles bucket-for-bucket.
+    #[test]
+    fn merge_equals_single_recording(
+        a in proptest::collection::vec(1e-3f64..1e6, 1..100),
+        b in proptest::collection::vec(1e-3f64..1e6, 1..100),
+    ) {
+        let mut merged = Histogram::new();
+        let mut shard_a = Histogram::new();
+        let mut shard_b = Histogram::new();
+        for &v in &a {
+            merged.record(v);
+            shard_a.record(v);
+        }
+        for &v in &b {
+            merged.record(v);
+            shard_b.record(v);
+        }
+        let mut combined = Histogram::new();
+        combined.merge(&shard_a);
+        combined.merge(&shard_b);
+        prop_assert_eq!(combined.count(), merged.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(combined.quantile(q), merged.quantile(q));
+        }
+    }
+
+    /// Two registries fed the same operations in the same order
+    /// produce identical snapshots — the sidecar is deterministic.
+    #[test]
+    fn identically_fed_registries_snapshot_equal(
+        counts in proptest::collection::vec(0u64..50, 1..6),
+        gauges in proptest::collection::vec(-1e6f64..1e6, 1..6),
+        obs in proptest::collection::vec(1e-3f64..1e3, 0..40),
+        series in proptest::collection::vec(0.0f64..100.0, 0..20),
+    ) {
+        let feed = |reg: &Registry| {
+            for (i, &c) in counts.iter().enumerate() {
+                reg.counter(&format!("c{i}")).add(c);
+            }
+            for (i, &g) in gauges.iter().enumerate() {
+                reg.gauge(&format!("g{i}")).set(g);
+            }
+            for &v in &obs {
+                reg.observe("h", v);
+            }
+            for &v in &series {
+                reg.push_series("s", v);
+            }
+        };
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        feed(&r1);
+        feed(&r2);
+        prop_assert_eq!(r1.snapshot(), r2.snapshot());
+    }
+}

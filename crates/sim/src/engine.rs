@@ -82,6 +82,9 @@ impl BatchReport {
     /// any backend's busy time from the mean (the measured counterpart
     /// of Figure 4(j)).
     pub fn balance_deviation(&self) -> f64 {
+        if self.busy.is_empty() {
+            return 0.0;
+        }
         let avg = self.busy.iter().sum::<f64>() / self.busy.len() as f64;
         if avg <= f64::EPSILON {
             return 0.0;
@@ -103,16 +106,24 @@ pub fn run_batch(
     requests: &[Request],
     cfg: &SimConfig,
 ) -> BatchReport {
+    let _span = qcpa_obs::span("sim", "run_batch");
     let scheduler = Scheduler::new(alloc, cls);
     let profile = ServiceProfile::new(alloc, cluster, catalog, cfg.locality);
     let n = cluster.len();
     let mut busy = vec![0.0f64; n];
     let mut unroutable = 0usize;
+    // Batch "response time": every request is queued at t = 0 and each
+    // backend serves FIFO, so a request completes when its backend's
+    // accumulated busy time reaches it.
+    let mut resp_hist = qcpa_obs::Histogram::new();
 
     for r in requests {
         match r.kind {
             QueryKind::Read => match scheduler.route_read(r.class, &busy) {
-                Some(b) => busy[b] += profile.effective(b, r.service),
+                Some(b) => {
+                    busy[b] += profile.effective(b, r.service);
+                    resp_hist.record(busy[b]);
+                }
                 None => unroutable += 1,
             },
             QueryKind::Update => {
@@ -135,12 +146,29 @@ pub fn run_batch(
                         };
                         busy[b] += profile.effective(b, r.service) * mult;
                     }
+                    // The update answers once its primary replica is done.
+                    resp_hist.record(busy[targets[0]]);
                 }
             }
         }
     }
 
     let makespan = busy.iter().copied().fold(0.0, f64::max).max(f64::EPSILON);
+
+    // Publish per-run telemetry once (no per-request registry traffic).
+    let reg = qcpa_obs::global();
+    reg.counter("sim.batch.requests").add(requests.len() as u64);
+    reg.counter("sim.batch.unroutable").add(unroutable as u64);
+    let mut busy_hist = qcpa_obs::Histogram::new();
+    for (b, &s) in busy.iter().enumerate() {
+        busy_hist.record(s);
+        reg.gauge(&format!("sim.backend.{b}.busy_secs")).set(s);
+        reg.gauge(&format!("sim.backend.{b}.utilization"))
+            .set(s / makespan);
+    }
+    reg.merge_histogram("sim.batch.busy_secs", &busy_hist);
+    reg.merge_histogram("sim.batch.response_secs", &resp_hist);
+
     BatchReport {
         makespan,
         throughput: (requests.len() - unroutable) as f64 / makespan,
@@ -177,12 +205,18 @@ pub fn run_open(
     warmup_backlog: f64,
     cfg: &SimConfig,
 ) -> OpenReport {
+    let _span = qcpa_obs::span("sim", "run_open");
     let scheduler = Scheduler::new(alloc, cls);
     let profile = ServiceProfile::new(alloc, cluster, catalog, cfg.locality);
     let n = cluster.len();
     let mut free_at = vec![warmup_backlog.max(0.0); n];
     let mut busy = vec![0.0f64; n];
     let mut responses = Vec::with_capacity(requests.len());
+    // Local histograms keep the per-request cost to two array
+    // increments; they are merged into the global registry once at the
+    // end of the run.
+    let mut resp_hist = qcpa_obs::Histogram::new();
+    let mut queue_hist = qcpa_obs::Histogram::new();
 
     let mut last_t = 0.0f64;
     for r in requests {
@@ -197,6 +231,8 @@ pub fn run_open(
                     let done = free_at[b].max(t) + svc;
                     free_at[b] = done;
                     busy[b] += svc;
+                    queue_hist.record(pending[b]);
+                    resp_hist.record(done - t);
                     responses.push((t, done - t));
                 }
             }
@@ -229,6 +265,8 @@ pub fn run_open(
                     _ => done_primary - t,
                 };
                 if !targets.is_empty() {
+                    queue_hist.record(pending[targets[0]]);
+                    resp_hist.record(response);
                     responses.push((t, response));
                 }
             }
@@ -248,7 +286,21 @@ pub fn run_open(
         sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)]
     };
     let window = requests.last().map(|r| r.arrival).unwrap_or(0.0).max(1e-9);
-    let utilization = busy.iter().map(|b| b / window).collect();
+    let utilization: Vec<f64> = busy.iter().map(|b| b / window).collect();
+
+    let reg = qcpa_obs::global();
+    reg.counter("sim.open.requests").add(requests.len() as u64);
+    reg.merge_histogram("sim.open.response_secs", &resp_hist);
+    reg.merge_histogram("sim.open.queue_secs", &queue_hist);
+    let mut busy_hist = qcpa_obs::Histogram::new();
+    for (b, &s) in busy.iter().enumerate() {
+        busy_hist.record(s);
+        reg.gauge(&format!("sim.backend.{b}.busy_secs")).set(s);
+        reg.gauge(&format!("sim.backend.{b}.utilization"))
+            .set(utilization[b]);
+    }
+    reg.merge_histogram("sim.open.busy_secs", &busy_hist);
+
     OpenReport {
         responses,
         mean_response,
@@ -528,5 +580,77 @@ mod propagation_tests {
             },
         );
         assert!((rowa.mean_response - pc.mean_response).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod balance_tests {
+    use super::*;
+    use qcpa_core::classify::QueryClass;
+    use qcpa_core::greedy;
+    use qcpa_core::ClassId;
+
+    fn report(busy: Vec<f64>) -> BatchReport {
+        BatchReport {
+            makespan: 1.0,
+            throughput: 0.0,
+            busy,
+            n_requests: 0,
+            unroutable: 0,
+        }
+    }
+
+    /// A perfectly balanced cluster deviates by exactly 0 (the values
+    /// are chosen exactly representable, so the mean is exact too).
+    #[test]
+    fn balanced_cluster_has_zero_deviation() {
+        assert_eq!(report(vec![2.0, 2.0]).balance_deviation(), 0.0);
+        assert_eq!(report(vec![0.5, 0.5, 0.5, 0.5]).balance_deviation(), 0.0);
+    }
+
+    /// No backends or an idle cluster: deviation is 0, not NaN.
+    #[test]
+    fn empty_and_idle_reports_have_zero_deviation() {
+        assert_eq!(report(vec![]).balance_deviation(), 0.0);
+        assert_eq!(report(vec![0.0, 0.0]).balance_deviation(), 0.0);
+    }
+
+    /// The deviation is the worst backend's relative gap to the mean.
+    #[test]
+    fn deviation_is_the_worst_relative_gap() {
+        // busy [1, 3]: mean 2, both gaps |b - 2| / 2 = 0.5.
+        assert_eq!(report(vec![1.0, 3.0]).balance_deviation(), 0.5);
+        // busy [2, 2, 8]: mean 4, worst gap |8 - 4| / 4 = 1.
+        assert_eq!(report(vec![2.0, 2.0, 8.0]).balance_deviation(), 1.0);
+    }
+
+    /// The drivers publish their telemetry into the global registry.
+    #[test]
+    fn runs_populate_the_global_registry() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let cls = Classification::from_classes(vec![QueryClass::read(0, [a], 1.0)]).unwrap();
+        let cluster = ClusterSpec::homogeneous(2);
+        let alloc = greedy::allocate(&cls, &cat, &cluster);
+        let reqs: Vec<Request> = (0..50)
+            .map(|i| Request {
+                class: ClassId(0),
+                kind: QueryKind::Read,
+                service: 0.005,
+                arrival: i as f64 * 0.01,
+            })
+            .collect();
+        let cfg = SimConfig::default();
+        run_open(&alloc, &cls, &cluster, &cat, &reqs, 0.0, &cfg);
+        run_batch(&alloc, &cls, &cluster, &cat, &reqs, &cfg);
+
+        let snap = qcpa_obs::global().snapshot();
+        let resp = &snap.histograms["sim.open.response_secs"];
+        assert!(resp.count >= 50, "response histogram captured the run");
+        assert!(resp.p50 > 0.0 && resp.p99 >= resp.p50);
+        assert!(snap.histograms["sim.batch.busy_secs"].count >= 2);
+        assert!(snap.histograms["sim.batch.response_secs"].count >= 50);
+        assert!(snap.gauges.contains_key("sim.backend.0.utilization"));
+        assert!(snap.counters["sim.batch.requests"] >= 50);
     }
 }

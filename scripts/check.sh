@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate: formatting, lints (warnings are errors), tests.
+# Run from the repository root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "All checks passed."

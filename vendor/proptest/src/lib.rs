@@ -1,0 +1,571 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest/1).
+//!
+//! Reimplements the subset of proptest this workspace uses, std-only:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`,
+//!   multiple `fn name(arg in strategy, ...) { .. }` tests per block);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map`, range
+//!   and tuple strategies, [`any`], [`collection::vec`],
+//!   [`collection::btree_set`], and [`bool::weighted`] / [`bool::ANY`].
+//!
+//! Unlike real proptest there is no shrinking: cases are generated from
+//! a deterministic per-test seed (derived from the test name and case
+//! index), and a failure reports the case number and seed so it can be
+//! replayed exactly by re-running the test.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+pub use rand_chacha::ChaCha8Rng as TestRng;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Test execution support used by the generated test bodies.
+pub mod test_runner {
+    use super::{ProptestConfig, TestRng};
+    use rand::SeedableRng;
+    use std::fmt;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A failed property within a test case (from `prop_assert!`).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// FNV-1a, used to derive a stable per-test base seed from its name.
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `f` for each case with a deterministic, per-case RNG.
+    ///
+    /// # Panics
+    /// Panics (failing the enclosing `#[test]`) on the first case whose
+    /// body returns an error or panics, reporting case index and seed.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        for case in 0..config.cases {
+            let seed = base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng::seed_from_u64(seed);
+            match catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => panic!(
+                    "proptest `{name}`: case {case}/{} failed (seed {seed:#018x}): {e}",
+                    config.cases
+                ),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("non-string panic payload");
+                    panic!(
+                        "proptest `{name}`: case {case}/{} panicked (seed {seed:#018x}): {msg}",
+                        config.cases
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---- Strategy core ---------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+// ---- any / Arbitrary -------------------------------------------------
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values spanning a wide magnitude range.
+        let mag = rng.gen_range(-300.0..300.0f64);
+        let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+        sign * 10f64.powf(mag) * rng.gen_range(0.0..1.0)
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---- collection strategies -------------------------------------------
+
+/// A collection size specification: an exact count or a range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    /// Inclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategies producing collections of other strategies' values.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a size drawn from `size`.
+    ///
+    /// The element strategy's domain must be able to produce at least
+    /// the minimum requested number of distinct values; generation
+    /// settles for fewer after a bounded number of duplicate draws.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 64 * (target + 1) {
+                if !set.insert(self.element.generate(rng)) {
+                    attempts += 1;
+                }
+            }
+            set
+        }
+    }
+}
+
+pub use collection::{BTreeSetStrategy, VecStrategy};
+
+/// Boolean strategies (`proptest::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A strategy yielding `true` with the given probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted(f64);
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(self.0)
+        }
+    }
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        Weighted(p)
+    }
+
+    /// Uniformly random booleans.
+    pub const ANY: Weighted = Weighted(0.5);
+}
+
+/// The common imports (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+// ---- macros ----------------------------------------------------------
+
+/// Asserts a condition inside a property test body, recording the
+/// failure (instead of panicking) so the runner can report case/seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::test_runner::run(&config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                #[allow(unreachable_code, clippy::diverging_sub_expression)]
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __result
+            });
+        }
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy as _;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        let strat = (1u64..5, 0.0f64..1.0, crate::bool::weighted(1.0));
+        for _ in 0..200 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!((1..5).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+            assert!(c);
+        }
+    }
+
+    #[test]
+    fn collection_sizes_respected() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        let v = crate::collection::vec(0u32..100, 7).generate(&mut rng);
+        assert_eq!(v.len(), 7);
+        for _ in 0..50 {
+            let v = crate::collection::vec(0u32..100, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let s = crate::collection::btree_set(0usize..10, 1..=4).generate(&mut rng);
+            assert!((1..=4).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn flat_map_builds_dependent_strategies() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        let strat = (2usize..5).prop_flat_map(|n| crate::collection::vec(0..n, n));
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            for &x in &v {
+                assert!(x < v.len());
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        fn macro_generates_cases(x in 0u32..10, flip in crate::bool::ANY) {
+            prop_assert!(x < 10);
+            let _ = flip;
+            prop_assert_eq!(x + 1, 1 + x);
+            return Ok(());
+        }
+
+        fn second_test_in_same_block(v in crate::collection::vec(any::<i64>(), 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case 0")]
+    fn failures_report_case_and_seed() {
+        crate::test_runner::run(&ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use rand::SeedableRng;
+        let gen_once = || {
+            let mut rng = crate::TestRng::seed_from_u64(99);
+            crate::collection::vec((0u32..50, crate::bool::ANY), 3..8).generate(&mut rng)
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+}

@@ -1,0 +1,489 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — named-field structs, tuple structs,
+//! unit structs, and enums with unit / named-field / newtype variants —
+//! plus the `#[serde(skip)]` field attribute. The input token stream is
+//! parsed by hand (no `syn`/`quote`, which are unavailable offline) and
+//! the impls are emitted against the companion `serde` stand-in's
+//! value-model traits (`to_value` / `from_value`).
+//!
+//! Generics are intentionally unsupported; deriving on a generic type
+//! panics with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (value-model `to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (value-model `from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---- parsing ---------------------------------------------------------
+
+/// True if an attribute body (the tokens inside `#[...]`) is
+/// `serde(skip)`. Any other `serde(...)` attribute is rejected loudly so
+/// unsupported options never get silently ignored.
+fn attr_is_serde_skip(tokens: &[TokenTree]) -> bool {
+    let Some(TokenTree::Ident(name)) = tokens.first() else {
+        return false;
+    };
+    if name.to_string() != "serde" {
+        return false;
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        panic!("serde_derive: malformed #[serde] attribute");
+    };
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    match inner.as_slice() {
+        [TokenTree::Ident(opt)] if opt.to_string() == "skip" => true,
+        _ => panic!(
+            "serde_derive: unsupported #[serde(...)] attribute: {}",
+            args.stream()
+        ),
+    }
+}
+
+/// Consumes leading `#[...]` attributes; returns whether any was
+/// `#[serde(skip)]`.
+fn eat_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(body)) = tokens.get(*pos + 1) else {
+            panic!("serde_derive: `#` not followed by an attribute body");
+        };
+        let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+        skip |= attr_is_serde_skip(&body_tokens);
+        *pos += 2;
+    }
+    skip
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn eat_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips one field type: everything until a top-level `,` (exclusive).
+fn eat_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let skip = eat_attrs(&tokens, &mut pos);
+        eat_visibility(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            panic!(
+                "serde_derive: expected field name, got {:?}",
+                tokens.get(pos).map(|t| t.to_string())
+            );
+        };
+        let name = name.to_string();
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!(
+                "serde_derive: expected `:` after field `{name}`, got {:?}",
+                other.map(|t| t.to_string())
+            ),
+        }
+        eat_type(&tokens, &mut pos);
+        // Now at a top-level `,` or end of stream.
+        if pos < tokens.len() {
+            pos += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body `( ... )`.
+fn tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut arity = 0;
+    while pos < tokens.len() {
+        let skip = eat_attrs(&tokens, &mut pos);
+        assert!(
+            !skip,
+            "serde_derive: #[serde(skip)] on tuple fields is unsupported"
+        );
+        eat_visibility(&tokens, &mut pos);
+        eat_type(&tokens, &mut pos);
+        arity += 1;
+        if pos < tokens.len() {
+            pos += 1; // the comma
+        }
+    }
+    arity
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        eat_attrs(&tokens, &mut pos);
+        let Some(TokenTree::Ident(name)) = tokens.get(pos) else {
+            panic!(
+                "serde_derive: expected variant name, got {:?}",
+                tokens.get(pos).map(|t| t.to_string())
+            );
+        };
+        let name = name.to_string();
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                pos += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g);
+                pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Discriminants (`= expr`) and trailing commas.
+        if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+            assert!(
+                p.as_char() != '=',
+                "serde_derive: explicit discriminants are unsupported"
+            );
+        }
+        if pos < tokens.len() {
+            match tokens.get(pos) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+                other => panic!(
+                    "serde_derive: expected `,` after variant `{name}`, got {:?}",
+                    other.map(|t| t.to_string())
+                ),
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    eat_attrs(&tokens, &mut pos);
+    eat_visibility(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!(
+            "serde_derive: expected `struct` or `enum`, got {:?}",
+            other.map(|t| t.to_string())
+        ),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!(
+            "serde_derive: expected type name, got {:?}",
+            other.map(|t| t.to_string())
+        ),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        assert!(
+            p.as_char() != '<',
+            "serde_derive: generic type `{name}` is unsupported by the offline stand-in"
+        );
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!(
+                "serde_derive: malformed struct body: {:?}",
+                other.map(|t| t.to_string())
+            ),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!(
+                "serde_derive: malformed enum body: {:?}",
+                other.map(|t| t.to_string())
+            ),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+// ---- code generation -------------------------------------------------
+
+fn push_named_fields_ser(out: &mut String, fields: &[Field], access_prefix: &str) {
+    out.push_str("let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        out.push_str(&format!(
+            "entries.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&{1}{0})));\n",
+            f.name, access_prefix
+        ));
+    }
+}
+
+fn named_fields_de(ty: &str, ctor: &str, fields: &[Field], src: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("::std::result::Result::Ok({ctor} {{\n"));
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{0}: ::serde::Deserialize::from_value(::serde::get_field({src}, \"{0}\", \"{ty}\")?)?,\n",
+                f.name
+            ));
+        }
+    }
+    out.push_str("})\n");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = String::new();
+            push_named_fields_ser(&mut b, fields, "self.");
+            b.push_str("::serde::Value::Object(entries)\n");
+            b
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)\n".to_string(),
+        Shape::TupleStruct(n) => {
+            let mut b = String::new();
+            b.push_str("let mut items: Vec<::serde::Value> = Vec::new();\n");
+            for i in 0..*n {
+                b.push_str(&format!(
+                    "items.push(::serde::Serialize::to_value(&self.{i}));\n"
+                ));
+            }
+            b.push_str("::serde::Value::Array(items)\n");
+            b
+        }
+        Shape::UnitStruct => "::serde::Value::Null\n".to_string(),
+        Shape::Enum(variants) => {
+            let mut b = String::from("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => b.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        b.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n",
+                            binders.join(", ")
+                        ));
+                        let mut inner = String::new();
+                        push_named_fields_ser(&mut inner, fields, "");
+                        b.push_str(&inner);
+                        b.push_str(&format!(
+                            "::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(entries))])\n}}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => b.push_str(&format!(
+                        "{name}::{vname}(x0) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(x0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        b.push_str(&format!(
+                            "{name}::{vname}({}) => {{\nlet mut items: Vec<::serde::Value> = Vec::new();\n",
+                            binders.join(", ")
+                        ));
+                        for binder in &binders {
+                            b.push_str(&format!(
+                                "items.push(::serde::Serialize::to_value({binder}));\n"
+                            ));
+                        }
+                        b.push_str(&format!(
+                            "::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Array(items))])\n}}\n"
+                        ));
+                    }
+                }
+            }
+            b.push_str("}\n");
+            b
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\nfn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = String::new();
+            b.push_str(&format!(
+                "let entries = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\", v))?;\n"
+            ));
+            b.push_str(&named_fields_de(name, name, fields, "entries"));
+            b
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n")
+        }
+        Shape::TupleStruct(n) => {
+            let mut b = String::new();
+            b.push_str(&format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\", v))?;\n"
+            ));
+            b.push_str(&format!(
+                "if items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error(format!(\"expected {n} elements for {name}, found {{}}\", items.len()))); }}\n"
+            ));
+            b.push_str(&format!("::std::result::Result::Ok({name}(\n"));
+            for i in 0..*n {
+                b.push_str(&format!("::serde::Deserialize::from_value(&items[{i}])?,\n"));
+            }
+            b.push_str("))\n");
+            b
+        }
+        Shape::UnitStruct => format!(
+            "match v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), other => ::std::result::Result::Err(::serde::Error::expected(\"null\", \"{name}\", other)) }}\n"
+        ),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\nlet fields = _inner.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}::{vname}\", _inner))?;\n"
+                        ));
+                        data_arms.push_str(&named_fields_de(
+                            &format!("{name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            fields,
+                            "fields",
+                        ));
+                        data_arms.push_str("}\n");
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(_inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\nlet items = _inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}::{vname}\", _inner))?;\n"
+                        ));
+                        data_arms.push_str(&format!(
+                            "if items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error(format!(\"expected {n} elements for {name}::{vname}, found {{}}\", items.len()))); }}\n"
+                        ));
+                        data_arms.push_str(&format!("::std::result::Result::Ok({name}::{vname}(\n"));
+                        for i in 0..*n {
+                            data_arms
+                                .push_str(&format!("::serde::Deserialize::from_value(&items[{i}])?,\n"));
+                        }
+                        data_arms.push_str("))\n}\n");
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(other, \"{name}\")),\n}},\n\
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (vname, _inner) = &entries[0];\n\
+                 match vname.as_str() {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::unknown_variant(other, \"{name}\")),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(::serde::Error::expected(\"string or single-key object\", \"{name}\", other)),\n}}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\nfn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}}}\n}}\n"
+    )
+}
