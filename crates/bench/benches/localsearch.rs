@@ -1,0 +1,149 @@
+//! Criterion bench of the local-search fixpoint, plus an
+//! allocation-count audit: the rewritten `localsearch` probes
+//! candidates through the [`qcpa_core::allocation::DeltaCost`] tracker
+//! and reusable scratch buffers instead of cloning the allocation per
+//! candidate, so a full `improve` run must allocate far less than the
+//! preserved pre-optimization engine ([`qcpa_bench::baseline`]) on the
+//! same input. The audit counts heap allocations with a wrapping
+//! `#[global_allocator]` and asserts the drop; the timed groups report
+//! the wall-clock side.
+//!
+//! Run with `cargo bench -p qcpa-bench --bench localsearch`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qcpa_core::allocation::Allocation;
+use qcpa_core::classify::{Classification, QueryClass};
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::fragment::Catalog;
+use qcpa_core::{greedy, localsearch};
+
+/// Counts heap allocations (alloc + realloc calls) while delegating to
+/// the system allocator.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Heap allocations performed by `f`.
+fn allocs_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - before
+}
+
+/// The allocators.rs synthetic workload: `k` classes over `k`
+/// fragments, class `i` on `{i, (i+1) % k}`, every third an update.
+fn synthetic(k: usize) -> (Catalog, Classification) {
+    let mut catalog = Catalog::new();
+    let frags: Vec<_> = (0..k)
+        .map(|i| catalog.add_table(format!("T{i}"), 100 + (i as u64 * 37) % 400))
+        .collect();
+    let raw: Vec<f64> = (0..k).map(|i| 1.0 + (i % 5) as f64).collect();
+    let total: f64 = raw.iter().sum();
+    let classes = (0..k)
+        .map(|i| {
+            let fs = [frags[i], frags[(i + 1) % k]];
+            if i % 3 == 2 {
+                QueryClass::update(i as u32, fs, raw[i] / total)
+            } else {
+                QueryClass::read(i as u32, fs, raw[i] / total)
+            }
+        })
+        .collect();
+    (
+        catalog,
+        Classification::from_classes(classes).expect("valid"),
+    )
+}
+
+fn seed_for(cls: &Classification, catalog: &Catalog, cluster: &ClusterSpec) -> Allocation {
+    greedy::allocate(cls, catalog, cluster)
+}
+
+/// The allocation-count audit: one full `improve` fixpoint on the same
+/// greedy seed, old engine vs new. Panics (failing the bench run) if
+/// the rewrite does not allocate strictly less.
+fn allocation_audit(_c: &mut Criterion) {
+    for &(k, n) in &[(24usize, 8usize), (60, 16)] {
+        let (catalog, cls) = synthetic(k);
+        let cluster = ClusterSpec::homogeneous(n);
+        let seed = seed_for(&cls, &catalog, &cluster);
+
+        let mut old_alloc = seed.clone();
+        let old = allocs_in(|| {
+            qcpa_bench::baseline::improve(&mut old_alloc, &cls, &catalog, &cluster);
+        });
+        let mut new_alloc = seed.clone();
+        let new = allocs_in(|| {
+            localsearch::improve(&mut new_alloc, &cls, &catalog, &cluster);
+        });
+        println!(
+            "localsearch allocs k={k} n={n}: baseline={old} delta={new} ({:.1}x fewer)",
+            old as f64 / new as f64
+        );
+        assert!(
+            new < old,
+            "rewritten local search must allocate less (k={k} n={n}: {new} vs {old})"
+        );
+    }
+}
+
+fn bench_improve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("localsearch/improve");
+    for &(k, n) in &[(24usize, 8usize), (60, 16)] {
+        let (catalog, cls) = synthetic(k);
+        let cluster = ClusterSpec::homogeneous(n);
+        let seed = seed_for(&cls, &catalog, &cluster);
+        group.bench_with_input(
+            BenchmarkId::new("baseline", format!("k{k}_n{n}")),
+            &seed,
+            |b, seed| {
+                b.iter_with_setup(
+                    || seed.clone(),
+                    |mut a| {
+                        qcpa_bench::baseline::improve(&mut a, &cls, &catalog, &cluster);
+                        a
+                    },
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("delta", format!("k{k}_n{n}")),
+            &seed,
+            |b, seed| {
+                b.iter_with_setup(
+                    || seed.clone(),
+                    |mut a| {
+                        localsearch::improve(&mut a, &cls, &catalog, &cluster);
+                        a
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, allocation_audit, bench_improve);
+criterion_main!(benches);

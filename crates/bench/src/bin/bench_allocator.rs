@@ -1,0 +1,4 @@
+//! Allocator engine wall-clock speedup: baseline vs delta-cost vs parallel.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::allocbench::run()
+}

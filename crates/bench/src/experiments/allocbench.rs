@@ -1,0 +1,231 @@
+//! Allocator wall-clock speedup benchmark: the preserved pre-optimization
+//! engine ([`crate::baseline`]) versus the incremental delta-cost engine,
+//! single-threaded and with the `qcpa-par` fan-out.
+//!
+//! The workload is the paper's TPC-App mix (the Figure 4(f)–(i)
+//! family) column-classified on a 16-backend cluster — the update-heavy
+//! case where `normalize`'s update-closure work dominates and the
+//! incremental tracker pays off. (TPC-H column classification is
+//! read-only, so its memetic runs converge in milliseconds and measure
+//! nothing.) Three engines optimize the same greedy seed with the same
+//! `MemeticConfig`:
+//!
+//! 1. `baseline` — shared-RNG loop, full normalize+cost per candidate,
+//!    clone-per-probe local search (the engine before this change);
+//! 2. `delta_1thread` — the delta-cost incremental engine pinned to one
+//!    worker (isolates the algorithmic gain);
+//! 3. `delta_par` — the same engine with the full worker pool (adds the
+//!    fan-out gain; bit-identical result to `delta_1thread`).
+//!
+//! Output: the usual `results/bench_allocator.csv` +
+//! `results/bench_allocator.metrics.json` sidecar, plus a
+//! `BENCH_allocator.json` at the repository root summarizing the
+//! timings and speedups. `QCPA_BENCH_QUICK=1` shrinks the run for
+//! smoke-testing (scripts/check.sh uses it).
+
+use std::time::Instant;
+
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::greedy;
+use qcpa_core::memetic::{self, MemeticConfig};
+use qcpa_workloads::tpcapp::tpcapp;
+use serde::Value;
+
+use crate::baseline;
+use crate::harness::{f2, Csv};
+use crate::Strategy;
+
+/// Seconds for the fastest of `repeats` runs of `f` (min, the standard
+/// wall-clock benchmark estimator: least noise-inflated).
+fn best_of<T>(repeats: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    let mut out = f();
+    best = best.min(start.elapsed().as_secs_f64());
+    for _ in 1..repeats {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+/// Runs the three engines and writes the CSV, sidecar, and
+/// `BENCH_allocator.json`.
+pub fn run() -> std::io::Result<()> {
+    let quick = std::env::var_os("QCPA_BENCH_QUICK").is_some();
+    println!("== Allocator engine wall-clock speedup (TPC-App, 16 backends) ==");
+
+    let w = tpcapp(100);
+    let journal = w.journal(100);
+    let cw = Strategy::ColumnBased.classify(&journal, &w.catalog, 0.2);
+    let cluster = ClusterSpec::homogeneous(16);
+    let seed_alloc = greedy::allocate(&cw.classification, &w.catalog, &cluster);
+
+    let (iterations, population, repeats) = if quick { (6, 6, 1) } else { (30, 9, 3) };
+    let base_cfg = MemeticConfig {
+        population,
+        iterations,
+        mutations_per_offspring: 2,
+        seed: 7,
+        threads: None,
+    };
+    let threads_avail = qcpa_par::Pool::from_env().workers();
+
+    let mut csv = Csv::create(
+        "bench_allocator",
+        &["engine", "threads", "secs", "scale", "bytes"],
+    )?;
+    csv.meta("classes", cw.classification.len());
+    csv.meta("backends", cluster.len());
+    csv.meta("iterations", iterations);
+    csv.meta("population", population);
+    csv.meta("repeats", repeats);
+    csv.meta("threads_available", threads_avail);
+
+    let (t_base, a_base) = best_of(repeats, || {
+        baseline::optimize(
+            seed_alloc.clone(),
+            &cw.classification,
+            &w.catalog,
+            &cluster,
+            &base_cfg,
+        )
+    });
+    let cfg1 = MemeticConfig {
+        threads: Some(1),
+        ..base_cfg.clone()
+    };
+    let (t_delta1, a_delta1) = best_of(repeats, || {
+        memetic::optimize(
+            seed_alloc.clone(),
+            &cw.classification,
+            &w.catalog,
+            &cluster,
+            &cfg1,
+        )
+    });
+    let cfg_par = MemeticConfig {
+        threads: Some(threads_avail),
+        ..base_cfg.clone()
+    };
+    let (t_par, a_par) = best_of(repeats, || {
+        memetic::optimize(
+            seed_alloc.clone(),
+            &cw.classification,
+            &w.catalog,
+            &cluster,
+            &cfg_par,
+        )
+    });
+    assert_eq!(
+        a_delta1, a_par,
+        "parallel engine must be bit-identical to 1 thread"
+    );
+
+    let rows: [(&str, usize, f64, &qcpa_core::allocation::Allocation); 3] = [
+        ("baseline", 1, t_base, &a_base),
+        ("delta_1thread", 1, t_delta1, &a_delta1),
+        ("delta_par", threads_avail, t_par, &a_par),
+    ];
+    println!(
+        "{:>14} {:>8} {:>10} {:>8} {:>12}",
+        "engine", "threads", "secs", "scale", "speedup"
+    );
+    for (name, threads, secs, alloc) in rows {
+        println!(
+            "{:>14} {:>8} {:>10.3} {:>8.3} {:>11.2}x",
+            name,
+            threads,
+            secs,
+            alloc.scale(&cluster),
+            t_base / secs
+        );
+        csv.row(&[
+            name.to_string(),
+            threads.to_string(),
+            format!("{secs:.4}"),
+            f2(alloc.scale(&cluster)),
+            alloc.total_bytes(&w.catalog).to_string(),
+        ])?;
+    }
+    let reg = qcpa_obs::global();
+    reg.gauge("bench.allocator.baseline_secs").set(t_base);
+    reg.gauge("bench.allocator.delta_1thread_secs")
+        .set(t_delta1);
+    reg.gauge("bench.allocator.delta_par_secs").set(t_par);
+    reg.gauge("bench.allocator.speedup_delta")
+        .set(t_base / t_delta1);
+    reg.gauge("bench.allocator.speedup_total")
+        .set(t_base / t_par);
+
+    // Repo-root summary: the headline numbers without digging through
+    // the sidecar.
+    let obj = |pairs: Vec<(&str, Value)>| {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let summary = obj(vec![
+        (
+            "workload",
+            Value::Str("tpcapp column-based, 16 backends (fig4f-i family)".into()),
+        ),
+        (
+            "config",
+            obj(vec![
+                ("population", Value::U64(population as u64)),
+                ("iterations", Value::U64(iterations as u64)),
+                ("seed", Value::U64(base_cfg.seed)),
+                ("repeats", Value::U64(repeats as u64)),
+                ("quick", Value::Bool(quick)),
+            ]),
+        ),
+        ("threads_available", Value::U64(threads_avail as u64)),
+        (
+            "timings_secs",
+            obj(vec![
+                ("baseline", Value::F64(t_base)),
+                ("delta_1thread", Value::F64(t_delta1)),
+                ("delta_par", Value::F64(t_par)),
+            ]),
+        ),
+        (
+            "speedups",
+            obj(vec![
+                ("delta_vs_baseline_1thread", Value::F64(t_base / t_delta1)),
+                ("total_vs_baseline", Value::F64(t_base / t_par)),
+                ("par_vs_1thread", Value::F64(t_delta1 / t_par)),
+            ]),
+        ),
+        (
+            "result_quality",
+            obj(vec![
+                ("baseline_scale", Value::F64(a_base.scale(&cluster))),
+                ("delta_scale", Value::F64(a_delta1.scale(&cluster))),
+                (
+                    "bit_identical_across_threads",
+                    Value::Bool(a_delta1 == a_par),
+                ),
+            ]),
+        ),
+    ]);
+    if quick {
+        // Smoke runs (scripts/check.sh) must not overwrite the
+        // full-size numbers.
+        println!(
+            "delta-cost speedup {:.2}x, total {:.2}x (quick mode; BENCH_allocator.json not written)",
+            t_base / t_delta1,
+            t_base / t_par
+        );
+    } else {
+        let json = serde_json::to_string_pretty(&summary)
+            .map_err(|e| std::io::Error::other(format!("{e:?}")))?;
+        std::fs::write("BENCH_allocator.json", json + "\n")?;
+        println!(
+            "delta-cost speedup {:.2}x, total {:.2}x -> BENCH_allocator.json",
+            t_base / t_delta1,
+            t_base / t_par
+        );
+    }
+    println!("-> {}\n", csv.path().display());
+    Ok(())
+}

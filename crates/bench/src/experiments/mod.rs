@@ -2,6 +2,7 @@
 //! rows and writes `results/<id>.csv`.
 
 pub mod ablations;
+pub mod allocbench;
 pub mod autoscale;
 pub mod balance;
 pub mod tables;

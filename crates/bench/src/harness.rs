@@ -77,6 +77,7 @@ impl Strategy {
                     iterations: 30,
                     mutations_per_offspring: 2,
                     seed,
+                    threads: None,
                 };
                 memetic::allocate(&cw.classification, catalog, cluster, &cfg)
             }

@@ -23,11 +23,13 @@
 //! | `fig6_class_distribution` | §5 Fig. 6 class mix over a day |
 //! | `tab_readonly_example` | §3 read-only example load tables |
 //! | `tab_appendix_example` | Appendix A worked example |
+//! | `bench_allocator` | allocator-engine wall-clock speedup (BENCH_allocator.json) |
 //! | `run_all` | everything above in sequence |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod harness;
 

@@ -94,7 +94,7 @@ pub fn ge(a: f64, b: f64) -> bool {
 
 /// Convenience re-exports of the most used types.
 pub mod prelude {
-    pub use crate::allocation::{AllocCost, Allocation};
+    pub use crate::allocation::{AllocCost, Allocation, DeltaCost, DeltaUndo};
     pub use crate::classify::{Classification, Granularity, QueryClass};
     pub use crate::cluster::{BackendSpec, ClusterSpec};
     pub use crate::error::{ClassificationError, InvalidAllocation};

@@ -11,31 +11,76 @@
 //!   replica of a *lighter* one by swapping the pinned read shares
 //!   between two backends (Eq. 23–26).
 //!
-//! Every candidate move is applied to a scratch copy, re-normalized
-//! ([`Allocation::normalize`] restores Eq. 8/10/11) and accepted only if
-//! the lexicographic cost (scale, then stored bytes) strictly improves —
-//! so the search can be liberal in generating candidates without ever
-//! degrading a solution.
+//! Candidate moves are applied **incrementally** through
+//! [`DeltaCost::transfer`]: each move touches only the two backends
+//! involved, keeps the allocation normalized at every step, and is
+//! rolled back with exact undo tokens when it does not improve the
+//! lexicographic cost (scale, then stored bytes). This replaces the old
+//! clone + [`Allocation::normalize`] + full-cost evaluation per probe —
+//! a candidate is now O(touched backends) instead of O(cluster), and
+//! the search allocates no fresh buffers in its steady state (one
+//! [`Scratch`] set is reused across all probes).
 
-use crate::allocation::Allocation;
+use crate::allocation::{Allocation, DeltaCost, DeltaUndo};
 use crate::classify::Classification;
 use crate::cluster::ClusterSpec;
 use crate::fragment::Catalog;
 use crate::journal::QueryKind;
-use crate::{ClassId, EPS};
+use crate::{BackendId, ClassId, EPS};
+
+/// Reusable buffers for the candidate enumeration: refilled in place on
+/// every probe so the steady-state search performs no heap allocation
+/// beyond the undo tokens' saved state.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Backends currently hosting the update class under consideration.
+    hosts: Vec<usize>,
+    /// Read classes pinning the update class on the evacuated backend.
+    victims: Vec<ClassId>,
+    /// Candidate receiving backends, sorted by spare room.
+    receivers: Vec<usize>,
+    /// Spare capacity per backend at the current scale.
+    room: Vec<f64>,
+    /// Undo tokens of the candidate under construction (rolled back in
+    /// reverse order if the candidate is rejected).
+    undo: Vec<DeltaUndo>,
+}
 
 /// Runs both strategies to a fixed point. Returns `true` if the
 /// allocation was improved at least once.
+///
+/// The allocation is (re-)normalized on entry — a no-op for already
+/// normalized inputs — because the incremental evaluation mirrors a
+/// normalized allocation.
 pub fn improve(
     alloc: &mut Allocation,
     cls: &Classification,
     catalog: &Catalog,
     cluster: &ClusterSpec,
 ) -> bool {
+    alloc.normalize(cls, cluster);
+    let mut tracker = DeltaCost::new(alloc, cls, catalog);
+    improve_with(alloc, &mut tracker, cls, catalog, cluster)
+}
+
+/// [`improve`] continuing on an existing tracker: `alloc` must already
+/// be normalized and `tracker` consistent with it. Skips the fresh
+/// aggregate build, so a caller that kept the tracker alongside the
+/// allocation (the memetic population does) pays only O(touched
+/// backends) per probe. The tracker is left consistent with the
+/// improved allocation.
+pub fn improve_with(
+    alloc: &mut Allocation,
+    tracker: &mut DeltaCost,
+    cls: &Classification,
+    catalog: &Catalog,
+    cluster: &ClusterSpec,
+) -> bool {
+    let mut scratch = Scratch::default();
     let mut improved_any = false;
     loop {
-        let s1 = drop_update_replicas(alloc, cls, catalog, cluster);
-        let s2 = swap_update_replicas(alloc, cls, catalog, cluster);
+        let s1 = drop_tracked(alloc, tracker, cls, cluster, catalog, &mut scratch);
+        let s2 = swap_tracked(alloc, tracker, cls, cluster, catalog, &mut scratch);
         if s1 || s2 {
             improved_any = true;
         } else {
@@ -45,39 +90,56 @@ pub fn improve(
 }
 
 /// Backends on which update class `u` currently runs.
-fn placements(alloc: &Allocation, u: ClassId) -> Vec<usize> {
-    (0..alloc.n_backends())
-        .filter(|&b| alloc.assign[u.idx()][b] > EPS)
-        .collect()
+fn placements(alloc: &Allocation, u: ClassId) -> impl Iterator<Item = usize> + '_ {
+    (0..alloc.n_backends()).filter(move |&b| alloc.assign[u.idx()][b] > EPS)
+}
+
+/// Refills `out` with [`placements`] without allocating.
+fn placements_into(alloc: &Allocation, u: ClassId, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(placements(alloc, u));
 }
 
 /// Strategy 1 (Eq. 21–22): for every update class replicated on several
 /// backends, try to evacuate one replica by moving the read shares that
-/// pin it to other backends that already hold their data.
+/// pin it to other backends that already hold their data. Normalizes
+/// the allocation on entry.
 pub fn drop_update_replicas(
     alloc: &mut Allocation,
     cls: &Classification,
     catalog: &Catalog,
     cluster: &ClusterSpec,
 ) -> bool {
+    alloc.normalize(cls, cluster);
+    let mut tracker = DeltaCost::new(alloc, cls, catalog);
+    let mut scratch = Scratch::default();
+    drop_tracked(alloc, &mut tracker, cls, cluster, catalog, &mut scratch)
+}
+
+fn drop_tracked(
+    alloc: &mut Allocation,
+    tracker: &mut DeltaCost,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    scratch: &mut Scratch,
+) -> bool {
     let mut improved = false;
-    let mut cost = alloc.cost(cluster, catalog);
+    let mut cost = tracker.cost(cluster);
     for &u in cls.update_ids() {
-        let hosts = placements(alloc, u);
-        if hosts.len() < 2 {
+        placements_into(alloc, u, &mut scratch.hosts);
+        if scratch.hosts.len() < 2 {
             continue;
         }
+        let hosts = std::mem::take(&mut scratch.hosts);
         for &b in &hosts {
-            if let Some(candidate) = evacuate(alloc, cls, cluster, u, b, false) {
-                let c = candidate.cost(cluster, catalog);
-                if c.better_than(&cost) {
-                    *alloc = candidate;
-                    cost = c;
-                    improved = true;
-                    break; // placements changed; re-enumerate
-                }
+            if evacuate(alloc, tracker, cls, cluster, catalog, u, b, &cost, scratch) {
+                cost = tracker.cost(cluster);
+                improved = true;
+                break; // placements changed; move to the next class
             }
         }
+        scratch.hosts = hosts;
     }
     improved
 }
@@ -86,156 +148,231 @@ pub fn drop_update_replicas(
 /// on backend `b2` with (possibly) a replica of a lighter update class,
 /// by moving the pinned reads to a backend `b1` that already runs the
 /// heavy class and back-filling `b1`'s other reads onto `b2`.
+/// Normalizes the allocation on entry.
 pub fn swap_update_replicas(
     alloc: &mut Allocation,
     cls: &Classification,
     catalog: &Catalog,
     cluster: &ClusterSpec,
 ) -> bool {
+    alloc.normalize(cls, cluster);
+    let mut tracker = DeltaCost::new(alloc, cls, catalog);
+    let mut scratch = Scratch::default();
+    swap_tracked(alloc, &mut tracker, cls, cluster, catalog, &mut scratch)
+}
+
+fn swap_tracked(
+    alloc: &mut Allocation,
+    tracker: &mut DeltaCost,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    scratch: &mut Scratch,
+) -> bool {
     let mut improved = false;
-    let mut cost = alloc.cost(cluster, catalog);
+    let mut cost = tracker.cost(cluster);
     for &u1 in cls.update_ids() {
-        let hosts = placements(alloc, u1);
-        if hosts.len() < 2 {
+        placements_into(alloc, u1, &mut scratch.hosts);
+        if scratch.hosts.len() < 2 {
             continue;
         }
+        let hosts = std::mem::take(&mut scratch.hosts);
         for &b2 in &hosts {
             for &b1 in &hosts {
                 if b1 == b2 {
                     continue;
                 }
-                if let Some(candidate) = shift_and_backfill(alloc, cls, cluster, u1, b2, b1) {
-                    let c = candidate.cost(cluster, catalog);
-                    if c.better_than(&cost) {
-                        *alloc = candidate;
-                        cost = c;
-                        improved = true;
-                        break;
-                    }
+                if shift_and_backfill(
+                    alloc, tracker, cls, cluster, catalog, u1, b2, b1, &cost, scratch,
+                ) {
+                    cost = tracker.cost(cluster);
+                    improved = true;
+                    break;
                 }
             }
         }
+        scratch.hosts = hosts;
     }
     improved
 }
 
 /// Tries to move every read share on backend `b` that overlaps update
-/// class `u` onto other backends. If `allow_new_fragments` is false the
-/// receivers must already hold the read class's data (so replication
-/// cannot grow). Returns the normalized candidate, or `None` if some
-/// share cannot be placed without overloading a receiver beyond the
-/// current scale.
+/// class `u` onto other backends that already hold the read class's
+/// data (so replication cannot grow), without pushing any receiver past
+/// the current scale. Commits the transfers if the cost strictly
+/// improves on `base_cost`; otherwise rolls every transfer back and
+/// leaves the allocation untouched. Returns whether it committed.
+#[allow(clippy::too_many_arguments)]
 fn evacuate(
-    alloc: &Allocation,
+    alloc: &mut Allocation,
+    tracker: &mut DeltaCost,
     cls: &Classification,
     cluster: &ClusterSpec,
+    catalog: &Catalog,
     u: ClassId,
     b: usize,
-    allow_new_fragments: bool,
-) -> Option<Allocation> {
-    let scale = alloc.scale(cluster);
-    let mut cand = alloc.clone();
-    let mut room: Vec<f64> = cluster
-        .ids()
-        .map(|bid| scale * cluster.load(bid) - cand.assigned_load(bid))
-        .collect();
-
-    let victims: Vec<ClassId> = cls
-        .read_ids()
-        .iter()
-        .copied()
-        .filter(|&r| {
-            cand.assign[r.idx()][b] > EPS
+    base_cost: &crate::allocation::AllocCost,
+    scratch: &mut Scratch,
+) -> bool {
+    let scale = tracker.scale(cluster);
+    scratch.room.clear();
+    scratch.room.extend(
+        cluster
+            .ids()
+            .map(|bid| scale * cluster.load(bid) - tracker.load(bid)),
+    );
+    scratch.victims.clear();
+    scratch
+        .victims
+        .extend(cls.read_ids().iter().copied().filter(|&r| {
+            alloc.assign[r.idx()][b] > EPS
                 && cls.classes[u.idx()].overlaps(&cls.classes[r.idx()].fragments)
-        })
-        .collect();
-    if victims.is_empty() {
-        return None;
+        }));
+    if scratch.victims.is_empty() {
+        return false;
     }
-
-    for r in victims {
-        let mut remaining = cand.assign[r.idx()][b];
-        cand.assign[r.idx()][b] = 0.0;
-        // Prefer receivers that already hold the data.
-        let mut receivers: Vec<usize> = (0..cand.n_backends())
-            .filter(|&rb| rb != b)
-            .filter(|&rb| {
-                allow_new_fragments
-                    || cls.classes[r.idx()]
+    scratch.undo.clear();
+    let mut placed_all = true;
+    'victims: for vi in 0..scratch.victims.len() {
+        let r = scratch.victims[vi];
+        let mut remaining = alloc.assign[r.idx()][b];
+        // Receivers must already hold the data; most spare room first.
+        scratch.receivers.clear();
+        scratch
+            .receivers
+            .extend((0..alloc.n_backends()).filter(|&rb| {
+                rb != b
+                    && cls.classes[r.idx()]
                         .fragments
                         .iter()
-                        .all(|f| cand.fragments[rb].contains(f))
-            })
-            .collect();
-        // Most spare room first.
-        receivers.sort_by(|&x, &y| room[y].partial_cmp(&room[x]).expect("room is finite"));
-        for rb in receivers {
+                        .all(|f| alloc.fragments[rb].contains(f))
+            }));
+        let room = &scratch.room;
+        scratch
+            .receivers
+            .sort_by(|&x, &y| room[y].partial_cmp(&room[x]).expect("room is finite"));
+        for ri in 0..scratch.receivers.len() {
             if remaining <= EPS {
                 break;
             }
-            let take = remaining.min(room[rb].max(0.0));
+            let rb = scratch.receivers[ri];
+            let take = remaining.min(scratch.room[rb].max(0.0));
             if take > EPS {
-                cand.assign[r.idx()][rb] += take;
-                room[rb] -= take;
+                let token = tracker.transfer(
+                    alloc,
+                    cls,
+                    cluster,
+                    catalog,
+                    r,
+                    BackendId(b as u32),
+                    BackendId(rb as u32),
+                    take,
+                );
+                scratch.undo.push(token);
+                scratch.room[rb] -= take;
                 remaining -= take;
             }
         }
         if remaining > EPS {
-            return None; // cannot place the full share without overload
+            placed_all = false; // cannot place the full share without overload
+            break 'victims;
         }
     }
-    cand.normalize(cls, cluster);
-    Some(cand)
+    let committed = placed_all && tracker.cost(cluster).better_than(base_cost);
+    if committed {
+        scratch.undo.clear();
+    } else {
+        for token in scratch.undo.drain(..).rev() {
+            tracker.undo(alloc, cls, token);
+        }
+    }
+    committed
 }
 
 /// Moves the reads pinning `u1` on `b2` over to `b1` (which already runs
-/// `u1`), back-filling `b1`'s non-overlapping reads onto `b2` to keep the
-/// loads near their former level. The receiving backend may gain
-/// fragments; acceptance is decided by the caller's cost check.
+/// `u1`), back-filling `b1`'s non-overlapping reads onto `b2` to level
+/// the pair. The receiving backend may gain fragments. Commits if the
+/// cost strictly improves on `base_cost`, rolls back otherwise; returns
+/// whether it committed.
+#[allow(clippy::too_many_arguments)]
 fn shift_and_backfill(
-    alloc: &Allocation,
+    alloc: &mut Allocation,
+    tracker: &mut DeltaCost,
     cls: &Classification,
     cluster: &ClusterSpec,
+    catalog: &Catalog,
     u1: ClassId,
     b2: usize,
     b1: usize,
-) -> Option<Allocation> {
-    let mut cand = alloc.clone();
+    base_cost: &crate::allocation::AllocCost,
+    scratch: &mut Scratch,
+) -> bool {
+    scratch.undo.clear();
     let mut moved = 0.0;
     // Move reads overlapping u1 from b2 to b1 (Eq. 25's shift).
     for &r in cls.read_ids() {
-        let share = cand.assign[r.idx()][b2];
+        let share = alloc.assign[r.idx()][b2];
         if share > EPS && cls.classes[u1.idx()].overlaps(&cls.classes[r.idx()].fragments) {
-            cand.assign[r.idx()][b2] = 0.0;
-            cand.assign[r.idx()][b1] += share;
+            let token = tracker.transfer(
+                alloc,
+                cls,
+                cluster,
+                catalog,
+                r,
+                BackendId(b2 as u32),
+                BackendId(b1 as u32),
+                share,
+            );
+            scratch.undo.push(token);
             moved += share;
         }
     }
     if moved <= EPS {
-        return None;
+        for token in scratch.undo.drain(..).rev() {
+            tracker.undo(alloc, cls, token);
+        }
+        return false;
     }
     // Back-fill: move non-overlapping reads from b1 to b2 (Eq. 23/24:
     // these may pin lighter update classes) until the pair is level.
-    // The target accounts for u1's replica leaving b2 — that dropped
-    // update weight is the whole point of the swap.
-    let la = cand.assigned_load(crate::BackendId(b1 as u32));
-    let lb = cand.assigned_load(crate::BackendId(b2 as u32)) - cls.weight(u1);
+    // The tracked loads already account for every update replica that
+    // moved or dropped during the shift — u1 leaving b2 in particular.
+    let la = tracker.load(BackendId(b1 as u32));
+    let lb = tracker.load(BackendId(b2 as u32));
     let target = ((la - lb) / 2.0).max(0.0);
     let mut backfilled = 0.0;
     for &r in cls.read_ids() {
         if backfilled >= target - EPS {
             break;
         }
-        let share = cand.assign[r.idx()][b1];
+        let share = alloc.assign[r.idx()][b1];
         if share > EPS && !cls.classes[u1.idx()].overlaps(&cls.classes[r.idx()].fragments) {
             let take = share.min(target - backfilled);
-            cand.assign[r.idx()][b1] -= take;
-            cand.assign[r.idx()][b2] += take;
-            backfilled += take;
+            if take > EPS {
+                let token = tracker.transfer(
+                    alloc,
+                    cls,
+                    cluster,
+                    catalog,
+                    r,
+                    BackendId(b1 as u32),
+                    BackendId(b2 as u32),
+                    take,
+                );
+                scratch.undo.push(token);
+                backfilled += take;
+            }
         }
     }
-    cand.normalize(cls, cluster);
-    Some(cand)
+    let committed = tracker.cost(cluster).better_than(base_cost);
+    if committed {
+        scratch.undo.clear();
+    } else {
+        for token in scratch.undo.drain(..).rev() {
+            tracker.undo(alloc, cls, token);
+        }
+    }
+    committed
 }
 
 /// Returns true if the class is a read class — helper used by callers
@@ -303,13 +440,13 @@ mod tests {
         alloc.assign[2][2] = 0.22;
         alloc.normalize(&cls, &cluster);
         alloc.validate(&cls, &cluster).unwrap();
-        assert_eq!(placements(&alloc, ClassId(3)).len(), 2);
+        assert_eq!(placements(&alloc, ClassId(3)).count(), 2);
 
         let improved = drop_update_replicas(&mut alloc, &cls, &cat, &cluster);
         alloc.validate(&cls, &cluster).unwrap();
         assert!(improved, "should find the consolidation");
         assert_eq!(
-            placements(&alloc, ClassId(3)).len(),
+            placements(&alloc, ClassId(3)).count(),
             1,
             "update class no longer replicated"
         );
@@ -344,7 +481,7 @@ mod tests {
         alloc.normalize(&cls, &cluster);
         alloc.validate(&cls, &cluster).unwrap();
         assert_eq!(
-            placements(&alloc, ClassId(3)).len(),
+            placements(&alloc, ClassId(3)).count(),
             2,
             "heavy U starts replicated"
         );
@@ -356,7 +493,7 @@ mod tests {
         let after = alloc.cost(&cluster, &cat);
         assert!(after.better_than(&before), "{after:?} vs {before:?}");
         assert_eq!(
-            placements(&alloc, ClassId(3)).len(),
+            placements(&alloc, ClassId(3)).count(),
             1,
             "heavy update consolidated to one backend"
         );
@@ -394,5 +531,22 @@ mod tests {
         let improved = drop_update_replicas(&mut alloc, &cls, &Catalog::new_for_test(), &cluster);
         assert!(!improved);
         assert_eq!(alloc, before);
+    }
+
+    #[test]
+    fn strategies_leave_allocation_normalized_and_tracked_cost_exact() {
+        // The incremental path must keep the allocation at the
+        // normalize fixpoint after every accepted/rejected candidate.
+        let (cat, cls, cluster) = replicable_workload();
+        let mut alloc = Allocation::empty(cls.len(), 3);
+        alloc.assign[0][0] = 0.15;
+        alloc.assign[0][1] = 0.15;
+        alloc.assign[1][1] = 0.28;
+        alloc.assign[2][2] = 0.22;
+        alloc.normalize(&cls, &cluster);
+        improve(&mut alloc, &cls, &cat, &cluster);
+        let mut renorm = alloc.clone();
+        renorm.normalize(&cls, &cluster);
+        assert_eq!(renorm, alloc, "improve left the allocation normalized");
     }
 }

@@ -11,17 +11,41 @@
 //!
 //! The initial population is seeded with the greedy solution (faster
 //! convergence than random initialization, as the paper recommends).
+//!
+//! ## Parallel execution and determinism
+//!
+//! The generation loop fans both the offspring construction and the
+//! local-search improvement out over a [`qcpa_par::Pool`]
+//! (`QCPA_THREADS` workers by default, overridable per run with
+//! [`MemeticConfig::threads`]). Results are **bit-identical at any
+//! thread count** because nothing in a task depends on scheduling:
+//!
+//! * every offspring draws from its own `ChaCha8Rng`, seeded with
+//!   [`qcpa_par::stream_seed]`(seed, generation, offspring_index)` —
+//!   there is no shared RNG to race on;
+//! * the improvement-selection shuffle uses a separate dedicated stream
+//!   (`index = u64::MAX`), drawn on the driver thread;
+//! * [`qcpa_par::Pool::map`] returns results in task-index order, and
+//!   all selection sorts are stable.
+//!
+//! Candidate evaluation inside a task is incremental: mutations are
+//! expressed as [`DeltaCost::transfer`]s, so an offspring's cost comes
+//! from O(touched backends) bookkeeping instead of a full
+//! [`Allocation::normalize`] + cost recomputation. Worker tasks record
+//! their telemetry into private [`qcpa_obs::Registry`] shards that the
+//! driver merges in index order ([`qcpa_obs::Registry::merge_shard`]),
+//! keeping the global registry deterministic too.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::allocation::{AllocCost, Allocation};
+use crate::allocation::{AllocCost, Allocation, DeltaCost};
 use crate::classify::Classification;
 use crate::cluster::ClusterSpec;
 use crate::fragment::Catalog;
-use crate::{greedy, localsearch, EPS};
+use crate::{greedy, localsearch, BackendId, ClassId, EPS};
 
 /// Tuning knobs of the memetic optimizer.
 #[derive(Debug, Clone)]
@@ -34,8 +58,13 @@ pub struct MemeticConfig {
     pub iterations: usize,
     /// Mutation operators applied per offspring (1–3 is typical).
     pub mutations_per_offspring: usize,
-    /// RNG seed: identical seeds reproduce identical results.
+    /// RNG seed: identical seeds reproduce identical results — at any
+    /// worker count.
     pub seed: u64,
+    /// Worker threads for the generation fan-out. `None` sizes the pool
+    /// from the environment (`QCPA_THREADS`, else available
+    /// parallelism). The result does not depend on this value.
+    pub threads: Option<usize>,
 }
 
 impl Default for MemeticConfig {
@@ -45,6 +74,7 @@ impl Default for MemeticConfig {
             iterations: 60,
             mutations_per_offspring: 2,
             seed: 0xC0FFEE,
+            threads: None,
         }
     }
 }
@@ -87,66 +117,208 @@ pub fn optimize(
     cluster: &ClusterSpec,
     cfg: &MemeticConfig,
 ) -> Allocation {
-    assert!(cfg.population >= 3, "population must be at least 3");
     let _span = qcpa_obs::span("core", "memetic_optimize");
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    run_generations(initial, cls, catalog, cluster, cfg, "memetic", None)
+}
+
+/// Algorithm 2 adapted to preserve k-safety (the extension the paper
+/// mentions but omits "due to space limitations"): each offspring is
+/// repaired to `min(k + 1, |B|)` replicas per class before evaluation,
+/// so every member of the population — and the returned optimum —
+/// keeps the redundancy guarantee while the search still reduces scale
+/// and storage.
+pub fn optimize_ksafe(
+    initial: Allocation,
+    cls: &Classification,
+    catalog: &Catalog,
+    cluster: &ClusterSpec,
+    cfg: &MemeticConfig,
+    k: usize,
+) -> Allocation {
+    let _span = qcpa_obs::span("core", "memetic_optimize_ksafe");
+    let harden = move |a: &mut Allocation| crate::ksafety::repair(a, cls, cluster, k);
+    run_generations(
+        initial,
+        cls,
+        catalog,
+        cluster,
+        cfg,
+        "memetic.ksafe",
+        Some(&harden),
+    )
+}
+
+/// One population member: the allocation, its cost, and — on the plain
+/// (non-repaired) path — the incremental aggregates kept consistent
+/// with it, so children and local search start from cloned aggregates
+/// instead of a fresh O(|B|·|C|·|F|) build.
+#[derive(Debug, Clone)]
+struct Individual {
+    alloc: Allocation,
+    cost: AllocCost,
+    tracker: Option<DeltaCost>,
+}
+
+/// The generation loop shared by [`optimize`] and [`optimize_ksafe`],
+/// parameterized over the repair step applied to every candidate:
+/// `None` keeps candidates merely normalized; `Some(repair)` re-applies
+/// an invariant (k-safety hardening) after each mutation or improvement
+/// and re-costs the candidate in full (repairs add spare replicas the
+/// incremental tracker does not model).
+fn run_generations(
+    initial: Allocation,
+    cls: &Classification,
+    catalog: &Catalog,
+    cluster: &ClusterSpec,
+    cfg: &MemeticConfig,
+    prefix: &str,
+    repair: Option<&(dyn Fn(&mut Allocation) + Sync)>,
+) -> Allocation {
+    assert!(cfg.population >= 3, "population must be at least 3");
+    let pool = qcpa_par::Pool::new(cfg.threads);
     let cost_of = |a: &Allocation| a.cost(cluster, catalog);
 
-    let mut population: Vec<(Allocation, AllocCost)> = vec![(initial.clone(), cost_of(&initial))];
+    // Population invariant: without repair every member is normalized
+    // and carries a consistent [`DeltaCost`] tracker, so offspring clone
+    // the parent's aggregates instead of rebuilding them. With repair
+    // every member is hardened (no tracker: repair adds replicas the
+    // tracker does not model).
+    let mut seed_alloc = initial;
+    let seed_tracker = match repair {
+        Some(rep) => {
+            rep(&mut seed_alloc);
+            None
+        }
+        None => {
+            seed_alloc.normalize(cls, cluster);
+            Some(DeltaCost::new(&seed_alloc, cls, catalog))
+        }
+    };
+    let seed_cost = cost_of(&seed_alloc);
+    let mut population: Vec<Individual> = vec![Individual {
+        alloc: seed_alloc,
+        cost: seed_cost,
+        tracker: seed_tracker,
+    }];
 
-    for _ in 0..cfg.iterations {
-        // Line 3: offspring by mutation of random parents.
-        let mut offspring: Vec<(Allocation, AllocCost)> = Vec::with_capacity(cfg.population);
-        for _ in 0..cfg.population {
-            let parent = &population[rng.gen_range(0..population.len())].0;
-            let child = mutate(parent, cls, cluster, cfg.mutations_per_offspring, &mut rng);
-            let c = cost_of(&child);
-            offspring.push((child, c));
+    for generation in 0..cfg.iterations {
+        // Offspring fan-out: each task owns an RNG stream derived from
+        // (seed, generation, index) — scheduling cannot perturb it.
+        let parents = &population;
+        let born = pool.map(cfg.population, |i| {
+            let shard = qcpa_obs::Registry::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(qcpa_par::stream_seed(
+                cfg.seed,
+                generation as u64,
+                i as u64,
+            ));
+            let child = {
+                let _span = qcpa_obs::span_on(&shard, "core", "memetic_offspring");
+                let parent = &parents[rng.gen_range(0..parents.len())];
+                let mut child = mutate(parent, cls, catalog, cluster, cfg, &mut rng);
+                if let Some(rep) = repair {
+                    rep(&mut child.alloc);
+                    child.cost = cost_of(&child.alloc);
+                    child.tracker = None;
+                }
+                child
+            };
+            (child, shard)
+        });
+        let mut offspring: Vec<Individual> = Vec::with_capacity(cfg.population);
+        for (child, shard) in born {
+            qcpa_obs::global().merge_shard(&shard);
+            offspring.push(child);
         }
 
-        // Line 4: (λ+µ) selection — best 2/3 parents + best 1/3 offspring.
-        population.sort_by_key(|a| a.1);
-        offspring.sort_by_key(|a| a.1);
+        // (λ+µ) selection — best 2/3 parents + best 1/3 offspring.
+        population.sort_by_key(|a| a.cost);
+        offspring.sort_by_key(|a| a.cost);
         let acceptance = acceptance_rate(&population, &offspring);
         let keep_old = (cfg.population * 2 / 3).max(1).min(population.len());
         let keep_new = (cfg.population - keep_old).min(offspring.len());
         population.truncate(keep_old);
         population.extend(offspring.into_iter().take(keep_new));
 
-        // Lines 5–9: improve a random third with local search.
+        // Improvement fan-out: a random third (chosen on a dedicated
+        // driver-side stream) goes through local search; an individual
+        // is replaced only if its cost strictly improves, which keeps
+        // convergence monotone under any repair step.
         let improve_count = (population.len() / 3).max(1);
+        let mut shuffle_rng =
+            ChaCha8Rng::seed_from_u64(qcpa_par::stream_seed(cfg.seed, generation as u64, u64::MAX));
         let mut idx: Vec<usize> = (0..population.len()).collect();
-        idx.shuffle(&mut rng);
-        for &i in idx.iter().take(improve_count) {
-            let (alloc, cost) = &mut population[i];
-            if localsearch::improve(alloc, cls, catalog, cluster) {
-                *cost = alloc.cost(cluster, catalog);
+        idx.shuffle(&mut shuffle_rng);
+        idx.truncate(improve_count);
+        let snapshot = &population;
+        let improved = pool.map(idx.len(), |j| {
+            let shard = qcpa_obs::Registry::new();
+            let replacement = {
+                let _span = qcpa_obs::span_on(&shard, "core", "memetic_improve");
+                let current = &snapshot[idx[j]];
+                let mut cand = current.alloc.clone();
+                match (&current.tracker, repair) {
+                    // Plain path: continue on the individual's tracker.
+                    (Some(tracker), None) => {
+                        let mut tracker = tracker.clone();
+                        let changed = localsearch::improve_with(
+                            &mut cand,
+                            &mut tracker,
+                            cls,
+                            catalog,
+                            cluster,
+                        );
+                        let c = tracker.cost(cluster);
+                        (changed && c.better_than(&current.cost)).then_some(Individual {
+                            alloc: cand,
+                            cost: c,
+                            tracker: Some(tracker),
+                        })
+                    }
+                    // Repair path: full improve, re-harden, full cost.
+                    _ => {
+                        localsearch::improve(&mut cand, cls, catalog, cluster);
+                        if let Some(rep) = repair {
+                            rep(&mut cand);
+                        }
+                        let c = cost_of(&cand);
+                        c.better_than(&current.cost).then_some(Individual {
+                            alloc: cand,
+                            cost: c,
+                            tracker: None,
+                        })
+                    }
+                }
+            };
+            (replacement, shard)
+        });
+        for (j, (replacement, shard)) in improved.into_iter().enumerate() {
+            qcpa_obs::global().merge_shard(&shard);
+            if let Some(better) = replacement {
+                population[idx[j]] = better;
             }
         }
 
-        trace_generation("memetic", &population, acceptance);
+        trace_generation(prefix, &population, acceptance);
     }
 
-    // Lines 10–11: the minimum-cost solution.
+    // The minimum-cost solution.
     population
         .into_iter()
-        .min_by(|a, b| a.1.cmp(&b.1))
+        .min_by(|a, b| a.cost.cmp(&b.cost))
         .expect("population is never empty")
-        .0
+        .alloc
 }
 
 /// Fraction of this generation's offspring at least as fit as the
 /// worst current parent — how competitive mutation currently is, the
 /// acceptance-rate convergence signal. Both slices must be sorted by
 /// cost.
-fn acceptance_rate(
-    population: &[(Allocation, AllocCost)],
-    offspring: &[(Allocation, AllocCost)],
-) -> f64 {
-    let worst_parent = population.last().expect("population is never empty").1;
+fn acceptance_rate(population: &[Individual], offspring: &[Individual]) -> f64 {
+    let worst_parent = population.last().expect("population is never empty").cost;
     let accepted = offspring
         .iter()
-        .filter(|o| !worst_parent.better_than(&o.1))
+        .filter(|o| !worst_parent.better_than(&o.cost))
         .count();
     accepted as f64 / offspring.len().max(1) as f64
 }
@@ -155,62 +327,104 @@ fn acceptance_rate(
 /// the surviving population and the offspring acceptance rate, as
 /// registry series under `<prefix>.{best,mean}_fitness` and
 /// `<prefix>.acceptance_rate`.
-fn trace_generation(prefix: &str, population: &[(Allocation, AllocCost)], acceptance: f64) {
+fn trace_generation(prefix: &str, population: &[Individual], acceptance: f64) {
     let reg = qcpa_obs::global();
     let best = population
         .iter()
-        .map(|p| p.1.scale)
+        .map(|p| p.cost.scale)
         .fold(f64::INFINITY, f64::min);
-    let mean = population.iter().map(|p| p.1.scale).sum::<f64>() / population.len() as f64;
+    let mean = population.iter().map(|p| p.cost.scale).sum::<f64>() / population.len() as f64;
     reg.push_series(&format!("{prefix}.best_fitness"), best);
     reg.push_series(&format!("{prefix}.mean_fitness"), mean);
     reg.push_series(&format!("{prefix}.acceptance_rate"), acceptance);
 }
 
-/// Generates one offspring: `n_ops` random valid mutations of `parent`,
-/// followed by [`Allocation::normalize`] to restore the update
-/// constraints.
+/// Generates one offspring: `n_ops` random mutations of `parent`
+/// applied through a [`DeltaCost`] tracker, so the child stays
+/// normalized at every step and its cost falls out of the incremental
+/// aggregates in O(touched backends) per op.
+///
+/// A parent with a tracker (plain path) hands its child a *clone* of
+/// the aggregates — no rebuild. A tracker-less parent (a
+/// k-safety-hardened one) is first re-normalized, then tracked fresh;
+/// the caller re-applies the repair afterwards.
 fn mutate<R: Rng>(
-    parent: &Allocation,
+    parent: &Individual,
     cls: &Classification,
+    catalog: &Catalog,
     cluster: &ClusterSpec,
-    n_ops: usize,
+    cfg: &MemeticConfig,
     rng: &mut R,
-) -> Allocation {
-    let mut child = parent.clone();
-    for _ in 0..n_ops.max(1) {
+) -> Individual {
+    let mut child = parent.alloc.clone();
+    let mut tracker = match &parent.tracker {
+        Some(t) => t.clone(),
+        None => {
+            child.normalize(cls, cluster);
+            DeltaCost::new(&child, cls, catalog)
+        }
+    };
+    for _ in 0..cfg.mutations_per_offspring.max(1) {
         match rng.gen_range(0..4) {
-            0 => move_share(&mut child, cls, rng),
-            1 => split_share(&mut child, cls, rng),
-            2 => consolidate(&mut child, cls, rng),
-            _ => rebalance(&mut child, cls, cluster, rng),
+            0 => move_share(&mut child, &mut tracker, cls, cluster, catalog, rng),
+            1 => split_share(&mut child, &mut tracker, cls, cluster, catalog, rng),
+            2 => consolidate(&mut child, &mut tracker, cls, cluster, catalog, rng),
+            _ => rebalance(&mut child, &mut tracker, cls, cluster, catalog, rng),
         }
     }
-    child.normalize(cls, cluster);
-    child
+    let cost = tracker.cost(cluster);
+    Individual {
+        alloc: child,
+        cost,
+        tracker: Some(tracker),
+    }
 }
 
 /// Picks a random read class with a positive share somewhere; returns
-/// (class index, backend index).
+/// (class index, backend index). Allocation-free: counts candidates,
+/// draws one index, then walks to it (a single `gen_range` draw, like
+/// the old slice-choose).
 fn random_share<R: Rng>(
     alloc: &Allocation,
     cls: &Classification,
     rng: &mut R,
 ) -> Option<(usize, usize)> {
-    let candidates: Vec<(usize, usize)> = cls
+    let total: usize = cls
         .read_ids()
         .iter()
-        .flat_map(|r| {
+        .map(|r| {
             (0..alloc.n_backends())
-                .filter(move |&b| alloc.assign[r.idx()][b] > EPS)
-                .map(move |b| (r.idx(), b))
+                .filter(|&b| alloc.assign[r.idx()][b] > EPS)
+                .count()
         })
-        .collect();
-    candidates.choose(rng).copied()
+        .sum();
+    if total == 0 {
+        return None;
+    }
+    let pick = rng.gen_range(0..total);
+    let mut seen = 0;
+    for &r in cls.read_ids() {
+        for b in 0..alloc.n_backends() {
+            if alloc.assign[r.idx()][b] > EPS {
+                if seen == pick {
+                    return Some((r.idx(), b));
+                }
+                seen += 1;
+            }
+        }
+    }
+    unreachable!("pick < total candidates")
 }
 
 /// Moves a whole read share to a random other backend.
-fn move_share<R: Rng>(alloc: &mut Allocation, cls: &Classification, rng: &mut R) {
+fn move_share<R: Rng>(
+    alloc: &mut Allocation,
+    tracker: &mut DeltaCost,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    rng: &mut R,
+) {
     let Some((c, from)) = random_share(alloc, cls, rng) else {
         return;
     };
@@ -223,12 +437,27 @@ fn move_share<R: Rng>(alloc: &mut Allocation, cls: &Classification, rng: &mut R)
         to = (to + 1) % n;
     }
     let share = alloc.assign[c][from];
-    alloc.assign[c][from] = 0.0;
-    alloc.assign[c][to] += share;
+    tracker.transfer(
+        alloc,
+        cls,
+        cluster,
+        catalog,
+        ClassId(c as u32),
+        BackendId(from as u32),
+        BackendId(to as u32),
+        share,
+    );
 }
 
 /// Splits a read share in half across a second backend.
-fn split_share<R: Rng>(alloc: &mut Allocation, cls: &Classification, rng: &mut R) {
+fn split_share<R: Rng>(
+    alloc: &mut Allocation,
+    tracker: &mut DeltaCost,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    rng: &mut R,
+) {
     let Some((c, from)) = random_share(alloc, cls, rng) else {
         return;
     };
@@ -241,27 +470,46 @@ fn split_share<R: Rng>(alloc: &mut Allocation, cls: &Classification, rng: &mut R
         to = (to + 1) % n;
     }
     let half = alloc.assign[c][from] / 2.0;
-    alloc.assign[c][from] -= half;
-    alloc.assign[c][to] += half;
+    tracker.transfer(
+        alloc,
+        cls,
+        cluster,
+        catalog,
+        ClassId(c as u32),
+        BackendId(from as u32),
+        BackendId(to as u32),
+        half,
+    );
 }
 
 /// Collapses a read class spread over several backends onto the backend
 /// currently holding its largest share.
-fn consolidate<R: Rng>(alloc: &mut Allocation, cls: &Classification, rng: &mut R) {
-    let spread: Vec<usize> = cls
+fn consolidate<R: Rng>(
+    alloc: &mut Allocation,
+    tracker: &mut DeltaCost,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    rng: &mut R,
+) {
+    let is_spread = |c: usize| {
+        (0..alloc.n_backends())
+            .filter(|&b| alloc.assign[c][b] > EPS)
+            .count()
+            > 1
+    };
+    let n_spread = cls.read_ids().iter().filter(|r| is_spread(r.idx())).count();
+    if n_spread == 0 {
+        return;
+    }
+    let pick = rng.gen_range(0..n_spread);
+    let c = cls
         .read_ids()
         .iter()
         .map(|r| r.idx())
-        .filter(|&c| {
-            (0..alloc.n_backends())
-                .filter(|&b| alloc.assign[c][b] > EPS)
-                .count()
-                > 1
-        })
-        .collect();
-    let Some(&c) = spread.as_slice().choose(rng) else {
-        return;
-    };
+        .filter(|&c| is_spread(c))
+        .nth(pick)
+        .expect("pick < n_spread");
     let best = (0..alloc.n_backends())
         .max_by(|&x, &y| {
             alloc.assign[c][x]
@@ -269,28 +517,38 @@ fn consolidate<R: Rng>(alloc: &mut Allocation, cls: &Classification, rng: &mut R
                 .expect("shares are finite")
         })
         .expect("allocation has backends");
-    let total: f64 = alloc.assign[c].iter().sum();
     for b in 0..alloc.n_backends() {
-        alloc.assign[c][b] = 0.0;
+        let share = alloc.assign[c][b];
+        if b != best && share > 0.0 {
+            tracker.transfer(
+                alloc,
+                cls,
+                cluster,
+                catalog,
+                ClassId(c as u32),
+                BackendId(b as u32),
+                BackendId(best as u32),
+                share,
+            );
+        }
     }
-    alloc.assign[c][best] = total;
 }
 
 /// Moves a random share from the most loaded backend (relative to its
 /// performance) to the least loaded one.
 fn rebalance<R: Rng>(
     alloc: &mut Allocation,
+    tracker: &mut DeltaCost,
     cls: &Classification,
     cluster: &ClusterSpec,
+    catalog: &Catalog,
     rng: &mut R,
 ) {
     let n = alloc.n_backends();
     if n < 2 {
         return;
     }
-    let ratio = |b: usize| {
-        alloc.assigned_load(crate::BackendId(b as u32)) / cluster.load(crate::BackendId(b as u32))
-    };
+    let ratio = |b: usize| tracker.load(BackendId(b as u32)) / cluster.load(BackendId(b as u32));
     let hot = (0..n)
         .max_by(|&x, &y| ratio(x).partial_cmp(&ratio(y)).expect("finite"))
         .expect("non-empty");
@@ -300,19 +558,34 @@ fn rebalance<R: Rng>(
     if hot == cold {
         return;
     }
-    let on_hot: Vec<usize> = cls
+    let n_on_hot = cls
+        .read_ids()
+        .iter()
+        .filter(|r| alloc.assign[r.idx()][hot] > EPS)
+        .count();
+    if n_on_hot == 0 {
+        return;
+    }
+    let pick = rng.gen_range(0..n_on_hot);
+    let c = cls
         .read_ids()
         .iter()
         .map(|r| r.idx())
         .filter(|&c| alloc.assign[c][hot] > EPS)
-        .collect();
-    let Some(&c) = on_hot.as_slice().choose(rng) else {
-        return;
-    };
-    let gap = (ratio(hot) - ratio(cold)) * cluster.load(crate::BackendId(cold as u32)) / 2.0;
+        .nth(pick)
+        .expect("pick < n_on_hot");
+    let gap = (ratio(hot) - ratio(cold)) * cluster.load(BackendId(cold as u32)) / 2.0;
     let take = alloc.assign[c][hot].min(gap.max(EPS));
-    alloc.assign[c][hot] -= take;
-    alloc.assign[c][cold] += take;
+    tracker.transfer(
+        alloc,
+        cls,
+        cluster,
+        catalog,
+        ClassId(c as u32),
+        BackendId(hot as u32),
+        BackendId(cold as u32),
+        take,
+    );
 }
 
 #[cfg(test)]
@@ -362,13 +635,58 @@ mod tests {
     }
 
     #[test]
+    fn memetic_is_bit_identical_across_thread_counts() {
+        let (cat, cls, cluster) = workload();
+        let reference = allocate(
+            &cls,
+            &cat,
+            &cluster,
+            &MemeticConfig {
+                iterations: 12,
+                threads: Some(1),
+                ..Default::default()
+            },
+        );
+        for threads in [2, 3, 8] {
+            let out = allocate(
+                &cls,
+                &cat,
+                &cluster,
+                &MemeticConfig {
+                    iterations: 12,
+                    threads: Some(threads),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(out, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn offspring_are_always_valid() {
         let (cat, cls, cluster) = workload();
-        let parent = greedy::allocate(&cls, &cat, &cluster);
+        let mut alloc = greedy::allocate(&cls, &cat, &cluster);
+        alloc.normalize(&cls, &cluster);
+        let tracker = DeltaCost::new(&alloc, &cls, &cat);
+        let cost = alloc.cost(&cluster, &cat);
+        let parent = Individual {
+            alloc,
+            cost,
+            tracker: Some(tracker),
+        };
+        let cfg = MemeticConfig {
+            mutations_per_offspring: 3,
+            ..Default::default()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         for _ in 0..100 {
-            let child = mutate(&parent, &cls, &cluster, 3, &mut rng);
-            child.validate(&cls, &cluster).unwrap();
+            let child = mutate(&parent, &cls, &cat, &cluster, &cfg, &mut rng);
+            child.alloc.validate(&cls, &cluster).unwrap();
+            assert_eq!(
+                child.cost,
+                child.alloc.cost(&cluster, &cat),
+                "tracked cost equals full recompute"
+            );
         }
     }
 
@@ -395,69 +713,6 @@ mod tests {
         m.validate(&cls, &cluster).unwrap();
         assert!((m.scale(&cluster) - 1.0).abs() < 1e-9);
     }
-}
-
-/// Algorithm 2 adapted to preserve k-safety (the extension the paper
-/// mentions but omits "due to space limitations"): each offspring is
-/// repaired to `min(k + 1, |B|)` replicas per class before evaluation,
-/// so every member of the population — and the returned optimum —
-/// keeps the redundancy guarantee while the search still reduces scale
-/// and storage.
-pub fn optimize_ksafe(
-    initial: Allocation,
-    cls: &Classification,
-    catalog: &Catalog,
-    cluster: &ClusterSpec,
-    cfg: &MemeticConfig,
-    k: usize,
-) -> Allocation {
-    assert!(cfg.population >= 3, "population must be at least 3");
-    let _span = qcpa_obs::span("core", "memetic_optimize_ksafe");
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let harden = |a: &mut Allocation| crate::ksafety::repair(a, cls, cluster, k);
-    let cost_of = |a: &Allocation| a.cost(cluster, catalog);
-
-    let mut seed_alloc = initial;
-    harden(&mut seed_alloc);
-    let seed_cost = cost_of(&seed_alloc);
-    let mut population: Vec<(Allocation, AllocCost)> = vec![(seed_alloc, seed_cost)];
-
-    for _ in 0..cfg.iterations {
-        let mut offspring: Vec<(Allocation, AllocCost)> = Vec::with_capacity(cfg.population);
-        for _ in 0..cfg.population {
-            let parent = &population[rng.gen_range(0..population.len())].0;
-            let mut child = mutate(parent, cls, cluster, cfg.mutations_per_offspring, &mut rng);
-            harden(&mut child);
-            let c = cost_of(&child);
-            offspring.push((child, c));
-        }
-        population.sort_by_key(|a| a.1);
-        offspring.sort_by_key(|a| a.1);
-        let acceptance = acceptance_rate(&population, &offspring);
-        let keep_old = (cfg.population * 2 / 3).max(1).min(population.len());
-        let keep_new = (cfg.population - keep_old).min(offspring.len());
-        population.truncate(keep_old);
-        population.extend(offspring.into_iter().take(keep_new));
-
-        let improve_count = (population.len() / 3).max(1);
-        let mut idx: Vec<usize> = (0..population.len()).collect();
-        idx.shuffle(&mut rng);
-        for &i in idx.iter().take(improve_count) {
-            let (alloc, cost) = &mut population[i];
-            if localsearch::improve(alloc, cls, catalog, cluster) {
-                harden(alloc);
-                *cost = alloc.cost(cluster, catalog);
-            }
-        }
-
-        trace_generation("memetic.ksafe", &population, acceptance);
-    }
-
-    population
-        .into_iter()
-        .min_by(|a, b| a.1.cmp(&b.1))
-        .expect("population is never empty")
-        .0
 }
 
 #[cfg(test)]
@@ -517,5 +772,35 @@ mod ksafe_tests {
         let x = optimize_ksafe(seed.clone(), &cls, &cat, &cluster, &cfg, 1);
         let y = optimize_ksafe(seed, &cls, &cat, &cluster, &cfg, 1);
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn ksafe_memetic_bit_identical_across_thread_counts() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 200);
+        let c = cat.add_table("C", 150);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.4),
+            QueryClass::read(1, [c], 0.25),
+            QueryClass::update(2, [b], 0.35),
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(3);
+        let seed = crate::greedy::allocate_ksafe(&cls, &cat, &cluster, 1);
+        let cfg1 = MemeticConfig {
+            iterations: 8,
+            threads: Some(1),
+            ..Default::default()
+        };
+        let reference = optimize_ksafe(seed.clone(), &cls, &cat, &cluster, &cfg1, 1);
+        for threads in [2, 8] {
+            let cfg = MemeticConfig {
+                threads: Some(threads),
+                ..cfg1.clone()
+            };
+            let out = optimize_ksafe(seed.clone(), &cls, &cat, &cluster, &cfg, 1);
+            assert_eq!(out, reference, "threads={threads}");
+        }
     }
 }

@@ -35,4 +35,4 @@ pub mod metrics;
 pub mod trace;
 
 pub use metrics::{global, Histogram, Registry, Snapshot};
-pub use trace::{set_filter, span, Event, Level};
+pub use trace::{set_filter, span, span_on, Event, Level};

@@ -1,0 +1,238 @@
+//! # qcpa-par — deterministic fork/join parallelism
+//!
+//! A std-only (offline-build-compatible, like `vendor/`) scoped-thread
+//! fork/join pool. The design goal is **bit-identical results at any
+//! worker count**: [`Pool::map`] evaluates a pure function at every
+//! index of a range and returns the results *in index order*, so a
+//! caller that derives all per-task state deterministically from the
+//! index (e.g. a per-offspring RNG stream seeded from
+//! `(seed, generation, index)`) observes exactly the sequential result
+//! regardless of how the indices were interleaved across threads.
+//!
+//! Scheduling is dynamic (an atomic work counter) so unevenly sized
+//! tasks — a local-search improvement can take 10× longer than a plain
+//! mutation — still balance across workers; dynamic scheduling does not
+//! threaten determinism because results are keyed by index, never by
+//! completion order.
+//!
+//! The worker count comes from, in priority order:
+//!
+//! 1. an explicit [`Pool::with_workers`] argument,
+//! 2. the `QCPA_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`] (fallback 1).
+//!
+//! Threads are scoped ([`std::thread::scope`]): they borrow the
+//! caller's stack data without `'static` bounds and are joined before
+//! `map` returns, so a `Pool` holds no OS resources between calls —
+//! "fork/join" in the literal sense.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A fixed-width fork/join pool. Cheap to construct (two words); spawns
+/// scoped threads per [`Pool::map`] call and joins them before
+/// returning.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool sized by the environment: `QCPA_THREADS` if set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        Self::with_workers(env_threads().unwrap_or_else(default_threads))
+    }
+
+    /// A pool with an explicit worker count (clamped to at least 1).
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// `Some(n)` → [`Pool::with_workers`], `None` → [`Pool::from_env`].
+    /// The shape config structs want for an optional thread knob.
+    pub fn new(workers: Option<usize>) -> Self {
+        match workers {
+            Some(n) => Self::with_workers(n),
+            None => Self::from_env(),
+        }
+    }
+
+    /// The number of worker threads `map` will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates `f(0), f(1), …, f(n-1)` and returns the results in
+    /// index order.
+    ///
+    /// With one worker (or one task) this runs inline on the calling
+    /// thread — no spawn, no channel. Otherwise `min(workers, n)`
+    /// scoped threads pull indices from a shared atomic counter and
+    /// send `(index, result)` pairs back over a channel; the caller
+    /// slots them by index. For a pure `f`, the output is bit-identical
+    /// to the sequential loop at every worker count.
+    ///
+    /// A panic inside `f` propagates to the caller after the scope
+    /// joins (remaining indices may or may not have been evaluated).
+    pub fn map<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // A closed channel means the receiver bailed; stop
+                    // producing.
+                    if tx.send((i, f(i))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, r) in rx {
+                slots[i] = Some(r);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("scope joined all workers, every index completed"))
+            .collect()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Parses `QCPA_THREADS`; `None` when unset, empty, zero, or garbage.
+fn env_threads() -> Option<usize> {
+    std::env::var("QCPA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// The machine's available parallelism, defaulting to 1 when unknown.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Mixes a `(seed, stream, index)` triple into an independent 64-bit
+/// RNG seed (SplitMix64 finalizer applied to each component).
+///
+/// Callers that fan work out with [`Pool::map`] use one stream id per
+/// fan-out site and the task index within it, so every task gets a
+/// statistically independent, reproducible RNG — the cornerstone of
+/// thread-count-independent results.
+pub fn stream_seed(seed: u64, stream: u64, index: u64) -> u64 {
+    splitmix(seed ^ splitmix(stream ^ splitmix(index.wrapping_add(0x9E37_79B9_7F4A_7C15))))
+}
+
+/// The SplitMix64 finalizer: a bijective avalanche mix.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_returns_results_in_index_order() {
+        for workers in [1, 2, 3, 8] {
+            let pool = Pool::with_workers(workers);
+            let out = pool.map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let pool = Pool::with_workers(4);
+        assert_eq!(pool.map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn results_are_identical_across_worker_counts() {
+        // A mildly stateful per-index computation: everything derives
+        // from the index, so worker count must not matter.
+        let reference = Pool::with_workers(1).map(257, |i| stream_seed(42, 7, i as u64));
+        for workers in [2, 4, 16] {
+            let out = Pool::with_workers(workers).map(257, |i| stream_seed(42, 7, i as u64));
+            assert_eq!(out, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn uneven_task_sizes_still_complete() {
+        let pool = Pool::with_workers(4);
+        let out = pool.map(50, |i| {
+            // Task 0 is much heavier than the rest.
+            let spins = if i == 0 { 100_000 } else { 10 };
+            (0..spins).fold(i as u64, |a, b| a.wrapping_add(b))
+        });
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for stream in 0..8u64 {
+            for idx in 0..64u64 {
+                assert!(seen.insert(stream_seed(1, stream, idx)));
+            }
+        }
+    }
+
+    #[test]
+    fn with_workers_clamps_to_one() {
+        assert_eq!(Pool::with_workers(0).workers(), 1);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let pool = Pool::with_workers(2);
+        let res = std::panic::catch_unwind(|| {
+            pool.map(8, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(res.is_err());
+    }
+}

@@ -178,6 +178,95 @@ pub fn run_batch(
     }
 }
 
+/// An index over the per-backend release times (`free_at`) answering
+/// "which backend has the least pending work right now?" in O(log n)
+/// instead of a full scan, for reads whose eligible set is the whole
+/// cluster (e.g. full replication).
+///
+/// Time only moves forward in [`run_open`] (arrivals are sorted) and
+/// release times only grow, which admits a two-tier structure:
+///
+/// * `idle` — backends already free at the current time. They all have
+///   zero pending work, so the scheduler's tie-break (lowest index)
+///   makes the answer `idle.first()`.
+/// * `heap` — a lazy min-heap of `(free_at, backend)` for the rest.
+///   Entries are never removed on update; a popped entry that disagrees
+///   with the live `free_at` value is stale and skipped. Keys are the
+///   raw IEEE bits, whose order matches the numeric order for the
+///   non-negative release times.
+struct PendingIndex {
+    idle: std::collections::BTreeSet<usize>,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+}
+
+impl PendingIndex {
+    fn new(free_at: &[f64]) -> Self {
+        let mut heap = std::collections::BinaryHeap::with_capacity(free_at.len() * 2);
+        for (b, &f) in free_at.iter().enumerate() {
+            heap.push(std::cmp::Reverse((f.to_bits(), b)));
+        }
+        Self {
+            idle: std::collections::BTreeSet::new(),
+            heap,
+        }
+    }
+
+    /// Moves every backend whose release time has passed `t` into the
+    /// idle tier. Amortized O(log n): each heap entry is popped once.
+    fn advance(&mut self, free_at: &[f64], t: f64) {
+        while let Some(&std::cmp::Reverse((bits, b))) = self.heap.peek() {
+            if bits != free_at[b].to_bits() {
+                self.heap.pop(); // stale entry superseded by a later push
+            } else if f64::from_bits(bits) <= t {
+                self.heap.pop();
+                self.idle.insert(b);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The backend with the least pending work, ties to the lowest
+    /// index — matching the scheduler's least-pending rule over the full
+    /// cluster. Call [`Self::advance`] first.
+    fn least_pending(&mut self, free_at: &[f64]) -> Option<usize> {
+        if let Some(&b) = self.idle.first() {
+            return Some(b);
+        }
+        while let Some(&std::cmp::Reverse((bits, b))) = self.heap.peek() {
+            if bits != free_at[b].to_bits() {
+                self.heap.pop();
+            } else {
+                return Some(b);
+            }
+        }
+        None
+    }
+
+    /// Records that backend `b` was dispatched work and now frees at
+    /// `new_free` (which never decreases).
+    fn touch(&mut self, b: usize, new_free: f64) {
+        self.idle.remove(&b);
+        self.heap.push(std::cmp::Reverse((new_free.to_bits(), b)));
+    }
+}
+
+/// Nearest-rank percentile (1-based rank `ceil(q·n)`, clamped to
+/// `[1, n]`) — the same rule as [`qcpa_obs::Histogram`] quantiles, so
+/// report percentiles and metrics-sidecar percentiles agree. Selects in
+/// O(n) without sorting; `values` is reordered. Returns 0 for an empty
+/// slice.
+fn nearest_rank(values: &mut [f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let rank = ((values.len() as f64 * q).ceil() as usize).clamp(1, values.len());
+    let (_, v, _) = values.select_nth_unstable_by(rank - 1, |a, b| {
+        a.partial_cmp(b).expect("responses are finite")
+    });
+    *v
+}
+
 /// Result of an open-loop (response-time) run.
 #[derive(Debug, Clone)]
 pub struct OpenReport {
@@ -218,26 +307,38 @@ pub fn run_open(
     let mut resp_hist = qcpa_obs::Histogram::new();
     let mut queue_hist = qcpa_obs::Histogram::new();
 
+    let mut index = PendingIndex::new(&free_at);
     let mut last_t = 0.0f64;
     for r in requests {
         debug_assert!(r.arrival >= last_t, "arrivals must be sorted");
         last_t = r.arrival;
         let t = r.arrival;
-        let pending: Vec<f64> = free_at.iter().map(|&f| (f - t).max(0.0)).collect();
+        // Pending work is derived from release times on demand — no
+        // per-request vector, and only the probed backends are touched.
+        let pending_at = |b: usize, free_at: &[f64]| (free_at[b] - t).max(0.0);
         match r.kind {
             QueryKind::Read => {
-                if let Some(b) = scheduler.route_read(r.class, &pending) {
+                // Full-cluster eligible set: answer from the index in
+                // O(log n). Restricted set: probe just those targets.
+                let routed = if scheduler.read_targets(r.class).len() == n {
+                    index.advance(&free_at, t);
+                    index.least_pending(&free_at)
+                } else {
+                    scheduler.route_read_with(r.class, |b| pending_at(b, &free_at))
+                };
+                if let Some(b) = routed {
                     let svc = profile.effective(b, r.service);
                     let done = free_at[b].max(t) + svc;
+                    queue_hist.record(pending_at(b, &free_at));
                     free_at[b] = done;
+                    index.touch(b, done);
                     busy[b] += svc;
-                    queue_hist.record(pending[b]);
                     resp_hist.record(done - t);
                     responses.push((t, done - t));
                 }
             }
             QueryKind::Update => {
-                let targets = scheduler.route_update(r.class).to_vec();
+                let targets = scheduler.route_update(r.class);
                 let sync = match cfg.propagation {
                     UpdatePropagation::Rowa => {
                         1.0 + cfg.rowa_overhead * (targets.len() as f64 - 1.0)
@@ -252,8 +353,12 @@ pub fn run_open(
                         _ => sync,
                     };
                     let svc = profile.effective(b, r.service) * mult;
+                    if i == 0 {
+                        queue_hist.record(pending_at(b, &free_at));
+                    }
                     let done = free_at[b].max(t) + svc;
                     free_at[b] = done;
+                    index.touch(b, done);
                     busy[b] += svc;
                     done_all = done_all.max(done);
                     if i == 0 {
@@ -265,7 +370,6 @@ pub fn run_open(
                     _ => done_primary - t,
                 };
                 if !targets.is_empty() {
-                    queue_hist.record(pending[targets[0]]);
                     resp_hist.record(response);
                     responses.push((t, response));
                 }
@@ -273,18 +377,13 @@ pub fn run_open(
         }
     }
 
-    let mut sorted: Vec<f64> = responses.iter().map(|&(_, r)| r).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("responses are finite"));
-    let mean_response = if sorted.is_empty() {
+    let mut resp: Vec<f64> = responses.iter().map(|&(_, r)| r).collect();
+    let mean_response = if resp.is_empty() {
         0.0
     } else {
-        sorted.iter().sum::<f64>() / sorted.len() as f64
+        resp.iter().sum::<f64>() / resp.len() as f64
     };
-    let p95_response = if sorted.is_empty() {
-        0.0
-    } else {
-        sorted[((sorted.len() as f64 * 0.95) as usize).min(sorted.len() - 1)]
-    };
+    let p95_response = nearest_rank(&mut resp, 0.95);
     let window = requests.last().map(|r| r.arrival).unwrap_or(0.0).max(1e-9);
     let utilization: Vec<f64> = busy.iter().map(|b| b / window).collect();
 
@@ -441,6 +540,85 @@ mod tests {
         let cold = run_open(&alloc, &cls, &c2, &cat, &reqs, 5.0, &SimConfig::default());
         let warm = run_open(&alloc, &cls, &c2, &cat, &reqs, 0.0, &SimConfig::default());
         assert!(cold.responses[0].1 > warm.responses[0].1 + 4.0);
+    }
+
+    /// Pinned: p95 uses the nearest-rank rule (1-based rank
+    /// `ceil(0.95·n)`), the same convention as the obs histogram
+    /// quantiles — not a truncating index.
+    #[test]
+    fn p95_uses_ceil_based_nearest_rank() {
+        // n = 100: rank ceil(95.0) = 95 → the 95th smallest value.
+        let mut v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(nearest_rank(&mut v, 0.95), 95.0);
+        // n = 20: rank ceil(19.0) = 19 → 19.0 (truncation would also
+        // give index 19 = value 20.0; the ceil rank gives 19.0).
+        let mut v: Vec<f64> = (1..=20).map(f64::from).collect();
+        assert_eq!(nearest_rank(&mut v, 0.95), 19.0);
+        // n = 7: rank ceil(6.65) = 7 → the maximum.
+        let mut v: Vec<f64> = (1..=7).map(f64::from).collect();
+        assert_eq!(nearest_rank(&mut v, 0.95), 7.0);
+        // Degenerate cases.
+        assert_eq!(nearest_rank(&mut [], 0.95), 0.0);
+        assert_eq!(nearest_rank(&mut [3.25], 0.95), 3.25);
+        // Order-independent: selection, not a pre-sorted lookup.
+        let mut v = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(nearest_rank(&mut v, 0.95), 5.0);
+    }
+
+    /// The report's percentile agrees with the obs histogram's quantile
+    /// rule on the identical sample set (up to the histogram's
+    /// log-bucket resolution).
+    #[test]
+    fn report_p95_matches_histogram_quantile_rule() {
+        let values: Vec<f64> = (1..=200).map(|i| i as f64 * 1e-3).collect();
+        let mut hist = qcpa_obs::Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut v = values.clone();
+        let exact = nearest_rank(&mut v, 0.95);
+        let bucketed = hist.quantile(0.95).expect("histogram is non-empty");
+        assert!(
+            (bucketed - exact).abs() / exact < 0.05,
+            "histogram {bucketed} vs nearest-rank {exact}"
+        );
+    }
+
+    /// The heap/idle-set index answers exactly like a naive full scan
+    /// with the scheduler's tie-break, across growing time and random
+    /// dispatches.
+    #[test]
+    fn pending_index_matches_linear_scan() {
+        use rand::Rng;
+        let n = 8;
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut free_at = vec![0.5f64; n];
+        let mut index = PendingIndex::new(&free_at);
+        let mut t = 0.0;
+        for _ in 0..2_000 {
+            t += rng.gen_range(0.0..0.02);
+            index.advance(&free_at, t);
+            let fast = index.least_pending(&free_at).unwrap();
+            let naive = (0..n)
+                .min_by(|&a, &b| {
+                    let pa = (free_at[a] - t).max(0.0);
+                    let pb = (free_at[b] - t).max(0.0);
+                    pa.partial_cmp(&pb).unwrap().then(a.cmp(&b))
+                })
+                .unwrap();
+            assert_eq!(fast, naive, "t={t}");
+            // Dispatch to the chosen backend, sometimes to a random one
+            // too (update fan-out touches non-minimal backends).
+            let done = free_at[fast].max(t) + rng.gen_range(0.001..0.05);
+            free_at[fast] = done;
+            index.touch(fast, done);
+            if rng.gen_bool(0.3) {
+                let b = rng.gen_range(0..n);
+                let done = free_at[b].max(t) + rng.gen_range(0.001..0.05);
+                free_at[b] = done;
+                index.touch(b, done);
+            }
+        }
     }
 
     #[test]

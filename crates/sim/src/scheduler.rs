@@ -64,9 +64,18 @@ impl Scheduler {
     /// per-backend pending work: least pending first, ties to the lowest
     /// index. Returns `None` if no backend can serve the class.
     pub fn route_read(&self, c: ClassId, pending: &[f64]) -> Option<usize> {
+        self.route_read_with(c, |b| pending[b])
+    }
+
+    /// Like [`Self::route_read`], but the pending work is probed through
+    /// a closure, so callers can derive it on the fly (e.g. from release
+    /// times) instead of materializing a per-request vector. Only the
+    /// class's eligible backends are probed — O(targets), not
+    /// O(backends).
+    pub fn route_read_with<F: Fn(usize) -> f64>(&self, c: ClassId, pending: F) -> Option<usize> {
         self.read_targets[c.idx()].iter().copied().min_by(|&a, &b| {
-            pending[a]
-                .partial_cmp(&pending[b])
+            pending(a)
+                .partial_cmp(&pending(b))
                 .expect("pending work is finite")
                 .then(a.cmp(&b))
         })

@@ -10,7 +10,13 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo test =="
-cargo test -q --workspace
+echo "== cargo test (QCPA_THREADS=1) =="
+QCPA_THREADS=1 cargo test -q --workspace
+
+echo "== cargo test (QCPA_THREADS=4) =="
+QCPA_THREADS=4 cargo test -q --workspace
+
+echo "== allocator speedup bench (quick) =="
+QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin bench_allocator
 
 echo "All checks passed."

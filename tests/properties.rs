@@ -170,6 +170,89 @@ proptest! {
         prop_assert_eq!(once, alloc);
     }
 
+    /// The parallel memetic engine is bit-identical to the sequential
+    /// one: per-offspring seeding makes the random streams independent
+    /// of scheduling, so any worker count returns the same allocation.
+    #[test]
+    fn parallel_memetic_matches_sequential(
+        w in workload_strategy(),
+        n in 2usize..5,
+        seed in 0u64..50,
+    ) {
+        let (catalog, cls) = materialize(&w);
+        let Some(cls) = cls else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let cfg = |threads| memetic::MemeticConfig {
+            iterations: 4,
+            population: 6,
+            seed,
+            threads: Some(threads),
+            ..Default::default()
+        };
+        let sequential = memetic::allocate(&cls, &catalog, &cluster, &cfg(1));
+        for threads in [2usize, 8] {
+            let parallel = memetic::allocate(&cls, &catalog, &cluster, &cfg(threads));
+            prop_assert_eq!(
+                &sequential, &parallel,
+                "thread count {} changed the result", threads
+            );
+        }
+    }
+
+    /// `DeltaCost` transfer/undo round-trip oracle: a random sequence
+    /// of share transfers keeps the tracker's cost bit-identical to a
+    /// full normalize + recompute, and undoing the sequence in reverse
+    /// restores the exact starting allocation and cost.
+    #[test]
+    fn delta_cost_transfer_undo_roundtrip(
+        w in workload_strategy(),
+        n in 2usize..5,
+        seed in 0u64..100,
+    ) {
+        use qcpa::core::allocation::DeltaCost;
+        use qcpa::core::BackendId;
+        use rand::Rng;
+
+        let (catalog, cls) = materialize(&w);
+        let Some(cls) = cls else { return Ok(()); };
+        if cls.read_ids().is_empty() { return Ok(()); }
+        let cluster = ClusterSpec::homogeneous(n);
+        let mut alloc = greedy::allocate(&cls, &catalog, &cluster);
+        alloc.normalize(&cls, &cluster);
+        let start = alloc.clone();
+        let mut tracker = DeltaCost::new(&alloc, &cls, &catalog);
+        let start_cost = tracker.cost(&cluster);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut tokens = Vec::new();
+        for _ in 0..12 {
+            let r = cls.read_ids()[rng.gen_range(0..cls.read_ids().len())];
+            let from = rng.gen_range(0..n);
+            let to = rng.gen_range(0..n);
+            let share = alloc.assign[r.idx()][from];
+            if share <= 0.0 { continue; }
+            let amount = share * rng.gen_range(0.25..1.0);
+            tokens.push(tracker.transfer(
+                &mut alloc, &cls, &cluster, &catalog,
+                r, BackendId(from as u32), BackendId(to as u32), amount,
+            ));
+            // The tracker must mirror a full recompute exactly.
+            let mut reference = alloc.clone();
+            reference.normalize(&cls, &cluster);
+            prop_assert_eq!(&reference, &alloc, "transfer left alloc unnormalized");
+            prop_assert_eq!(
+                tracker.cost(&cluster),
+                alloc.cost(&cluster, &catalog),
+                "tracked cost diverged from full recompute"
+            );
+        }
+        for token in tokens.into_iter().rev() {
+            tracker.undo(&mut alloc, &cls, token);
+        }
+        prop_assert_eq!(&start, &alloc, "undo did not restore the allocation");
+        prop_assert_eq!(start_cost, tracker.cost(&cluster), "undo did not restore the cost");
+    }
+
     /// Weight changes (Section 5): decreasing any class's weight never
     /// lowers the predicted speedup.
     #[test]
