@@ -1,0 +1,4 @@
+//! Failure timeline: availability and response time under faults.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::faults::fig_fault_availability()
+}

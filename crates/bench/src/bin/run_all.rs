@@ -24,6 +24,7 @@ fn main() -> std::io::Result<()> {
     ablations::robustness()?;
     ablations::ksafety_cost()?;
     ablations::heterogeneous()?;
+    faults::fig_fault_availability()?;
     println!("All experiments done; CSVs in results/.");
     Ok(())
 }

@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod allocbench;
 pub mod autoscale;
 pub mod balance;
+pub mod faults;
 pub mod tables;
 pub mod tpcapp;
 pub mod tpch;

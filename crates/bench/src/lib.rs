@@ -21,6 +21,7 @@
 //! | `fig5_autoscale_nodes` | §5 active servers vs workload |
 //! | `fig5_autoscale_response` | §5 response time with/without scaling |
 //! | `fig6_class_distribution` | §5 Fig. 6 class mix over a day |
+//! | `fig_fault_availability` | failure timeline: nodes available & response under faults |
 //! | `tab_readonly_example` | §3 read-only example load tables |
 //! | `tab_appendix_example` | Appendix A worked example |
 //! | `bench_allocator` | allocator-engine wall-clock speedup (BENCH_allocator.json) |

@@ -110,6 +110,9 @@ pub struct Cdbs {
     allocation: Allocation,
     cumulative_cost: Vec<f64>,
     journal: Journal,
+    /// Backends currently failed: routing skips them, writes they miss
+    /// are replayed from the master copy on recovery.
+    offline: Vec<bool>,
 }
 
 impl Cdbs {
@@ -201,7 +204,119 @@ impl Cdbs {
             allocation,
             cumulative_cost: vec![0.0; n_backends],
             journal: Journal::new(),
+            offline: vec![false; n_backends],
         }
+    }
+
+    /// Marks backend `b` as failed: routing skips it from now on. Its
+    /// stored data is kept (the node is down, not wiped) but goes stale
+    /// as writes proceed on the survivors; [`Cdbs::recover_backend`]
+    /// re-syncs it from the authoritative master copy.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    pub fn fail_backend(&mut self, b: usize) {
+        assert!(b < self.backends.len(), "unknown backend {b}");
+        if !self.offline[b] {
+            self.offline[b] = true;
+            qcpa_obs::global().counter("controller.failures").inc();
+            qcpa_obs::event!(qcpa_obs::Level::Info, "controller", "fail_backend", {
+                "backend" => b as u64,
+            });
+        }
+    }
+
+    /// Brings a failed backend back: every fragment of its layout is
+    /// reloaded from the master copy (the catch-up ETL), and routing
+    /// includes it again. Returns the reloaded bytes; 0 if the backend
+    /// was not offline.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    pub fn recover_backend(&mut self, b: usize) -> u64 {
+        assert!(b < self.backends.len(), "unknown backend {b}");
+        if !self.offline[b] {
+            return 0;
+        }
+        let stale: Vec<String> = self.backends[b]
+            .fragment_names()
+            .map(|s| s.to_string())
+            .collect();
+        for name in stale {
+            self.backends[b].drop_fragment(&name);
+        }
+        let moved = self.load_layout(b);
+        self.offline[b] = false;
+        qcpa_obs::global()
+            .counter("controller.recoveries.moved_bytes")
+            .add(moved);
+        qcpa_obs::event!(qcpa_obs::Level::Info, "controller", "recover_backend", {
+            "backend" => b as u64,
+            "moved_bytes" => moved,
+        });
+        moved
+    }
+
+    /// Indices of the currently failed backends.
+    pub fn offline_backends(&self) -> Vec<usize> {
+        (0..self.backends.len())
+            .filter(|&b| self.offline[b])
+            .collect()
+    }
+
+    /// Loads every fragment of backend `b`'s layout from the master
+    /// copy, skipping fragments already stored. Returns loaded bytes.
+    fn load_layout(&mut self, b: usize) -> u64 {
+        let layout = self.layouts[b].clone();
+        let mut moved = 0u64;
+        for (t, parts) in &layout.parts {
+            let scheme = self
+                .partitions
+                .iter()
+                .find(|p| &p.table == t)
+                .expect("partition fragments imply a scheme")
+                .clone();
+            let mi = self
+                .schema
+                .tables
+                .iter()
+                .position(|d| &d.name == t)
+                .expect("table exists");
+            for &p in parts {
+                let frag_name = scheme.fragment_name(p);
+                if self.backends[b].table(&frag_name).is_some() {
+                    continue;
+                }
+                moved += self.backends[b].bulk_load(extract_horizontal(
+                    &self.master[mi],
+                    &scheme.range_predicate(p),
+                    p as u32,
+                ));
+            }
+        }
+        for table_name in layout.columns.keys() {
+            let frag_name = layout
+                .fragment_name(&self.schema, table_name)
+                .expect("stored table");
+            if self.backends[b].table(&frag_name).is_some() {
+                continue;
+            }
+            let mi = self
+                .schema
+                .tables
+                .iter()
+                .position(|t| &t.name == table_name)
+                .expect("table exists");
+            let stored = &layout.columns[table_name];
+            let data = if stored.len() == self.schema.tables[mi].columns.len() {
+                qcpa_storage::fragmentation::extract_full(&self.master[mi])
+            } else {
+                let col_refs: Vec<&str> = stored.iter().map(|s| s.as_str()).collect();
+                extract_vertical(&self.master[mi], &col_refs)
+            };
+            moved += self.backends[b].bulk_load(data);
+        }
+        moved
     }
 
     fn scheme_for(&self, table: &str) -> Option<&PartitionScheme> {
@@ -267,7 +382,7 @@ impl Cdbs {
         match request {
             Request::Read(q) => {
                 let capable: Vec<usize> = (0..self.backends.len())
-                    .filter(|&b| self.layouts[b].covers(&table_name, &cols))
+                    .filter(|&b| !self.offline[b] && self.layouts[b].covers(&table_name, &cols))
                     .collect();
                 let &b = capable
                     .iter()
@@ -308,7 +423,7 @@ impl Cdbs {
             }
             Request::Write(w) => {
                 let targets: Vec<usize> = (0..self.backends.len())
-                    .filter(|&b| self.layouts[b].overlaps(&table_name, &cols))
+                    .filter(|&b| !self.offline[b] && self.layouts[b].overlaps(&table_name, &cols))
                     .collect();
                 if targets.is_empty() {
                     return Err(CdbsError::NoCapableBackend {
@@ -428,7 +543,10 @@ impl Cdbs {
         match request {
             Request::Read(q) => {
                 let capable: Vec<usize> = (0..self.backends.len())
-                    .filter(|&b| self.layouts[b].covers_parts(&table_name, &touched, n_columns))
+                    .filter(|&b| {
+                        !self.offline[b]
+                            && self.layouts[b].covers_parts(&table_name, &touched, n_columns)
+                    })
                     .collect();
                 let &b = capable
                     .iter()
@@ -474,7 +592,9 @@ impl Cdbs {
             }
             Request::Write(w) => {
                 let targets: Vec<usize> = (0..self.backends.len())
-                    .filter(|&b| self.layouts[b].overlaps_parts(&table_name, &touched))
+                    .filter(|&b| {
+                        !self.offline[b] && self.layouts[b].overlaps_parts(&table_name, &touched)
+                    })
                     .collect();
                 if targets.is_empty() {
                     return Err(CdbsError::NoCapableBackend {
@@ -582,6 +702,12 @@ impl Cdbs {
         if self.journal.is_empty() {
             return Err(CdbsError::EmptyJournal);
         }
+        // Reallocation resynchronizes every backend from the master copy
+        // anyway, so bring failed nodes back first — their stale fragments
+        // must not be mistaken for up-to-date ones by the keep/load logic.
+        for b in self.offline_backends() {
+            self.recover_backend(b);
+        }
         // Fresh sizes: the data may have grown since boot.
         self.catalog = build_cdbs_catalog(&self.schema, &self.master, &self.partitions);
 
@@ -606,13 +732,7 @@ impl Cdbs {
             let keep: Vec<usize> = (0..old_n)
                 .filter(|b| !plan.decommissioned.contains(b))
                 .collect();
-            let mut shrunk = Allocation::empty(plan.allocation.n_classes(), keep.len());
-            for (new_b, &old_b) in keep.iter().enumerate() {
-                shrunk.fragments[new_b] = plan.allocation.fragments[old_b].clone();
-                for c in 0..plan.allocation.n_classes() {
-                    shrunk.assign[c][new_b] = plan.allocation.assign[c][old_b];
-                }
-            }
+            let shrunk = plan.allocation.restrict(&keep);
             self.backends = keep
                 .iter()
                 .map(|&b| std::mem::take(&mut self.backends[b]))
@@ -626,6 +746,8 @@ impl Cdbs {
             self.layouts.push(TableLayout::default());
             self.cumulative_cost.push(0.0);
         }
+        // Everybody was recovered above and freshly reloaded below.
+        self.offline = vec![false; matched.n_backends()];
 
         // Physically realize the new layouts.
         let new_layouts = layout_from_allocation(&matched, &self.catalog, &self.schema);

@@ -154,6 +154,26 @@ impl Allocation {
             .fold(0.0, f64::max)
     }
 
+    /// The allocation restricted to the backends in `keep`, in the given
+    /// order: fragment sets and assignment columns are copied verbatim,
+    /// so the result is indexed `0..keep.len()`. Shares are *not*
+    /// redistributed — pair with [`crate::ksafety::fail_backends`] when
+    /// the dropped backends carried read load. Used by the elastic
+    /// scale-in path and the simulator's fault engine.
+    ///
+    /// # Panics
+    /// Panics if an index in `keep` is out of range.
+    pub fn restrict(&self, keep: &[usize]) -> Allocation {
+        let mut out = Allocation::empty(self.n_classes(), keep.len());
+        for (new_b, &old_b) in keep.iter().enumerate() {
+            out.fragments[new_b] = self.fragments[old_b].clone();
+            for c in 0..self.n_classes() {
+                out.assign[c][new_b] = self.assign[c][old_b];
+            }
+        }
+        out
+    }
+
     /// The backends capable of processing class `c`: those storing all of
     /// its fragments (Eq. 8's precondition).
     pub fn capable_backends(&self, cls: &Classification, c: ClassId) -> Vec<BackendId> {

@@ -55,10 +55,23 @@ pub fn is_k_safe(alloc: &Allocation, cls: &Classification, k: usize) -> bool {
 /// Simulates the failure of the given backends: returns the allocation
 /// restricted to the survivors with read shares redistributed among the
 /// remaining capable backends (proportionally to their relative
-/// performance), or `None` if some query class has no capable survivor.
+/// performance), or `None` if some query class with positive weight has
+/// no capable survivor.
 ///
 /// The returned allocation is indexed by the *surviving* backends in
 /// their original order; pair it with [`surviving_cluster`].
+///
+/// # Contract
+///
+/// * Failing **every** backend (or any superset of the cluster) returns
+///   `None` — never a panic or an empty allocation.
+/// * Duplicate entries in `failed` are tolerated and equivalent to
+///   listing the backend once; ids outside the cluster are ignored.
+/// * Failing **all replicas of a fragment** that a positively weighted
+///   class needs returns `None`: the data survives nowhere, so the
+///   class cannot be processed (use [`repair`] on the restricted
+///   allocation to re-replicate from a master copy, as the simulator's
+///   fault engine does).
 pub fn fail_backends(
     alloc: &Allocation,
     cls: &Classification,
@@ -109,6 +122,17 @@ pub fn fail_backends(
 
 /// The cluster restricted to the survivors, with relative performance
 /// renormalized to sum to 1 (Eq. 7).
+///
+/// # Contract
+///
+/// * Failing every backend returns `None` — callers never observe an
+///   empty [`ClusterSpec`] (whose constructors reject zero backends)
+///   and never hit a panic.
+/// * Duplicates in `failed` collapse to a single failure; unknown ids
+///   are ignored.
+/// * An empty `failed` list returns the cluster unchanged (modulo the
+///   Eq. 7 renormalization, which is a no-op on an already normalized
+///   spec).
 pub fn surviving_cluster(cluster: &ClusterSpec, failed: &[BackendId]) -> Option<ClusterSpec> {
     let raw: Vec<f64> = cluster
         .ids()
@@ -209,6 +233,98 @@ mod tests {
         assert!(fail_backends(&alloc, &cls, &cluster, &all).is_none());
         assert!(surviving_cluster(&cluster, &all).is_none());
     }
+
+    /// Pinned contract: the all-backends failure stays `None` under
+    /// duplicated and out-of-range ids — no panic, no empty cluster —
+    /// and an empty failure list is the identity.
+    #[test]
+    fn surviving_cluster_edge_cases_are_total() {
+        let cluster = ClusterSpec::heterogeneous(&[1.0, 2.0, 3.0]);
+        // Every backend, listed twice over, plus an unknown id.
+        let noisy: Vec<BackendId> = cluster
+            .ids()
+            .chain(cluster.ids())
+            .chain([BackendId(99)])
+            .collect();
+        assert!(surviving_cluster(&cluster, &noisy).is_none());
+        // Duplicates collapse: failing {1, 1} equals failing {1}.
+        let once = surviving_cluster(&cluster, &[BackendId(1)]).unwrap();
+        let twice = surviving_cluster(&cluster, &[BackendId(1), BackendId(1)]).unwrap();
+        assert_eq!(once.len(), 2);
+        assert_eq!(twice.len(), 2);
+        for b in once.ids() {
+            assert!((once.load(b) - twice.load(b)).abs() < 1e-12);
+        }
+        // Empty failure list: the full cluster, loads unchanged.
+        let same = surviving_cluster(&cluster, &[]).unwrap();
+        assert_eq!(same.len(), cluster.len());
+        for b in cluster.ids() {
+            assert!((same.load(b) - cluster.load(b)).abs() < 1e-12);
+        }
+    }
+
+    /// Pinned: when every replica of a fragment dies, `fail_backends`
+    /// returns `None` — the positively weighted class reading that
+    /// fragment has no capable survivor even though other backends
+    /// remain up.
+    #[test]
+    fn all_replicas_of_a_fragment_dying_is_fatal() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 100);
+        let b = cat.add_table("B", 100);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.6),
+            QueryClass::read(1, [b], 0.4),
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(3);
+        // A lives on backends 0 and 1 only; B everywhere.
+        let mut alloc = Allocation::empty(cls.len(), 3);
+        alloc.fragments[0].extend([a, b]);
+        alloc.fragments[1].extend([a, b]);
+        alloc.fragments[2].insert(b);
+        alloc.assign[0][0] = 0.3;
+        alloc.assign[0][1] = 0.3;
+        alloc.assign[1][2] = 0.4;
+        alloc.validate(&cls, &cluster).unwrap();
+
+        // Both A replicas die: backend 2 survives but cannot serve A.
+        let dead = [BackendId(0), BackendId(1)];
+        assert!(fail_backends(&alloc, &cls, &cluster, &dead).is_none());
+        // The cluster itself survives — the loss is data, not capacity.
+        assert!(surviving_cluster(&cluster, &dead).is_some());
+        // Either single replica dying is survivable.
+        for lone in dead {
+            assert!(fail_backends(&alloc, &cls, &cluster, &[lone]).is_some());
+        }
+    }
+}
+
+/// What an online [`repair`] changed: the per-backend fragment sets
+/// before and after, from which data movement can be priced (the Eq. 27
+/// move cost is exactly the bytes of the newly added fragments). Used
+/// by the simulator's fault engine to charge the ETL pause of an
+/// in-flight re-replication to the clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairReport {
+    /// Fragments newly added per backend (`added[b]` is what backend
+    /// `b` must load from a surviving replica or the master copy).
+    pub added: Vec<std::collections::BTreeSet<crate::fragment::FragmentId>>,
+    /// Number of `(class, backend)` replica grants performed.
+    pub grants: usize,
+}
+
+impl RepairReport {
+    /// True if the repair was a no-op.
+    pub fn is_noop(&self) -> bool {
+        self.grants == 0 && self.added.iter().all(|s| s.is_empty())
+    }
+
+    /// Total bytes of the newly added fragments (each replica counted)
+    /// — the Eq. 27 movement the repair implies.
+    pub fn moved_bytes(&self, catalog: &Catalog) -> u64 {
+        self.added.iter().map(|s| catalog.size_of_set(s)).sum()
+    }
 }
 
 /// Repairs an allocation to class k-safety *in place*: every query
@@ -216,9 +332,33 @@ mod tests {
 /// until `min(k + 1, |B|)` backends can process it, with the update
 /// constraints re-synchronized (Eq. 10). Used by the k-safe memetic
 /// optimizer, whose mutations may strip replicas.
+///
+/// Guarantees (pinned by the root `properties` proptests):
+///
+/// * **monotone** — [`class_safety`] never decreases: replicas are only
+///   added, never removed;
+/// * **idempotent** — a second invocation with the same `k` changes
+///   nothing;
+/// * after the call every class is processable by `min(k + 1, |B|)`
+///   backends.
 pub fn repair(alloc: &mut Allocation, cls: &Classification, cluster: &ClusterSpec, k: usize) {
+    let _ = repair_report(alloc, cls, cluster, k);
+}
+
+/// [`repair`], additionally reporting which fragments each backend
+/// gained — the hook the simulator's fault engine uses to price the
+/// repair's data movement (Eq. 27) and charge the ETL pause to the
+/// simulated clock.
+pub fn repair_report(
+    alloc: &mut Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    k: usize,
+) -> RepairReport {
     let n = cluster.len();
     let target = (k + 1).min(n);
+    let before = alloc.fragments.clone();
+    let mut grants = 0usize;
     loop {
         let mut changed = false;
         for c in &cls.classes {
@@ -241,12 +381,20 @@ pub fn repair(alloc: &mut Allocation, cls: &Classification, cluster: &ClusterSpe
                 alloc.sync_updates(cls);
                 hosted = alloc.capable_backends(cls, c.id).len();
                 changed = true;
+                grants += 1;
             }
         }
         if !changed {
             break;
         }
     }
+    let added = alloc
+        .fragments
+        .iter()
+        .zip(&before)
+        .map(|(now, was)| now.difference(was).copied().collect())
+        .collect();
+    RepairReport { added, grants }
 }
 
 #[cfg(test)]
@@ -273,6 +421,34 @@ mod repair_tests {
         repair(&mut alloc, &cls, &cluster, 2);
         alloc.validate(&cls, &cluster).unwrap();
         assert!(class_safety(&alloc, &cls) >= 2);
+    }
+
+    /// The report prices exactly the fragments repair added: bytes of
+    /// the per-backend set differences, and a no-op report on a second
+    /// run.
+    #[test]
+    fn repair_report_prices_the_added_fragments() {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 1000);
+        let b = cat.add_table("B", 500);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.7),
+            QueryClass::read(1, [b], 0.3),
+        ])
+        .unwrap();
+        let cluster = ClusterSpec::homogeneous(3);
+        let mut alloc = greedy::allocate(&cls, &cat, &cluster);
+        let before = alloc.clone();
+        let report = repair_report(&mut alloc, &cls, &cluster, 2);
+        assert!(class_safety(&alloc, &cls) >= 2);
+        // Moved bytes equal the growth in total stored bytes.
+        let grown = alloc.total_bytes(&cat) - before.total_bytes(&cat);
+        assert_eq!(report.moved_bytes(&cat), grown);
+        assert!(!report.is_noop());
+        // Second run: nothing left to add.
+        let again = repair_report(&mut alloc, &cls, &cluster, 2);
+        assert!(again.is_noop());
+        assert_eq!(again.moved_bytes(&cat), 0);
     }
 
     #[test]

@@ -256,7 +256,7 @@ impl PendingIndex {
 /// report percentiles and metrics-sidecar percentiles agree. Selects in
 /// O(n) without sorting; `values` is reordered. Returns 0 for an empty
 /// slice.
-fn nearest_rank(values: &mut [f64], q: f64) -> f64 {
+pub(crate) fn nearest_rank(values: &mut [f64], q: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }

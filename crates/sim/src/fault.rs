@@ -1,0 +1,1059 @@
+//! Deterministic in-simulation fault injection.
+//!
+//! A [`FaultPlan`] is a validated, time-ordered schedule of backend
+//! crashes and recoveries that [`run_open_faults`] interleaves with the
+//! open-loop arrival stream — the FoundationDB-style discipline of
+//! making fault timelines a first-class, seed-reproducible simulator
+//! input rather than an ambient source of nondeterminism. Everything
+//! downstream of the plan is deterministic: the same `(workload seed,
+//! fault seed)` pair replays the exact run, bit for bit, at any
+//! `QCPA_THREADS` setting.
+//!
+//! Semantics of a crash at time `T` on backend `d`:
+//!
+//! * legs (per-backend work units of a request) already finished on `d`
+//!   (`end ≤ T`) stand; legs still running or queued are **voided** and
+//!   their unperformed work is refunded from `d`'s busy time;
+//! * a request whose *primary* leg was voided (reads have one leg, which
+//!   is primary; updates use their first ROWA target, matching the
+//!   response rule of [`crate::engine::run_open`]) — or whose legs were
+//!   all voided — is **re-queued at `T`** through the post-crash router,
+//!   so no request is ever lost while any capable backend survives;
+//! * routing switches to the surviving allocation via
+//!   [`qcpa_core::ksafety::fail_backends`]; if a positively weighted
+//!   class lost its last capable replica, an online
+//!   [`qcpa_core::ksafety::repair`] re-replicates it from the master
+//!   copy and the implied data movement is priced with the Eq. 27 ETL
+//!   model from `qcpa-matching` and charged to every survivor's clock
+//!   (the availability gap the paper's k-safety construction avoids).
+//!
+//! A recovery at time `T` brings the backend back with its fragments
+//! intact after a catch-up pause: it accepts new work from
+//! `T + catchup_cost` on.
+
+use qcpa_core::allocation::Allocation;
+use qcpa_core::classify::Classification;
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::fragment::Catalog;
+use qcpa_core::journal::QueryKind;
+use qcpa_core::{ksafety, BackendId, ClassId};
+use qcpa_matching::physical::{move_cost, EtlCostModel};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::engine::{nearest_rank, SimConfig, UpdatePropagation};
+use crate::request::Request;
+use crate::scheduler::Scheduler;
+use crate::service::ServiceProfile;
+
+/// One entry of a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Backend `backend` fails at time `at`: its in-flight work is
+    /// voided and routing excludes it until it recovers.
+    Crash {
+        /// The failing backend (full-cluster index).
+        backend: usize,
+        /// Failure time in seconds.
+        at: f64,
+    },
+    /// Backend `backend` rejoins at time `at` with its fragments
+    /// restored; it accepts work from `at + catchup_cost` on (the replay
+    /// of updates it missed while down).
+    Recover {
+        /// The recovering backend (full-cluster index).
+        backend: usize,
+        /// Recovery time in seconds.
+        at: f64,
+        /// Catch-up pause in seconds before it serves again.
+        catchup_cost: f64,
+    },
+}
+
+impl FaultEvent {
+    /// The event's scheduled time.
+    pub fn at(&self) -> f64 {
+        match *self {
+            FaultEvent::Crash { at, .. } | FaultEvent::Recover { at, .. } => at,
+        }
+    }
+
+    /// The backend the event concerns.
+    pub fn backend(&self) -> usize {
+        match *self {
+            FaultEvent::Crash { backend, .. } | FaultEvent::Recover { backend, .. } => backend,
+        }
+    }
+}
+
+/// Why a [`FaultPlan`] was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidFaultPlan {
+    /// An event names a backend outside the cluster.
+    UnknownBackend {
+        /// Offending event index.
+        index: usize,
+        /// The named backend.
+        backend: usize,
+        /// The cluster size the plan was validated against.
+        n_backends: usize,
+    },
+    /// Event times are not non-decreasing.
+    Unsorted {
+        /// Index of the event earlier than its predecessor.
+        index: usize,
+    },
+    /// A time or catch-up cost is negative, NaN or infinite.
+    NonFinite {
+        /// Offending event index.
+        index: usize,
+    },
+    /// A backend crashes while already down.
+    DoubleCrash {
+        /// Offending event index.
+        index: usize,
+        /// The backend crashed twice.
+        backend: usize,
+    },
+    /// A backend recovers while up.
+    RecoverAlive {
+        /// Offending event index.
+        index: usize,
+        /// The backend recovered while alive.
+        backend: usize,
+    },
+    /// The plan takes every backend down simultaneously — the simulated
+    /// system would have nowhere to queue work, so such plans are
+    /// rejected up front.
+    AllBackendsDown {
+        /// Index of the crash that kills the last backend.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for InvalidFaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidFaultPlan::UnknownBackend {
+                index,
+                backend,
+                n_backends,
+            } => write!(
+                f,
+                "event {index}: backend {backend} outside cluster of {n_backends}"
+            ),
+            InvalidFaultPlan::Unsorted { index } => {
+                write!(f, "event {index} is earlier than its predecessor")
+            }
+            InvalidFaultPlan::NonFinite { index } => {
+                write!(f, "event {index} has a negative or non-finite time/cost")
+            }
+            InvalidFaultPlan::DoubleCrash { index, backend } => {
+                write!(f, "event {index}: backend {backend} crashes while down")
+            }
+            InvalidFaultPlan::RecoverAlive { index, backend } => {
+                write!(f, "event {index}: backend {backend} recovers while up")
+            }
+            InvalidFaultPlan::AllBackendsDown { index } => {
+                write!(f, "event {index} would take the last live backend down")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidFaultPlan {}
+
+/// Knobs for [`FaultPlan::from_seed`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjectionConfig {
+    /// Crash events to attempt (invalid candidates — already-dead
+    /// backend, would violate `min_alive` — are dropped, so the realized
+    /// plan may contain fewer).
+    pub crashes: usize,
+    /// Whether each crash schedules a matching recovery.
+    pub recover: bool,
+    /// Mean time to recovery in seconds (each realized delay is jittered
+    /// in `[0.5, 1.5) × mttr`).
+    pub mttr: f64,
+    /// Never take the cluster below this many live backends (clamped to
+    /// at least 1).
+    pub min_alive: usize,
+    /// Catch-up pause attached to every recovery, in seconds.
+    pub catchup_cost: f64,
+}
+
+impl Default for FaultInjectionConfig {
+    fn default() -> Self {
+        Self {
+            crashes: 1,
+            recover: true,
+            mttr: 5.0,
+            min_alive: 1,
+            catchup_cost: 1.0,
+        }
+    }
+}
+
+/// A validated, time-ordered fault schedule for a cluster of
+/// `n_backends`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    n_backends: usize,
+}
+
+impl FaultPlan {
+    /// Validates an explicit event list: times non-decreasing and
+    /// finite, backends in range, crash/recover alternating per backend,
+    /// and at least one backend alive at every instant.
+    pub fn new(events: Vec<FaultEvent>, n_backends: usize) -> Result<FaultPlan, InvalidFaultPlan> {
+        let mut alive = vec![true; n_backends];
+        let mut n_alive = n_backends;
+        let mut last_t = 0.0f64;
+        for (index, e) in events.iter().enumerate() {
+            let b = e.backend();
+            if b >= n_backends {
+                return Err(InvalidFaultPlan::UnknownBackend {
+                    index,
+                    backend: b,
+                    n_backends,
+                });
+            }
+            let finite = match *e {
+                FaultEvent::Crash { at, .. } => at.is_finite() && at >= 0.0,
+                FaultEvent::Recover {
+                    at, catchup_cost, ..
+                } => at.is_finite() && at >= 0.0 && catchup_cost.is_finite() && catchup_cost >= 0.0,
+            };
+            if !finite {
+                return Err(InvalidFaultPlan::NonFinite { index });
+            }
+            if e.at() < last_t {
+                return Err(InvalidFaultPlan::Unsorted { index });
+            }
+            last_t = e.at();
+            match *e {
+                FaultEvent::Crash { backend, .. } => {
+                    if !alive[backend] {
+                        return Err(InvalidFaultPlan::DoubleCrash { index, backend });
+                    }
+                    if n_alive == 1 {
+                        return Err(InvalidFaultPlan::AllBackendsDown { index });
+                    }
+                    alive[backend] = false;
+                    n_alive -= 1;
+                }
+                FaultEvent::Recover { backend, .. } => {
+                    if alive[backend] {
+                        return Err(InvalidFaultPlan::RecoverAlive { index, backend });
+                    }
+                    alive[backend] = true;
+                    n_alive += 1;
+                }
+            }
+        }
+        Ok(FaultPlan { events, n_backends })
+    }
+
+    /// Derives a valid plan from a seed: `cfg.crashes` candidate crash
+    /// times uniform in `[0.1, 0.9) × duration` on uniformly drawn
+    /// backends, each optionally paired with a jittered recovery, then
+    /// filtered through the crash/recover state machine so the result
+    /// always validates. The RNG consumption is independent of which
+    /// candidates survive, so plans are stable under config tweaks that
+    /// do not change the draw count.
+    pub fn from_seed(
+        seed: u64,
+        n_backends: usize,
+        duration: f64,
+        cfg: &FaultInjectionConfig,
+    ) -> FaultPlan {
+        assert!(n_backends > 0, "need at least one backend");
+        assert!(duration > 0.0 && duration.is_finite());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut cand: Vec<FaultEvent> = Vec::with_capacity(cfg.crashes * 2);
+        for _ in 0..cfg.crashes {
+            let at = duration * rng.gen_range(0.1..0.9);
+            let backend = rng.gen_range(0..n_backends);
+            cand.push(FaultEvent::Crash { backend, at });
+            if cfg.recover {
+                let delay = cfg.mttr.max(0.0) * rng.gen_range(0.5..1.5);
+                cand.push(FaultEvent::Recover {
+                    backend,
+                    at: at + delay,
+                    catchup_cost: cfg.catchup_cost.max(0.0),
+                });
+            }
+        }
+        // Recoveries before crashes at equal times: freed capacity first.
+        cand.sort_by_key(|e| {
+            let variant = match e {
+                FaultEvent::Recover { .. } => 0u8,
+                FaultEvent::Crash { .. } => 1u8,
+            };
+            (e.at().to_bits(), variant, e.backend())
+        });
+        let min_alive = cfg.min_alive.max(1);
+        let mut alive = vec![true; n_backends];
+        let mut n_alive = n_backends;
+        let mut events = Vec::with_capacity(cand.len());
+        for e in cand {
+            match e {
+                FaultEvent::Crash { backend, .. } => {
+                    if alive[backend] && n_alive > min_alive {
+                        alive[backend] = false;
+                        n_alive -= 1;
+                        events.push(e);
+                    }
+                }
+                FaultEvent::Recover { backend, .. } => {
+                    if !alive[backend] {
+                        alive[backend] = true;
+                        n_alive += 1;
+                        events.push(e);
+                    }
+                }
+            }
+        }
+        FaultPlan::new(events, n_backends).expect("state-machine-filtered plan is valid")
+    }
+
+    /// The validated events in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The cluster size the plan was validated against.
+    pub fn n_backends(&self) -> usize {
+        self.n_backends
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the plan schedules nothing (the driver then reduces to
+    /// plain open-loop behaviour).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Driver knobs for [`run_open_faults`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// ETL throughput model pricing the online repair's data movement
+    /// (Eq. 27 bytes through the Figure 4(d) phases).
+    pub etl: EtlCostModel,
+    /// Safety level an online repair restores: every class becomes
+    /// processable by `min(repair_k + 1, survivors)` backends.
+    pub repair_k: usize,
+}
+
+/// One per-backend work unit of a request (the backend it runs on is
+/// keyed by the per-backend in-flight lists).
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    end: f64,
+    svc: f64,
+    voided: bool,
+    primary: bool,
+}
+
+/// A request's lifetime across dispatches and re-dispatches.
+#[derive(Debug, Clone)]
+struct OpenReq {
+    arrival: f64,
+    class: ClassId,
+    kind: QueryKind,
+    service: f64,
+    legs: Vec<Leg>,
+    redispatches: u32,
+}
+
+/// Result of an open-loop run under a fault plan.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// `(arrival, response)` per completed request, in arrival order.
+    /// Responses of re-queued requests span their full lifetime — from
+    /// the original arrival to the final completion after the crash.
+    pub responses: Vec<(f64, f64)>,
+    /// Mean response time in seconds.
+    pub mean_response: f64,
+    /// 95th percentile response time (nearest-rank, as in
+    /// [`crate::engine::run_open`]).
+    pub p95_response: f64,
+    /// Per-backend busy seconds — only work actually performed: the
+    /// unexecuted remainder of voided legs is refunded.
+    pub busy: Vec<f64>,
+    /// Per-backend utilization over the observation window.
+    pub utilization: Vec<f64>,
+    /// Requests that completed (every request, unless a zero-weight
+    /// class lost all replicas and nothing repaired it).
+    pub completed: usize,
+    /// Requests that never completed.
+    pub lost: usize,
+    /// Requests re-queued by crashes (counted once per re-dispatch).
+    pub redispatched: usize,
+    /// Crash events applied.
+    pub crashes: usize,
+    /// Recovery events applied.
+    pub recoveries: usize,
+    /// Online repairs triggered by unroutable classes.
+    pub repairs: usize,
+    /// Total seconds the survivors were paused for repair ETL.
+    pub repair_pause_secs: f64,
+    /// Total bytes the repairs re-replicated (Eq. 27).
+    pub repair_moved_bytes: u64,
+    /// `(time, live backends)` after each applied fault event, starting
+    /// with `(0, n)` — the nodes-available timeline of the availability
+    /// figure.
+    pub availability: Vec<(f64, usize)>,
+}
+
+impl FaultReport {
+    /// The lowest number of simultaneously live backends.
+    pub fn min_alive(&self) -> usize {
+        self.availability.iter().map(|&(_, n)| n).min().unwrap_or(0)
+    }
+
+    /// The worst response time (the availability gap a crash opens).
+    pub fn max_response(&self) -> f64 {
+        self.responses.iter().map(|&(_, r)| r).fold(0.0, f64::max)
+    }
+}
+
+/// Runs timed arrivals through the scheduler while applying `plan`'s
+/// crashes and recoveries. Requests must be sorted by arrival time;
+/// fault events scheduled at or before an arrival are applied first, and
+/// events past the last arrival are drained at the end (they can still
+/// void queued work). With an empty plan the responses equal
+/// [`crate::engine::run_open`]'s exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn run_open_faults(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    requests: &[Request],
+    warmup_backlog: f64,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    fcfg: &FaultConfig,
+) -> FaultReport {
+    let _span = qcpa_obs::span("sim", "run_open_faults");
+    let n = cluster.len();
+    assert_eq!(
+        plan.n_backends(),
+        n,
+        "fault plan validated for a different cluster size"
+    );
+
+    let mut current = alloc.clone();
+    let mut alive = vec![true; n];
+    let mut free_at = vec![warmup_backlog.max(0.0); n];
+    let mut busy = vec![0.0f64; n];
+    let mut arena: Vec<OpenReq> = Vec::with_capacity(requests.len());
+    let mut inflight: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    let mut scheduler = Scheduler::new(&current, cls);
+    let mut profile = ServiceProfile::new(&current, cluster, catalog, cfg.locality);
+
+    let mut crashes = 0usize;
+    let mut recoveries = 0usize;
+    let mut repairs = 0usize;
+    let mut redispatched = 0usize;
+    let mut repair_pause_secs = 0.0f64;
+    let mut repair_moved_bytes = 0u64;
+    let mut availability = vec![(0.0, n)];
+
+    // Dispatches request `idx` at time `t`, appending its legs. Returns
+    // false if no backend could serve it.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_one(
+        idx: usize,
+        t: f64,
+        scheduler: &Scheduler,
+        profile: &ServiceProfile,
+        cfg: &SimConfig,
+        arena: &mut [OpenReq],
+        inflight: &mut [Vec<(usize, usize)>],
+        free_at: &mut [f64],
+        busy: &mut [f64],
+    ) -> bool {
+        let (class, kind, service) = {
+            let r = &arena[idx];
+            (r.class, r.kind, r.service)
+        };
+        match kind {
+            QueryKind::Read => {
+                let routed = scheduler.route_read_with(class, |b| (free_at[b] - t).max(0.0));
+                let Some(b) = routed else { return false };
+                let svc = profile.effective(b, service);
+                let end = free_at[b].max(t) + svc;
+                free_at[b] = end;
+                busy[b] += svc;
+                arena[idx].legs.push(Leg {
+                    end,
+                    svc,
+                    voided: false,
+                    primary: true,
+                });
+                inflight[b].push((idx, arena[idx].legs.len() - 1));
+                true
+            }
+            QueryKind::Update => {
+                let targets = scheduler.route_update(class).to_vec();
+                if targets.is_empty() {
+                    return false;
+                }
+                let sync = match cfg.propagation {
+                    UpdatePropagation::Rowa => {
+                        1.0 + cfg.rowa_overhead * (targets.len() as f64 - 1.0)
+                    }
+                    _ => 1.0,
+                };
+                for (i, &b) in targets.iter().enumerate() {
+                    let mult = match cfg.propagation {
+                        UpdatePropagation::Lazy { batching_discount } if i > 0 => batching_discount,
+                        _ => sync,
+                    };
+                    let svc = profile.effective(b, service) * mult;
+                    let end = free_at[b].max(t) + svc;
+                    free_at[b] = end;
+                    busy[b] += svc;
+                    arena[idx].legs.push(Leg {
+                        end,
+                        svc,
+                        voided: false,
+                        primary: i == 0,
+                    });
+                    inflight[b].push((idx, arena[idx].legs.len() - 1));
+                }
+                true
+            }
+        }
+    }
+
+    // Rebuilds routing for the current liveness, repairing the
+    // allocation online when a weighted class lost its last replica.
+    #[allow(clippy::too_many_arguments)]
+    fn reroute(
+        at: f64,
+        current: &mut Allocation,
+        cls: &Classification,
+        cluster: &ClusterSpec,
+        catalog: &Catalog,
+        alive: &[bool],
+        fcfg: &FaultConfig,
+        free_at: &mut [f64],
+        repairs: &mut usize,
+        repair_pause_secs: &mut f64,
+        repair_moved_bytes: &mut u64,
+    ) -> Scheduler {
+        let failed: Vec<usize> = (0..alive.len()).filter(|&b| !alive[b]).collect();
+        if failed.is_empty() {
+            return Scheduler::new(current, cls);
+        }
+        if let Some(s) = Scheduler::for_survivors(current, cls, cluster, &failed) {
+            return s;
+        }
+        // Some weighted class has no capable survivor: repair the
+        // surviving sub-allocation and graft the grown fragment sets
+        // back into the full-width allocation.
+        *repairs += 1;
+        let survivors: Vec<usize> = (0..alive.len()).filter(|&b| alive[b]).collect();
+        let failed_ids: Vec<BackendId> = failed.iter().map(|&b| BackendId(b as u32)).collect();
+        let surv_cluster = ksafety::surviving_cluster(cluster, &failed_ids)
+            .expect("fault plans keep at least one backend alive");
+        let mut restricted = current.restrict(&survivors);
+        let report = ksafety::repair_report(&mut restricted, cls, &surv_cluster, fcfg.repair_k);
+        let before = current.clone();
+        for (nb, &b) in survivors.iter().enumerate() {
+            current.fragments[b] = restricted.fragments[nb].clone();
+        }
+        // Price the movement with Eq. 27 against the pre-repair state
+        // and the Figure 4(d) ETL phase model: serial preparation plus
+        // the slowest node's transfer + load.
+        let per_node: Vec<u64> = survivors
+            .iter()
+            .map(|&b| move_cost(current, b, &before, b, catalog))
+            .collect();
+        let moved: u64 = per_node.iter().sum();
+        let pause = if moved == 0 {
+            0.0
+        } else {
+            let slowest = per_node
+                .iter()
+                .map(|&bytes| {
+                    bytes as f64 / fcfg.etl.transfer_bytes_per_sec
+                        + bytes as f64 / fcfg.etl.load_bytes_per_sec
+                })
+                .fold(0.0, f64::max);
+            fcfg.etl.fixed_overhead_secs + moved as f64 / fcfg.etl.prep_bytes_per_sec + slowest
+        };
+        for &b in &survivors {
+            free_at[b] = free_at[b].max(at) + pause;
+        }
+        *repair_pause_secs += pause;
+        *repair_moved_bytes += moved;
+        qcpa_obs::global().counter("sim.fault.repairs").inc();
+        qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "repair", {
+            "at" => at,
+            "moved_bytes" => moved,
+            "pause_secs" => pause,
+            "grants" => report.grants,
+        });
+        Scheduler::for_survivors(current, cls, cluster, &failed)
+            .expect("repair restores coverage for every class")
+    }
+
+    let events = plan.events();
+    let mut ev_i = 0usize;
+    let mut apply_event = |e: &FaultEvent,
+                           arena: &mut Vec<OpenReq>,
+                           inflight: &mut Vec<Vec<(usize, usize)>>,
+                           free_at: &mut Vec<f64>,
+                           busy: &mut Vec<f64>,
+                           alive: &mut Vec<bool>,
+                           current: &mut Allocation,
+                           scheduler: &mut Scheduler,
+                           profile: &mut ServiceProfile| {
+        match *e {
+            FaultEvent::Crash { backend, at } => {
+                alive[backend] = false;
+                crashes += 1;
+                // Void the legs still running or queued on the casualty
+                // and refund their unperformed work.
+                let legs = std::mem::take(&mut inflight[backend]);
+                let mut candidates: Vec<usize> = Vec::new();
+                let mut voided = 0usize;
+                for (ri, li) in legs {
+                    let leg = arena[ri].legs[li];
+                    if leg.end > at {
+                        arena[ri].legs[li].voided = true;
+                        busy[backend] -= (leg.end - at).min(leg.svc);
+                        candidates.push(ri);
+                        voided += 1;
+                    }
+                }
+                candidates.sort_unstable();
+                candidates.dedup();
+                qcpa_obs::global().counter("sim.fault.crashes").inc();
+                qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "crash", {
+                    "backend" => backend,
+                    "at" => at,
+                    "voided_legs" => voided,
+                });
+                *scheduler = reroute(
+                    at,
+                    current,
+                    cls,
+                    cluster,
+                    catalog,
+                    alive,
+                    fcfg,
+                    free_at,
+                    &mut repairs,
+                    &mut repair_pause_secs,
+                    &mut repair_moved_bytes,
+                );
+                *profile = ServiceProfile::new(current, cluster, catalog, cfg.locality);
+                // Re-queue the requests the crash voided, in arrival
+                // order, through the post-crash router.
+                for ri in candidates {
+                    let needs = {
+                        let r = &arena[ri];
+                        match (r.kind, cfg.propagation) {
+                            (QueryKind::Read, _) | (QueryKind::Update, UpdatePropagation::Rowa) => {
+                                r.legs.iter().all(|l| l.voided)
+                            }
+                            (QueryKind::Update, _) => r
+                                .legs
+                                .iter()
+                                .rev()
+                                .find(|l| l.primary)
+                                .is_none_or(|l| l.voided),
+                        }
+                    };
+                    if !needs {
+                        continue;
+                    }
+                    arena[ri].redispatches += 1;
+                    redispatched += 1;
+                    dispatch_one(
+                        ri, at, scheduler, profile, cfg, arena, inflight, free_at, busy,
+                    );
+                }
+            }
+            FaultEvent::Recover {
+                backend,
+                at,
+                catchup_cost,
+            } => {
+                alive[backend] = true;
+                recoveries += 1;
+                free_at[backend] = at + catchup_cost;
+                inflight[backend].clear();
+                qcpa_obs::global().counter("sim.fault.recoveries").inc();
+                qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "recover", {
+                    "backend" => backend,
+                    "at" => at,
+                    "catchup_secs" => catchup_cost,
+                });
+                *scheduler = reroute(
+                    at,
+                    current,
+                    cls,
+                    cluster,
+                    catalog,
+                    alive,
+                    fcfg,
+                    free_at,
+                    &mut repairs,
+                    &mut repair_pause_secs,
+                    &mut repair_moved_bytes,
+                );
+                *profile = ServiceProfile::new(current, cluster, catalog, cfg.locality);
+            }
+        }
+        availability.push((e.at(), alive.iter().filter(|&&a| a).count()));
+    };
+
+    let mut last_t = 0.0f64;
+    for r in requests {
+        debug_assert!(r.arrival >= last_t, "arrivals must be sorted");
+        last_t = r.arrival;
+        while ev_i < events.len() && events[ev_i].at() <= r.arrival {
+            apply_event(
+                &events[ev_i],
+                &mut arena,
+                &mut inflight,
+                &mut free_at,
+                &mut busy,
+                &mut alive,
+                &mut current,
+                &mut scheduler,
+                &mut profile,
+            );
+            ev_i += 1;
+        }
+        let idx = arena.len();
+        arena.push(OpenReq {
+            arrival: r.arrival,
+            class: r.class,
+            kind: r.kind,
+            service: r.service,
+            legs: Vec::with_capacity(1),
+            redispatches: 0,
+        });
+        dispatch_one(
+            idx,
+            r.arrival,
+            &scheduler,
+            &profile,
+            cfg,
+            &mut arena,
+            &mut inflight,
+            &mut free_at,
+            &mut busy,
+        );
+    }
+    // Crashes scheduled past the last arrival still void queued work.
+    while ev_i < events.len() {
+        apply_event(
+            &events[ev_i],
+            &mut arena,
+            &mut inflight,
+            &mut free_at,
+            &mut busy,
+            &mut alive,
+            &mut current,
+            &mut scheduler,
+            &mut profile,
+        );
+        ev_i += 1;
+    }
+
+    // Finalize: every non-voided leg ran to completion.
+    let mut responses = Vec::with_capacity(arena.len());
+    let mut resp_hist = qcpa_obs::Histogram::new();
+    let mut lost = 0usize;
+    for r in &arena {
+        let completion = match (r.kind, cfg.propagation) {
+            (QueryKind::Read, _) => r.legs.iter().rev().find(|l| !l.voided).map(|l| l.end),
+            (QueryKind::Update, UpdatePropagation::Rowa) => r
+                .legs
+                .iter()
+                .filter(|l| !l.voided)
+                .map(|l| l.end)
+                .fold(None, |acc: Option<f64>, e| {
+                    Some(acc.map_or(e, |a| a.max(e)))
+                }),
+            (QueryKind::Update, _) => r
+                .legs
+                .iter()
+                .rev()
+                .find(|l| l.primary && !l.voided)
+                .map(|l| l.end),
+        };
+        match completion {
+            Some(end) => {
+                resp_hist.record(end - r.arrival);
+                responses.push((r.arrival, end - r.arrival));
+            }
+            None => lost += 1,
+        }
+    }
+
+    let mut resp: Vec<f64> = responses.iter().map(|&(_, r)| r).collect();
+    let mean_response = if resp.is_empty() {
+        0.0
+    } else {
+        resp.iter().sum::<f64>() / resp.len() as f64
+    };
+    let p95_response = nearest_rank(&mut resp, 0.95);
+    let window = requests.last().map(|r| r.arrival).unwrap_or(0.0).max(1e-9);
+    let utilization: Vec<f64> = busy.iter().map(|b| b / window).collect();
+
+    let reg = qcpa_obs::global();
+    reg.counter("sim.fault.requests").add(requests.len() as u64);
+    reg.counter("sim.fault.lost").add(lost as u64);
+    reg.counter("sim.fault.redispatched")
+        .add(redispatched as u64);
+    reg.merge_histogram("sim.fault.response_secs", &resp_hist);
+
+    FaultReport {
+        completed: responses.len(),
+        responses,
+        mean_response,
+        p95_response,
+        busy,
+        utilization,
+        lost,
+        redispatched,
+        crashes,
+        recoveries,
+        repairs,
+        repair_pause_secs,
+        repair_moved_bytes,
+        availability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_open;
+    use crate::request::RequestStream;
+    use qcpa_core::classify::QueryClass;
+    use qcpa_core::greedy;
+
+    fn workload() -> (Catalog, Classification, RequestStream) {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 4_000);
+        let b = cat.add_table("B", 4_000);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.45),
+            QueryClass::read(1, [b], 0.35),
+            QueryClass::update(2, [a], 0.20),
+        ])
+        .unwrap();
+        let stream = RequestStream::new(
+            vec![45.0, 35.0, 20.0],
+            vec![QueryKind::Read, QueryKind::Read, QueryKind::Update],
+            vec![0.01; 3],
+        );
+        (cat, cls, stream)
+    }
+
+    #[test]
+    fn empty_plan_matches_run_open_exactly() {
+        let (cat, cls, stream) = workload();
+        let cluster = ClusterSpec::homogeneous(3);
+        let alloc = greedy::allocate(&cls, &cat, &cluster);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let reqs = stream.sample_poisson(80.0, 30.0, 0.0, &mut rng);
+        let cfg = SimConfig::default();
+        let base = run_open(&alloc, &cls, &cluster, &cat, &reqs, 0.0, &cfg);
+        let plan = FaultPlan::new(Vec::new(), 3).unwrap();
+        let rep = run_open_faults(
+            &alloc,
+            &cls,
+            &cluster,
+            &cat,
+            &reqs,
+            0.0,
+            &cfg,
+            &plan,
+            &FaultConfig::default(),
+        );
+        assert_eq!(rep.lost, 0);
+        assert_eq!(rep.responses.len(), base.responses.len());
+        for (f, o) in rep.responses.iter().zip(&base.responses) {
+            assert_eq!(f.0.to_bits(), o.0.to_bits());
+            assert_eq!(f.1.to_bits(), o.1.to_bits(), "at arrival {}", f.0);
+        }
+        for (f, o) in rep.busy.iter().zip(&base.busy) {
+            assert!((f - o).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seeded_plan_is_bit_identical_across_reruns() {
+        let (cat, cls, stream) = workload();
+        let cluster = ClusterSpec::homogeneous(4);
+        let alloc = Allocation::full_replication(&cls, &cluster);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let reqs = stream.sample_poisson(120.0, 40.0, 0.0, &mut rng);
+        let cfg = SimConfig::default();
+        let fic = FaultInjectionConfig {
+            crashes: 3,
+            ..Default::default()
+        };
+        let plan_a = FaultPlan::from_seed(99, 4, 40.0, &fic);
+        let plan_b = FaultPlan::from_seed(99, 4, 40.0, &fic);
+        assert_eq!(plan_a, plan_b);
+        assert!(!plan_a.is_empty());
+        let run = |plan: &FaultPlan| {
+            run_open_faults(
+                &alloc,
+                &cls,
+                &cluster,
+                &cat,
+                &reqs,
+                0.0,
+                &cfg,
+                plan,
+                &FaultConfig::default(),
+            )
+        };
+        let ra = run(&plan_a);
+        let rb = run(&plan_b);
+        assert_eq!(ra.responses.len(), rb.responses.len());
+        for (x, y) in ra.responses.iter().zip(&rb.responses) {
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+        assert_eq!(ra.crashes, rb.crashes);
+        assert_eq!(ra.availability, rb.availability);
+    }
+
+    #[test]
+    fn crash_without_spare_replica_triggers_repair() {
+        let (cat, cls, stream) = workload();
+        let cluster = ClusterSpec::homogeneous(3);
+        // Backend 0 is the sole replica of table A: crashing it strands
+        // the weighted read/update classes on A until repair.
+        let frags: Vec<qcpa_core::fragment::FragmentId> =
+            cat.fragments().iter().map(|f| f.id).collect();
+        let (a, b) = (frags[0], frags[1]);
+        let mut alloc = Allocation::empty(cls.len(), 3);
+        alloc.fragments[0].insert(a);
+        alloc.fragments[1].insert(b);
+        alloc.fragments[2].insert(b);
+        alloc.assign[0][0] = 0.45;
+        alloc.assign[1][1] = 0.20;
+        alloc.assign[1][2] = 0.15;
+        alloc.assign[2][0] = 0.20;
+        alloc.validate(&cls, &cluster).unwrap();
+        assert_eq!(ksafety::class_safety(&alloc, &cls), 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let reqs = stream.sample_poisson(60.0, 30.0, 0.0, &mut rng);
+        let plan = FaultPlan::new(
+            vec![
+                FaultEvent::Crash {
+                    backend: 0,
+                    at: 10.0,
+                },
+                FaultEvent::Recover {
+                    backend: 0,
+                    at: 14.0,
+                    catchup_cost: 0.5,
+                },
+            ],
+            3,
+        )
+        .unwrap();
+        let rep = run_open_faults(
+            &alloc,
+            &cls,
+            &cluster,
+            &cat,
+            &reqs,
+            0.0,
+            &SimConfig::default(),
+            &plan,
+            &FaultConfig::default(),
+        );
+        assert_eq!(rep.lost, 0, "repair keeps every request completable");
+        assert_eq!(rep.repairs, 1, "the sole-replica crash must repair");
+        assert!(rep.repair_moved_bytes > 0);
+        assert!(rep.repair_pause_secs > 0.0);
+        assert_eq!(rep.crashes, 1);
+        assert_eq!(rep.recoveries, 1);
+        assert_eq!(rep.min_alive(), 2);
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_schedules() {
+        use InvalidFaultPlan as E;
+        let crash = |backend, at| FaultEvent::Crash { backend, at };
+        let recover = |backend, at| FaultEvent::Recover {
+            backend,
+            at,
+            catchup_cost: 0.0,
+        };
+        assert!(matches!(
+            FaultPlan::new(vec![crash(5, 1.0)], 3),
+            Err(E::UnknownBackend { backend: 5, .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new(vec![crash(0, 2.0), crash(1, 1.0)], 3),
+            Err(E::Unsorted { index: 1 })
+        ));
+        assert!(matches!(
+            FaultPlan::new(vec![crash(0, f64::NAN)], 3),
+            Err(E::NonFinite { index: 0 })
+        ));
+        assert!(matches!(
+            FaultPlan::new(vec![crash(0, 1.0), crash(0, 2.0)], 3),
+            Err(E::DoubleCrash { backend: 0, .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new(vec![recover(0, 1.0)], 3),
+            Err(E::RecoverAlive { backend: 0, .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new(vec![crash(0, 1.0)], 1),
+            Err(E::AllBackendsDown { index: 0 })
+        ));
+        // A correct crash/recover cycle validates.
+        assert!(FaultPlan::new(vec![crash(0, 1.0), recover(0, 2.0), crash(0, 3.0)], 2).is_ok());
+    }
+
+    #[test]
+    fn from_seed_respects_min_alive() {
+        for seed in 0..20 {
+            let plan = FaultPlan::from_seed(
+                seed,
+                4,
+                100.0,
+                &FaultInjectionConfig {
+                    crashes: 8,
+                    recover: false,
+                    min_alive: 2,
+                    ..Default::default()
+                },
+            );
+            let mut n_alive = 4i64;
+            for e in plan.events() {
+                match e {
+                    FaultEvent::Crash { .. } => n_alive -= 1,
+                    FaultEvent::Recover { .. } => n_alive += 1,
+                }
+                assert!(n_alive >= 2, "seed {seed}");
+            }
+        }
+    }
+}

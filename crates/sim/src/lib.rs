@@ -28,11 +28,16 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod request;
 pub mod scheduler;
 pub mod service;
 
 pub use engine::{run_batch, run_open, BatchReport, OpenReport, SimConfig, UpdatePropagation};
+pub use fault::{
+    run_open_faults, FaultConfig, FaultEvent, FaultInjectionConfig, FaultPlan, FaultReport,
+    InvalidFaultPlan,
+};
 pub use request::{Request, RequestStream};
 pub use scheduler::Scheduler;
 pub use service::{LocalityModel, ServiceProfile};

@@ -10,8 +10,9 @@
 
 use qcpa_core::allocation::Allocation;
 use qcpa_core::classify::Classification;
+use qcpa_core::cluster::ClusterSpec;
 use qcpa_core::journal::QueryKind;
-use qcpa_core::{ClassId, EPS};
+use qcpa_core::{ksafety, BackendId, ClassId, EPS};
 
 /// Precomputed routing tables for one allocation.
 #[derive(Debug, Clone)]
@@ -58,6 +59,40 @@ impl Scheduler {
             read_targets,
             update_targets,
         }
+    }
+
+    /// Routing tables for the cluster with the `failed` backends down:
+    /// the surviving allocation from [`ksafety::fail_backends`]
+    /// (restricted fragments, read shares redistributed over the capable
+    /// survivors) with its targets mapped back to *full-cluster* backend
+    /// indices, so callers keep indexing their per-backend state by the
+    /// original ids.
+    ///
+    /// Returns `None` exactly when `fail_backends` does: some positively
+    /// weighted class has no capable survivor — the fault engine then
+    /// runs an online [`ksafety::repair`] and retries.
+    pub fn for_survivors(
+        alloc: &Allocation,
+        cls: &Classification,
+        cluster: &ClusterSpec,
+        failed: &[usize],
+    ) -> Option<Scheduler> {
+        let ids: Vec<BackendId> = failed.iter().map(|&b| BackendId(b as u32)).collect();
+        let surviving = ksafety::fail_backends(alloc, cls, cluster, &ids)?;
+        let survivors: Vec<usize> = (0..alloc.n_backends())
+            .filter(|b| !failed.contains(b))
+            .collect();
+        let local = Scheduler::new(&surviving, cls);
+        let remap = |targets: Vec<Vec<usize>>| -> Vec<Vec<usize>> {
+            targets
+                .into_iter()
+                .map(|ts| ts.into_iter().map(|nb| survivors[nb]).collect())
+                .collect()
+        };
+        Some(Scheduler {
+            read_targets: remap(local.read_targets),
+            update_targets: remap(local.update_targets),
+        })
     }
 
     /// The backend a read of class `c` should go to, given current

@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Repo-wide quality gate: formatting, lints (warnings are errors), tests.
-# Run from the repository root: ./scripts/check.sh
+#
+# Usage:
+#   ./scripts/check.sh          # full gate (fmt, clippy, full test matrix,
+#                               # conformance at both thread counts, bench)
+#   ./scripts/check.sh --fast   # inner-loop tier: fmt + clippy + lib/unit
+#                               # tests at the default thread count only
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+    FAST=1
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
@@ -10,11 +20,26 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+if [[ "$FAST" == "1" ]]; then
+    echo "== cargo test (fast tier) =="
+    cargo test -q --workspace --lib
+    echo "Fast checks passed."
+    exit 0
+fi
+
 echo "== cargo test (QCPA_THREADS=1) =="
 QCPA_THREADS=1 cargo test -q --workspace
 
 echo "== cargo test (QCPA_THREADS=4) =="
 QCPA_THREADS=4 cargo test -q --workspace
+
+# The cross-allocator conformance harness must replay bit-identically at
+# every worker-thread count — run it explicitly at both settings.
+echo "== conformance harness (QCPA_THREADS=1) =="
+QCPA_THREADS=1 cargo test -q --test conformance
+
+echo "== conformance harness (QCPA_THREADS=4) =="
+QCPA_THREADS=4 cargo test -q --test conformance
 
 echo "== allocator speedup bench (quick) =="
 QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin bench_allocator

@@ -1,0 +1,238 @@
+//! Cross-allocator conformance harness: a differential oracle in the
+//! Jepsen tradition. Every randomized scenario (workload × cluster ×
+//! fault plan) is pushed through all five allocator paths —
+//!
+//! 1. `greedy::allocate` (Section 3.3),
+//! 2. `memetic::allocate` on the delta-cost engine, 1 worker thread,
+//! 3. the same memetic run at 4 worker threads (must be bit-identical),
+//! 4. `qcpa_bench::baseline::optimize` (the preserved pre-delta engine),
+//! 5. `ksafety::allocate` (Appendix C) — plus, on small instances, the
+//!    branch-&-bound LP of `qcpa-lp` as a certified bound,
+//!
+//! and every result must satisfy the shared oracle set:
+//!
+//! * `Allocation::validate` — the Eq. 8–16 invariants;
+//! * k-safety preservation for the k-safe path;
+//! * delta-engine conformance — `DeltaCost` tracking equals a full
+//!   `normalize` + recompute, bit for bit;
+//! * LP lower bound — no heuristic beats the proven optimal scale;
+//! * fault-plan determinism — `run_open_faults` under the identical
+//!   seeded `FaultPlan` is bit-identical across the thread-1 and
+//!   thread-4 memetic allocations, with zero lost requests.
+
+use proptest::prelude::*;
+use qcpa::core::allocation::DeltaCost;
+use qcpa::core::classify::Classification;
+use qcpa::core::cluster::ClusterSpec;
+use qcpa::core::fragment::Catalog;
+use qcpa::core::journal::QueryKind;
+use qcpa::core::{greedy, ksafety, memetic, BackendId};
+use qcpa::lp::mip::MipStatus;
+use qcpa::lp::model::{optimal_allocation, OptimalConfig};
+use qcpa::sim::fault::{run_open_faults, FaultConfig, FaultInjectionConfig, FaultPlan};
+use qcpa::sim::{FaultReport, RequestStream, SimConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+mod common;
+use common::{materialize, workload_strategy};
+
+/// The five allocator paths under test, labelled for failure messages.
+fn candidates(
+    cls: &Classification,
+    catalog: &Catalog,
+    cluster: &ClusterSpec,
+    seed: u64,
+) -> Vec<(&'static str, qcpa::core::allocation::Allocation)> {
+    let mcfg = |threads: usize| memetic::MemeticConfig {
+        population: 4,
+        iterations: 3,
+        seed,
+        threads: Some(threads),
+        ..Default::default()
+    };
+    let m1 = memetic::allocate(cls, catalog, cluster, &mcfg(1));
+    let m4 = memetic::allocate(cls, catalog, cluster, &mcfg(4));
+    assert_eq!(
+        m1, m4,
+        "memetic diverged between 1 and 4 worker threads (seed {seed})"
+    );
+    let baseline = qcpa_bench::baseline::optimize(
+        greedy::allocate(cls, catalog, cluster),
+        cls,
+        catalog,
+        cluster,
+        &mcfg(1),
+    );
+    vec![
+        ("greedy", greedy::allocate(cls, catalog, cluster)),
+        ("memetic-t1", m1),
+        ("memetic-t4", m4),
+        ("baseline", baseline),
+        ("ksafe-1", ksafety::allocate(cls, catalog, cluster, 1)),
+    ]
+}
+
+/// Requests matching the classification: class frequencies proportional
+/// to weights, fixed mean service time.
+fn request_stream(cls: &Classification) -> RequestStream {
+    let freq: Vec<f64> = cls.classes.iter().map(|c| c.weight).collect();
+    let kinds: Vec<QueryKind> = cls.classes.iter().map(|c| c.kind).collect();
+    let service = vec![0.01; cls.len()];
+    RequestStream::new(freq, kinds, service)
+}
+
+fn assert_bit_identical(a: &FaultReport, b: &FaultReport, what: &str) {
+    assert_eq!(a.responses.len(), b.responses.len(), "{what}: counts");
+    for (x, y) in a.responses.iter().zip(&b.responses) {
+        assert_eq!(x.0.to_bits(), y.0.to_bits(), "{what}: arrival bits");
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "{what}: response bits");
+    }
+    for (x, y) in a.busy.iter().zip(&b.busy) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: busy bits");
+    }
+    assert_eq!(a.availability, b.availability, "{what}: availability");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The full oracle set over ≥ 64 randomized scenarios.
+    #[test]
+    fn all_allocators_agree_on_the_oracle_set(
+        w in workload_strategy(),
+        n in 2usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let (catalog, cls) = materialize(&w);
+        let Some(cls) = cls else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let cands = candidates(&cls, &catalog, &cluster, seed);
+
+        // Oracle 1: structural validity (Eq. 8–16) for every path.
+        for (name, alloc) in &cands {
+            alloc
+                .validate(&cls, &cluster)
+                .unwrap_or_else(|e| panic!("{name}: invalid allocation: {e}"));
+        }
+
+        // Oracle 2: the k-safe path preserves its guarantee.
+        let ksafe = &cands.iter().find(|(n, _)| *n == "ksafe-1").unwrap().1;
+        prop_assert!(
+            ksafety::class_safety(ksafe, &cls) + 1 >= 2.min(n),
+            "k-safe allocation lost its safety margin"
+        );
+        if n >= 2 {
+            for b in cluster.ids() {
+                prop_assert!(
+                    ksafety::fail_backends(ksafe, &cls, &cluster, &[b]).is_some(),
+                    "1-safe path must survive failing {b}"
+                );
+            }
+        }
+
+        // Oracle 3: the delta engine's tracked cost equals a full
+        // normalize + recompute on every allocator's output.
+        for (name, alloc) in &cands {
+            let mut normalized = alloc.clone();
+            normalized.normalize(&cls, &cluster);
+            let tracker = DeltaCost::new(&normalized, &cls, &catalog);
+            prop_assert_eq!(
+                tracker.cost(&cluster),
+                normalized.cost(&cluster, &catalog),
+                "{}: delta cost != full recompute", name
+            );
+        }
+        // ... and stays equal through a live transfer on the greedy
+        // output (the delta-engine hot path).
+        {
+            let mut alloc = cands[0].1.clone();
+            alloc.normalize(&cls, &cluster);
+            let mut tracker = DeltaCost::new(&alloc, &cls, &catalog);
+            if let Some(&r) = cls.read_ids().first() {
+                let from = (0..n)
+                    .max_by(|&a, &b| {
+                        alloc.assign[r.idx()][a]
+                            .partial_cmp(&alloc.assign[r.idx()][b])
+                            .unwrap()
+                    })
+                    .unwrap();
+                let amount = alloc.assign[r.idx()][from] * 0.5;
+                if amount > 0.0 {
+                    let to = (from + 1) % n;
+                    tracker.transfer(
+                        &mut alloc, &cls, &cluster, &catalog,
+                        r, BackendId(from as u32), BackendId(to as u32), amount,
+                    );
+                    prop_assert_eq!(
+                        tracker.cost(&cluster),
+                        alloc.cost(&cluster, &catalog),
+                        "delta cost diverged after a transfer"
+                    );
+                }
+            }
+        }
+
+        // Oracle 4: on small instances the LP's proven-optimal scale
+        // lower-bounds every heuristic.
+        if n <= 3 && cls.len() <= 5 && catalog.len() <= 5 {
+            let best_scale = cands
+                .iter()
+                .map(|(_, a)| a.scale(&cluster))
+                .fold(f64::INFINITY, f64::min);
+            let best_bytes = cands
+                .iter()
+                .map(|(_, a)| a.total_bytes(&catalog))
+                .min()
+                .unwrap();
+            let out = optimal_allocation(
+                &cls,
+                &catalog,
+                &cluster,
+                &OptimalConfig {
+                    max_nodes: 5_000,
+                    time_limit: std::time::Duration::from_millis(500),
+                    incumbent: Some((best_scale, best_bytes)),
+                },
+            );
+            if out.scale_status == MipStatus::Optimal {
+                prop_assert!(
+                    out.scale <= best_scale + 1e-6,
+                    "LP optimal scale {} above a heuristic's {}",
+                    out.scale,
+                    best_scale
+                );
+            }
+        }
+
+        // Oracle 5: under the identical seeded fault plan, the sim run
+        // is bit-identical across the thread-1 and thread-4 memetic
+        // allocations, and no request is lost.
+        let stream = request_stream(&cls);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed);
+        let reqs = stream.sample_poisson(40.0, 8.0, 0.0, &mut rng);
+        let plan = FaultPlan::from_seed(
+            seed,
+            n,
+            8.0,
+            &FaultInjectionConfig {
+                crashes: 2,
+                ..Default::default()
+            },
+        );
+        let sim = |alloc: &qcpa::core::allocation::Allocation| {
+            run_open_faults(
+                alloc, &cls, &cluster, &catalog, &reqs, 0.0,
+                &SimConfig::default(), &plan, &FaultConfig::default(),
+            )
+        };
+        let m1 = &cands.iter().find(|(n, _)| *n == "memetic-t1").unwrap().1;
+        let m4 = &cands.iter().find(|(n, _)| *n == "memetic-t4").unwrap().1;
+        let r1 = sim(m1);
+        let r4 = sim(m4);
+        assert_bit_identical(&r1, &r4, "memetic t1 vs t4 fault run");
+        prop_assert_eq!(r1.lost, 0, "online repair must keep every request completable");
+        // Re-running the same scenario replays it exactly.
+        assert_bit_identical(&r1, &sim(m1), "fault run rerun");
+    }
+}

@@ -7,7 +7,8 @@ use qcpa::core::allocation::Allocation;
 use qcpa::core::classify::Granularity;
 use qcpa::core::cluster::ClusterSpec;
 use qcpa::core::{greedy, ksafety, memetic};
-use qcpa::sim::engine::{run_batch, SimConfig};
+use qcpa::sim::engine::{run_batch, run_open, SimConfig};
+use qcpa::sim::fault::{run_open_faults, FaultConfig, FaultEvent, FaultPlan};
 use qcpa::workloads::common::classify_and_stream;
 use qcpa::workloads::tpcapp::tpcapp;
 use qcpa::workloads::tpch::tpch;
@@ -146,4 +147,166 @@ fn full_replication_is_maximally_safe() {
     let cluster = ClusterSpec::homogeneous(4);
     let full = Allocation::full_replication(&cw.classification, &cluster);
     assert_eq!(ksafety::class_safety(&full, &cw.classification), 3);
+}
+
+/// Shared setup for the mid-flight fault tests: a 1-safe TPC-H
+/// allocation on 5 backends with a 40-second Poisson arrival stream.
+fn midflight_setup() -> (
+    qcpa::core::fragment::Catalog,
+    qcpa::core::classify::Classification,
+    ClusterSpec,
+    Allocation,
+    Vec<qcpa::sim::Request>,
+) {
+    let w = tpch(1.0);
+    let journal = w.journal(50);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 0.2);
+    let cluster = ClusterSpec::homogeneous(5);
+    let alloc = ksafety::allocate(&cw.classification, &w.catalog, &cluster, 1);
+    // TPC-H per-class service demands are ~1 s, so 5 backends saturate
+    // near 6.6 req/s; 3 req/s keeps the survivors stable after a crash.
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let reqs = cw.stream.sample_poisson(3.0, 40.0, 0.0, &mut rng);
+    (w.catalog, cw.classification, cluster, alloc, reqs)
+}
+
+/// A single mid-flight crash at t = 50 % of the window: a 1-safe
+/// allocation loses no request, needs no repair, and the availability
+/// gap stays bounded — the survivors absorb the casualty's load.
+#[test]
+fn single_midflight_crash_loses_nothing_on_1safe() {
+    let (catalog, cls, cluster, alloc, reqs) = midflight_setup();
+    let plan = FaultPlan::new(
+        vec![FaultEvent::Crash {
+            backend: 2,
+            at: 20.0,
+        }],
+        5,
+    )
+    .unwrap();
+    let cfg = SimConfig::default();
+    let rep = run_open_faults(
+        &alloc,
+        &cls,
+        &cluster,
+        &catalog,
+        &reqs,
+        0.0,
+        &cfg,
+        &plan,
+        &FaultConfig::default(),
+    );
+    assert_eq!(rep.lost, 0, "1-safe: zero lost requests");
+    assert_eq!(rep.repairs, 0, "1-safe: no repair needed for one failure");
+    assert_eq!(rep.crashes, 1);
+    assert_eq!(rep.min_alive(), 4);
+    assert_eq!(rep.responses.len(), reqs.len());
+    // Bounded availability gap: no repair pause, so the worst response
+    // is queueing + service on the survivors — far below the fault-free
+    // worst case plus the ETL fixed overhead.
+    let base = run_open(&alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg);
+    assert!(
+        rep.max_response() < base.p95_response.max(base.mean_response) + 5.0,
+        "availability gap unbounded: {}",
+        rep.max_response()
+    );
+}
+
+/// Crash + recover: the backend rejoins after its catch-up pause and
+/// serves again, and the run stays deterministic.
+#[test]
+fn crash_then_recover_restores_service() {
+    let (catalog, cls, cluster, alloc, reqs) = midflight_setup();
+    let plan = FaultPlan::new(
+        vec![
+            FaultEvent::Crash {
+                backend: 1,
+                at: 10.0,
+            },
+            FaultEvent::Recover {
+                backend: 1,
+                at: 18.0,
+                catchup_cost: 1.0,
+            },
+        ],
+        5,
+    )
+    .unwrap();
+    let run = || {
+        run_open_faults(
+            &alloc,
+            &cls,
+            &cluster,
+            &catalog,
+            &reqs,
+            0.0,
+            &SimConfig::default(),
+            &plan,
+            &FaultConfig::default(),
+        )
+    };
+    let rep = run();
+    assert_eq!(rep.lost, 0);
+    assert_eq!(rep.crashes, 1);
+    assert_eq!(rep.recoveries, 1);
+    assert_eq!(rep.min_alive(), 4);
+    assert_eq!(*rep.availability.last().unwrap(), (18.0, 5));
+    // The recovered backend performs work after t = 19 (catch-up done):
+    // its busy time exceeds what it accumulated before the crash alone.
+    assert!(rep.busy[1] > 0.0);
+    // Deterministic replay, bit for bit.
+    let again = run();
+    for (a, b) in rep.responses.iter().zip(&again.responses) {
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+    }
+}
+
+/// Cascading double failure under k = 2: two backends die while
+/// requests are in flight, every request still completes with no
+/// repair, and the availability timeline records the cascade.
+#[test]
+fn cascading_double_failure_survives_at_k2() {
+    let w = tpcapp(300);
+    let journal = w.journal(50_000);
+    let cw = classify_and_stream(&journal, &w.catalog, Granularity::Table, 1.0 / 900.0);
+    let cluster = ClusterSpec::homogeneous(5);
+    let alloc = ksafety::allocate(&cw.classification, &w.catalog, &cluster, 2);
+    assert!(ksafety::is_k_safe(&alloc, &cw.classification, 2));
+    let mut rng = ChaCha8Rng::seed_from_u64(78);
+    let reqs = cw.stream.sample_poisson(20.0, 40.0, 0.0, &mut rng);
+    let plan = FaultPlan::new(
+        vec![
+            FaultEvent::Crash {
+                backend: 0,
+                at: 12.0,
+            },
+            FaultEvent::Crash {
+                backend: 3,
+                at: 14.0,
+            },
+        ],
+        5,
+    )
+    .unwrap();
+    let rep = run_open_faults(
+        &alloc,
+        &cw.classification,
+        &cluster,
+        &w.catalog,
+        &reqs,
+        0.0,
+        &SimConfig::default(),
+        &plan,
+        &FaultConfig::default(),
+    );
+    assert_eq!(rep.lost, 0, "2-safe: zero lost requests through a cascade");
+    assert_eq!(rep.repairs, 0, "2-safe: double failure needs no repair");
+    assert_eq!(rep.crashes, 2);
+    assert_eq!(rep.min_alive(), 3);
+    assert_eq!(
+        rep.availability,
+        vec![(0.0, 5), (12.0, 4), (14.0, 3)],
+        "availability timeline records the cascade"
+    );
+    assert_eq!(rep.responses.len(), reqs.len());
 }

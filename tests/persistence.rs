@@ -4,11 +4,15 @@
 //! be lossless for the model types.
 
 use qcpa::core::allocation::Allocation;
-use qcpa::core::classify::{Classification, Granularity};
+use qcpa::core::classify::{Classification, Granularity, QueryClass};
 use qcpa::core::cluster::ClusterSpec;
 use qcpa::core::fragment::Catalog;
-use qcpa::core::greedy;
-use qcpa::core::journal::{Journal, Query};
+use qcpa::core::journal::{Journal, Query, QueryKind};
+use qcpa::core::{greedy, ksafety};
+use qcpa::sim::fault::{run_open_faults, FaultConfig, FaultEvent, FaultPlan};
+use qcpa::sim::{RequestStream, SimConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 fn setup() -> (Catalog, Journal) {
     let mut cat = Catalog::new();
@@ -70,4 +74,141 @@ fn classification_and_allocation_roundtrip() {
     alloc_back.validate(&cls_back, &cluster_back).unwrap();
     assert_eq!(alloc_back.scale(&cluster_back), alloc.scale(&cluster));
     assert_eq!(alloc_back.total_bytes(&cat), alloc.total_bytes(&cat));
+}
+
+#[test]
+fn repaired_allocation_roundtrips() {
+    let (cat, j) = setup();
+    let cls = Classification::from_journal(&j, &cat, Granularity::Table).unwrap();
+    let cluster = ClusterSpec::homogeneous(3);
+    let mut alloc = greedy::allocate(&cls, &cat, &cluster);
+    // Mutate through the repair path before persisting: the stored copy
+    // must be the repaired one, not the allocator's original.
+    ksafety::repair(&mut alloc, &cls, &cluster, 1);
+    alloc.validate(&cls, &cluster).unwrap();
+    let safety = ksafety::class_safety(&alloc, &cls);
+    assert!(safety >= 1, "repair(k=1) must leave one spare replica");
+
+    let back: Allocation = serde_json::from_str(&serde_json::to_string(&alloc).unwrap()).unwrap();
+    assert_eq!(back, alloc);
+    back.validate(&cls, &cluster).unwrap();
+    // The reloaded copy carries the same safety margin — a controller
+    // restarting from disk does not need to repair again.
+    assert_eq!(ksafety::class_safety(&back, &cls), safety);
+}
+
+#[test]
+fn fault_events_export_as_json_snapshot() {
+    // A crash → online repair → recovery run, snapshotted through the
+    // obs JSON exporter: downstream tooling parses this format, so the
+    // event names and field keys are part of the persistence contract.
+    let mut cat = Catalog::new();
+    let a = cat.add_table("A", 4_000);
+    let b = cat.add_table("B", 4_000);
+    let cls = Classification::from_classes(vec![
+        QueryClass::read(0, [a], 0.45),
+        QueryClass::read(1, [b], 0.35),
+        QueryClass::update(2, [a], 0.20),
+    ])
+    .unwrap();
+    let cluster = ClusterSpec::homogeneous(3);
+    // Backend 0 is the sole replica of table A, so crashing it forces
+    // an online repair (and therefore a "repair" event).
+    let mut alloc = Allocation::empty(cls.len(), 3);
+    alloc.fragments[0].insert(a);
+    alloc.fragments[1].insert(b);
+    alloc.fragments[2].insert(b);
+    alloc.assign[0][0] = 0.45;
+    alloc.assign[1][1] = 0.20;
+    alloc.assign[1][2] = 0.15;
+    alloc.assign[2][0] = 0.20;
+    alloc.validate(&cls, &cluster).unwrap();
+
+    let stream = RequestStream::new(
+        vec![45.0, 35.0, 20.0],
+        vec![QueryKind::Read, QueryKind::Read, QueryKind::Update],
+        vec![0.01; 3],
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let reqs = stream.sample_poisson(40.0, 20.0, 0.0, &mut rng);
+    let plan = FaultPlan::new(
+        vec![
+            FaultEvent::Crash {
+                backend: 0,
+                at: 8.0,
+            },
+            FaultEvent::Recover {
+                backend: 0,
+                at: 12.0,
+                catchup_cost: 0.5,
+            },
+        ],
+        3,
+    )
+    .unwrap();
+
+    qcpa_obs::set_filter("info");
+    let _ = qcpa_obs::trace::drain_events(); // clear other tests' noise
+    let rep = run_open_faults(
+        &alloc,
+        &cls,
+        &cluster,
+        &cat,
+        &reqs,
+        0.0,
+        &SimConfig::default(),
+        &plan,
+        &FaultConfig::default(),
+    );
+    let events: Vec<_> = qcpa_obs::trace::drain_events()
+        .into_iter()
+        .filter(|e| e.target == "sim.fault")
+        .collect();
+    assert_eq!(rep.repairs, 1, "the sole-replica crash must repair");
+
+    let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+    assert_eq!(names, ["crash", "repair", "recover"]);
+
+    let json = qcpa_obs::export::events_to_json(&events);
+    let parsed = serde_json::parse_value_str(&json).expect("exporter emits valid JSON");
+    let field = |v: &serde_json::Value, k: &str| -> serde_json::Value {
+        v.as_object()
+            .unwrap_or_else(|| panic!("expected object, got {}", v.kind()))
+            .iter()
+            .find(|(key, _)| key == k)
+            .unwrap_or_else(|| panic!("missing field `{k}`"))
+            .1
+            .clone()
+    };
+    let text = |v: &serde_json::Value| match v {
+        serde_json::Value::Str(s) => s.clone(),
+        other => panic!("expected string, got {}", other.kind()),
+    };
+    let num = |v: &serde_json::Value| match v {
+        serde_json::Value::I64(n) => *n as f64,
+        serde_json::Value::U64(n) => *n as f64,
+        serde_json::Value::F64(x) => *x,
+        other => panic!("expected number, got {}", other.kind()),
+    };
+    let arr = parsed.as_array().unwrap();
+    assert_eq!(arr.len(), 3);
+    for ev in arr {
+        assert_eq!(text(&field(ev, "target")), "sim.fault");
+        assert_eq!(text(&field(ev, "level")), "info");
+        num(&field(ev, "ts")); // present and numeric
+    }
+    let fields = |i: usize, k: &str| field(&field(&arr[i], "fields"), k);
+    assert_eq!(text(&field(&arr[0], "name")), "crash");
+    assert_eq!(num(&fields(0, "backend")), 0.0);
+    assert_eq!(num(&fields(0, "at")), 8.0);
+    num(&fields(0, "voided_legs"));
+    assert_eq!(text(&field(&arr[1], "name")), "repair");
+    assert_eq!(
+        num(&fields(1, "moved_bytes")),
+        rep.repair_moved_bytes as f64
+    );
+    assert!(num(&fields(1, "pause_secs")) > 0.0);
+    assert_eq!(text(&field(&arr[2], "name")), "recover");
+    assert_eq!(num(&fields(2, "backend")), 0.0);
+    assert_eq!(num(&fields(2, "catchup_secs")), 0.5);
 }

@@ -4,71 +4,13 @@
 
 use proptest::prelude::*;
 use qcpa::core::allocation::Allocation;
-use qcpa::core::classify::{Classification, QueryClass};
 use qcpa::core::cluster::ClusterSpec;
-use qcpa::core::fragment::{Catalog, FragmentId};
 use qcpa::core::{greedy, ksafety, memetic, robust};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-/// A random workload: catalog of `n_frags` tables with random sizes,
-/// `n_classes` classes with random fragment subsets, random weights
-/// normalized to 1, a random read/update split.
-#[derive(Debug, Clone)]
-struct RandomWorkload {
-    sizes: Vec<u64>,
-    classes: Vec<(Vec<usize>, f64, bool)>, // (fragment idxs, raw weight, is_update)
-}
-
-fn workload_strategy() -> impl Strategy<Value = RandomWorkload> {
-    let frag_count = 3..8usize;
-    frag_count.prop_flat_map(|nf| {
-        let sizes = proptest::collection::vec(1u64..10_000, nf);
-        let classes = proptest::collection::vec(
-            (
-                proptest::collection::btree_set(0..nf, 1..=nf.min(4)),
-                0.05f64..1.0,
-                proptest::bool::weighted(0.3),
-            ),
-            2..8,
-        );
-        (sizes, classes).prop_map(|(sizes, classes)| RandomWorkload {
-            sizes,
-            classes: classes
-                .into_iter()
-                .map(|(f, w, u)| (f.into_iter().collect(), w, u))
-                .collect(),
-        })
-    })
-}
-
-fn materialize(w: &RandomWorkload) -> (Catalog, Option<Classification>) {
-    let mut catalog = Catalog::new();
-    let ids: Vec<FragmentId> = w
-        .sizes
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| catalog.add_table(format!("T{i}"), s))
-        .collect();
-    let total: f64 = w.classes.iter().map(|(_, w, _)| w).sum();
-    let mut has_read = false;
-    let classes: Vec<QueryClass> = w
-        .classes
-        .iter()
-        .enumerate()
-        .map(|(k, (frags, weight, is_update))| {
-            let frag_ids = frags.iter().map(|&i| ids[i]);
-            if *is_update {
-                QueryClass::update(k as u32, frag_ids, weight / total)
-            } else {
-                has_read = true;
-                QueryClass::read(k as u32, frag_ids, weight / total)
-            }
-        })
-        .collect();
-    let _ = has_read;
-    (catalog, Classification::from_classes(classes).ok())
-}
+mod common;
+use common::{materialize, workload_strategy};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -251,6 +193,38 @@ proptest! {
         }
         prop_assert_eq!(&start, &alloc, "undo did not restore the allocation");
         prop_assert_eq!(start_cost, tracker.cost(&cluster), "undo did not restore the cost");
+    }
+
+    /// `ksafety::repair` is idempotent and never lowers `class_safety`:
+    /// replicas are only added, a second run with the same `k` is a
+    /// reported no-op, and the min(k+1, n) processability target holds
+    /// afterwards (the contract its rustdoc pins).
+    #[test]
+    fn repair_is_idempotent_and_never_lowers_safety(
+        w in workload_strategy(),
+        n in 2usize..6,
+        k in 0usize..3,
+    ) {
+        let (catalog, cls) = materialize(&w);
+        let Some(cls) = cls else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let mut alloc = greedy::allocate(&cls, &catalog, &cluster);
+        let safety_before = ksafety::class_safety(&alloc, &cls);
+        let report = ksafety::repair_report(&mut alloc, &cls, &cluster, k);
+        alloc.validate(&cls, &cluster).unwrap();
+        let safety_after = ksafety::class_safety(&alloc, &cls);
+        prop_assert!(
+            safety_after >= safety_before,
+            "repair lowered class_safety: {safety_before} -> {safety_after}"
+        );
+        prop_assert!(safety_after + 1 >= (k + 1).min(n), "target not reached");
+        // The report prices exactly the added fragments.
+        prop_assert_eq!(report.moved_bytes(&catalog) == 0, report.is_noop());
+        // Idempotent: a second run changes nothing and reports a no-op.
+        let once = alloc.clone();
+        let again = ksafety::repair_report(&mut alloc, &cls, &cluster, k);
+        prop_assert!(again.is_noop(), "second repair was not a no-op");
+        prop_assert_eq!(once, alloc);
     }
 
     /// Weight changes (Section 5): decreasing any class's weight never
