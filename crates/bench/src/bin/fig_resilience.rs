@@ -1,0 +1,5 @@
+//! Resilience sweep: goodput and tails per overload policy under
+//! faults; exits nonzero if any request is lost.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::resilience::fig_resilience()
+}

@@ -25,6 +25,7 @@ fn main() -> std::io::Result<()> {
     ablations::ksafety_cost()?;
     ablations::heterogeneous()?;
     faults::fig_fault_availability()?;
+    resilience::fig_resilience()?;
     println!("All experiments done; CSVs in results/.");
     Ok(())
 }

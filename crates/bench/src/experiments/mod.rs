@@ -6,6 +6,7 @@ pub mod allocbench;
 pub mod autoscale;
 pub mod balance;
 pub mod faults;
+pub mod resilience;
 pub mod tables;
 pub mod tpcapp;
 pub mod tpch;

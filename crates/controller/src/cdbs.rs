@@ -13,9 +13,12 @@ use qcpa_storage::fragmentation::extract_vertical;
 use qcpa_storage::schema::Schema;
 use qcpa_storage::table::Table;
 
+use std::collections::VecDeque;
+
 use crate::layout::{layout_from_allocation, TableLayout};
 use crate::partition::PartitionScheme;
-use crate::request::{referenced_columns, Request, WriteKind};
+use crate::request::{referenced_columns, Request, WriteKind, WriteRequest};
+use crate::resilience::{BackendHealth, ControllerResilience};
 use qcpa_storage::engine::{AggFunc, QueryResult as QR, ScanQuery};
 use qcpa_storage::fragmentation::extract_horizontal;
 use qcpa_storage::types::Value;
@@ -40,6 +43,16 @@ pub enum CdbsError {
         /// The request's table.
         table: String,
     },
+    /// Every backend that could serve the request by layout is
+    /// currently offline — the data exists in the cluster but no live
+    /// replica holds it. Distinct from [`CdbsError::NoCapableBackend`],
+    /// where no layout covers the request at all.
+    AllReplicasOffline {
+        /// The request's table.
+        table: String,
+        /// The offline backends whose layouts cover the request.
+        offline: Vec<usize>,
+    },
     /// Storage-level failure.
     Storage(StorageError),
     /// Reallocation needs a non-empty query history.
@@ -56,6 +69,10 @@ impl std::fmt::Display for CdbsError {
             CdbsError::InconsistentLayout { backend, table } => write!(
                 f,
                 "backend {backend} overlaps but does not cover an update on {table:?}"
+            ),
+            CdbsError::AllReplicasOffline { table, offline } => write!(
+                f,
+                "every replica of {table:?} is offline (backends {offline:?})"
             ),
             CdbsError::Storage(e) => write!(f, "storage error: {e}"),
             CdbsError::EmptyJournal => write!(f, "no query history to classify"),
@@ -113,6 +130,19 @@ pub struct Cdbs {
     /// Backends currently failed: routing skips them, writes they miss
     /// are replayed from the master copy on recovery.
     offline: Vec<bool>,
+    /// Resilience knobs (breaker thresholds, staleness-ledger cap).
+    resilience: ControllerResilience,
+    /// Per-backend health: cost EWMA, consecutive failures, breaker.
+    health: Vec<BackendHealth>,
+    /// Monotone request counter — the controller's clock, used for
+    /// breaker cooldowns.
+    request_seq: u64,
+    /// Per-backend staleness ledger: writes an offline backend missed,
+    /// replayed in order by [`Cdbs::recover_backend`].
+    ledgers: Vec<VecDeque<WriteRequest>>,
+    /// Set when a ledger exceeded the cap while the backend was down:
+    /// recovery must fall back to a full reload.
+    ledger_overflow: Vec<bool>,
 }
 
 impl Cdbs {
@@ -205,7 +235,160 @@ impl Cdbs {
             cumulative_cost: vec![0.0; n_backends],
             journal: Journal::new(),
             offline: vec![false; n_backends],
+            resilience: ControllerResilience::from_env(),
+            health: vec![BackendHealth::default(); n_backends],
+            request_seq: 0,
+            ledgers: vec![VecDeque::new(); n_backends],
+            ledger_overflow: vec![false; n_backends],
         }
+    }
+
+    /// Replaces the resilience knobs (breaker thresholds, staleness
+    /// ledger cap). The constructor starts from
+    /// [`ControllerResilience::from_env`].
+    pub fn set_resilience(&mut self, cfg: ControllerResilience) {
+        self.resilience = cfg;
+    }
+
+    /// The active resilience configuration.
+    pub fn resilience(&self) -> &ControllerResilience {
+        &self.resilience
+    }
+
+    /// True while backend `b`'s circuit breaker is open: the backend is
+    /// alive but failing, and read routing avoids it until the cooldown
+    /// (measured in controller requests) has elapsed.
+    pub fn breaker_open(&self, b: usize) -> bool {
+        matches!(self.health[b].open_until_seq, Some(s) if self.request_seq < s)
+    }
+
+    /// Number of writes currently deferred for offline backend `b` in
+    /// its staleness ledger (0 after an overflow — the entries were
+    /// discarded and recovery will do a full reload).
+    pub fn deferred_writes(&self, b: usize) -> usize {
+        self.ledgers[b].len()
+    }
+
+    /// Whether backend `b`'s staleness ledger overflowed during the
+    /// current offline episode.
+    pub fn ledger_overflowed(&self, b: usize) -> bool {
+        self.ledger_overflow[b]
+    }
+
+    /// The EWMA of backend `b`'s observed per-request cost (rows
+    /// touched), or `None` before any observation.
+    pub fn backend_ewma_cost(&self, b: usize) -> Option<f64> {
+        self.health[b].seen.then_some(self.health[b].ewma_cost)
+    }
+
+    /// Records an externally observed failure of backend `b` (e.g. a
+    /// health-probe miss): feeds the circuit breaker exactly like a
+    /// storage error surfacing from that backend during execution.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    pub fn report_backend_failure(&mut self, b: usize) {
+        assert!(b < self.backends.len(), "unknown backend {b}");
+        self.note_backend_failure(b);
+    }
+
+    /// Records a successful observation of backend `b`: folds the cost
+    /// into the health EWMA, resets the failure streak and closes an
+    /// open breaker (the half-open probe succeeded).
+    fn note_backend_success(&mut self, b: usize, cost: f64) {
+        let alpha = self.resilience.ewma_alpha;
+        let h = &mut self.health[b];
+        h.observe_cost(alpha, cost);
+        h.consec_failures = 0;
+        if h.open_until_seq.take().is_some() {
+            qcpa_obs::global()
+                .counter("controller.breaker.closes")
+                .inc();
+            qcpa_obs::event!(qcpa_obs::Level::Info, "controller", "breaker_close", {
+                "backend" => b as u64,
+            });
+        }
+    }
+
+    /// Records a failed observation of backend `b`; after
+    /// `failure_threshold` consecutive failures the breaker opens for
+    /// `cooldown_requests` controller requests. A failure while the
+    /// cooldown has lapsed (half-open) re-trips immediately.
+    fn note_backend_failure(&mut self, b: usize) {
+        let threshold = self.resilience.failure_threshold;
+        let cooldown = self.resilience.cooldown_requests.max(1);
+        let seq = self.request_seq;
+        let h = &mut self.health[b];
+        h.consec_failures = h.consec_failures.saturating_add(1);
+        let open_now = matches!(h.open_until_seq, Some(s) if seq < s);
+        if threshold > 0 && h.consec_failures >= threshold && !open_now {
+            h.open_until_seq = Some(seq + cooldown);
+            qcpa_obs::global().counter("controller.breaker.opens").inc();
+            qcpa_obs::event!(qcpa_obs::Level::Warn, "controller", "breaker_open", {
+                "backend" => b as u64,
+                "consecutive_failures" => u64::from(h.consec_failures),
+            });
+        }
+    }
+
+    /// Least-accumulated-work routing over the online capable backends,
+    /// skipping open-circuit ones. Degraded mode: when *every*
+    /// candidate is open-circuit the breaker is overridden rather than
+    /// failing the read — the scheduler always serves when live data
+    /// exists, it just stops preferring sick backends.
+    ///
+    /// `online` must be non-empty.
+    fn pick_read_backend(&self, online: &[usize]) -> usize {
+        let healthy: Vec<usize> = online
+            .iter()
+            .copied()
+            .filter(|&b| !self.breaker_open(b))
+            .collect();
+        let reg = qcpa_obs::global();
+        let pool: &[usize] = if healthy.is_empty() {
+            reg.counter("controller.breaker.overrides").inc();
+            online
+        } else {
+            if healthy.len() < online.len() {
+                reg.counter("controller.degraded_reads").inc();
+            }
+            &healthy
+        };
+        pool.iter()
+            .copied()
+            .min_by(|&x, &y| {
+                self.cumulative_cost[x]
+                    .partial_cmp(&self.cumulative_cost[y])
+                    .expect("costs are finite")
+                    .then(x.cmp(&y))
+            })
+            .expect("online capable set is non-empty")
+    }
+
+    /// Queues `w` on offline backend `b`'s staleness ledger. A ledger
+    /// that would exceed `staleness_cap` overflows: its entries are
+    /// discarded and the eventual recovery downgrades to a full reload
+    /// from the master copy.
+    fn defer_write(&mut self, b: usize, w: &WriteRequest) {
+        if self.ledger_overflow[b] {
+            return;
+        }
+        if self.ledgers[b].len() >= self.resilience.staleness_cap {
+            self.ledger_overflow[b] = true;
+            self.ledgers[b].clear();
+            qcpa_obs::global()
+                .counter("controller.ledger.overflows")
+                .inc();
+            qcpa_obs::event!(qcpa_obs::Level::Warn, "controller", "ledger_overflow", {
+                "backend" => b as u64,
+                "cap" => self.resilience.staleness_cap as u64,
+            });
+            return;
+        }
+        self.ledgers[b].push_back(w.clone());
+        qcpa_obs::global()
+            .counter("controller.ledger.deferred")
+            .inc();
     }
 
     /// Marks backend `b` as failed: routing skips it from now on. Its
@@ -226,10 +409,15 @@ impl Cdbs {
         }
     }
 
-    /// Brings a failed backend back: every fragment of its layout is
-    /// reloaded from the master copy (the catch-up ETL), and routing
-    /// includes it again. Returns the reloaded bytes; 0 if the backend
-    /// was not offline.
+    /// Brings a failed backend back and routing includes it again.
+    ///
+    /// If the backend's staleness ledger held every write it missed
+    /// (no overflow), the ledger is replayed in order against its
+    /// stored fragments — no bulk data moves and 0 is returned.
+    /// Otherwise (ledger overflow, or a replay error) every fragment of
+    /// its layout is dropped and reloaded from the master copy (the
+    /// catch-up ETL); the reloaded bytes are returned. Returns 0 if the
+    /// backend was not offline.
     ///
     /// # Panics
     /// Panics if `b` is out of range.
@@ -237,6 +425,28 @@ impl Cdbs {
         assert!(b < self.backends.len(), "unknown backend {b}");
         if !self.offline[b] {
             return 0;
+        }
+        let overflowed = std::mem::take(&mut self.ledger_overflow[b]);
+        let deferred: Vec<WriteRequest> = self.ledgers[b].drain(..).collect();
+        if !overflowed {
+            let replay_ok = deferred
+                .iter()
+                .all(|w| self.apply_write_to_backend(b, w).is_ok());
+            if replay_ok {
+                self.offline[b] = false;
+                self.health[b] = BackendHealth::default();
+                qcpa_obs::global()
+                    .counter("controller.ledger.replayed")
+                    .add(deferred.len() as u64);
+                qcpa_obs::event!(qcpa_obs::Level::Info, "controller", "recover_backend", {
+                    "backend" => b as u64,
+                    "replayed" => deferred.len() as u64,
+                    "moved_bytes" => 0u64,
+                });
+                return 0;
+            }
+            // A replay error means the ledger and the stored fragments
+            // disagree (possibly half-applied) — resync from scratch.
         }
         let stale: Vec<String> = self.backends[b]
             .fragment_names()
@@ -247,6 +457,7 @@ impl Cdbs {
         }
         let moved = self.load_layout(b);
         self.offline[b] = false;
+        self.health[b] = BackendHealth::default();
         qcpa_obs::global()
             .counter("controller.recoveries.moved_bytes")
             .add(moved);
@@ -319,6 +530,134 @@ impl Cdbs {
         moved
     }
 
+    /// Applies one write to backend `b`'s stored fragments — the shared
+    /// kernel of the ROWA fan-out and the staleness-ledger replay on
+    /// recovery. Does *not* touch the master copy, the journal or the
+    /// balance state; returns the rows changed (≥ 1, used as the cost
+    /// contribution by the fan-out), or 0 when `b`'s layout does not
+    /// overlap the write at all.
+    fn apply_write_to_backend(&mut self, b: usize, w: &WriteRequest) -> Result<f64, CdbsError> {
+        let table_name = w.table.clone();
+        let def = self
+            .schema
+            .table(&table_name)
+            .ok_or_else(|| CdbsError::UnknownTable(table_name.clone()))?
+            .clone();
+        if let Some(scheme) = self.scheme_for(&table_name).cloned() {
+            let n_columns = def.columns.len();
+            let touched: Vec<usize> = match &w.kind {
+                WriteKind::Insert(row) => {
+                    let idx = def
+                        .column_index(&scheme.column)
+                        .expect("scheme validated at construction");
+                    match row.get(idx) {
+                        Some(Value::I64(v)) => vec![scheme.part_of(*v)],
+                        _ => (0..scheme.n_parts()).collect(),
+                    }
+                }
+                WriteKind::Update { predicate, .. } => scheme.touched(predicate.as_ref()),
+            };
+            if !self.layouts[b].overlaps_parts(&table_name, &touched) {
+                return Ok(0.0);
+            }
+            if !self.layouts[b].covers_parts(&table_name, &touched, n_columns) {
+                return Err(CdbsError::InconsistentLayout {
+                    backend: b,
+                    table: table_name,
+                });
+            }
+            let whole = self.layouts[b]
+                .columns
+                .get(&table_name)
+                .map(|c| c.len() == n_columns)
+                .unwrap_or(false);
+            let mut changed_max = 1.0f64;
+            match &w.kind {
+                WriteKind::Insert(row) => {
+                    let frag = if whole {
+                        table_name.clone()
+                    } else {
+                        scheme.fragment_name(touched[0])
+                    };
+                    self.backends[b].insert(&frag, row.clone())?;
+                }
+                WriteKind::Update {
+                    predicate,
+                    column,
+                    value,
+                } => {
+                    if whole {
+                        let changed = self.backends[b].update(
+                            &table_name,
+                            predicate.as_ref(),
+                            column,
+                            value.clone(),
+                        )?;
+                        changed_max = changed_max.max(changed as f64);
+                    } else {
+                        for &p in &touched {
+                            let frag = scheme.fragment_name(p);
+                            if self.backends[b].table(&frag).is_none() {
+                                continue;
+                            }
+                            let changed = self.backends[b].update(
+                                &frag,
+                                predicate.as_ref(),
+                                column,
+                                value.clone(),
+                            )?;
+                            changed_max = changed_max.max(changed as f64);
+                        }
+                    }
+                }
+            }
+            Ok(changed_max)
+        } else {
+            let cols = referenced_columns(&Request::Write(w.clone()), &def);
+            if !self.layouts[b].overlaps(&table_name, &cols) {
+                return Ok(0.0);
+            }
+            if !self.layouts[b].covers(&table_name, &cols) {
+                return Err(CdbsError::InconsistentLayout {
+                    backend: b,
+                    table: table_name,
+                });
+            }
+            let frag_name = self.layouts[b]
+                .fragment_name(&self.schema, &table_name)
+                .expect("covering backend stores the table");
+            let mut changed_max = 1.0f64;
+            match &w.kind {
+                WriteKind::Insert(row) => {
+                    // Project the row onto the stored columns.
+                    let stored = &self.layouts[b].columns[&table_name];
+                    let projected: Vec<_> = def
+                        .columns
+                        .iter()
+                        .zip(row.iter())
+                        .filter(|(c, _)| stored.contains(&c.name))
+                        .map(|(_, v)| v.clone())
+                        .collect();
+                    self.backends[b].insert(&frag_name, projected)?;
+                }
+                WriteKind::Update {
+                    predicate,
+                    column,
+                    value,
+                } => {
+                    let changed = self.backends[b].update(
+                        &frag_name,
+                        predicate.as_ref(),
+                        column,
+                        value.clone(),
+                    )?;
+                    changed_max = changed_max.max(changed as f64);
+                }
+            }
+            Ok(changed_max)
+        }
+    }
+
     fn scheme_for(&self, table: &str) -> Option<&PartitionScheme> {
         self.partitions.iter().find(|p| p.table == table)
     }
@@ -356,6 +695,9 @@ impl Cdbs {
     /// journal with its measured cost.
     pub fn execute(&mut self, request: &Request) -> Result<ExecOutcome, CdbsError> {
         let _span = qcpa_obs::span("controller", "execute");
+        // The controller's monotone clock: breaker cooldowns count
+        // requests, successful or not.
+        self.request_seq = self.request_seq.saturating_add(1);
         let outcome = self.execute_inner(request)?;
         let reg = qcpa_obs::global();
         match request {
@@ -382,26 +724,32 @@ impl Cdbs {
         match request {
             Request::Read(q) => {
                 let capable: Vec<usize> = (0..self.backends.len())
-                    .filter(|&b| !self.offline[b] && self.layouts[b].covers(&table_name, &cols))
+                    .filter(|&b| self.layouts[b].covers(&table_name, &cols))
                     .collect();
-                let &b = capable
+                let online: Vec<usize> = capable
                     .iter()
-                    .min_by(|&&x, &&y| {
-                        self.cumulative_cost[x]
-                            .partial_cmp(&self.cumulative_cost[y])
-                            .expect("costs are finite")
-                            .then(x.cmp(&y))
-                    })
-                    .ok_or_else(|| CdbsError::NoCapableBackend {
-                        table: table_name.clone(),
-                        columns: cols.clone(),
-                    })?;
+                    .copied()
+                    .filter(|&b| !self.offline[b])
+                    .collect();
+                if online.is_empty() {
+                    return Err(if capable.is_empty() {
+                        CdbsError::NoCapableBackend {
+                            table: table_name.clone(),
+                            columns: cols.clone(),
+                        }
+                    } else {
+                        CdbsError::AllReplicasOffline {
+                            table: table_name.clone(),
+                            offline: capable,
+                        }
+                    });
+                }
+                let b = self.pick_read_backend(&online);
                 let frag_name = self.layouts[b]
                     .fragment_name(&self.schema, &table_name)
                     .expect("capable backend stores the table");
                 let mut translated = q.clone();
                 translated.table = frag_name.clone();
-                let result = self.backends[b].execute(&translated)?;
                 // Measured cost: rows scanned (the stored fragment's
                 // cardinality — a full scan in this engine).
                 let cost = self.backends[b]
@@ -409,6 +757,16 @@ impl Cdbs {
                     .map(|t| t.len() as f64)
                     .unwrap_or(1.0)
                     .max(1.0);
+                let result = match self.backends[b].execute(&translated) {
+                    Ok(r) => {
+                        self.note_backend_success(b, cost);
+                        r
+                    }
+                    Err(e) => {
+                        self.note_backend_failure(b);
+                        return Err(e.into());
+                    }
+                };
                 self.cumulative_cost[b] += cost;
                 self.journal.record(Query::read(
                     format!("R {table_name} [{}]", cols.join(",")),
@@ -422,54 +780,41 @@ impl Cdbs {
                 })
             }
             Request::Write(w) => {
-                let targets: Vec<usize> = (0..self.backends.len())
-                    .filter(|&b| !self.offline[b] && self.layouts[b].overlaps(&table_name, &cols))
+                let overlapping: Vec<usize> = (0..self.backends.len())
+                    .filter(|&b| self.layouts[b].overlaps(&table_name, &cols))
+                    .collect();
+                let targets: Vec<usize> = overlapping
+                    .iter()
+                    .copied()
+                    .filter(|&b| !self.offline[b])
                     .collect();
                 if targets.is_empty() {
-                    return Err(CdbsError::NoCapableBackend {
-                        table: table_name.clone(),
-                        columns: cols.clone(),
+                    // No live replica accepts the write: fail it rather
+                    // than deferring everywhere (zero durability).
+                    return Err(if overlapping.is_empty() {
+                        CdbsError::NoCapableBackend {
+                            table: table_name.clone(),
+                            columns: cols.clone(),
+                        }
+                    } else {
+                        CdbsError::AllReplicasOffline {
+                            table: table_name.clone(),
+                            offline: overlapping,
+                        }
                     });
                 }
                 let mut cost = 1.0f64;
                 for &b in &targets {
-                    if !self.layouts[b].covers(&table_name, &cols) {
-                        return Err(CdbsError::InconsistentLayout {
-                            backend: b,
-                            table: table_name.clone(),
-                        });
-                    }
-                    let frag_name = self.layouts[b]
-                        .fragment_name(&self.schema, &table_name)
-                        .expect("covering backend stores the table");
-                    match &w.kind {
-                        WriteKind::Insert(row) => {
-                            // Project the row onto the stored columns.
-                            let stored = &self.layouts[b].columns[&table_name];
-                            let projected: Vec<_> = def
-                                .columns
-                                .iter()
-                                .zip(row.iter())
-                                .filter(|(c, _)| stored.contains(&c.name))
-                                .map(|(_, v)| v.clone())
-                                .collect();
-                            self.backends[b].insert(&frag_name, projected)?;
-                        }
-                        WriteKind::Update {
-                            predicate,
-                            column,
-                            value,
-                        } => {
-                            let changed = self.backends[b].update(
-                                &frag_name,
-                                predicate.as_ref(),
-                                column,
-                                value.clone(),
-                            )?;
-                            cost = cost.max(changed as f64);
-                        }
-                    }
+                    let changed = self.apply_write_to_backend(b, w)?;
+                    cost = cost.max(changed);
                     self.cumulative_cost[b] += cost;
+                }
+                // Offline replicas missed the write: defer it into
+                // their staleness ledgers for replay at recovery.
+                for b in overlapping {
+                    if self.offline[b] {
+                        self.defer_write(b, w);
+                    }
                 }
                 // Keep the master copy authoritative.
                 let mi = self
@@ -543,23 +888,27 @@ impl Cdbs {
         match request {
             Request::Read(q) => {
                 let capable: Vec<usize> = (0..self.backends.len())
-                    .filter(|&b| {
-                        !self.offline[b]
-                            && self.layouts[b].covers_parts(&table_name, &touched, n_columns)
-                    })
+                    .filter(|&b| self.layouts[b].covers_parts(&table_name, &touched, n_columns))
                     .collect();
-                let &b = capable
+                let online: Vec<usize> = capable
                     .iter()
-                    .min_by(|&&x, &&y| {
-                        self.cumulative_cost[x]
-                            .partial_cmp(&self.cumulative_cost[y])
-                            .expect("costs are finite")
-                            .then(x.cmp(&y))
-                    })
-                    .ok_or_else(|| CdbsError::NoCapableBackend {
-                        table: table_name.clone(),
-                        columns: vec![format!("partitions {touched:?}")],
-                    })?;
+                    .copied()
+                    .filter(|&b| !self.offline[b])
+                    .collect();
+                if online.is_empty() {
+                    return Err(if capable.is_empty() {
+                        CdbsError::NoCapableBackend {
+                            table: table_name.clone(),
+                            columns: vec![format!("partitions {touched:?}")],
+                        }
+                    } else {
+                        CdbsError::AllReplicasOffline {
+                            table: table_name.clone(),
+                            offline: capable,
+                        }
+                    });
+                }
+                let b = self.pick_read_backend(&online);
                 // A whole-table copy answers directly; otherwise combine
                 // over the stored partition fragments.
                 let whole = self.layouts[b]
@@ -567,17 +916,29 @@ impl Cdbs {
                     .get(&table_name)
                     .map(|c| c.len() == n_columns)
                     .unwrap_or(false);
-                let (result, cost) = if whole {
-                    let res = self.backends[b].execute(q)?;
-                    let cost = self.backends[b]
-                        .table(&table_name)
-                        .map(|t| t.len() as f64)
-                        .unwrap_or(1.0);
-                    (res, cost)
+                let exec = if whole {
+                    self.backends[b]
+                        .execute(q)
+                        .map_err(CdbsError::from)
+                        .map(|res| {
+                            let cost = self.backends[b]
+                                .table(&table_name)
+                                .map(|t| t.len() as f64)
+                                .unwrap_or(1.0);
+                            (res, cost)
+                        })
                 } else {
-                    combine_partition_scan(&self.backends[b], q, scheme, &touched)?
+                    combine_partition_scan(&self.backends[b], q, scheme, &touched)
+                };
+                let (result, cost) = match exec {
+                    Ok(rc) => rc,
+                    Err(e) => {
+                        self.note_backend_failure(b);
+                        return Err(e);
+                    }
                 };
                 let cost = cost.max(1.0);
+                self.note_backend_success(b, cost);
                 self.cumulative_cost[b] += cost;
                 self.journal.record(Query::read(
                     format!("R {table_name}#{touched:?}"),
@@ -591,70 +952,37 @@ impl Cdbs {
                 })
             }
             Request::Write(w) => {
-                let targets: Vec<usize> = (0..self.backends.len())
-                    .filter(|&b| {
-                        !self.offline[b] && self.layouts[b].overlaps_parts(&table_name, &touched)
-                    })
+                let overlapping: Vec<usize> = (0..self.backends.len())
+                    .filter(|&b| self.layouts[b].overlaps_parts(&table_name, &touched))
+                    .collect();
+                let targets: Vec<usize> = overlapping
+                    .iter()
+                    .copied()
+                    .filter(|&b| !self.offline[b])
                     .collect();
                 if targets.is_empty() {
-                    return Err(CdbsError::NoCapableBackend {
-                        table: table_name.clone(),
-                        columns: vec![format!("partitions {touched:?}")],
+                    return Err(if overlapping.is_empty() {
+                        CdbsError::NoCapableBackend {
+                            table: table_name.clone(),
+                            columns: vec![format!("partitions {touched:?}")],
+                        }
+                    } else {
+                        CdbsError::AllReplicasOffline {
+                            table: table_name.clone(),
+                            offline: overlapping,
+                        }
                     });
                 }
                 let mut cost = 1.0f64;
                 for &b in &targets {
-                    if !self.layouts[b].covers_parts(&table_name, &touched, n_columns) {
-                        return Err(CdbsError::InconsistentLayout {
-                            backend: b,
-                            table: table_name.clone(),
-                        });
-                    }
-                    let whole = self.layouts[b]
-                        .columns
-                        .get(&table_name)
-                        .map(|c| c.len() == n_columns)
-                        .unwrap_or(false);
-                    match &w.kind {
-                        WriteKind::Insert(row) => {
-                            let frag = if whole {
-                                table_name.clone()
-                            } else {
-                                scheme.fragment_name(touched[0])
-                            };
-                            self.backends[b].insert(&frag, row.clone())?;
-                        }
-                        WriteKind::Update {
-                            predicate,
-                            column,
-                            value,
-                        } => {
-                            if whole {
-                                let changed = self.backends[b].update(
-                                    &table_name,
-                                    predicate.as_ref(),
-                                    column,
-                                    value.clone(),
-                                )?;
-                                cost = cost.max(changed as f64);
-                            } else {
-                                for &p in &touched {
-                                    let frag = scheme.fragment_name(p);
-                                    if self.backends[b].table(&frag).is_none() {
-                                        continue;
-                                    }
-                                    let changed = self.backends[b].update(
-                                        &frag,
-                                        predicate.as_ref(),
-                                        column,
-                                        value.clone(),
-                                    )?;
-                                    cost = cost.max(changed as f64);
-                                }
-                            }
-                        }
-                    }
+                    let changed = self.apply_write_to_backend(b, w)?;
+                    cost = cost.max(changed);
                     self.cumulative_cost[b] += cost;
+                }
+                for b in overlapping {
+                    if self.offline[b] {
+                        self.defer_write(b, w);
+                    }
                 }
                 let mi = self
                     .schema
@@ -746,8 +1074,12 @@ impl Cdbs {
             self.layouts.push(TableLayout::default());
             self.cumulative_cost.push(0.0);
         }
-        // Everybody was recovered above and freshly reloaded below.
+        // Everybody was recovered above and freshly reloaded below;
+        // health, breakers and ledgers start clean on the new cluster.
         self.offline = vec![false; matched.n_backends()];
+        self.health = vec![BackendHealth::default(); matched.n_backends()];
+        self.ledgers = vec![VecDeque::new(); matched.n_backends()];
+        self.ledger_overflow = vec![false; matched.n_backends()];
 
         // Physically realize the new layouts.
         let new_layouts = layout_from_allocation(&matched, &self.catalog, &self.schema);
@@ -1243,6 +1575,158 @@ mod tests {
         let err = cdbs.reallocate(2, Granularity::Table, None).unwrap_err();
         assert_eq!(err, CdbsError::EmptyJournal);
     }
+
+    #[test]
+    fn all_replicas_offline_is_typed_and_recoverable() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 2);
+        cdbs.fail_backend(0);
+        // One survivor still serves.
+        cdbs.execute(&price_query()).unwrap();
+        cdbs.fail_backend(1);
+        match cdbs.execute(&price_query()) {
+            Err(CdbsError::AllReplicasOffline { table, offline }) => {
+                assert_eq!(table, "item");
+                assert_eq!(offline, vec![0, 1]);
+            }
+            other => panic!("expected AllReplicasOffline, got {other:?}"),
+        }
+        // Writes with zero live replicas fail the same way (nothing is
+        // deferred: the write never became durable anywhere).
+        let w = Request::Write(WriteRequest::update(
+            "item",
+            Some(Predicate::cmp("i_id", CmpOp::Eq, Value::I64(1))),
+            "i_price",
+            Value::F64(2.0),
+        ));
+        assert!(matches!(
+            cdbs.execute(&w),
+            Err(CdbsError::AllReplicasOffline { .. })
+        ));
+        assert_eq!(cdbs.deferred_writes(0), 0);
+        assert_eq!(cdbs.deferred_writes(1), 0);
+        // Recovery restores service.
+        cdbs.recover_backend(0);
+        assert!(cdbs.execute(&price_query()).is_ok());
+    }
+
+    #[test]
+    fn staleness_ledger_replays_missed_writes() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 2);
+        cdbs.fail_backend(1);
+        cdbs.execute(&Request::Write(WriteRequest::update(
+            "item",
+            Some(Predicate::cmp("i_id", CmpOp::Lt, Value::I64(10))),
+            "i_price",
+            Value::F64(1.0),
+        )))
+        .unwrap();
+        cdbs.execute(&Request::Write(WriteRequest::insert(
+            "item",
+            vec![
+                Value::I64(50),
+                Value::Str("book-50".into()),
+                Value::F64(1.0),
+            ],
+        )))
+        .unwrap();
+        assert_eq!(cdbs.deferred_writes(1), 2);
+        assert!(!cdbs.ledger_overflowed(1));
+        // Replay recovery: no bulk bytes move.
+        assert_eq!(cdbs.recover_backend(1), 0);
+        assert_eq!(cdbs.deferred_writes(1), 0);
+        // Backend 1 is idle (writes were charged to backend 0), so the
+        // next read lands there — and sees the replayed writes.
+        let q = Request::Read(
+            ScanQuery::all("item")
+                .filter(Predicate::cmp("i_price", CmpOp::Eq, Value::F64(1.0)))
+                .agg(AggFunc::Count, "i_id"),
+        );
+        let out = cdbs.execute(&q).unwrap();
+        assert_eq!(out.backends, vec![1]);
+        assert_eq!(out.result.unwrap(), QueryResult::Scalar(Some(11.0)));
+    }
+
+    #[test]
+    fn ledger_overflow_triggers_full_reload() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 2);
+        cdbs.set_resilience(ControllerResilience {
+            staleness_cap: 2,
+            ..ControllerResilience::default()
+        });
+        cdbs.fail_backend(1);
+        for i in 0..4 {
+            cdbs.execute(&Request::Write(WriteRequest::update(
+                "item",
+                Some(Predicate::cmp("i_id", CmpOp::Eq, Value::I64(i))),
+                "i_price",
+                Value::F64(0.5),
+            )))
+            .unwrap();
+        }
+        assert!(cdbs.ledger_overflowed(1));
+        assert_eq!(cdbs.deferred_writes(1), 0, "overflow discards the ledger");
+        // Overflow downgrades recovery to the full catch-up ETL.
+        assert!(cdbs.recover_backend(1) > 0);
+        assert!(!cdbs.ledger_overflowed(1));
+        let q = Request::Read(
+            ScanQuery::all("item")
+                .filter(Predicate::cmp("i_price", CmpOp::Eq, Value::F64(0.5)))
+                .agg(AggFunc::Count, "i_id"),
+        );
+        let out = cdbs.execute(&q).unwrap();
+        assert_eq!(out.backends, vec![1], "idle recovered backend serves");
+        assert_eq!(out.result.unwrap(), QueryResult::Scalar(Some(4.0)));
+    }
+
+    #[test]
+    fn breaker_routes_reads_around_failing_backend() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 2);
+        cdbs.set_resilience(ControllerResilience {
+            failure_threshold: 2,
+            cooldown_requests: 3,
+            ..ControllerResilience::default()
+        });
+        // Two probe misses trip backend 0's breaker.
+        cdbs.report_backend_failure(0);
+        assert!(!cdbs.breaker_open(0), "below threshold");
+        cdbs.report_backend_failure(0);
+        assert!(cdbs.breaker_open(0));
+        // Both backends are tied on accumulated work; the tie-break
+        // would pick 0, but the open breaker routes around it.
+        for _ in 0..2 {
+            let out = cdbs.execute(&price_query()).unwrap();
+            assert_eq!(out.backends, vec![1]);
+        }
+        // Cooldown elapsed (3 requests): half-open — backend 0 is
+        // routable again, the successful read closes the breaker.
+        let out = cdbs.execute(&price_query()).unwrap();
+        assert_eq!(out.backends, vec![0]);
+        assert!(!cdbs.breaker_open(0));
+        assert!(cdbs.backend_ewma_cost(0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn breaker_override_when_every_replica_is_open() {
+        let (schema, tables) = bookshop();
+        let mut cdbs = Cdbs::new(schema, tables, 1);
+        cdbs.set_resilience(ControllerResilience {
+            failure_threshold: 1,
+            cooldown_requests: 100,
+            ..ControllerResilience::default()
+        });
+        cdbs.report_backend_failure(0);
+        assert!(cdbs.breaker_open(0));
+        // The only replica is open-circuit: the breaker is overridden
+        // rather than failing a servable read.
+        let out = cdbs.execute(&price_query()).unwrap();
+        assert_eq!(out.backends, vec![0]);
+        // The override's success closed the breaker.
+        assert!(!cdbs.breaker_open(0));
+    }
 }
 
 impl Cdbs {
@@ -1458,6 +1942,53 @@ mod partition_tests {
             .find(|e| e.query.text.starts_with("W events#[2]"))
             .expect("insert classified to partition 2");
         assert_eq!(insert_entry.query.fragments.len(), 1);
+    }
+
+    #[test]
+    fn partitioned_all_replicas_offline_is_typed() {
+        let mut cdbs = partitioned_cdbs(2);
+        cdbs.fail_backend(0);
+        cdbs.fail_backend(1);
+        match cdbs.execute(&hot_count()) {
+            Err(CdbsError::AllReplicasOffline { table, offline }) => {
+                assert_eq!(table, "events");
+                assert_eq!(offline, vec![0, 1]);
+            }
+            other => panic!("expected AllReplicasOffline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partitioned_ledger_replay_keeps_partitions_consistent() {
+        let mut cdbs = partitioned_cdbs(2);
+        cdbs.fail_backend(1);
+        cdbs.execute(&Request::Write(WriteRequest::update(
+            "events",
+            Some(Predicate::cmp("e_day", CmpOp::Eq, Value::I64(5))),
+            "e_value",
+            Value::F64(-1.0),
+        )))
+        .unwrap();
+        cdbs.execute(&Request::Write(WriteRequest::insert(
+            "events",
+            vec![Value::I64(9_000), Value::I64(25), Value::F64(1.0)],
+        )))
+        .unwrap();
+        assert_eq!(cdbs.deferred_writes(1), 2);
+        assert_eq!(cdbs.recover_backend(1), 0, "ledger replay moves no bytes");
+        // The recovered backend is idle, so both reads land on it and
+        // must see the replayed update and insert.
+        let zapped = Request::Read(
+            ScanQuery::all("events")
+                .select(&["e_id"])
+                .filter(Predicate::cmp("e_value", CmpOp::Eq, Value::F64(-1.0)))
+                .agg(AggFunc::Count, "e_id"),
+        );
+        let out = cdbs.execute(&zapped).unwrap();
+        assert_eq!(out.backends, vec![1]);
+        assert_eq!(scalar(&out), 10.0);
+        let out = cdbs.execute(&hot_count()).unwrap();
+        assert_eq!(scalar(&out), 101.0);
     }
 
     #[test]

@@ -58,8 +58,10 @@ pub mod cdbs;
 pub mod layout;
 pub mod partition;
 pub mod request;
+pub mod resilience;
 
 pub use cdbs::{Cdbs, CdbsError, ExecOutcome, ReallocationReport};
 pub use layout::{layout_from_allocation, TableLayout};
 pub use partition::PartitionScheme;
 pub use request::{referenced_columns, Request, WriteKind, WriteRequest};
+pub use resilience::ControllerResilience;

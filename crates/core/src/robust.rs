@@ -13,6 +13,22 @@ use crate::cluster::ClusterSpec;
 use crate::fragment::Catalog;
 use crate::{BackendId, ClassId, EPS};
 
+/// Per-backend spare room at the allocation's current scale: how much
+/// additional read weight each backend could absorb before it becomes
+/// the bottleneck (`scale × capacity − assigned load`, floored at 0).
+///
+/// This is the capacity side of [`shiftable_weight`], shared with the
+/// simulator's degraded-mode router: when a class's preferred replicas
+/// are unhealthy, reads fall back to capable backends ranked by this
+/// room.
+pub fn spare_room(alloc: &Allocation, cluster: &ClusterSpec) -> Vec<f64> {
+    let scale = alloc.scale(cluster);
+    cluster
+        .ids()
+        .map(|x| (scale * cluster.load(x) - alloc.assigned_load(x)).max(0.0))
+        .collect()
+}
+
 /// The read weight on backend `b` that could be shifted to other capable
 /// backends with spare room at the allocation's current scale.
 pub fn shiftable_weight(
@@ -21,11 +37,7 @@ pub fn shiftable_weight(
     cluster: &ClusterSpec,
     b: BackendId,
 ) -> f64 {
-    let scale = alloc.scale(cluster);
-    let mut room: Vec<f64> = cluster
-        .ids()
-        .map(|x| (scale * cluster.load(x) - alloc.assigned_load(x)).max(0.0))
-        .collect();
+    let mut room = spare_room(alloc, cluster);
     let mut shiftable = 0.0;
     for &r in cls.read_ids() {
         let mut share = alloc.assign[r.idx()][b.idx()];

@@ -352,6 +352,80 @@ pub struct FaultConfig {
     pub repair_k: usize,
 }
 
+/// Rebuilds routing for the current liveness, repairing the allocation
+/// online when a weighted class lost its last replica. Shared between
+/// [`run_open_faults`] and [`crate::resilience::run_open_resilient`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn reroute(
+    at: f64,
+    current: &mut Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    alive: &[bool],
+    fcfg: &FaultConfig,
+    free_at: &mut [f64],
+    repairs: &mut usize,
+    repair_pause_secs: &mut f64,
+    repair_moved_bytes: &mut u64,
+) -> Scheduler {
+    let failed: Vec<usize> = (0..alive.len()).filter(|&b| !alive[b]).collect();
+    if failed.is_empty() {
+        return Scheduler::new(current, cls);
+    }
+    if let Some(s) = Scheduler::for_survivors(current, cls, cluster, &failed) {
+        return s;
+    }
+    // Some weighted class has no capable survivor: repair the
+    // surviving sub-allocation and graft the grown fragment sets
+    // back into the full-width allocation.
+    *repairs += 1;
+    let survivors: Vec<usize> = (0..alive.len()).filter(|&b| alive[b]).collect();
+    let failed_ids: Vec<BackendId> = failed.iter().map(|&b| BackendId(b as u32)).collect();
+    let surv_cluster = ksafety::surviving_cluster(cluster, &failed_ids)
+        .expect("fault plans keep at least one backend alive");
+    let mut restricted = current.restrict(&survivors);
+    let report = ksafety::repair_report(&mut restricted, cls, &surv_cluster, fcfg.repair_k);
+    let before = current.clone();
+    for (nb, &b) in survivors.iter().enumerate() {
+        current.fragments[b] = restricted.fragments[nb].clone();
+    }
+    // Price the movement with Eq. 27 against the pre-repair state
+    // and the Figure 4(d) ETL phase model: serial preparation plus
+    // the slowest node's transfer + load.
+    let per_node: Vec<u64> = survivors
+        .iter()
+        .map(|&b| move_cost(current, b, &before, b, catalog))
+        .collect();
+    let moved: u64 = per_node.iter().sum();
+    let pause = if moved == 0 {
+        0.0
+    } else {
+        let slowest = per_node
+            .iter()
+            .map(|&bytes| {
+                bytes as f64 / fcfg.etl.transfer_bytes_per_sec
+                    + bytes as f64 / fcfg.etl.load_bytes_per_sec
+            })
+            .fold(0.0, f64::max);
+        fcfg.etl.fixed_overhead_secs + moved as f64 / fcfg.etl.prep_bytes_per_sec + slowest
+    };
+    for &b in &survivors {
+        free_at[b] = free_at[b].max(at) + pause;
+    }
+    *repair_pause_secs += pause;
+    *repair_moved_bytes += moved;
+    qcpa_obs::global().counter("sim.fault.repairs").inc();
+    qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "repair", {
+        "at" => at,
+        "moved_bytes" => moved,
+        "pause_secs" => pause,
+        "grants" => report.grants,
+    });
+    Scheduler::for_survivors(current, cls, cluster, &failed)
+        .expect("repair restores coverage for every class")
+}
+
 /// One per-backend work unit of a request (the backend it runs on is
 /// keyed by the per-backend in-flight lists).
 #[derive(Debug, Clone, Copy)]
@@ -534,79 +608,6 @@ pub fn run_open_faults(
                 true
             }
         }
-    }
-
-    // Rebuilds routing for the current liveness, repairing the
-    // allocation online when a weighted class lost its last replica.
-    #[allow(clippy::too_many_arguments)]
-    fn reroute(
-        at: f64,
-        current: &mut Allocation,
-        cls: &Classification,
-        cluster: &ClusterSpec,
-        catalog: &Catalog,
-        alive: &[bool],
-        fcfg: &FaultConfig,
-        free_at: &mut [f64],
-        repairs: &mut usize,
-        repair_pause_secs: &mut f64,
-        repair_moved_bytes: &mut u64,
-    ) -> Scheduler {
-        let failed: Vec<usize> = (0..alive.len()).filter(|&b| !alive[b]).collect();
-        if failed.is_empty() {
-            return Scheduler::new(current, cls);
-        }
-        if let Some(s) = Scheduler::for_survivors(current, cls, cluster, &failed) {
-            return s;
-        }
-        // Some weighted class has no capable survivor: repair the
-        // surviving sub-allocation and graft the grown fragment sets
-        // back into the full-width allocation.
-        *repairs += 1;
-        let survivors: Vec<usize> = (0..alive.len()).filter(|&b| alive[b]).collect();
-        let failed_ids: Vec<BackendId> = failed.iter().map(|&b| BackendId(b as u32)).collect();
-        let surv_cluster = ksafety::surviving_cluster(cluster, &failed_ids)
-            .expect("fault plans keep at least one backend alive");
-        let mut restricted = current.restrict(&survivors);
-        let report = ksafety::repair_report(&mut restricted, cls, &surv_cluster, fcfg.repair_k);
-        let before = current.clone();
-        for (nb, &b) in survivors.iter().enumerate() {
-            current.fragments[b] = restricted.fragments[nb].clone();
-        }
-        // Price the movement with Eq. 27 against the pre-repair state
-        // and the Figure 4(d) ETL phase model: serial preparation plus
-        // the slowest node's transfer + load.
-        let per_node: Vec<u64> = survivors
-            .iter()
-            .map(|&b| move_cost(current, b, &before, b, catalog))
-            .collect();
-        let moved: u64 = per_node.iter().sum();
-        let pause = if moved == 0 {
-            0.0
-        } else {
-            let slowest = per_node
-                .iter()
-                .map(|&bytes| {
-                    bytes as f64 / fcfg.etl.transfer_bytes_per_sec
-                        + bytes as f64 / fcfg.etl.load_bytes_per_sec
-                })
-                .fold(0.0, f64::max);
-            fcfg.etl.fixed_overhead_secs + moved as f64 / fcfg.etl.prep_bytes_per_sec + slowest
-        };
-        for &b in &survivors {
-            free_at[b] = free_at[b].max(at) + pause;
-        }
-        *repair_pause_secs += pause;
-        *repair_moved_bytes += moved;
-        qcpa_obs::global().counter("sim.fault.repairs").inc();
-        qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "repair", {
-            "at" => at,
-            "moved_bytes" => moved,
-            "pause_secs" => pause,
-            "grants" => report.grants,
-        });
-        Scheduler::for_survivors(current, cls, cluster, &failed)
-            .expect("repair restores coverage for every class")
     }
 
     let events = plan.events();

@@ -30,6 +30,7 @@
 pub mod engine;
 pub mod fault;
 pub mod request;
+pub mod resilience;
 pub mod scheduler;
 pub mod service;
 
@@ -39,5 +40,6 @@ pub use fault::{
     InvalidFaultPlan,
 };
 pub use request::{Request, RequestStream};
+pub use resilience::{run_open_resilient, OverloadPolicy, ResilienceConfig, ResilienceReport};
 pub use scheduler::Scheduler;
 pub use service::{LocalityModel, ServiceProfile};

@@ -15,11 +15,22 @@ use qcpa_core::journal::QueryKind;
 use qcpa_core::{ksafety, BackendId, ClassId, EPS};
 
 /// Precomputed routing tables for one allocation.
+///
+/// Target lists are always sorted ascending by backend index — together
+/// with the explicit `then(a.cmp(&b))` tie-break in the routing
+/// comparators this pins the routing decision completely: equal pending
+/// work always resolves to the *lowest* backend index, independent of
+/// how the tables were built (fresh, or remapped by
+/// [`Scheduler::for_survivors`]). Retry target selection in the
+/// resilience runtime depends on this staying deterministic.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
     /// Per read class: backends eligible to serve it (capable, and
     /// preferred by the allocation when it assigned them a share).
     read_targets: Vec<Vec<usize>>,
+    /// Per read class: every backend holding *all* the class's fragments
+    /// (the superset of `read_targets` used for degraded-mode fallback).
+    capable_targets: Vec<Vec<usize>>,
     /// Per update class: backends that must apply it.
     update_targets: Vec<Vec<usize>>,
 }
@@ -34,19 +45,23 @@ impl Scheduler {
     pub fn new(alloc: &Allocation, cls: &Classification) -> Self {
         let n = alloc.n_backends();
         let mut read_targets = vec![Vec::new(); cls.len()];
+        let mut capable_targets = vec![Vec::new(); cls.len()];
         let mut update_targets = vec![Vec::new(); cls.len()];
         for c in &cls.classes {
             match c.kind {
                 QueryKind::Read => {
-                    let mut assigned: Vec<usize> = (0..n)
+                    let capable: Vec<usize> = (0..n)
+                        .filter(|&b| c.fragments.iter().all(|f| alloc.fragments[b].contains(f)))
+                        .collect();
+                    let assigned: Vec<usize> = (0..n)
                         .filter(|&b| alloc.assign[c.id.idx()][b] > EPS)
                         .collect();
-                    if assigned.is_empty() {
-                        assigned = (0..n)
-                            .filter(|&b| c.fragments.iter().all(|f| alloc.fragments[b].contains(f)))
-                            .collect();
-                    }
-                    read_targets[c.id.idx()] = assigned;
+                    read_targets[c.id.idx()] = if assigned.is_empty() {
+                        capable.clone()
+                    } else {
+                        assigned
+                    };
+                    capable_targets[c.id.idx()] = capable;
                 }
                 QueryKind::Update => {
                     update_targets[c.id.idx()] = (0..n)
@@ -57,6 +72,7 @@ impl Scheduler {
         }
         Self {
             read_targets,
+            capable_targets,
             update_targets,
         }
     }
@@ -83,6 +99,9 @@ impl Scheduler {
             .filter(|b| !failed.contains(b))
             .collect();
         let local = Scheduler::new(&surviving, cls);
+        // `survivors` is ascending and the local tables are ascending in
+        // the restricted index space, so the remapped tables stay sorted
+        // by full-cluster index — the tie-break invariant survives.
         let remap = |targets: Vec<Vec<usize>>| -> Vec<Vec<usize>> {
             targets
                 .into_iter()
@@ -91,6 +110,7 @@ impl Scheduler {
         };
         Some(Scheduler {
             read_targets: remap(local.read_targets),
+            capable_targets: remap(local.capable_targets),
             update_targets: remap(local.update_targets),
         })
     }
@@ -116,6 +136,28 @@ impl Scheduler {
         })
     }
 
+    /// Like [`Self::route_read_with`], but backends for which `blocked`
+    /// returns `true` (e.g. open-circuit in the resilience runtime) are
+    /// skipped. Returns `None` when *every* eligible backend is blocked —
+    /// the caller then decides whether to fall back to
+    /// [`Self::capable_read_targets`] or override the breaker.
+    pub fn route_read_filtered<F, G>(&self, c: ClassId, pending: F, blocked: G) -> Option<usize>
+    where
+        F: Fn(usize) -> f64,
+        G: Fn(usize) -> bool,
+    {
+        self.read_targets[c.idx()]
+            .iter()
+            .copied()
+            .filter(|&b| !blocked(b))
+            .min_by(|&a, &b| {
+                pending(a)
+                    .partial_cmp(&pending(b))
+                    .expect("pending work is finite")
+                    .then(a.cmp(&b))
+            })
+    }
+
     /// The ROWA set for update class `c`.
     pub fn route_update(&self, c: ClassId) -> &[usize] {
         &self.update_targets[c.idx()]
@@ -124,6 +166,13 @@ impl Scheduler {
     /// Eligible backends for a read class (diagnostics).
     pub fn read_targets(&self, c: ClassId) -> &[usize] {
         &self.read_targets[c.idx()]
+    }
+
+    /// Every backend holding all of read class `c`'s fragments — the
+    /// superset of [`Self::read_targets`] used by degraded-mode routing
+    /// when the allocation-preferred replicas are unavailable.
+    pub fn capable_read_targets(&self, c: ClassId) -> &[usize] {
+        &self.capable_targets[c.idx()]
     }
 }
 
@@ -191,5 +240,63 @@ mod tests {
             s.route_read(qcpa_core::ClassId(0), &[0.0, 0.0, 0.0]),
             Some(0)
         );
+    }
+
+    /// Pins the determinism contract the resilience runtime's retry
+    /// target selection depends on: all target tables are sorted
+    /// ascending by backend index, and equal pending work always
+    /// resolves to the lowest index — including after a
+    /// `for_survivors` remap.
+    #[test]
+    fn target_tables_sorted_and_tie_break_pinned() {
+        let (cls, _) = setup();
+        let cluster = ClusterSpec::homogeneous(4);
+        let full = Allocation::full_replication(&cls, &cluster);
+        let s = Scheduler::new(&full, &cls);
+        for c in &cls.classes {
+            let (targets, capable) = (
+                s.read_targets.get(c.id.idx()).cloned().unwrap_or_default(),
+                s.capable_targets
+                    .get(c.id.idx())
+                    .cloned()
+                    .unwrap_or_default(),
+            );
+            assert!(targets.windows(2).all(|w| w[0] < w[1]));
+            assert!(capable.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.update_targets[c.id.idx()].windows(2).all(|w| w[0] < w[1]));
+        }
+        // All-equal pending work routes to the lowest backend index.
+        assert_eq!(s.route_read(qcpa_core::ClassId(1), &[2.0; 4]), Some(0));
+        // Survivor remap keeps tables sorted in full-cluster indices and
+        // keeps the tie-break on the lowest surviving index.
+        let sv = Scheduler::for_survivors(&full, &cls, &cluster, &[0]).unwrap();
+        for &r in cls.read_ids() {
+            assert!(sv.read_targets(r).windows(2).all(|w| w[0] < w[1]));
+            assert!(!sv.read_targets(r).contains(&0));
+            assert!(sv.capable_read_targets(r).windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(sv.route_read(qcpa_core::ClassId(0), &[9.0; 4]), Some(1));
+    }
+
+    #[test]
+    fn filtered_routing_skips_blocked_backends() {
+        let (cls, _) = setup();
+        let cluster = ClusterSpec::homogeneous(3);
+        let full = Allocation::full_replication(&cls, &cluster);
+        let s = Scheduler::new(&full, &cls);
+        let c = qcpa_core::ClassId(0);
+        // Backend 0 has least pending but is blocked — route around it.
+        assert_eq!(s.route_read_filtered(c, |b| b as f64, |b| b == 0), Some(1));
+        // Everything blocked: None, so the caller can pick a fallback.
+        assert_eq!(s.route_read_filtered(c, |_| 0.0, |_| true), None);
+        // Nothing blocked: identical to route_read.
+        assert_eq!(
+            s.route_read_filtered(c, |_| 0.0, |_| false),
+            s.route_read(c, &[0.0; 3])
+        );
+        // Capable targets are a superset of read targets.
+        for &b in s.read_targets(c) {
+            assert!(s.capable_read_targets(c).contains(&b));
+        }
     }
 }

@@ -23,6 +23,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "$FAST" == "1" ]]; then
     echo "== cargo test (fast tier) =="
     cargo test -q --workspace --lib
+    echo "== resilience conformance (QCPA_THREADS=1) =="
+    QCPA_THREADS=1 cargo test -q --test conformance resilient_runs_conserve_and_replay_exactly
+    echo "== resilience conformance (QCPA_THREADS=4) =="
+    QCPA_THREADS=4 cargo test -q --test conformance resilient_runs_conserve_and_replay_exactly
+    echo "== resilience sweep smoke (fails on any lost request) =="
+    QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin fig_resilience
     echo "Fast checks passed."
     exit 0
 fi
@@ -43,5 +49,10 @@ QCPA_THREADS=4 cargo test -q --test conformance
 
 echo "== allocator speedup bench (quick) =="
 QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin bench_allocator
+
+# The resilience sweep's binary exits nonzero if any run violates the
+# conservation law (completed + shed + timed_out == offered).
+echo "== resilience sweep smoke (fails on any lost request) =="
+QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin fig_resilience
 
 echo "All checks passed."

@@ -30,7 +30,8 @@ use qcpa::core::{greedy, ksafety, memetic, BackendId};
 use qcpa::lp::mip::MipStatus;
 use qcpa::lp::model::{optimal_allocation, OptimalConfig};
 use qcpa::sim::fault::{run_open_faults, FaultConfig, FaultInjectionConfig, FaultPlan};
-use qcpa::sim::{FaultReport, RequestStream, SimConfig};
+use qcpa::sim::resilience::{run_open_resilient, OverloadPolicy, ResilienceConfig};
+use qcpa::sim::{FaultReport, RequestStream, ResilienceReport, SimConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -80,6 +81,23 @@ fn request_stream(cls: &Classification) -> RequestStream {
     let kinds: Vec<QueryKind> = cls.classes.iter().map(|c| c.kind).collect();
     let service = vec![0.01; cls.len()];
     RequestStream::new(freq, kinds, service)
+}
+
+fn assert_resilient_bit_identical(a: &ResilienceReport, b: &ResilienceReport, what: &str) {
+    assert_eq!(a.responses.len(), b.responses.len(), "{what}: counts");
+    for (x, y) in a.responses.iter().zip(&b.responses) {
+        assert_eq!(x.0.to_bits(), y.0.to_bits(), "{what}: arrival bits");
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "{what}: response bits");
+    }
+    for (x, y) in a.busy.iter().zip(&b.busy) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: busy bits");
+    }
+    assert_eq!(a.completed, b.completed, "{what}: completed");
+    assert_eq!(a.shed, b.shed, "{what}: shed");
+    assert_eq!(a.timed_out, b.timed_out, "{what}: timed_out");
+    assert_eq!(a.retries, b.retries, "{what}: retries");
+    assert_eq!(a.timeouts, b.timeouts, "{what}: timeouts");
+    assert_eq!(a.availability, b.availability, "{what}: availability");
 }
 
 fn assert_bit_identical(a: &FaultReport, b: &FaultReport, what: &str) {
@@ -234,5 +252,104 @@ proptest! {
         prop_assert_eq!(r1.lost, 0, "online repair must keep every request completable");
         // Re-running the same scenario replays it exactly.
         assert_bit_identical(&r1, &sim(m1), "fault run rerun");
+    }
+
+    /// Resilience-runtime conformance: with deadlines, retries with
+    /// jittered backoff, admission control (policy chosen per scenario)
+    /// and circuit breakers all active, under random workloads and
+    /// seeded fault plans at ~1.5× saturation:
+    ///
+    /// * conservation — `completed + shed + timed_out == offered`,
+    ///   `lost == 0` (no request silently vanishes);
+    /// * replay determinism — the identical scenario reproduces
+    ///   responses, busy time, and every shed/timeout/retry count bit
+    ///   for bit;
+    /// * thread independence — the memetic thread-1 and thread-4
+    ///   allocations drive bit-identical resilient runs (check.sh runs
+    ///   this suite under `QCPA_THREADS=1` and `4`);
+    /// * backoff purity — the retry schedule is a pure function of
+    ///   `(seed, request, attempt)`.
+    #[test]
+    fn resilient_runs_conserve_and_replay_exactly(
+        w in workload_strategy(),
+        n in 2usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let (catalog, cls) = materialize(&w);
+        let Some(cls) = cls else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let mcfg = |threads: usize| memetic::MemeticConfig {
+            population: 4,
+            iterations: 3,
+            seed,
+            threads: Some(threads),
+            ..Default::default()
+        };
+        let m1 = memetic::allocate(&cls, &catalog, &cluster, &mcfg(1));
+        let m4 = memetic::allocate(&cls, &catalog, &cluster, &mcfg(4));
+
+        // ~1.5× saturation: per-request demand ≈ 0.05 s against `n`
+        // unit-capacity backends.
+        let freq: Vec<f64> = cls.classes.iter().map(|c| c.weight).collect();
+        let kinds: Vec<QueryKind> = cls.classes.iter().map(|c| c.kind).collect();
+        let stream = RequestStream::new(freq, kinds, vec![0.05; cls.len()]);
+        let rate = 1.5 * n as f64 / 0.05;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xbad_5eed);
+        let reqs = stream.sample_poisson(rate, 4.0, 0.0, &mut rng);
+        let plan = FaultPlan::from_seed(
+            seed,
+            n,
+            4.0,
+            &FaultInjectionConfig {
+                crashes: 2,
+                mttr: 1.0,
+                ..Default::default()
+            },
+        );
+        let rcfg = ResilienceConfig {
+            deadline: 0.2,
+            max_retries: 2,
+            backoff_base: 0.05,
+            backoff_cap: 0.4,
+            jitter: 0.25,
+            seed,
+            queue_cap: 3,
+            overload: match seed % 3 {
+                0 => OverloadPolicy::Reject,
+                1 => OverloadPolicy::ShedLowestWeight,
+                _ => OverloadPolicy::Brownout,
+            },
+            breaker_failures: 3,
+            breaker_cooldown: 0.5,
+            ..ResilienceConfig::default()
+        };
+        let sim = |alloc: &qcpa::core::allocation::Allocation| {
+            run_open_resilient(
+                alloc, &cls, &cluster, &catalog, &reqs, 0.0,
+                &SimConfig::default(), &plan, &FaultConfig::default(), &rcfg,
+            )
+        };
+        let r1 = sim(&m1);
+        prop_assert!(
+            r1.conserved(),
+            "conservation violated: {} + {} + {} + {} != {}",
+            r1.completed, r1.shed, r1.timed_out, r1.lost, r1.offered
+        );
+        prop_assert_eq!(r1.lost, 0, "lost requests under faults");
+        assert_resilient_bit_identical(&r1, &sim(&m1), "resilient rerun");
+        assert_resilient_bit_identical(&r1, &sim(&m4), "resilient t1 vs t4");
+
+        // Backoff purity: same (seed, request, attempt) → same delay,
+        // bit for bit, with no hidden state between calls.
+        let twin = rcfg;
+        for req in [0u64, 7, 63] {
+            for attempt in 1u32..4 {
+                prop_assert_eq!(
+                    rcfg.backoff(req, attempt).to_bits(),
+                    twin.backoff(req, attempt).to_bits(),
+                    "backoff schedule is not a pure function"
+                );
+            }
+        }
     }
 }

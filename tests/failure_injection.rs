@@ -3,12 +3,18 @@
 //! and the k-safe memetic optimizer preserves the guarantee while
 //! improving cost.
 
+use qcpa::controller::{Cdbs, CdbsError, Request};
 use qcpa::core::allocation::Allocation;
 use qcpa::core::classify::Granularity;
 use qcpa::core::cluster::ClusterSpec;
 use qcpa::core::{greedy, ksafety, memetic};
 use qcpa::sim::engine::{run_batch, run_open, SimConfig};
 use qcpa::sim::fault::{run_open_faults, FaultConfig, FaultEvent, FaultPlan};
+use qcpa::sim::resilience::{run_open_resilient, ResilienceConfig};
+use qcpa::storage::engine::{AggFunc, ScanQuery};
+use qcpa::storage::schema::{ColumnDef, Schema, TableDef};
+use qcpa::storage::table::Table;
+use qcpa::storage::types::{DataType, Value};
 use qcpa::workloads::common::classify_and_stream;
 use qcpa::workloads::tpcapp::tpcapp;
 use qcpa::workloads::tpch::tpch;
@@ -309,4 +315,110 @@ fn cascading_double_failure_survives_at_k2() {
         "availability timeline records the cascade"
     );
     assert_eq!(rep.responses.len(), reqs.len());
+}
+
+/// Mid-flight crash + recover with the full resilience runtime active
+/// (deadlines, retries, admission control, breakers): every request
+/// reaches a terminal state — completed, shed, or timed out — nothing
+/// is lost, and the run replays bit for bit.
+#[test]
+fn resilient_midflight_crash_conserves_and_replays() {
+    let (catalog, cls, cluster, alloc, reqs) = midflight_setup();
+    let plan = FaultPlan::new(
+        vec![
+            FaultEvent::Crash {
+                backend: 1,
+                at: 10.0,
+            },
+            FaultEvent::Recover {
+                backend: 1,
+                at: 18.0,
+                catchup_cost: 1.0,
+            },
+        ],
+        5,
+    )
+    .unwrap();
+    let rcfg = ResilienceConfig::standard();
+    let run = || {
+        run_open_resilient(
+            &alloc,
+            &cls,
+            &cluster,
+            &catalog,
+            &reqs,
+            0.0,
+            &SimConfig::default(),
+            &plan,
+            &FaultConfig::default(),
+            &rcfg,
+        )
+    };
+    let rep = run();
+    assert!(
+        rep.conserved(),
+        "conservation: {} + {} + {} + {} != {}",
+        rep.completed,
+        rep.shed,
+        rep.timed_out,
+        rep.lost,
+        rep.offered
+    );
+    assert_eq!(rep.lost, 0);
+    assert_eq!(rep.offered, reqs.len());
+    assert!(
+        rep.completed > 0,
+        "survivors keep serving through the crash"
+    );
+    assert_eq!(rep.crashes, 1);
+    assert_eq!(rep.recoveries, 1);
+    let again = run();
+    assert_eq!(rep.completed, again.completed);
+    assert_eq!(rep.shed, again.shed);
+    assert_eq!(rep.timed_out, again.timed_out);
+    assert_eq!(rep.retries, again.retries);
+    for (a, b) in rep.responses.iter().zip(&again.responses) {
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+    }
+}
+
+/// A small two-backend CDBS for the controller-side failure tests.
+fn item_cdbs() -> (Cdbs, Request) {
+    let mut schema = Schema::new();
+    schema.add_table(TableDef::new(
+        "item",
+        vec![
+            ColumnDef::new("i_id", DataType::I64, 8),
+            ColumnDef::new("i_price", DataType::F64, 8),
+        ],
+    ));
+    let mut item = Table::new(schema.table("item").unwrap().clone());
+    for i in 0..40 {
+        item.append(vec![Value::I64(i), Value::F64(i as f64)]);
+    }
+    let cdbs = Cdbs::new(schema, vec![item], 2);
+    let q = Request::Read(ScanQuery::all("item").agg(AggFunc::Count, "i_id"));
+    (cdbs, q)
+}
+
+/// Satellite regression: a read whose every capable replica is offline
+/// returns the typed [`CdbsError::AllReplicasOffline`] — not a panic,
+/// and not the misleading `NoCapableBackend` (the data *is* allocated,
+/// its hosts are just down) — and recovery restores service.
+#[test]
+fn controller_all_replicas_offline_is_typed() {
+    let (mut cdbs, q) = item_cdbs();
+    cdbs.execute(&q).unwrap();
+    cdbs.fail_backend(0);
+    cdbs.execute(&q).expect("one live replica still serves");
+    cdbs.fail_backend(1);
+    match cdbs.execute(&q) {
+        Err(CdbsError::AllReplicasOffline { table, offline }) => {
+            assert_eq!(table, "item");
+            assert_eq!(offline, vec![0, 1]);
+        }
+        other => panic!("expected AllReplicasOffline, got {other:?}"),
+    }
+    cdbs.recover_backend(0);
+    cdbs.execute(&q).expect("recovered replica serves again");
 }
