@@ -1,0 +1,21 @@
+// Fixture: a clean crate — the audit must produce zero findings.
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+/// Sums the values of an ordered map.
+pub fn sum(m: &BTreeMap<String, u64>) -> u64 {
+    m.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 2u64);
+        assert_eq!(sum(&m), 2);
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: unsafe-audit cases. Lexed only, never compiled.
+#![forbid(unsafe_code)]
+
+/// Reads a byte through a raw pointer.
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+// SAFETY: caller guarantees `p` is valid for reads; documented unsafe
+// blocks are accepted without an annotation.
+pub fn documented(p: *const u8) -> u8 {
+    unsafe { *p }
+}

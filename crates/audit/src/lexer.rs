@@ -1,0 +1,476 @@
+//! A small Rust lexer that separates *code* from comments and literal
+//! contents, without a full parser (no `syn`, consistent with the
+//! vendored-deps policy).
+//!
+//! The audit rules are token scans, so their one failure mode is a
+//! forbidden token appearing inside a string literal or a comment
+//! (`"HashMap"` in a doc example must not trip the hash-iter rule).
+//! [`mask`] produces a copy of the source in which every comment and
+//! every literal body is replaced by spaces — newlines preserved, so
+//! line numbers in the masked text match the original — plus the
+//! comment and string-literal text per line, which the allow-annotation
+//! and `// SAFETY:` checks and the env-access key check read.
+//!
+//! Handled constructs: line comments (`//`, `///`, `//!`), *nested*
+//! block comments, string literals with escapes, raw strings
+//! (`r"…"`, `r#"…"#`, any hash depth), byte strings (`b"…"`, `br#"…"#`),
+//! char and byte-char literals, and the char-literal vs. lifetime
+//! ambiguity (`'a'` vs. `<'a>` vs. `'outer: loop`).
+
+/// The result of masking one source file. All line indices are 0-based;
+/// callers present them 1-based.
+#[derive(Debug, Clone)]
+pub struct Masked {
+    /// The source with comments and literal bodies blanked to spaces.
+    /// Same number of lines as the input.
+    pub code: Vec<String>,
+    /// Concatenated comment text on each line (without `//` markers
+    /// stripped — the raw comment characters, markers included).
+    pub comments: Vec<String>,
+    /// Concatenated string-literal content on each line.
+    pub strings: Vec<String>,
+}
+
+impl Masked {
+    /// Number of lines in the file.
+    pub fn n_lines(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the masked code on `line` is blank (the original line
+    /// held only whitespace and/or comment text).
+    pub fn is_comment_only(&self, line: usize) -> bool {
+        self.code[line].trim().is_empty() && !self.comments[line].trim().is_empty()
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Masks one source file. Never fails: unterminated constructs extend
+/// to end of input, matching what `rustc` would reject anyway.
+pub fn mask(src: &str) -> Masked {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = MaskWriter::new();
+    let mut i = 0usize;
+    // The last non-whitespace char emitted as code, to tell `r"…"`
+    // (raw string) from `var"…"` (identifier ending in r — not Rust,
+    // but the lexer must not panic) and to keep `br`/`b` prefixes
+    // from triggering mid-identifier.
+    let mut prev_code: Option<char> = None;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '/' if next == Some('/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    out.comment(chars[i]);
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                let mut depth = 0usize;
+                while i < chars.len() {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        out.comment('/');
+                        out.comment('*');
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        out.comment('*');
+                        out.comment('/');
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.comment(chars[i]);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                i = consume_string(&chars, i, &mut out);
+                prev_code = Some('"');
+            }
+            'r' | 'b' if prev_code.is_none_or(|p| !is_ident_char(p)) => {
+                if let Some(end) = raw_string_end(&chars, i) {
+                    // r"…" / r#"…"# / br"…" / br##"…"## — mask the lot.
+                    let mut j = i;
+                    let hashes = count_hashes(&chars, i);
+                    // Skip prefix + hashes + opening quote.
+                    while j < chars.len() && chars[j] != '"' {
+                        out.blank(chars[j]);
+                        j += 1;
+                    }
+                    out.blank('"');
+                    j += 1;
+                    while j < end {
+                        out.string_body(chars[j]);
+                        j += 1;
+                    }
+                    // Closing quote + hashes.
+                    let close = (end + 1 + hashes).min(chars.len());
+                    while j < close {
+                        out.blank(chars[j]);
+                        j += 1;
+                    }
+                    i = j;
+                    prev_code = Some('"');
+                } else if c == 'b' && next == Some('"') {
+                    out.blank('b');
+                    i = consume_string(&chars, i + 1, &mut out);
+                    prev_code = Some('"');
+                } else if c == 'b' && next == Some('\'') {
+                    out.blank('b');
+                    i = consume_char_literal(&chars, i + 1, &mut out);
+                    prev_code = Some('\'');
+                } else {
+                    out.code(c);
+                    prev_code = Some(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                if is_char_literal(&chars, i) {
+                    i = consume_char_literal(&chars, i, &mut out);
+                    prev_code = Some('\'');
+                } else {
+                    // Lifetime or loop label: plain code.
+                    out.code('\'');
+                    prev_code = Some('\'');
+                    i += 1;
+                }
+            }
+            '\n' => {
+                out.newline();
+                i += 1;
+            }
+            _ => {
+                out.code(c);
+                if !c.is_whitespace() {
+                    prev_code = Some(c);
+                }
+                i += 1;
+            }
+        }
+    }
+    out.finish()
+}
+
+/// At `chars[i] == '\''`: char literal, or lifetime/label?
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        None => false,
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+    }
+}
+
+/// Consumes a char literal starting at the opening quote; returns the
+/// index just past the closing quote.
+fn consume_char_literal(chars: &[char], i: usize, out: &mut MaskWriter) -> usize {
+    debug_assert_eq!(chars[i], '\'');
+    out.blank('\'');
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                out.string_body('\\');
+                j += 1;
+                if j < chars.len() {
+                    out.string_body(chars[j]);
+                    j += 1;
+                }
+            }
+            '\'' => {
+                out.blank('\'');
+                return j + 1;
+            }
+            c => {
+                out.string_body(c);
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// Consumes a `"…"` string starting at the opening quote; returns the
+/// index just past the closing quote.
+fn consume_string(chars: &[char], i: usize, out: &mut MaskWriter) -> usize {
+    debug_assert_eq!(chars[i], '"');
+    out.blank('"');
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                out.string_body('\\');
+                j += 1;
+                if j < chars.len() {
+                    out.string_body(chars[j]);
+                    j += 1;
+                }
+            }
+            '"' => {
+                out.blank('"');
+                return j + 1;
+            }
+            c => {
+                out.string_body(c);
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// Number of `#` between a raw-string prefix at `i` and its quote.
+fn count_hashes(chars: &[char], i: usize) -> usize {
+    let mut j = i + 1;
+    if chars.get(i) == Some(&'b') {
+        j += 1; // skip the `r` of `br`
+    }
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    hashes
+}
+
+/// If `chars[i..]` starts a raw (byte) string (`r"`, `r#"`, `br"`, …),
+/// returns the index of the *closing quote*; otherwise `None`.
+fn raw_string_end(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    // Find `"` followed by `hashes` hash marks.
+    while j < chars.len() {
+        if chars[j] == '"' && chars[j + 1..].iter().take_while(|&&c| c == '#').count() >= hashes {
+            return Some(j);
+        }
+        j += 1;
+    }
+    Some(chars.len().saturating_sub(1))
+}
+
+/// Accumulates the three per-line streams while tracking the current line.
+struct MaskWriter {
+    code: Vec<String>,
+    comments: Vec<String>,
+    strings: Vec<String>,
+}
+
+impl MaskWriter {
+    fn new() -> Self {
+        Self {
+            code: vec![String::new()],
+            comments: vec![String::new()],
+            strings: vec![String::new()],
+        }
+    }
+
+    fn newline(&mut self) {
+        self.code.push(String::new());
+        self.comments.push(String::new());
+        self.strings.push(String::new());
+    }
+
+    /// A genuine code character.
+    fn code(&mut self, c: char) {
+        if c == '\n' {
+            self.newline();
+        } else {
+            let line = self.code.len() - 1;
+            self.code[line].push(c);
+        }
+    }
+
+    /// A character inside a comment: blank in code, kept in comments.
+    fn comment(&mut self, c: char) {
+        if c == '\n' {
+            self.newline();
+        } else {
+            let line = self.code.len() - 1;
+            self.code[line].push(' ');
+            self.comments[line].push(c);
+        }
+    }
+
+    /// A character inside a string/char literal body: blank in code,
+    /// kept in strings.
+    fn string_body(&mut self, c: char) {
+        if c == '\n' {
+            self.newline();
+        } else {
+            let line = self.code.len() - 1;
+            self.code[line].push(' ');
+            self.strings[line].push(c);
+        }
+    }
+
+    /// A structural literal character (quote, raw prefix): blank
+    /// everywhere.
+    fn blank(&mut self, c: char) {
+        if c == '\n' {
+            self.newline();
+        } else {
+            let line = self.code.len() - 1;
+            self.code[line].push(' ');
+        }
+    }
+
+    fn finish(self) -> Masked {
+        Masked {
+            code: self.code,
+            comments: self.comments,
+            strings: self.strings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        mask(src).code.join("\n")
+    }
+
+    #[test]
+    fn line_comments_masked() {
+        let m = mask("let x = 1; // uses HashMap\nlet y = 2;");
+        assert!(!m.code[0].contains("HashMap"));
+        assert!(m.comments[0].contains("HashMap"));
+        assert_eq!(m.code[1], "let y = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still comment */ b";
+        let c = code_of(src);
+        assert!(c.contains('a') && c.contains('b'));
+        assert!(!c.contains("comment"));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let m = mask("x /* HashMap\n still HashMap */ y");
+        assert!(!m.code[0].contains("HashMap"));
+        assert!(!m.code[1].contains("HashMap"));
+        assert!(m.comments[0].contains("HashMap"));
+        assert!(m.comments[1].contains("HashMap"));
+        assert!(m.code[1].contains('y'));
+        assert_eq!(m.n_lines(), 2);
+    }
+
+    #[test]
+    fn strings_masked_and_captured() {
+        let m = mask("call(\"has .unwrap() inside\");");
+        assert!(!m.code[0].contains("unwrap"));
+        assert!(m.strings[0].contains(".unwrap()"));
+        assert!(m.code[0].contains("call("));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_terminate() {
+        let m = mask(r#"f("a\"b.unwrap()"); g()"#);
+        assert!(!m.code[0].contains("unwrap"));
+        assert!(m.code[0].contains("g()"));
+    }
+
+    #[test]
+    fn raw_strings_masked() {
+        let src = "let s = r#\"raw .unwrap() \"quoted\" body\"#; h()";
+        let m = mask(src);
+        assert!(!m.code[0].contains("unwrap"));
+        assert!(m.code[0].contains("h()"));
+        assert!(m.strings[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn raw_string_hash_depth_respected() {
+        let src = "let s = r##\"inner \"# not end\"##; tail()";
+        let m = mask(src);
+        assert!(m.code[0].contains("tail()"));
+        assert!(!m.code[0].contains("not end"));
+    }
+
+    #[test]
+    fn byte_strings_masked() {
+        let m = mask("let b = b\"unwrap()\"; k()");
+        assert!(!m.code[0].contains("unwrap"));
+        assert!(m.code[0].contains("k()"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let m = mask("fn f<'a>(x: &'a str) { let q = 'q'; let n = '\\n'; }");
+        // Lifetimes survive as code; char bodies do not.
+        assert!(m.code[0].contains("<'a>"));
+        assert!(m.code[0].contains("&'a str"));
+        assert!(!m.code[0].contains("'q'"));
+        assert!(m.strings[0].contains('q'));
+    }
+
+    #[test]
+    fn loop_labels_are_code() {
+        let m = mask("'outer: loop { break 'outer; }");
+        assert!(m.code[0].contains("'outer: loop"));
+        assert!(m.code[0].contains("break 'outer;"));
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let m = mask("let c = '\\u{1F600}'; done()");
+        assert!(m.code[0].contains("done()"));
+        assert!(!m.code[0].contains("1F600"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_not_raw_string() {
+        let m = mask("for r in 0..3 { s.push_str(\"x\"); }");
+        assert!(m.code[0].contains("for r in 0..3"));
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        let m = mask("let b = b'x'; rest()");
+        assert!(m.code[0].contains("rest()"));
+        assert!(!m.code[0].contains("'x'"));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_count() {
+        let src = "a(\"one\ntwo\nthree\") ; b";
+        let m = mask(src);
+        assert_eq!(m.n_lines(), 3);
+        assert!(m.code[2].contains("; b"));
+        assert!(m.strings[1].contains("two"));
+    }
+
+    #[test]
+    fn comment_only_detection() {
+        let m = mask("// just a comment\nlet x = 1; // trailing\n\n");
+        assert!(m.is_comment_only(0));
+        assert!(!m.is_comment_only(1));
+        assert!(!m.is_comment_only(2));
+    }
+}

@@ -1,0 +1,119 @@
+//! Integration tests over the checked-in fixture corpora: every rule
+//! must fire on the violation tree, suppression must work, the clean
+//! tree's JSON report is pinned byte-for-byte, and — the actual gate —
+//! the real workspace must audit clean.
+
+use std::path::{Path, PathBuf};
+
+use qcpa_audit::report::Report;
+use qcpa_audit::run;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn count(report: &Report, rule: &str, unsuppressed_only: bool) -> usize {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && (!unsuppressed_only || f.unsuppressed()))
+        .count()
+}
+
+#[test]
+fn corpus_fires_every_rule_at_least_once() {
+    let report = run(&fixture("tree")).expect("fixture tree scans");
+    for rule in &report.rules {
+        assert!(
+            count(&report, rule, true) >= 1,
+            "rule {rule} never fired unsuppressed on the violation corpus"
+        );
+    }
+    assert!(report.unsuppressed > 0, "corpus must fail the gate");
+}
+
+#[test]
+fn corpus_finding_counts_are_exact() {
+    let report = run(&fixture("tree")).expect("fixture tree scans");
+    // Totals pin the negatives too: tokens inside comments, strings and
+    // raw strings, the QCPA_-keyed env read, and the documented unsafe
+    // block must all stay silent.
+    assert_eq!(count(&report, "hash-iter", false), 4);
+    assert_eq!(count(&report, "hash-iter", true), 3);
+    assert_eq!(count(&report, "wall-clock", false), 1);
+    assert_eq!(count(&report, "entropy", false), 1);
+    assert_eq!(count(&report, "spawn", false), 1);
+    assert_eq!(count(&report, "panic-hygiene", false), 1);
+    assert_eq!(count(&report, "unsafe-audit", false), 2);
+    assert_eq!(count(&report, "env-access", false), 1);
+    assert_eq!(count(&report, "allow-syntax", false), 2);
+}
+
+#[test]
+fn suppression_carries_the_justification() {
+    let report = run(&fixture("tree")).expect("fixture tree scans");
+    let allowed = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "hash-iter" && f.allowed)
+        .expect("the annotated HashMap alias is allowed");
+    assert_eq!(
+        allowed.justification.as_deref(),
+        Some("fixture demonstrates a suppressed finding")
+    );
+    assert!(!allowed.unsuppressed());
+}
+
+#[test]
+fn panic_hygiene_ratchet_reports_the_fixture_crate() {
+    let report = run(&fixture("tree")).expect("fixture tree scans");
+    let core = report
+        .panic_hygiene
+        .get("qcpa-core")
+        .expect("fixture core crate has panic stats");
+    assert_eq!(core.sites, 1);
+    assert_eq!(core.baseline, 0, "no baseline file in the fixture tree");
+}
+
+#[test]
+fn clean_fixture_matches_pinned_snapshot() {
+    let report = run(&fixture("clean")).expect("clean fixture scans");
+    assert_eq!(report.unsuppressed, 0);
+    assert!(report.findings.is_empty());
+    let json = report.to_json();
+    let expected = include_str!("../fixtures/clean/expected.json");
+    assert_eq!(
+        json.trim(),
+        expected.trim(),
+        "clean-fixture JSON drifted from fixtures/clean/expected.json"
+    );
+}
+
+#[test]
+fn report_round_trips_through_json() {
+    let report = run(&fixture("tree")).expect("fixture tree scans");
+    let json = report.to_json();
+    let back: Report = serde_json::from_str(&json).expect("report JSON deserializes");
+    assert_eq!(back.findings.len(), report.findings.len());
+    assert_eq!(back.unsuppressed, report.unsuppressed);
+    assert_eq!(back.to_json(), json, "re-serialization is stable");
+}
+
+#[test]
+fn workspace_tree_audits_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run(&root).expect("workspace scans");
+    let bad: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.unsuppressed())
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule, f.snippet))
+        .collect();
+    assert!(
+        bad.is_empty(),
+        "unsuppressed audit findings in the workspace:\n{}",
+        bad.join("\n")
+    );
+}

@@ -1,0 +1,112 @@
+//! Property tests for the masking lexer: random concatenations of
+//! tricky segments (nested block comments, raw strings at any hash
+//! depth, char literals vs lifetimes vs loop labels, escapes) must
+//! never leak a marker token across the code/comment/string boundary.
+//!
+//! Each segment plants the marker `XMARKX` a known number of times in
+//! code and a known number of times in comment/string bodies; after
+//! masking, the counts must match exactly. A lexer that loses sync in
+//! any segment corrupts the classification of every later segment, so
+//! the property is sensitive to state-machine bugs far beyond the
+//! segment that triggered them.
+
+use proptest::prelude::*;
+use qcpa_audit::lexer::{mask, Masked};
+
+const MARKER: &str = "XMARKX";
+
+/// (segment text, markers lexed as code, markers lexed as non-code).
+const SEGMENTS: &[(&str, usize, usize)] = &[
+    ("let XMARKX = 1;\n", 1, 0),
+    (
+        "fn f<'a>(x: &'a str) -> &'a str { let XMARKX = x.len(); x }\n",
+        1,
+        0,
+    ),
+    ("let c = 'x'; let XMARKX = c as u32;\n", 1, 0),
+    ("'outer: loop { let XMARKX = 0; break 'outer; }\n", 1, 0),
+    ("let esc = '\\''; let XMARKX = esc;\n", 1, 0),
+    ("// XMARKX in a line comment\n", 0, 1),
+    ("/* XMARKX /* nested XMARKX */ tail XMARKX */\n", 0, 3),
+    ("/// doc XMARKX about x.unwrap()\n", 0, 1),
+    ("let s = \"XMARKX in a string\";\n", 0, 1),
+    ("let e = \"escaped \\\" quote XMARKX\";\n", 0, 1),
+    (
+        "let r = r#\"raw XMARKX with \"quotes\" and \\ slash\"#;\n",
+        0,
+        1,
+    ),
+    ("let r2 = r##\"deeper \"# XMARKX\"##;\n", 0, 1),
+    ("let b = b\"XMARKX bytes\";\n", 0, 1),
+    ("let br = br#\"raw XMARKX bytes\"#;\n", 0, 1),
+    ("let multi = \"line one XMARKX\nline two XMARKX\";\n", 0, 2),
+    ("fn quiet() -> u32 { 41 + 1 }\n", 0, 0),
+];
+
+fn occurrences(lines: &[String]) -> usize {
+    lines.iter().map(|l| l.matches(MARKER).count()).sum()
+}
+
+fn check(masked: &Masked, want_code: usize, want_noncode: usize) -> Result<(), TestCaseError> {
+    prop_assert_eq!(occurrences(&masked.code), want_code, "markers in code");
+    let noncode = occurrences(&masked.comments) + occurrences(&masked.strings);
+    prop_assert_eq!(noncode, want_noncode, "markers in comments+strings");
+    prop_assert_eq!(masked.code.len(), masked.comments.len());
+    prop_assert_eq!(masked.code.len(), masked.strings.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    fn markers_never_cross_the_masking_boundary(
+        picks in proptest::collection::vec(0usize..SEGMENTS.len(), 1..24),
+    ) {
+        let mut src = String::new();
+        let (mut want_code, mut want_noncode) = (0usize, 0usize);
+        for &i in &picks {
+            let (text, in_code, in_noncode) = SEGMENTS[i];
+            src.push_str(text);
+            want_code += in_code;
+            want_noncode += in_noncode;
+        }
+        let masked = mask(&src);
+        check(&masked, want_code, want_noncode)?;
+    }
+
+    fn raw_strings_swallow_tokens_at_any_hash_depth(
+        depth in 0usize..5,
+        pad in proptest::collection::vec(0u8..26, 0..12),
+    ) {
+        let hashes = "#".repeat(depth);
+        let filler: String = pad.iter().map(|&b| (b'a' + b) as char).collect();
+        let src = format!(
+            "let r = r{hashes}\"{filler} x.unwrap() HashMap {MARKER}\"{hashes};\nlet {MARKER} = 2;\n"
+        );
+        let masked = mask(&src);
+        check(&masked, 1, 1)?;
+        prop_assert!(!masked.code.iter().any(|l| l.contains("unwrap")));
+        prop_assert!(!masked.code.iter().any(|l| l.contains("HashMap")));
+    }
+
+    fn line_structure_is_preserved(
+        picks in proptest::collection::vec(0usize..SEGMENTS.len(), 1..24),
+    ) {
+        let mut src = String::new();
+        for &i in &picks {
+            src.push_str(SEGMENTS[i].0);
+        }
+        let masked = mask(&src);
+        // `split('\n')` keeps the empty line after a trailing newline,
+        // matching the lexer's line accounting.
+        let want = src.split('\n').count();
+        prop_assert_eq!(masked.n_lines(), want, "one masked line per source line");
+        for (i, raw) in src.lines().enumerate() {
+            prop_assert_eq!(
+                masked.code[i].chars().count(),
+                raw.chars().count(),
+                "masking must preserve column positions (line {})", i
+            );
+        }
+    }
+}

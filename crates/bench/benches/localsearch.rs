@@ -26,16 +26,28 @@ struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method delegates verbatim to the `System` allocator and
+// only adds a relaxed atomic counter bump, so the `GlobalAlloc`
+// contract (layout handling, pointer validity, thread safety) is
+// exactly `System`'s.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards the caller's layout unchanged to `System.alloc`,
+    // whose safety preconditions are identical to this method's.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr`/`layout` were produced by `alloc`/`realloc` above,
+    // which return `System` pointers, so freeing through `System` is
+    // sound.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same delegation argument as `dealloc` — the pointer came
+    // from `System`, and the layout/new_size contract is passed through
+    // untouched.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

@@ -199,6 +199,17 @@ impl Drop for Csv {
         if let Some(sha) = qcpa_obs::export::git_sha(std::path::Path::new(".")) {
             meta.push(("git_sha", sha));
         }
+        // Stamp the sidecar with the static-analysis state of the tree
+        // the numbers came from (best effort: absent sources — e.g. an
+        // installed binary run outside the repo — just omit the keys).
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        if let Some(root) = qcpa_audit::discover_root(&cwd) {
+            if let Ok(report) = qcpa_audit::run(&root) {
+                meta.push(("audit_unsuppressed", report.unsuppressed.to_string()));
+                let panic_sites: u32 = report.panic_hygiene.values().map(|s| s.sites).sum();
+                meta.push(("audit_panic_sites", panic_sites.to_string()));
+            }
+        }
         for (k, v) in &self.meta {
             meta.push((k.as_str(), v.clone()));
         }

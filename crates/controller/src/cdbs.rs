@@ -57,6 +57,11 @@ pub enum CdbsError {
     Storage(StorageError),
     /// Reallocation needs a non-empty query history.
     EmptyJournal,
+    /// An internal invariant did not hold — a controller bug. Reported
+    /// as a typed error instead of a panic so a long-running cluster
+    /// surfaces it to the operator rather than aborting mid-request
+    /// (audit: panic-hygiene).
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for CdbsError {
@@ -76,8 +81,14 @@ impl std::fmt::Display for CdbsError {
             ),
             CdbsError::Storage(e) => write!(f, "storage error: {e}"),
             CdbsError::EmptyJournal => write!(f, "no query history to classify"),
+            CdbsError::Internal(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
+}
+
+/// Converts an invariant-backed `Option` into a typed internal error.
+fn internal<T>(opt: Option<T>, what: &'static str) -> Result<T, CdbsError> {
+    opt.ok_or(CdbsError::Internal(what))
 }
 
 impl std::error::Error for CdbsError {}
@@ -359,9 +370,11 @@ impl Cdbs {
             .min_by(|&x, &y| {
                 self.cumulative_cost[x]
                     .partial_cmp(&self.cumulative_cost[y])
+                    // audit:allow(panic-hygiene): costs are sums of finite per-request costs, never NaN
                     .expect("costs are finite")
                     .then(x.cmp(&y))
             })
+            // audit:allow(panic-hygiene): `online` is non-empty by contract and `pool` falls back to it
             .expect("online capable set is non-empty")
     }
 
@@ -413,18 +426,23 @@ impl Cdbs {
     ///
     /// If the backend's staleness ledger held every write it missed
     /// (no overflow), the ledger is replayed in order against its
-    /// stored fragments — no bulk data moves and 0 is returned.
+    /// stored fragments — no bulk data moves and `Ok(0)` is returned.
     /// Otherwise (ledger overflow, or a replay error) every fragment of
     /// its layout is dropped and reloaded from the master copy (the
-    /// catch-up ETL); the reloaded bytes are returned. Returns 0 if the
-    /// backend was not offline.
+    /// catch-up ETL); the reloaded bytes are returned. Returns `Ok(0)`
+    /// if the backend was not offline.
+    ///
+    /// # Errors
+    /// [`CdbsError::Internal`] when the backend's layout references a
+    /// table or partition scheme the controller no longer knows — a
+    /// bookkeeping bug, reported instead of panicking.
     ///
     /// # Panics
     /// Panics if `b` is out of range.
-    pub fn recover_backend(&mut self, b: usize) -> u64 {
+    pub fn recover_backend(&mut self, b: usize) -> Result<u64, CdbsError> {
         assert!(b < self.backends.len(), "unknown backend {b}");
         if !self.offline[b] {
-            return 0;
+            return Ok(0);
         }
         let overflowed = std::mem::take(&mut self.ledger_overflow[b]);
         let deferred: Vec<WriteRequest> = self.ledgers[b].drain(..).collect();
@@ -443,7 +461,7 @@ impl Cdbs {
                     "replayed" => deferred.len() as u64,
                     "moved_bytes" => 0u64,
                 });
-                return 0;
+                return Ok(0);
             }
             // A replay error means the ledger and the stored fragments
             // disagree (possibly half-applied) — resync from scratch.
@@ -455,7 +473,7 @@ impl Cdbs {
         for name in stale {
             self.backends[b].drop_fragment(&name);
         }
-        let moved = self.load_layout(b);
+        let moved = self.load_layout(b)?;
         self.offline[b] = false;
         self.health[b] = BackendHealth::default();
         qcpa_obs::global()
@@ -465,7 +483,7 @@ impl Cdbs {
             "backend" => b as u64,
             "moved_bytes" => moved,
         });
-        moved
+        Ok(moved)
     }
 
     /// Indices of the currently failed backends.
@@ -477,22 +495,23 @@ impl Cdbs {
 
     /// Loads every fragment of backend `b`'s layout from the master
     /// copy, skipping fragments already stored. Returns loaded bytes.
-    fn load_layout(&mut self, b: usize) -> u64 {
+    ///
+    /// # Errors
+    /// [`CdbsError::Internal`] when the layout names a table or
+    /// partition scheme missing from the controller state.
+    fn load_layout(&mut self, b: usize) -> Result<u64, CdbsError> {
         let layout = self.layouts[b].clone();
         let mut moved = 0u64;
         for (t, parts) in &layout.parts {
-            let scheme = self
-                .partitions
-                .iter()
-                .find(|p| &p.table == t)
-                .expect("partition fragments imply a scheme")
-                .clone();
-            let mi = self
-                .schema
-                .tables
-                .iter()
-                .position(|d| &d.name == t)
-                .expect("table exists");
+            let scheme = internal(
+                self.partitions.iter().find(|p| &p.table == t),
+                "partition fragments imply a scheme",
+            )?
+            .clone();
+            let mi = internal(
+                self.schema.tables.iter().position(|d| &d.name == t),
+                "layout references a known table",
+            )?;
             for &p in parts {
                 let frag_name = scheme.fragment_name(p);
                 if self.backends[b].table(&frag_name).is_some() {
@@ -506,18 +525,20 @@ impl Cdbs {
             }
         }
         for table_name in layout.columns.keys() {
-            let frag_name = layout
-                .fragment_name(&self.schema, table_name)
-                .expect("stored table");
+            let frag_name = internal(
+                layout.fragment_name(&self.schema, table_name),
+                "column layout names a stored table",
+            )?;
             if self.backends[b].table(&frag_name).is_some() {
                 continue;
             }
-            let mi = self
-                .schema
-                .tables
-                .iter()
-                .position(|t| &t.name == table_name)
-                .expect("table exists");
+            let mi = internal(
+                self.schema
+                    .tables
+                    .iter()
+                    .position(|t| &t.name == table_name),
+                "layout references a known table",
+            )?;
             let stored = &layout.columns[table_name];
             let data = if stored.len() == self.schema.tables[mi].columns.len() {
                 qcpa_storage::fragmentation::extract_full(&self.master[mi])
@@ -527,7 +548,7 @@ impl Cdbs {
             };
             moved += self.backends[b].bulk_load(data);
         }
-        moved
+        Ok(moved)
     }
 
     /// Applies one write to backend `b`'s stored fragments — the shared
@@ -547,9 +568,10 @@ impl Cdbs {
             let n_columns = def.columns.len();
             let touched: Vec<usize> = match &w.kind {
                 WriteKind::Insert(row) => {
-                    let idx = def
-                        .column_index(&scheme.column)
-                        .expect("scheme validated at construction");
+                    let idx = internal(
+                        def.column_index(&scheme.column),
+                        "scheme validated at construction",
+                    )?;
                     match row.get(idx) {
                         Some(Value::I64(v)) => vec![scheme.part_of(*v)],
                         _ => (0..scheme.n_parts()).collect(),
@@ -623,9 +645,10 @@ impl Cdbs {
                     table: table_name,
                 });
             }
-            let frag_name = self.layouts[b]
-                .fragment_name(&self.schema, &table_name)
-                .expect("covering backend stores the table");
+            let frag_name = internal(
+                self.layouts[b].fragment_name(&self.schema, &table_name),
+                "covering backend stores the table",
+            )?;
             let mut changed_max = 1.0f64;
             match &w.kind {
                 WriteKind::Insert(row) => {
@@ -745,9 +768,10 @@ impl Cdbs {
                     });
                 }
                 let b = self.pick_read_backend(&online);
-                let frag_name = self.layouts[b]
-                    .fragment_name(&self.schema, &table_name)
-                    .expect("capable backend stores the table");
+                let frag_name = internal(
+                    self.layouts[b].fragment_name(&self.schema, &table_name),
+                    "capable backend stores the table",
+                )?;
                 let mut translated = q.clone();
                 translated.table = frag_name.clone();
                 // Measured cost: rows scanned (the stored fragment's
@@ -817,12 +841,10 @@ impl Cdbs {
                     }
                 }
                 // Keep the master copy authoritative.
-                let mi = self
-                    .schema
-                    .tables
-                    .iter()
-                    .position(|t| t.name == table_name)
-                    .expect("table exists");
+                let mi = internal(
+                    self.schema.tables.iter().position(|t| t.name == table_name),
+                    "write targets a known table",
+                )?;
                 match &w.kind {
                     WriteKind::Insert(row) => self.master[mi].append(row.clone()),
                     WriteKind::Update {
@@ -860,18 +882,19 @@ impl Cdbs {
         let n_columns = self
             .schema
             .table(&table_name)
-            .expect("scheme validated at construction")
+            .ok_or_else(|| CdbsError::UnknownTable(table_name.clone()))?
             .columns
             .len();
         let touched: Vec<usize> = match request {
             Request::Read(q) => scheme.touched(q.predicate.as_ref()),
             Request::Write(w) => match &w.kind {
                 WriteKind::Insert(row) => {
-                    let idx = self
-                        .schema
-                        .table(&table_name)
-                        .and_then(|d| d.column_index(&scheme.column))
-                        .expect("scheme validated at construction");
+                    let idx = internal(
+                        self.schema
+                            .table(&table_name)
+                            .and_then(|d| d.column_index(&scheme.column)),
+                        "scheme validated at construction",
+                    )?;
                     match row.get(idx) {
                         Some(Value::I64(v)) => vec![scheme.part_of(*v)],
                         _ => (0..scheme.n_parts()).collect(),
@@ -984,12 +1007,10 @@ impl Cdbs {
                         self.defer_write(b, w);
                     }
                 }
-                let mi = self
-                    .schema
-                    .tables
-                    .iter()
-                    .position(|t| t.name == table_name)
-                    .expect("table exists");
+                let mi = internal(
+                    self.schema.tables.iter().position(|t| t.name == table_name),
+                    "write targets a known table",
+                )?;
                 match &w.kind {
                     WriteKind::Insert(row) => self.master[mi].append(row.clone()),
                     WriteKind::Update {
@@ -1034,7 +1055,7 @@ impl Cdbs {
         // anyway, so bring failed nodes back first — their stale fragments
         // must not be mistaken for up-to-date ones by the keep/load logic.
         for b in self.offline_backends() {
-            self.recover_backend(b);
+            self.recover_backend(b)?;
         }
         // Fresh sizes: the data may have grown since boot.
         self.catalog = build_cdbs_catalog(&self.schema, &self.master, &self.partitions);
@@ -1048,7 +1069,7 @@ impl Cdbs {
         }
         alloc
             .validate(&cls, &cluster)
-            .expect("allocator output is valid");
+            .map_err(|_| CdbsError::Internal("allocator output is valid"))?;
 
         // Match onto the running system to minimize movement.
         let old_n = self.backends.len();
@@ -1087,17 +1108,18 @@ impl Cdbs {
         let mut loaded = 0usize;
         let mut kept = 0usize;
         for (b, layout) in new_layouts.iter().enumerate() {
-            let mut wanted: Vec<String> = layout
-                .columns
-                .keys()
-                .map(|t| layout.fragment_name(&self.schema, t).expect("stored table"))
-                .collect();
+            let mut wanted: Vec<String> = Vec::with_capacity(layout.columns.len());
+            for t in layout.columns.keys() {
+                wanted.push(internal(
+                    layout.fragment_name(&self.schema, t),
+                    "layout references a known table",
+                )?);
+            }
             for (t, parts) in &layout.parts {
-                let scheme = self
-                    .partitions
-                    .iter()
-                    .find(|p| &p.table == t)
-                    .expect("partition fragments imply a scheme");
+                let scheme = internal(
+                    self.partitions.iter().find(|p| &p.table == t),
+                    "partition fragments imply a scheme",
+                )?;
                 wanted.extend(parts.iter().map(|&p| scheme.fragment_name(p)));
             }
             // Drop stale fragments.
@@ -1111,18 +1133,17 @@ impl Cdbs {
             }
             // Load missing partition fragments from the master copy.
             for (t, parts) in &layout.parts {
-                let scheme = self
-                    .partitions
-                    .iter()
-                    .find(|p| &p.table == t)
-                    .expect("partition fragments imply a scheme")
-                    .clone();
+                let scheme = internal(
+                    self.partitions.iter().find(|p| &p.table == t),
+                    "partition fragments imply a scheme",
+                )?
+                .clone();
                 let mi = self
                     .schema
                     .tables
                     .iter()
                     .position(|d| &d.name == t)
-                    .expect("table exists");
+                    .ok_or_else(|| CdbsError::UnknownTable(t.clone()))?;
                 for &p in parts {
                     let frag_name = scheme.fragment_name(p);
                     if self.backends[b].table(&frag_name).is_some() {
@@ -1139,9 +1160,10 @@ impl Cdbs {
             }
             // Load missing fragments from the master copy.
             for table_name in layout.columns.keys() {
-                let frag_name = layout
-                    .fragment_name(&self.schema, table_name)
-                    .expect("stored table");
+                let frag_name = internal(
+                    layout.fragment_name(&self.schema, table_name),
+                    "layout references a known table",
+                )?;
                 if self.backends[b].table(&frag_name).is_some() {
                     kept += 1;
                     continue;
@@ -1151,7 +1173,7 @@ impl Cdbs {
                     .tables
                     .iter()
                     .position(|t| &t.name == table_name)
-                    .expect("table exists");
+                    .ok_or_else(|| CdbsError::UnknownTable(table_name.clone()))?;
                 let stored = &layout.columns[table_name];
                 let data = if stored.len() == self.schema.tables[mi].columns.len() {
                     qcpa_storage::fragmentation::extract_full(&self.master[mi])
@@ -1210,9 +1232,9 @@ fn build_cdbs_catalog(
         let rows = table.len() as u64;
         let tid = catalog.add_table(def.name.clone(), def.row_width() * rows);
         if let Some(scheme) = partitions.iter().find(|p| p.table == def.name) {
-            let idx = def
-                .column_index(&scheme.column)
-                .expect("scheme validated at construction");
+            // audit:allow(panic-hygiene): free catalog builder has no error
+            // channel; `Cdbs::new` validates every scheme column up front
+            let idx = def.column_index(&scheme.column).expect("scheme column");
             let mut counts = vec![0u64; scheme.n_parts()];
             for r in 0..table.len() {
                 if let Some(Value::I64(v)) = table.value(r, &def.columns[idx].name) {
@@ -1606,7 +1628,7 @@ mod tests {
         assert_eq!(cdbs.deferred_writes(0), 0);
         assert_eq!(cdbs.deferred_writes(1), 0);
         // Recovery restores service.
-        cdbs.recover_backend(0);
+        cdbs.recover_backend(0).unwrap();
         assert!(cdbs.execute(&price_query()).is_ok());
     }
 
@@ -1634,7 +1656,7 @@ mod tests {
         assert_eq!(cdbs.deferred_writes(1), 2);
         assert!(!cdbs.ledger_overflowed(1));
         // Replay recovery: no bulk bytes move.
-        assert_eq!(cdbs.recover_backend(1), 0);
+        assert_eq!(cdbs.recover_backend(1).unwrap(), 0);
         assert_eq!(cdbs.deferred_writes(1), 0);
         // Backend 1 is idle (writes were charged to backend 0), so the
         // next read lands there — and sees the replayed writes.
@@ -1669,7 +1691,7 @@ mod tests {
         assert!(cdbs.ledger_overflowed(1));
         assert_eq!(cdbs.deferred_writes(1), 0, "overflow discards the ledger");
         // Overflow downgrades recovery to the full catch-up ETL.
-        assert!(cdbs.recover_backend(1) > 0);
+        assert!(cdbs.recover_backend(1).unwrap() > 0);
         assert!(!cdbs.ledger_overflowed(1));
         let q = Request::Read(
             ScanQuery::all("item")
@@ -1975,7 +1997,11 @@ mod partition_tests {
         )))
         .unwrap();
         assert_eq!(cdbs.deferred_writes(1), 2);
-        assert_eq!(cdbs.recover_backend(1), 0, "ledger replay moves no bytes");
+        assert_eq!(
+            cdbs.recover_backend(1).unwrap(),
+            0,
+            "ledger replay moves no bytes"
+        );
         // The recovered backend is idle, so both reads land on it and
         // must see the replayed update and insert.
         let zapped = Request::Read(

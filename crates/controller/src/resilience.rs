@@ -69,6 +69,7 @@ impl ControllerResilience {
     #[must_use]
     pub fn env_overrides(mut self) -> Self {
         fn get<T: std::str::FromStr>(key: &str) -> Option<T> {
+            // audit:allow(env-access): shared helper for the documented QCPA_CTRL_* overrides below; every caller passes a QCPA_ key
             std::env::var(key).ok().and_then(|s| s.parse().ok())
         }
         if let Some(v) = get("QCPA_CTRL_BREAKER_FAILS") {

@@ -8,7 +8,7 @@
 //! their parent tables so classifications can be computed at any
 //! granularity.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -75,7 +75,10 @@ pub struct Fragment {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Catalog {
     fragments: Vec<Fragment>,
-    by_name: HashMap<String, FragmentId>,
+    // BTreeMap, not HashMap: the map is iterated nowhere today, but a
+    // hash map here would be one refactor away from leaking process-
+    // random iteration order into allocation results (audit: hash-iter).
+    by_name: BTreeMap<String, FragmentId>,
 }
 
 impl Catalog {

@@ -7,7 +7,7 @@
 //! knows, typically columns) and a *weight* — its execution time or an
 //! optimizer cost estimate — from which class weights are derived (Eq. 4).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -95,8 +95,10 @@ pub struct JournalEntry {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Journal {
     entries: Vec<JournalEntry>,
+    // Deterministic-crate policy (audit: hash-iter): keyed lookups only
+    // today, but BTreeMap keeps any future iteration order seed-free.
     #[serde(skip)]
-    index: HashMap<String, usize>,
+    index: BTreeMap<String, usize>,
 }
 
 impl Journal {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # qcpa-obs — observability for the QCPA workspace
 //!
 //! Zero-dependency (std-only) tracing and metrics, cheap enough to stay

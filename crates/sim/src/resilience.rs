@@ -213,6 +213,7 @@ impl ResilienceConfig {
     /// variables leave the field unchanged.
     pub fn env_overrides(mut self) -> Self {
         fn parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+            // audit:allow(env-access): shared helper for the documented QCPA_* overrides below; every caller passes a QCPA_ key
             std::env::var(key).ok()?.trim().parse().ok()
         }
         if let Some(v) = parse::<f64>("QCPA_DEADLINE") {

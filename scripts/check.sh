@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
-# Repo-wide quality gate: formatting, lints (warnings are errors), tests.
+# Repo-wide quality gate: formatting, lints (warnings are errors),
+# static analysis, tests.
 #
 # Usage:
-#   ./scripts/check.sh          # full gate (fmt, clippy, full test matrix,
-#                               # conformance at both thread counts, bench)
-#   ./scripts/check.sh --fast   # inner-loop tier: fmt + clippy + lib/unit
-#                               # tests at the default thread count only
+#   ./scripts/check.sh          # full gate (fmt, clippy, audit, full test
+#                               # matrix, conformance at both thread
+#                               # counts, bench)
+#   ./scripts/check.sh --fast   # inner-loop tier: fmt + clippy + audit +
+#                               # lib/unit tests at the default thread
+#                               # count only
+#   ./scripts/check.sh --deep   # fast tier + the test suite under
+#                               # ThreadSanitizer (requires a nightly
+#                               # toolchain with rust-src; skipped with a
+#                               # warning otherwise)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
-if [[ "${1:-}" == "--fast" ]]; then
-    FAST=1
-fi
+DEEP=0
+case "${1:-}" in
+--fast) FAST=1 ;;
+--deep) DEEP=1 ;;
+esac
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
@@ -20,7 +29,39 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-if [[ "$FAST" == "1" ]]; then
+# The static-analysis gate: exits nonzero on any unsuppressed finding
+# (hash-ordered iteration in deterministic crates, wall-clock reads,
+# ambient entropy, stray spawns, undocumented unsafe, panic-hygiene
+# ratchet regressions, off-surface env reads). See DESIGN.md §11.
+echo "== qcpa-audit (static analysis) =="
+cargo run -q -p qcpa-audit
+
+run_tsan() {
+    # TSan needs -Zbuild-std, i.e. a nightly toolchain with rust-src.
+    if ! cargo +nightly --version >/dev/null 2>&1; then
+        echo "WARNING: --deep skipped: no nightly toolchain installed" >&2
+        return 0
+    fi
+    if ! rustup component list --toolchain nightly 2>/dev/null |
+        grep -q '^rust-src (installed)'; then
+        echo "WARNING: --deep skipped: nightly rust-src not installed" \
+            "(rustup component add rust-src --toolchain nightly)" >&2
+        return 0
+    fi
+    local host
+    host=$(rustc -vV | sed -n 's/^host: //p')
+    echo "== ThreadSanitizer (qcpa-par + conformance, nightly) =="
+    # Scope to the threaded crate and the cross-thread conformance
+    # harness: TSan slows execution ~10x, so the full matrix is out.
+    RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+        QCPA_THREADS=4 cargo +nightly test -q -p qcpa-par \
+        -Zbuild-std --target "$host"
+    RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+        QCPA_THREADS=4 cargo +nightly test -q --test conformance \
+        -Zbuild-std --target "$host"
+}
+
+if [[ "$FAST" == "1" || "$DEEP" == "1" ]]; then
     echo "== cargo test (fast tier) =="
     cargo test -q --workspace --lib
     echo "== resilience conformance (QCPA_THREADS=1) =="
@@ -29,7 +70,12 @@ if [[ "$FAST" == "1" ]]; then
     QCPA_THREADS=4 cargo test -q --test conformance resilient_runs_conserve_and_replay_exactly
     echo "== resilience sweep smoke (fails on any lost request) =="
     QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin fig_resilience
-    echo "Fast checks passed."
+    if [[ "$DEEP" == "1" ]]; then
+        run_tsan
+        echo "Deep checks passed."
+    else
+        echo "Fast checks passed."
+    fi
     exit 0
 fi
 

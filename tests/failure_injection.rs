@@ -419,6 +419,6 @@ fn controller_all_replicas_offline_is_typed() {
         }
         other => panic!("expected AllReplicasOffline, got {other:?}"),
     }
-    cdbs.recover_backend(0);
+    cdbs.recover_backend(0).unwrap();
     cdbs.execute(&q).expect("recovered replica serves again");
 }
