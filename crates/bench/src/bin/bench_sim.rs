@@ -1,0 +1,4 @@
+//! Simulator throughput trajectory: open-loop events/sec at 16–256 backends.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::simbench::run()
+}

@@ -1,0 +1,126 @@
+//! Bench-trajectory gate: diffs the last two comparable entries of each
+//! `BENCH_*.json` history (see `qcpa_bench::history`) and exits nonzero
+//! when a tracked throughput metric regressed by more than 20%.
+//!
+//! Tracked trajectories:
+//!
+//! * `BENCH_allocator.json` — `timings_secs.delta_par` (wall seconds,
+//!   lower is better), comparable when population / iterations / quick
+//!   mode / available threads all match;
+//! * `BENCH_sim.json` — `events_per_sec` (higher is better), comparable
+//!   when duration / rate / quick mode match.
+//!
+//! Fewer than two comparable entries (fresh clone, first run after a
+//! config change) passes with a note — the gate only ever compares
+//! like with like. `scripts/check.sh` runs this in the fast tier.
+
+use std::path::Path;
+
+use qcpa_bench::history::{get_f64, last_two, load_history};
+use serde::Value;
+
+/// Allowed relative throughput loss between consecutive comparable runs.
+const TOLERANCE: f64 = 0.20;
+
+struct Trend {
+    file: &'static str,
+    metric: &'static [&'static str],
+    /// `true` when larger metric values are better (throughput);
+    /// `false` for wall-clock seconds.
+    higher_is_better: bool,
+    keys: &'static [&'static [&'static str]],
+}
+
+const TRENDS: &[Trend] = &[
+    Trend {
+        file: "BENCH_allocator.json",
+        metric: &["timings_secs", "delta_par"],
+        higher_is_better: false,
+        keys: &[
+            &["config", "quick"],
+            &["config", "population"],
+            &["config", "iterations"],
+            &["threads_available"],
+        ],
+    },
+    Trend {
+        file: "BENCH_sim.json",
+        metric: &["events_per_sec"],
+        higher_is_better: true,
+        keys: &[
+            &["config", "quick"],
+            &["config", "target_events"],
+            &["config", "rate_per_backend"],
+        ],
+    },
+];
+
+/// Checks one trajectory; returns `Err(reason)` on regression.
+fn check(trend: &Trend, history: &[Value]) -> Result<String, String> {
+    let metric_name = trend.metric.join(".");
+    let Some((prev, newest)) = last_two(history, trend.keys) else {
+        return Ok(format!(
+            "{}: {} entr{}, <2 comparable — nothing to diff",
+            trend.file,
+            history.len(),
+            if history.len() == 1 { "y" } else { "ies" }
+        ));
+    };
+    let (Some(a), Some(b)) = (get_f64(prev, trend.metric), get_f64(newest, trend.metric)) else {
+        return Ok(format!(
+            "{}: {metric_name} missing in an entry — skipping",
+            trend.file
+        ));
+    };
+    if a <= 0.0 || b <= 0.0 {
+        return Ok(format!(
+            "{}: non-positive {metric_name} ({a} -> {b}) — skipping",
+            trend.file
+        ));
+    }
+    // Express both directions as a throughput ratio ≥/≤ 1.
+    let ratio = if trend.higher_is_better { b / a } else { a / b };
+    let verdict = format!(
+        "{}: {metric_name} {a:.4} -> {b:.4} (throughput x{ratio:.3})",
+        trend.file
+    );
+    if ratio < 1.0 - TOLERANCE {
+        Err(format!(
+            "{verdict} — REGRESSION beyond {:.0}% tolerance",
+            TOLERANCE * 100.0
+        ))
+    } else {
+        Ok(verdict)
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    println!(
+        "== Bench trajectory gate (tolerance {:.0}%) ==",
+        TOLERANCE * 100.0
+    );
+    let mut failures = 0usize;
+    for trend in TRENDS {
+        let path = Path::new(trend.file);
+        if !path.exists() {
+            println!("{}: absent — skipping", trend.file);
+            continue;
+        }
+        let history = load_history(path)?;
+        match check(trend, &history) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(std::io::Error::other(format!(
+            "{failures} bench trajector{} regressed",
+            if failures == 1 { "y" } else { "ies" }
+        )));
+    }
+    println!("trajectories healthy");
+    Ok(())
+}

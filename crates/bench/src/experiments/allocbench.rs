@@ -17,12 +17,22 @@
 //! 3. `delta_par` — the same engine with the full worker pool (adds the
 //!    fan-out gain; bit-identical result to `delta_1thread`).
 //!
+//! A fourth, *profiled* run ([`memetic::optimize_profiled`]) decomposes
+//! the parallel engine's wall time into phases (`driver.*` tile the
+//! loop, `task.*` decompose the fan-outs, `pool.overhead` estimates the
+//! serial fraction) — the bench asserts the driver phases attribute
+//! ≥ 95% of the optimize wall and prints the serial fraction behind the
+//! modest `par_vs_1thread` speedup. The profile exports as folded
+//! stacks to `results/bench_allocator.folded`.
+//!
 //! Output: the usual `results/bench_allocator.csv` +
-//! `results/bench_allocator.metrics.json` sidecar, plus a
-//! `BENCH_allocator.json` at the repository root summarizing the
-//! timings and speedups. `QCPA_BENCH_QUICK=1` shrinks the run for
-//! smoke-testing (scripts/check.sh uses it).
+//! `results/bench_allocator.metrics.json` sidecar, plus an entry
+//! appended to the `BENCH_allocator.json` history (schema v2, see
+//! [`crate::history`]) at the repository root. `QCPA_BENCH_QUICK=1`
+//! shrinks the run for smoke-testing (scripts/check.sh uses it) and
+//! skips the history append so smoke runs never dilute the trajectory.
 
+use std::path::Path;
 use std::time::Instant;
 
 use qcpa_core::cluster::ClusterSpec;
@@ -33,7 +43,7 @@ use serde::Value;
 
 use crate::baseline;
 use crate::harness::{f2, Csv};
-use crate::Strategy;
+use crate::{history, Strategy};
 
 /// Seconds for the fastest of `repeats` runs of `f` (min, the standard
 /// wall-clock benchmark estimator: least noise-inflated).
@@ -149,6 +159,43 @@ pub fn run() -> std::io::Result<()> {
             alloc.total_bytes(&w.catalog).to_string(),
         ])?;
     }
+    // Profiled run of the parallel engine: where does the wall time go,
+    // and how much of the fan-out wall is serial overhead?
+    let t0 = Instant::now();
+    let (a_prof, profile) = memetic::optimize_profiled(
+        seed_alloc.clone(),
+        &cw.classification,
+        &w.catalog,
+        &cluster,
+        &cfg_par,
+    );
+    let t_prof = t0.elapsed().as_secs_f64();
+    assert_eq!(a_prof, a_par, "profiling must not change the result");
+    let attribution = profile.attributed_secs() / t_prof;
+    assert!(
+        attribution >= 0.95,
+        "phase profiler attributed only {:.1}% of the optimize wall",
+        attribution * 100.0
+    );
+    let pool_overhead = profile.get("pool.overhead").map_or(0.0, |s| s.secs);
+    let serial_fraction = pool_overhead / t_prof;
+    println!("\nphase profile of delta_par ({threads_avail} workers):");
+    print!("{}", profile.render());
+    println!(
+        "attribution {:.1}% of {:.3}s wall; pool.overhead {:.3}s = {:.1}% serial fraction \
+         (the gap behind the {:.2}x par_vs_1thread speedup)",
+        attribution * 100.0,
+        t_prof,
+        pool_overhead,
+        serial_fraction * 100.0,
+        t_delta1 / t_par
+    );
+    std::fs::create_dir_all("results")?;
+    std::fs::write(
+        "results/bench_allocator.folded",
+        qcpa_obs::perfetto::profile_to_folded(&profile, "optimize"),
+    )?;
+
     let reg = qcpa_obs::global();
     reg.gauge("bench.allocator.baseline_secs").set(t_base);
     reg.gauge("bench.allocator.delta_1thread_secs")
@@ -158,6 +205,10 @@ pub fn run() -> std::io::Result<()> {
         .set(t_base / t_delta1);
     reg.gauge("bench.allocator.speedup_total")
         .set(t_base / t_par);
+    reg.gauge("bench.allocator.profile_attribution")
+        .set(attribution);
+    reg.gauge("bench.allocator.serial_fraction")
+        .set(serial_fraction);
 
     // Repo-root summary: the headline numbers without digging through
     // the sidecar.
@@ -207,21 +258,33 @@ pub fn run() -> std::io::Result<()> {
                 ),
             ]),
         ),
+        (
+            "profile",
+            obj(vec![
+                ("wall_secs", Value::F64(t_prof)),
+                ("attribution_fraction", Value::F64(attribution)),
+                ("pool_overhead_secs", Value::F64(pool_overhead)),
+                ("serial_fraction", Value::F64(serial_fraction)),
+                ("task_secs", Value::F64(profile.secs_with_prefix("task."))),
+            ]),
+        ),
     ]);
     if quick {
-        // Smoke runs (scripts/check.sh) must not overwrite the
-        // full-size numbers.
+        // Smoke runs (scripts/check.sh) must not dilute the full-size
+        // trajectory.
         println!(
-            "delta-cost speedup {:.2}x, total {:.2}x (quick mode; BENCH_allocator.json not written)",
+            "delta-cost speedup {:.2}x, total {:.2}x (quick mode; BENCH_allocator.json untouched)",
             t_base / t_delta1,
             t_base / t_par
         );
     } else {
-        let json = serde_json::to_string_pretty(&summary)
-            .map_err(|e| std::io::Error::other(format!("{e:?}")))?;
-        std::fs::write("BENCH_allocator.json", json + "\n")?;
+        let entries = history::append_entry(
+            Path::new("BENCH_allocator.json"),
+            "bench_allocator",
+            summary,
+        )?;
         println!(
-            "delta-cost speedup {:.2}x, total {:.2}x -> BENCH_allocator.json",
+            "delta-cost speedup {:.2}x, total {:.2}x -> BENCH_allocator.json (history entry {entries})",
             t_base / t_delta1,
             t_base / t_par
         );

@@ -7,6 +7,7 @@ pub mod autoscale;
 pub mod balance;
 pub mod faults;
 pub mod resilience;
+pub mod simbench;
 pub mod tables;
 pub mod tpcapp;
 pub mod tpch;

@@ -24,7 +24,10 @@
 //! | `fig_fault_availability` | failure timeline: nodes available & response under faults |
 //! | `tab_readonly_example` | §3 read-only example load tables |
 //! | `tab_appendix_example` | Appendix A worked example |
-//! | `bench_allocator` | allocator-engine wall-clock speedup (BENCH_allocator.json) |
+//! | `bench_allocator` | allocator-engine wall-clock speedup + phase profile (BENCH_allocator.json) |
+//! | `bench_sim` | simulator open-loop events/sec at 16–256 backends (BENCH_sim.json) |
+//! | `bench_trend` | bench-trajectory gate: fails on >20% throughput regression |
+//! | `trace_smoke` | trace/profile exporter smoke: byte-stable, parseable output |
 //! | `run_all` | everything above in sequence |
 
 #![forbid(unsafe_code)]
@@ -33,5 +36,6 @@
 pub mod baseline;
 pub mod experiments;
 pub mod harness;
+pub mod history;
 
 pub use harness::{Csv, SeedStats, Strategy};

@@ -154,6 +154,13 @@ pub struct Cdbs {
     /// Set when a ledger exceeded the cap while the backend was down:
     /// recovery must fall back to a full reload.
     ledger_overflow: Vec<bool>,
+    /// Optional causal tracer ([`Cdbs::attach_tracer`]): sampled
+    /// requests become span trees on the cost-weighted timeline.
+    tracer: Option<qcpa_obs::Tracer>,
+    /// Cost-weighted trace clock: the controller has no wall clock, so
+    /// spans tile a timeline that advances by each request's measured
+    /// cost (rows touched). `request_seq` orders events within it.
+    trace_clock: f64,
 }
 
 impl Cdbs {
@@ -251,7 +258,98 @@ impl Cdbs {
             request_seq: 0,
             ledgers: vec![VecDeque::new(); n_backends],
             ledger_overflow: vec![false; n_backends],
+            tracer: None,
+            trace_clock: 0.0,
         }
+    }
+
+    /// Attaches a causal tracer: from now on, requests the tracer's
+    /// sampler admits are recorded as span trees. The controller has no
+    /// wall clock, so spans live on a deterministic cost-weighted
+    /// timeline (one unit per journal cost row) ordered by
+    /// `request_seq`. Reclaim the tree with [`Cdbs::take_trace`].
+    pub fn attach_tracer(&mut self, mut tracer: qcpa_obs::Tracer) {
+        if tracer.enabled() {
+            for b in 0..self.backends.len() {
+                tracer.tree.name_track(b as u32, format!("backend {b}"));
+            }
+            tracer
+                .tree
+                .name_track(self.backends.len() as u32, "controller");
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches the tracer and returns its recorded tree, if any.
+    pub fn take_trace(&mut self) -> Option<qcpa_obs::TraceTree> {
+        self.tracer.take().map(qcpa_obs::Tracer::into_tree)
+    }
+
+    /// Records a sampled request's span tree: a root on the primary
+    /// backend's track covering `[start, start + cost]` on the
+    /// cost-weighted clock, one `leg` child per backend touched.
+    fn trace_request(&mut self, seq: u64, request: &Request, outcome: &ExecOutcome, start: f64) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        if !tr.admit(seq) {
+            return;
+        }
+        let name = match request {
+            Request::Read(_) => "read",
+            Request::Write(_) => "write",
+        };
+        let end = start + outcome.cost;
+        let track = outcome.backends.first().copied().unwrap_or(0) as u32;
+        let root = tr
+            .tree
+            .begin(tr.span_id(seq, 0), None, "request", name, track, start);
+        tr.tree.arg(root, "request", seq);
+        tr.tree.arg(root, "cost_rows", outcome.cost);
+        for (i, &b) in outcome.backends.iter().enumerate() {
+            let leg = tr.tree.begin(
+                tr.span_id(seq, 1 + i as u64),
+                Some(root),
+                "service",
+                "leg",
+                b as u32,
+                start,
+            );
+            tr.tree.arg(leg, "backend", b);
+            tr.tree.end(leg, end);
+        }
+        tr.tree.end(root, end);
+    }
+
+    /// Records a failed request as an instant mark on the controller
+    /// track, tagged with the error kind.
+    fn trace_error(&mut self, seq: u64, err: &CdbsError) {
+        let track = self.backends.len() as u32;
+        let at = self.trace_clock;
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        if !tr.admit(seq) {
+            return;
+        }
+        let kind: &'static str = match err {
+            CdbsError::UnknownTable(_) => "unknown_table",
+            CdbsError::NoCapableBackend { .. } => "no_capable_backend",
+            CdbsError::InconsistentLayout { .. } => "inconsistent_layout",
+            CdbsError::AllReplicasOffline { .. } => "all_replicas_offline",
+            CdbsError::Storage(_) => "storage",
+            CdbsError::EmptyJournal => "empty_journal",
+            CdbsError::Internal(_) => "internal",
+        };
+        tr.tree.mark(
+            tr.span_id(seq, u64::MAX - 1),
+            None,
+            "error",
+            kind,
+            track,
+            at,
+            vec![("request", seq.into())],
+        );
     }
 
     /// Replaces the resilience knobs (breaker thresholds, staleness
@@ -721,7 +819,17 @@ impl Cdbs {
         // The controller's monotone clock: breaker cooldowns count
         // requests, successful or not.
         self.request_seq = self.request_seq.saturating_add(1);
-        let outcome = self.execute_inner(request)?;
+        let seq = self.request_seq;
+        let start = self.trace_clock;
+        let outcome = match self.execute_inner(request) {
+            Ok(o) => o,
+            Err(e) => {
+                self.trace_error(seq, &e);
+                return Err(e);
+            }
+        };
+        self.trace_clock += outcome.cost;
+        self.trace_request(seq, request, &outcome, start);
         let reg = qcpa_obs::global();
         match request {
             Request::Read(_) => reg.counter("controller.requests.read").inc(),

@@ -118,7 +118,42 @@ pub fn optimize(
     cfg: &MemeticConfig,
 ) -> Allocation {
     let _span = qcpa_obs::span("core", "memetic_optimize");
-    run_generations(initial, cls, catalog, cluster, cfg, "memetic", None)
+    run_generations(initial, cls, catalog, cluster, cfg, "memetic", None, None)
+}
+
+/// [`optimize`] with phase profiling: returns the refined allocation
+/// plus a [`qcpa_obs::PhaseProfile`] attributing the optimize wall time
+/// to driver phases (seed build, offspring fan-out, selection, improve
+/// fan-out, merges, telemetry), worker-side task phases (mutation,
+/// local search) and per-worker busy lanes — plus a `pool.overhead`
+/// estimate of the fan-out wall time no task accounts for (thread
+/// wakeup, channel merge, load imbalance): the serial fraction that
+/// caps parallel speedup.
+///
+/// Profiling never changes the result: the allocation is bit-identical
+/// to [`optimize`]'s, and the profile's
+/// [`fingerprint`](qcpa_obs::PhaseProfile::fingerprint) (calls/work,
+/// not seconds) is bit-identical at any `QCPA_THREADS`.
+pub fn optimize_profiled(
+    initial: Allocation,
+    cls: &Classification,
+    catalog: &Catalog,
+    cluster: &ClusterSpec,
+    cfg: &MemeticConfig,
+) -> (Allocation, qcpa_obs::PhaseProfile) {
+    let _span = qcpa_obs::span("core", "memetic_optimize");
+    let mut profile = qcpa_obs::PhaseProfile::new();
+    let alloc = run_generations(
+        initial,
+        cls,
+        catalog,
+        cluster,
+        cfg,
+        "memetic",
+        None,
+        Some(&mut profile),
+    );
+    (alloc, profile)
 }
 
 /// Algorithm 2 adapted to preserve k-safety (the extension the paper
@@ -145,6 +180,7 @@ pub fn optimize_ksafe(
         cfg,
         "memetic.ksafe",
         Some(&harden),
+        None,
     )
 }
 
@@ -165,6 +201,7 @@ struct Individual {
 /// an invariant (k-safety hardening) after each mutation or improvement
 /// and re-costs the candidate in full (repairs add spare replicas the
 /// incremental tracker does not model).
+#[allow(clippy::too_many_arguments)]
 fn run_generations(
     initial: Allocation,
     cls: &Classification,
@@ -173,9 +210,14 @@ fn run_generations(
     cfg: &MemeticConfig,
     prefix: &str,
     repair: Option<&(dyn Fn(&mut Allocation) + Sync)>,
+    mut profile: Option<&mut qcpa_obs::PhaseProfile>,
 ) -> Allocation {
     assert!(cfg.population >= 3, "population must be at least 3");
     let pool = qcpa_par::Pool::new(cfg.threads);
+    // Profiling is observation-only: every timed region computes
+    // exactly what the unprofiled path computes, so the returned
+    // allocation is bit-identical with or without a profile.
+    let profiling = profile.is_some();
     let cost_of = |a: &Allocation| a.cost(cluster, catalog);
 
     // Population invariant: without repair every member is normalized
@@ -183,6 +225,7 @@ fn run_generations(
     // the parent's aggregates instead of rebuilding them. With repair
     // every member is hardened (no tracker: repair adds replicas the
     // tracker does not model).
+    let t_seed = profile.as_deref().map(|p| p.start());
     let mut seed_alloc = initial;
     let seed_tracker = match repair {
         Some(rep) => {
@@ -195,6 +238,9 @@ fn run_generations(
         }
     };
     let seed_cost = cost_of(&seed_alloc);
+    if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_seed) {
+        p.stop("driver.seed", t0, 1);
+    }
     let mut population: Vec<Individual> = vec![Individual {
         alloc: seed_alloc,
         cost: seed_cost,
@@ -205,17 +251,19 @@ fn run_generations(
         // Offspring fan-out: each task owns an RNG stream derived from
         // (seed, generation, index) — scheduling cannot perturb it.
         let parents = &population;
-        let born = pool.map(cfg.population, |i| {
+        let t_fan = profile.as_deref().map(|p| p.start());
+        let born = pool.map_worker(cfg.population, |i, lane| {
             let shard = qcpa_obs::Registry::new();
+            let mut tp = qcpa_obs::PhaseProfile::new();
             let mut rng = ChaCha8Rng::seed_from_u64(qcpa_par::stream_seed(
                 cfg.seed,
                 generation as u64,
                 i as u64,
             ));
-            let child = {
+            let build = |rng: &mut ChaCha8Rng| {
                 let _span = qcpa_obs::span_on(&shard, "core", "memetic_offspring");
                 let parent = &parents[rng.gen_range(0..parents.len())];
-                let mut child = mutate(parent, cls, catalog, cluster, cfg, &mut rng);
+                let mut child = mutate(parent, cls, catalog, cluster, cfg, rng);
                 if let Some(rep) = repair {
                     rep(&mut child.alloc);
                     child.cost = cost_of(&child.alloc);
@@ -223,15 +271,34 @@ fn run_generations(
                 }
                 child
             };
-            (child, shard)
+            let child = if profiling {
+                let c = tp.time("task.mutation", 1, || build(&mut rng));
+                let secs = tp.get("task.mutation").map_or(0.0, |s| s.secs);
+                tp.record(qcpa_obs::worker_phase(lane), secs, 0);
+                c
+            } else {
+                build(&mut rng)
+            };
+            (child, shard, tp)
         });
+        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_fan) {
+            p.stop("driver.offspring_fanout", t0, cfg.population as u64);
+        }
+        let t_merge = profile.as_deref().map(|p| p.start());
         let mut offspring: Vec<Individual> = Vec::with_capacity(cfg.population);
-        for (child, shard) in born {
+        for (child, shard, tp) in born {
             qcpa_obs::global().merge_shard(&shard);
+            if let Some(p) = profile.as_deref_mut() {
+                p.merge(&tp);
+            }
             offspring.push(child);
+        }
+        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_merge) {
+            p.stop("driver.offspring_merge", t0, cfg.population as u64);
         }
 
         // (λ+µ) selection — best 2/3 parents + best 1/3 offspring.
+        let t_sel = profile.as_deref().map(|p| p.start());
         population.sort_by_key(|a| a.cost);
         offspring.sort_by_key(|a| a.cost);
         let acceptance = acceptance_rate(&population, &offspring);
@@ -239,21 +306,30 @@ fn run_generations(
         let keep_new = (cfg.population - keep_old).min(offspring.len());
         population.truncate(keep_old);
         population.extend(offspring.into_iter().take(keep_new));
+        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_sel) {
+            p.stop("driver.selection", t0, (keep_old + keep_new) as u64);
+        }
 
         // Improvement fan-out: a random third (chosen on a dedicated
         // driver-side stream) goes through local search; an individual
         // is replaced only if its cost strictly improves, which keeps
         // convergence monotone under any repair step.
         let improve_count = (population.len() / 3).max(1);
+        let t_plan = profile.as_deref().map(|p| p.start());
         let mut shuffle_rng =
             ChaCha8Rng::seed_from_u64(qcpa_par::stream_seed(cfg.seed, generation as u64, u64::MAX));
         let mut idx: Vec<usize> = (0..population.len()).collect();
         idx.shuffle(&mut shuffle_rng);
         idx.truncate(improve_count);
+        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_plan) {
+            p.stop("driver.improve_plan", t0, improve_count as u64);
+        }
         let snapshot = &population;
-        let improved = pool.map(idx.len(), |j| {
+        let t_fan = profile.as_deref().map(|p| p.start());
+        let improved = pool.map_worker(idx.len(), |j, lane| {
             let shard = qcpa_obs::Registry::new();
-            let replacement = {
+            let mut tp = qcpa_obs::PhaseProfile::new();
+            let search = || {
                 let _span = qcpa_obs::span_on(&shard, "core", "memetic_improve");
                 let current = &snapshot[idx[j]];
                 let mut cand = current.alloc.clone();
@@ -290,24 +366,62 @@ fn run_generations(
                     }
                 }
             };
-            (replacement, shard)
+            let replacement = if profiling {
+                let r = tp.time("task.local_search", 1, search);
+                let secs = tp.get("task.local_search").map_or(0.0, |s| s.secs);
+                tp.record(qcpa_obs::worker_phase(lane), secs, 0);
+                r
+            } else {
+                search()
+            };
+            (replacement, shard, tp)
         });
-        for (j, (replacement, shard)) in improved.into_iter().enumerate() {
+        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_fan) {
+            p.stop("driver.improve_fanout", t0, idx.len() as u64);
+        }
+        let t_merge = profile.as_deref().map(|p| p.start());
+        for (j, (replacement, shard, tp)) in improved.into_iter().enumerate() {
             qcpa_obs::global().merge_shard(&shard);
+            if let Some(p) = profile.as_deref_mut() {
+                p.merge(&tp);
+            }
             if let Some(better) = replacement {
                 population[idx[j]] = better;
             }
         }
+        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_merge) {
+            p.stop("driver.improve_merge", t0, improve_count as u64);
+        }
 
+        let t_tel = profile.as_deref().map(|p| p.start());
         trace_generation(prefix, &population, acceptance);
+        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_tel) {
+            p.stop("driver.telemetry", t0, 1);
+        }
+    }
+
+    // Wall time the fan-outs spent beyond a perfect spread of the
+    // measured task time over the lanes: thread wakeup, channel merge,
+    // and load imbalance — the serial fraction that caps speedup.
+    if let Some(p) = profile.as_deref_mut() {
+        let fanout = p.secs_with_prefix("driver.offspring_fanout")
+            + p.secs_with_prefix("driver.improve_fanout");
+        let tasks = p.secs_with_prefix("task.");
+        let ideal = tasks / pool.workers().max(1) as f64;
+        p.record("pool.overhead", (fanout - ideal).max(0.0), 0);
     }
 
     // The minimum-cost solution.
-    population
+    let t_fin = profile.as_deref().map(|p| p.start());
+    let best = population
         .into_iter()
         .min_by(|a, b| a.cost.cmp(&b.cost))
         .expect("population is never empty")
-        .alloc
+        .alloc;
+    if let (Some(p), Some(t0)) = (profile, t_fin) {
+        p.stop("driver.finalize", t0, 1);
+    }
+    best
 }
 
 /// Fraction of this generation's offspring at least as fit as the

@@ -15,7 +15,7 @@ use crate::trace::Event;
 
 // ---- JSON primitives -------------------------------------------------
 
-fn json_escape(s: &str, out: &mut String) {
+pub(crate) fn json_escape(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -33,7 +33,7 @@ fn json_escape(s: &str, out: &mut String) {
     out.push('"');
 }
 
-fn json_f64(v: f64, out: &mut String) {
+pub(crate) fn json_f64(v: f64, out: &mut String) {
     if v.is_finite() {
         let s = v.to_string();
         out.push_str(&s);
@@ -59,6 +59,8 @@ fn json_histogram(s: &HistogramSummary, out: &mut String) {
     json_f64(s.p95, out);
     out.push_str(",\"p99\":");
     json_f64(s.p99, out);
+    out.push_str(",\"p999\":");
+    json_f64(s.p999, out);
     out.push('}');
 }
 
@@ -153,6 +155,7 @@ pub fn snapshot_to_csv(snapshot: &Snapshot) -> String {
             ("p50", s.p50),
             ("p95", s.p95),
             ("p99", s.p99),
+            ("p999", s.p999),
         ] {
             out.push_str("histogram,");
             csv_field(k, &mut out);
@@ -319,8 +322,8 @@ mod tests {
             .iter()
             .any(|l| l.starts_with("histogram,response_time,p95,")));
         assert!(lines.contains(&"series,memetic.best_fitness,0,3"));
-        // counter 1 + gauge 1 + histogram 7 + series 2 + header.
-        assert_eq!(lines.len(), 1 + 1 + 1 + 7 + 2);
+        // counter 1 + gauge 1 + histogram 8 + series 2 + header.
+        assert_eq!(lines.len(), 1 + 1 + 1 + 8 + 2);
     }
 
     #[test]

@@ -17,6 +17,15 @@
 //! * [`export`] — JSON and CSV renderings of a registry snapshot; the
 //!   bench harness uses [`export::write_metrics_json`] to drop a
 //!   `metrics.json` sidecar next to every CSV in `results/`.
+//! * [`tracetree`] — causal per-request span trees with span ids
+//!   derived from `(seed, request, attempt)` and deterministic
+//!   head-based sampling (`QCPA_TRACE_SAMPLE`); bit-identical at any
+//!   `QCPA_THREADS`.
+//! * [`profile`] — scoped phase accounting ([`profile::PhaseProfile`])
+//!   for the memetic generation loop: calls/work/secs per named phase,
+//!   per-worker attribution, deterministic fingerprints.
+//! * [`perfetto`] — Chrome trace-event JSON (Perfetto-loadable) and
+//!   folded-stacks exporters for trees and profiles.
 //!
 //! ## Enabling the event stream
 //!
@@ -33,7 +42,12 @@
 
 pub mod export;
 pub mod metrics;
+pub mod perfetto;
+pub mod profile;
 pub mod trace;
+pub mod tracetree;
 
 pub use metrics::{global, Histogram, Registry, Snapshot};
+pub use profile::{worker_phase, PhaseProfile, PhaseStat};
 pub use trace::{set_filter, span, span_on, Event, Level};
+pub use tracetree::{span_id, ArgValue, Sampler, SpanRef, TraceTree, Tracer};

@@ -197,6 +197,7 @@ impl Histogram {
             p50: self.quantile(0.50).unwrap_or(0.0),
             p95: self.quantile(0.95).unwrap_or(0.0),
             p99: self.quantile(0.99).unwrap_or(0.0),
+            p999: self.quantile(0.999).unwrap_or(0.0),
         }
     }
 }
@@ -228,6 +229,9 @@ pub struct HistogramSummary {
     pub p95: f64,
     /// 99th percentile (bucket-approximate).
     pub p99: f64,
+    /// 99.9th percentile (bucket-approximate). Sim tail latencies at
+    /// 256 backends clip at p99; this is the next decade out.
+    pub p999: f64,
 }
 
 // ---- registry --------------------------------------------------------
@@ -420,6 +424,7 @@ mod tests {
         assert!((s.p50 - 500.0).abs() / 500.0 < 0.10, "p50={}", s.p50);
         assert!((s.p95 - 950.0).abs() / 950.0 < 0.10, "p95={}", s.p95);
         assert!((s.p99 - 990.0).abs() / 990.0 < 0.10, "p99={}", s.p99);
+        assert!((s.p999 - 999.0).abs() / 999.0 < 0.10, "p999={}", s.p999);
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and
+//! folded stacks for flamegraphs.
+//!
+//! The JSON exporter emits the *array* flavor of the Chrome trace-event
+//! format — `[ {event}, {event}, ... ]` — which `ui.perfetto.dev` and
+//! `chrome://tracing` both ingest directly. Spans become `"ph":"X"`
+//! complete events (`ts`/`dur` in microseconds), marks become
+//! `"ph":"i"` instants, and track names become `"ph":"M"` metadata
+//! records. Timestamps are the tree's sim-clock seconds scaled by 1e6
+//! and rendered with the shortest-round-trip float writer, so the
+//! output is byte-stable for a given tree.
+//!
+//! The folded exporter emits `root;child;leaf <self-time-us>` lines —
+//! the input format of `flamegraph.pl` and speedscope — aggregated over
+//! identical paths and sorted, again byte-stable.
+
+use std::io;
+use std::path::Path;
+
+use crate::export::{json_escape, json_f64};
+use crate::profile::PhaseProfile;
+use crate::tracetree::{ArgValue, TraceTree};
+
+fn json_arg(v: &ArgValue, out: &mut String) {
+    match v {
+        ArgValue::U64(n) => {
+            out.push_str(&n.to_string());
+        }
+        ArgValue::I64(n) => {
+            out.push_str(&n.to_string());
+        }
+        ArgValue::F64(x) => json_f64(*x, out),
+        ArgValue::Str(s) => json_escape(s, out),
+        ArgValue::Owned(s) => json_escape(s, out),
+    }
+}
+
+fn push_args(args: &[(&'static str, ArgValue)], id: u64, parent_id: Option<u64>, out: &mut String) {
+    out.push_str(",\"args\":{\"span_id\":");
+    json_escape(&format!("{id:016x}"), out);
+    if let Some(p) = parent_id {
+        out.push_str(",\"parent_id\":");
+        json_escape(&format!("{p:016x}"), out);
+    }
+    for (k, v) in args {
+        out.push(',');
+        json_escape(k, out);
+        out.push(':');
+        json_arg(v, out);
+    }
+    out.push('}');
+}
+
+/// Renders a [`TraceTree`] as a Chrome trace-event JSON array.
+///
+/// `process_name` labels the single process (`pid` 1) the events live
+/// in; each track becomes a `tid` with its registered name.
+#[must_use]
+pub fn trace_to_chrome_json(tree: &TraceTree, process_name: &str) -> String {
+    let mut out = String::from("[");
+    out.push_str("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":");
+    json_escape(process_name, &mut out);
+    out.push_str("}}");
+    for (track, name) in &tree.track_names {
+        out.push_str(",\n{\"ph\":\"M\",\"pid\":1,\"tid\":");
+        out.push_str(&track.to_string());
+        out.push_str(",\"name\":\"thread_name\",\"args\":{\"name\":");
+        json_escape(name, &mut out);
+        out.push_str("}}");
+    }
+    for s in &tree.spans {
+        out.push_str(",\n{\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&s.track.to_string());
+        out.push_str(",\"cat\":");
+        json_escape(s.cat, &mut out);
+        out.push_str(",\"name\":");
+        json_escape(s.name, &mut out);
+        out.push_str(",\"ts\":");
+        json_f64(s.start * 1e6, &mut out);
+        out.push_str(",\"dur\":");
+        json_f64((s.end - s.start) * 1e6, &mut out);
+        let parent_id = s.parent.map(|p| tree.spans[p.index()].id);
+        push_args(&s.args, s.id, parent_id, &mut out);
+        out.push('}');
+    }
+    for m in &tree.marks {
+        out.push_str(",\n{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":");
+        out.push_str(&m.track.to_string());
+        out.push_str(",\"cat\":");
+        json_escape(m.cat, &mut out);
+        out.push_str(",\"name\":");
+        json_escape(m.name, &mut out);
+        out.push_str(",\"ts\":");
+        json_f64(m.ts * 1e6, &mut out);
+        let parent_id = m.parent.map(|p| tree.spans[p.index()].id);
+        push_args(&m.args, m.id, parent_id, &mut out);
+        out.push('}');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes `trace_to_chrome_json` output to `path`.
+///
+/// # Errors
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_trace_json(path: &Path, tree: &TraceTree, process_name: &str) -> io::Result<()> {
+    std::fs::write(path, trace_to_chrome_json(tree, process_name))
+}
+
+/// Renders a [`TraceTree`] as folded stacks: one `a;b;c <us>` line per
+/// distinct root→leaf name path, weighted by *self* time (span duration
+/// minus its children's durations) in integer microseconds. Lines are
+/// sorted; zero-weight paths are dropped.
+#[must_use]
+pub fn trace_to_folded(tree: &TraceTree) -> String {
+    let mut child_secs = vec![0.0f64; tree.spans.len()];
+    for s in &tree.spans {
+        if let Some(p) = s.parent {
+            child_secs[p.index()] += s.end - s.start;
+        }
+    }
+    let mut folded: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for (i, s) in tree.spans.iter().enumerate() {
+        let self_secs = (s.end - s.start) - child_secs[i];
+        let us = (self_secs * 1e6).round();
+        if us < 1.0 {
+            continue;
+        }
+        let path = tree
+            .path(crate::tracetree::SpanRef::from_index(i))
+            .join(";");
+        *folded.entry(path).or_default() += us as u64;
+    }
+    let mut out = String::new();
+    for (path, us) in folded {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&us.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a [`PhaseProfile`] as folded stacks rooted at `root`:
+/// `root;phase.name <us>` per phase, weighted by the phase's wall
+/// seconds in integer microseconds. Phase names' dots become stack
+/// separators (`driver.fanout` → `root;driver;fanout`).
+#[must_use]
+pub fn profile_to_folded(profile: &PhaseProfile, root: &str) -> String {
+    let mut out = String::new();
+    for (name, stat) in profile.iter() {
+        let us = (stat.secs * 1e6).round();
+        if us < 1.0 {
+            continue;
+        }
+        out.push_str(root);
+        for part in name.split('.') {
+            out.push(';');
+            out.push_str(part);
+        }
+        out.push(' ');
+        out.push_str(&(us as u64).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracetree::span_id;
+
+    fn sample_tree() -> TraceTree {
+        let mut t = TraceTree::new();
+        t.name_track(0, "backend 0");
+        t.name_track(7, "faults");
+        let root = t.begin(span_id(1, 5, 0), None, "request", "read", 0, 0.25);
+        let svc = t.begin(span_id(1, 5, 1), Some(root), "attempt", "service", 0, 0.5);
+        t.arg(svc, "backend", 0u64);
+        t.end(svc, 0.75);
+        t.end(root, 1.0);
+        t.mark(
+            span_id(1, 9, 2),
+            None,
+            "fault",
+            "crash",
+            7,
+            0.6,
+            vec![("backend", 3u64.into())],
+        );
+        t
+    }
+
+    #[test]
+    fn chrome_json_is_an_array_of_events_and_byte_stable() {
+        let tree = sample_tree();
+        let a = trace_to_chrome_json(&tree, "qcpa-sim");
+        let b = trace_to_chrome_json(&tree, "qcpa-sim");
+        assert_eq!(a, b, "export must be byte-stable");
+        assert!(a.starts_with('['));
+        assert!(a.trim_end().ends_with(']'));
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"ph\":\"i\""));
+        assert!(a.contains("\"ph\":\"M\""));
+        assert!(a.contains("\"name\":\"service\""));
+        assert!(a.contains("\"ts\":250000.0"));
+        assert!(a.contains("\"dur\":250000.0"));
+        assert!(a.contains("\"parent_id\""));
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn folded_stacks_compute_self_time() {
+        let tree = sample_tree();
+        let folded = trace_to_folded(&tree);
+        // root span: 0.75s total, 0.25s child => 0.5s self.
+        assert!(folded.contains("read 500000\n"), "{folded}");
+        assert!(folded.contains("read;service 250000\n"), "{folded}");
+    }
+
+    #[test]
+    fn profile_folded_splits_on_dots() {
+        let mut p = PhaseProfile::new();
+        p.record("driver.fanout", 0.5, 0);
+        p.record("task.mutation", 0.25, 9);
+        let folded = profile_to_folded(&p, "memetic");
+        assert!(folded.contains("memetic;driver;fanout 500000\n"));
+        assert!(folded.contains("memetic;task;mutation 250000\n"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Scoped phase accounting for the allocator's generation loop.
+//!
+//! A [`PhaseProfile`] maps phase names to `(calls, work, secs)`
+//! aggregates. It is built to answer one question precisely: *where
+//! does the memetic allocator's wall time go*, with enough attribution
+//! (≥95% of the optimize call) to name the serial fraction behind a
+//! disappointing parallel speedup.
+//!
+//! Two kinds of phases by convention:
+//!
+//! * `driver.*` — phases timed on the driving thread, one after
+//!   another. They tile the optimize call, so their sum is the
+//!   attributed wall time ([`PhaseProfile::attributed_secs`]).
+//! * `task.*` — phases timed *inside* pool workers (crossover,
+//!   mutation, local-search, delta-cost apply). They overlap the
+//!   `driver.*.fanout` phases in wall time and decompose them.
+//! * `worker.<i>` — per-worker busy time, attributed by pool lane.
+//!
+//! Determinism: `calls` and `work` counts are pure functions of the
+//! run's inputs and are identical at any `QCPA_THREADS`; `secs` and the
+//! `worker.*` phases are wall-clock measurements and are not. The
+//! [`PhaseProfile::fingerprint`] therefore folds only the deterministic
+//! fields and skips `worker.*` — that is what the conformance harness
+//! pins across thread counts and reruns.
+//!
+//! Wall-clock note: `Instant::now` lives here, inside `qcpa-obs` (a
+//! wall-clock-exempt crate per the audit rules); deterministic crates
+//! call [`PhaseProfile::time`] and never touch the clock themselves.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The `worker.<lane>` phase name for a pool lane. Lanes at or past 16
+/// collapse into one overflow bucket — these phases are attribution,
+/// not identity, and are skipped by fingerprints anyway.
+#[must_use]
+pub fn worker_phase(lane: usize) -> &'static str {
+    const LANES: [&str; 17] = [
+        "worker.0",
+        "worker.1",
+        "worker.2",
+        "worker.3",
+        "worker.4",
+        "worker.5",
+        "worker.6",
+        "worker.7",
+        "worker.8",
+        "worker.9",
+        "worker.10",
+        "worker.11",
+        "worker.12",
+        "worker.13",
+        "worker.14",
+        "worker.15",
+        "worker.16+",
+    ];
+    LANES[lane.min(16)]
+}
+
+/// Aggregate for one named phase.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseStat {
+    /// Number of times the phase ran.
+    pub calls: u64,
+    /// Phase-defined work units (mutations applied, probes evaluated,
+    /// offspring built, ...). Deterministic.
+    pub work: u64,
+    /// Wall-clock seconds spent in the phase. Not deterministic.
+    pub secs: f64,
+}
+
+/// Named phase aggregates with deterministic merge order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PhaseProfile {
+    phases: BTreeMap<&'static str, PhaseStat>,
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one phase execution: `secs` of wall time, `work` units.
+    pub fn record(&mut self, phase: &'static str, secs: f64, work: u64) {
+        let s = self.phases.entry(phase).or_default();
+        s.calls += 1;
+        s.work += work;
+        s.secs += secs;
+    }
+
+    /// Adds work units to a phase without a timed call (for counters
+    /// accumulated inside an already-timed region).
+    pub fn add_work(&mut self, phase: &'static str, work: u64) {
+        self.phases.entry(phase).or_default().work += work;
+    }
+
+    /// Times `f` under `phase` (one call, `work` units).
+    pub fn time<T>(&mut self, phase: &'static str, work: u64, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(phase, t0.elapsed().as_secs_f64(), work);
+        out
+    }
+
+    /// Starts a clock for a phase timed across non-lexical scopes;
+    /// finish with [`PhaseProfile::stop`].
+    #[must_use]
+    pub fn start(&self) -> Instant {
+        Instant::now()
+    }
+
+    /// Records the time since `t0` (from [`PhaseProfile::start`]).
+    pub fn stop(&mut self, phase: &'static str, t0: Instant, work: u64) {
+        self.record(phase, t0.elapsed().as_secs_f64(), work);
+    }
+
+    /// Merges another profile into this one (shard aggregation; the
+    /// caller merges shards in task-index order as usual, though the
+    /// result here is order-independent).
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for (name, s) in &other.phases {
+            let d = self.phases.entry(name).or_default();
+            d.calls += s.calls;
+            d.work += s.work;
+            d.secs += s.secs;
+        }
+    }
+
+    /// The aggregate for `phase`, if recorded.
+    #[must_use]
+    pub fn get(&self, phase: &str) -> Option<PhaseStat> {
+        self.phases.get(phase).copied()
+    }
+
+    /// Iterates phases in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, PhaseStat)> + '_ {
+        self.phases.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Seconds summed over phases whose name starts with `prefix`.
+    #[must_use]
+    pub fn secs_with_prefix(&self, prefix: &str) -> f64 {
+        self.phases
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, s)| s.secs)
+            .sum()
+    }
+
+    /// Wall time attributed to named driver phases: the sum over
+    /// `driver.*`. Divide by the measured wall time of the optimize
+    /// call to get the attribution fraction the bench asserts ≥ 0.95.
+    #[must_use]
+    pub fn attributed_secs(&self) -> f64 {
+        self.secs_with_prefix("driver.")
+    }
+
+    /// Deterministic digest: phase names with `calls` and `work`, in
+    /// name order, excluding wall-clock seconds and the per-worker
+    /// (`worker.*`) attribution phases. Bit-identical across
+    /// `QCPA_THREADS` and reruns for the same inputs.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        for (name, s) in &self.phases {
+            if name.starts_with("worker.") {
+                continue;
+            }
+            let _ = writeln!(out, "{name} calls={} work={}", s.calls, s.work);
+        }
+        out
+    }
+
+    /// Human-readable table: phase, calls, work, secs, and share of the
+    /// `driver.*` total.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let total = self.attributed_secs().max(f64::MIN_POSITIVE);
+        let mut out =
+            String::from("phase                          calls       work      secs    %drv\n");
+        for (name, s) in &self.phases {
+            let pct = if name.starts_with("driver.") {
+                s.secs / total * 100.0
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{name:<30} {:>6} {:>10} {:>9.4} {:>6.1}",
+                s.calls, s.work, s.secs, pct
+            );
+        }
+        out
+    }
+
+    /// True when no phase has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_time_and_merge_aggregate() {
+        let mut p = PhaseProfile::new();
+        let out = p.time("driver.selection", 3, || 40 + 2);
+        assert_eq!(out, 42);
+        p.record("driver.selection", 0.5, 2);
+        p.add_work("driver.selection", 1);
+
+        let mut shard = PhaseProfile::new();
+        shard.record("task.mutation", 0.25, 10);
+        p.merge(&shard);
+
+        let sel = p.get("driver.selection").unwrap();
+        assert_eq!(sel.calls, 2);
+        assert_eq!(sel.work, 6);
+        assert!(sel.secs >= 0.5);
+        assert_eq!(p.get("task.mutation").unwrap().work, 10);
+        assert!(p.attributed_secs() >= 0.5);
+        assert_eq!(p.secs_with_prefix("task."), 0.25);
+    }
+
+    #[test]
+    fn fingerprint_skips_secs_and_worker_phases() {
+        let mut a = PhaseProfile::new();
+        a.record("driver.selection", 0.1, 5);
+        a.record("worker.0", 0.3, 0);
+        let mut b = PhaseProfile::new();
+        b.record("driver.selection", 9.9, 5);
+        b.record("worker.1", 0.7, 0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.record("driver.selection", 0.0, 1);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert!(a.fingerprint().contains("driver.selection calls=1 work=5"));
+    }
+
+    #[test]
+    fn render_lists_every_phase() {
+        let mut p = PhaseProfile::new();
+        p.record("driver.fanout", 1.0, 0);
+        p.record("task.localsearch", 0.8, 12);
+        let table = p.render();
+        assert!(table.contains("driver.fanout"));
+        assert!(table.contains("task.localsearch"));
+    }
+}

@@ -32,7 +32,10 @@ proptest! {
         }
         let mut sorted = values.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        for &q in qs.iter().chain([1.0].iter()) {
+        // Always exercise the summary quantiles — p999 in particular
+        // lands in the last bucket for most sample sizes, which is
+        // where bucket-edge clamping bugs would hide.
+        for &q in qs.iter().chain([0.999, 1.0].iter()) {
             let exact = exact_quantile(&sorted, q);
             let approx = h.quantile(q).unwrap();
             prop_assert!(
@@ -64,7 +67,7 @@ proptest! {
         combined.merge(&shard_a);
         combined.merge(&shard_b);
         prop_assert_eq!(combined.count(), merged.count());
-        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
             prop_assert_eq!(combined.quantile(q), merged.quantile(q));
         }
     }

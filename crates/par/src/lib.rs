@@ -85,19 +85,35 @@ impl Pool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        self.map_worker(n, |i, _| f(i))
+    }
+
+    /// Like [`Pool::map`], additionally passing each invocation the
+    /// worker lane (`0..workers`) that ran it; with one worker (or one
+    /// task) everything runs inline on lane 0.
+    ///
+    /// The lane *assignment* is scheduling-dependent — callers must not
+    /// let results depend on it. It exists for attribution: per-worker
+    /// busy accounting in phase profilers, which is reported but
+    /// excluded from deterministic fingerprints.
+    pub fn map_worker<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, usize) -> R + Sync,
+    {
         if n == 0 {
             return Vec::new();
         }
         let workers = self.workers.min(n);
         if workers <= 1 {
-            return (0..n).map(f).collect();
+            return (0..n).map(|i| f(i, 0)).collect();
         }
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, R)>();
         let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for lane in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
                 let f = &f;
@@ -108,7 +124,7 @@ impl Pool {
                     }
                     // A closed channel means the receiver bailed; stop
                     // producing.
-                    if tx.send((i, f(i))).is_err() {
+                    if tx.send((i, f(i, lane))).is_err() {
                         break;
                     }
                 });
@@ -220,6 +236,18 @@ mod tests {
     #[test]
     fn with_workers_clamps_to_one() {
         assert_eq!(Pool::with_workers(0).workers(), 1);
+    }
+
+    #[test]
+    fn map_worker_lanes_are_in_range_and_results_ordered() {
+        for workers in [1, 3, 8] {
+            let pool = Pool::with_workers(workers);
+            let out = pool.map_worker(64, |i, lane| (i, lane));
+            for (i, &(idx, lane)) in out.iter().enumerate() {
+                assert_eq!(idx, i);
+                assert!(lane < workers.max(1), "lane {lane} with {workers} workers");
+            }
+        }
     }
 
     #[test]

@@ -267,6 +267,88 @@ pub(crate) fn nearest_rank(values: &mut [f64], q: f64) -> f64 {
     *v
 }
 
+/// Records a sampled single-backend request as a
+/// `request → queue → service` span tree. Span ids derive from
+/// `(seed, request, attempt)` with attempts 0/1/2 for the three spans.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn trace_leg(
+    tr: &mut qcpa_obs::Tracer,
+    req: u64,
+    name: &'static str,
+    class: u32,
+    backend: usize,
+    arrival: f64,
+    begin: f64,
+    done: f64,
+) {
+    let track = backend as u32;
+    let root = tr
+        .tree
+        .begin(tr.span_id(req, 0), None, "request", name, track, arrival);
+    tr.tree.arg(root, "request", req);
+    tr.tree.arg(root, "class", class);
+    tr.tree.arg(root, "backend", backend);
+    if begin > arrival {
+        let q = tr.tree.begin(
+            tr.span_id(req, 1),
+            Some(root),
+            "queue",
+            "queue",
+            track,
+            arrival,
+        );
+        tr.tree.end(q, begin);
+    }
+    let s = tr.tree.begin(
+        tr.span_id(req, 2),
+        Some(root),
+        "service",
+        "service",
+        track,
+        begin,
+    );
+    tr.tree.end(s, done);
+    tr.tree.end(root, done);
+}
+
+/// Records a sampled update as a `request` root (on the primary's
+/// track) with one `leg` child per replica: `legs` holds
+/// `(backend, service_begin, service_end)` in fan-out order.
+pub(crate) fn trace_update(
+    tr: &mut qcpa_obs::Tracer,
+    req: u64,
+    class: u32,
+    arrival: f64,
+    resp_end: f64,
+    legs: &[(usize, f64, f64)],
+) {
+    let track = legs.first().map_or(0, |&(b, _, _)| b as u32);
+    let root = tr.tree.begin(
+        tr.span_id(req, 0),
+        None,
+        "request",
+        "update",
+        track,
+        arrival,
+    );
+    tr.tree.arg(root, "request", req);
+    tr.tree.arg(root, "class", class);
+    tr.tree.arg(root, "replicas", legs.len());
+    for (i, &(b, begin, done)) in legs.iter().enumerate() {
+        let leg = tr.tree.begin(
+            tr.span_id(req, 1 + i as u64),
+            Some(root),
+            "service",
+            "leg",
+            b as u32,
+            begin,
+        );
+        tr.tree.arg(leg, "backend", b);
+        tr.tree.end(leg, done);
+    }
+    tr.tree.end(root, resp_end);
+}
+
 /// Result of an open-loop (response-time) run.
 #[derive(Debug, Clone)]
 pub struct OpenReport {
@@ -294,7 +376,42 @@ pub fn run_open(
     warmup_backlog: f64,
     cfg: &SimConfig,
 ) -> OpenReport {
+    run_open_traced(
+        alloc,
+        cls,
+        cluster,
+        catalog,
+        requests,
+        warmup_backlog,
+        cfg,
+        None,
+    )
+}
+
+/// [`run_open`] with causal tracing: sampled requests (by arrival
+/// index) record `request → queue → service` span trees (updates: one
+/// `leg` span per replica) into `tracer`'s [`qcpa_obs::TraceTree`] on
+/// the sim clock. `None` — or a tracer with `QCPA_TRACE_SAMPLE=0` —
+/// costs one branch per request.
+#[allow(clippy::too_many_arguments)]
+pub fn run_open_traced(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    requests: &[Request],
+    warmup_backlog: f64,
+    cfg: &SimConfig,
+    mut tracer: Option<&mut qcpa_obs::Tracer>,
+) -> OpenReport {
     let _span = qcpa_obs::span("sim", "run_open");
+    if let Some(tr) = tracer.as_deref_mut() {
+        if tr.enabled() {
+            for b in 0..cluster.len() {
+                tr.tree.name_track(b as u32, format!("backend {b}"));
+            }
+        }
+    }
     let scheduler = Scheduler::new(alloc, cls);
     let profile = ServiceProfile::new(alloc, cluster, catalog, cfg.locality);
     let n = cluster.len();
@@ -309,10 +426,11 @@ pub fn run_open(
 
     let mut index = PendingIndex::new(&free_at);
     let mut last_t = 0.0f64;
-    for r in requests {
+    for (req_id, r) in requests.iter().enumerate() {
         debug_assert!(r.arrival >= last_t, "arrivals must be sorted");
         last_t = r.arrival;
         let t = r.arrival;
+        let req_id = req_id as u64;
         // Pending work is derived from release times on demand — no
         // per-request vector, and only the probed backends are touched.
         let pending_at = |b: usize, free_at: &[f64]| (free_at[b] - t).max(0.0);
@@ -328,13 +446,19 @@ pub fn run_open(
                 };
                 if let Some(b) = routed {
                     let svc = profile.effective(b, r.service);
-                    let done = free_at[b].max(t) + svc;
+                    let begin = free_at[b].max(t);
+                    let done = begin + svc;
                     queue_hist.record(pending_at(b, &free_at));
                     free_at[b] = done;
                     index.touch(b, done);
                     busy[b] += svc;
                     resp_hist.record(done - t);
                     responses.push((t, done - t));
+                    if let Some(tr) = tracer.as_deref_mut() {
+                        if tr.admit(req_id) {
+                            trace_leg(tr, req_id, "read", r.class.0, b, t, begin, done);
+                        }
+                    }
                 }
             }
             QueryKind::Update => {
@@ -345,6 +469,8 @@ pub fn run_open(
                     }
                     _ => 1.0,
                 };
+                let trace_this = tracer.as_ref().is_some_and(|tr| tr.admit(req_id));
+                let mut legs: Vec<(usize, f64, f64)> = Vec::new();
                 let mut done_all: f64 = t;
                 let mut done_primary: f64 = t;
                 for (i, &b) in targets.iter().enumerate() {
@@ -356,13 +482,17 @@ pub fn run_open(
                     if i == 0 {
                         queue_hist.record(pending_at(b, &free_at));
                     }
-                    let done = free_at[b].max(t) + svc;
+                    let begin = free_at[b].max(t);
+                    let done = begin + svc;
                     free_at[b] = done;
                     index.touch(b, done);
                     busy[b] += svc;
                     done_all = done_all.max(done);
                     if i == 0 {
                         done_primary = done;
+                    }
+                    if trace_this {
+                        legs.push((b, begin, done));
                     }
                 }
                 let response = match cfg.propagation {
@@ -372,6 +502,11 @@ pub fn run_open(
                 if !targets.is_empty() {
                     resp_hist.record(response);
                     responses.push((t, response));
+                    if trace_this {
+                        if let Some(tr) = tracer.as_deref_mut() {
+                            trace_update(tr, req_id, r.class.0, t, t + response, &legs);
+                        }
+                    }
                 }
             }
         }

@@ -430,6 +430,7 @@ pub(crate) fn reroute(
 /// keyed by the per-backend in-flight lists).
 #[derive(Debug, Clone, Copy)]
 struct Leg {
+    backend: usize,
     end: f64,
     svc: f64,
     voided: bool,
@@ -499,6 +500,49 @@ impl FaultReport {
     }
 }
 
+/// Records a sampled request's lifetime from the fault-run arena: a
+/// `request` root spanning arrival → completion (arrival only, if
+/// lost), one `leg` child per dispatch on that leg's backend track,
+/// with voided legs and the re-dispatch count annotated.
+fn trace_fault_request(
+    tr: &mut qcpa_obs::Tracer,
+    req: u64,
+    r: &OpenReq,
+    completion: Option<f64>,
+    fault_track: u32,
+) {
+    let name = match r.kind {
+        QueryKind::Read => "read",
+        QueryKind::Update => "update",
+    };
+    let track = r.legs.first().map_or(fault_track, |l| l.backend as u32);
+    let root = tr
+        .tree
+        .begin(tr.span_id(req, 0), None, "request", name, track, r.arrival);
+    tr.tree.arg(root, "request", req);
+    tr.tree.arg(root, "class", r.class.0);
+    tr.tree.arg(root, "redispatches", r.redispatches);
+    if completion.is_none() {
+        tr.tree.arg(root, "lost", "true");
+    }
+    for (i, leg) in r.legs.iter().enumerate() {
+        let s = tr.tree.begin(
+            tr.span_id(req, 1 + i as u64),
+            Some(root),
+            "service",
+            "leg",
+            leg.backend as u32,
+            leg.end - leg.svc,
+        );
+        tr.tree.arg(s, "backend", leg.backend);
+        if leg.voided {
+            tr.tree.arg(s, "voided", "true");
+        }
+        tr.tree.end(s, leg.end);
+    }
+    tr.tree.end(root, completion.unwrap_or(r.arrival));
+}
+
 /// Runs timed arrivals through the scheduler while applying `plan`'s
 /// crashes and recoveries. Requests must be sorted by arrival time;
 /// fault events scheduled at or before an arrival are applied first, and
@@ -517,8 +561,49 @@ pub fn run_open_faults(
     plan: &FaultPlan,
     fcfg: &FaultConfig,
 ) -> FaultReport {
+    run_open_faults_traced(
+        alloc,
+        cls,
+        cluster,
+        catalog,
+        requests,
+        warmup_backlog,
+        cfg,
+        plan,
+        fcfg,
+        None,
+    )
+}
+
+/// [`run_open_faults`] with causal tracing. Sampled requests (by
+/// arrival index) record a `request` root with one `leg` span per
+/// dispatch (voided legs and re-dispatches annotated); crash/recover
+/// events and re-dispatches become instant marks on a dedicated
+/// `faults` track (`tid` = cluster size).
+#[allow(clippy::too_many_arguments)]
+pub fn run_open_faults_traced(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    requests: &[Request],
+    warmup_backlog: f64,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    fcfg: &FaultConfig,
+    mut tracer: Option<&mut qcpa_obs::Tracer>,
+) -> FaultReport {
     let _span = qcpa_obs::span("sim", "run_open_faults");
     let n = cluster.len();
+    let fault_track = n as u32;
+    if let Some(tr) = tracer.as_deref_mut() {
+        if tr.enabled() {
+            for b in 0..n {
+                tr.tree.name_track(b as u32, format!("backend {b}"));
+            }
+            tr.tree.name_track(fault_track, "faults");
+        }
+    }
     assert_eq!(
         plan.n_backends(),
         n,
@@ -569,6 +654,7 @@ pub fn run_open_faults(
                 free_at[b] = end;
                 busy[b] += svc;
                 arena[idx].legs.push(Leg {
+                    backend: b,
                     end,
                     svc,
                     voided: false,
@@ -598,6 +684,7 @@ pub fn run_open_faults(
                     free_at[b] = end;
                     busy[b] += svc;
                     arena[idx].legs.push(Leg {
+                        backend: b,
                         end,
                         svc,
                         voided: false,
@@ -620,7 +707,8 @@ pub fn run_open_faults(
                            alive: &mut Vec<bool>,
                            current: &mut Allocation,
                            scheduler: &mut Scheduler,
-                           profile: &mut ServiceProfile| {
+                           profile: &mut ServiceProfile,
+                           tracer: &mut Option<&mut qcpa_obs::Tracer>| {
         match *e {
             FaultEvent::Crash { backend, at } => {
                 alive[backend] = false;
@@ -647,6 +735,20 @@ pub fn run_open_faults(
                     "at" => at,
                     "voided_legs" => voided,
                 });
+                if let Some(tr) = tracer.as_deref_mut() {
+                    if tr.enabled() {
+                        let id = tr.span_id(u64::MAX - backend as u64, at.to_bits());
+                        tr.tree.mark(
+                            id,
+                            None,
+                            "fault",
+                            "crash",
+                            fault_track,
+                            at,
+                            vec![("backend", backend.into()), ("voided_legs", voided.into())],
+                        );
+                    }
+                }
                 *scheduler = reroute(
                     at,
                     current,
@@ -683,6 +785,24 @@ pub fn run_open_faults(
                     }
                     arena[ri].redispatches += 1;
                     redispatched += 1;
+                    if let Some(tr) = tracer.as_deref_mut() {
+                        if tr.admit(ri as u64) {
+                            let id =
+                                tr.span_id(ri as u64, 1000 + u64::from(arena[ri].redispatches));
+                            tr.tree.mark(
+                                id,
+                                None,
+                                "fault",
+                                "redispatch",
+                                fault_track,
+                                at,
+                                vec![
+                                    ("request", ri.into()),
+                                    ("attempt", arena[ri].redispatches.into()),
+                                ],
+                            );
+                        }
+                    }
                     dispatch_one(
                         ri, at, scheduler, profile, cfg, arena, inflight, free_at, busy,
                     );
@@ -703,6 +823,23 @@ pub fn run_open_faults(
                     "at" => at,
                     "catchup_secs" => catchup_cost,
                 });
+                if let Some(tr) = tracer.as_deref_mut() {
+                    if tr.enabled() {
+                        let id = tr.span_id(u64::MAX - backend as u64, at.to_bits() ^ 1);
+                        tr.tree.mark(
+                            id,
+                            None,
+                            "fault",
+                            "recover",
+                            fault_track,
+                            at,
+                            vec![
+                                ("backend", backend.into()),
+                                ("catchup_secs", catchup_cost.into()),
+                            ],
+                        );
+                    }
+                }
                 *scheduler = reroute(
                     at,
                     current,
@@ -737,6 +874,7 @@ pub fn run_open_faults(
                 &mut current,
                 &mut scheduler,
                 &mut profile,
+                &mut tracer,
             );
             ev_i += 1;
         }
@@ -773,6 +911,7 @@ pub fn run_open_faults(
             &mut current,
             &mut scheduler,
             &mut profile,
+            &mut tracer,
         );
         ev_i += 1;
     }
@@ -781,7 +920,7 @@ pub fn run_open_faults(
     let mut responses = Vec::with_capacity(arena.len());
     let mut resp_hist = qcpa_obs::Histogram::new();
     let mut lost = 0usize;
-    for r in &arena {
+    for (idx, r) in arena.iter().enumerate() {
         let completion = match (r.kind, cfg.propagation) {
             (QueryKind::Read, _) => r.legs.iter().rev().find(|l| !l.voided).map(|l| l.end),
             (QueryKind::Update, UpdatePropagation::Rowa) => r
@@ -805,6 +944,11 @@ pub fn run_open_faults(
                 responses.push((r.arrival, end - r.arrival));
             }
             None => lost += 1,
+        }
+        if let Some(tr) = tracer.as_deref_mut() {
+            if tr.admit(idx as u64) {
+                trace_fault_request(tr, idx as u64, r, completion, fault_track);
+            }
         }
     }
 

@@ -23,6 +23,13 @@
 //! database serve queries faster (better cache hit rates, less data to
 //! move from disk), which is why partial replication beats full
 //! replication even on read-only workloads.
+//!
+//! Every open-loop driver also has a `*_traced` variant taking
+//! `Option<&mut qcpa_obs::Tracer>`: sampled requests are recorded as
+//! causal span trees (queueing, per-leg service, retries, breaker and
+//! fault transitions) that export to Perfetto via `qcpa_obs::perfetto`.
+//! Sampling is deterministic and head-based, so tracing never perturbs
+//! the simulated results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,12 +41,17 @@ pub mod resilience;
 pub mod scheduler;
 pub mod service;
 
-pub use engine::{run_batch, run_open, BatchReport, OpenReport, SimConfig, UpdatePropagation};
+pub use engine::{
+    run_batch, run_open, run_open_traced, BatchReport, OpenReport, SimConfig, UpdatePropagation,
+};
 pub use fault::{
-    run_open_faults, FaultConfig, FaultEvent, FaultInjectionConfig, FaultPlan, FaultReport,
-    InvalidFaultPlan,
+    run_open_faults, run_open_faults_traced, FaultConfig, FaultEvent, FaultInjectionConfig,
+    FaultPlan, FaultReport, InvalidFaultPlan,
 };
 pub use request::{Request, RequestStream};
-pub use resilience::{run_open_resilient, OverloadPolicy, ResilienceConfig, ResilienceReport};
+pub use resilience::{
+    run_open_resilient, run_open_resilient_traced, OverloadPolicy, ResilienceConfig,
+    ResilienceReport,
+};
 pub use scheduler::Scheduler;
 pub use service::{LocalityModel, ServiceProfile};

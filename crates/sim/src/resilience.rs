@@ -358,6 +358,10 @@ struct Breakers {
     opens: usize,
     half_opens: usize,
     closes: usize,
+    /// Transition log `(time, backend, name)` drained into the tracer
+    /// at the end of a traced run; stays empty unless `log_enabled`.
+    log: Vec<(f64, usize, &'static str)>,
+    log_enabled: bool,
 }
 
 impl Breakers {
@@ -368,11 +372,19 @@ impl Breakers {
             opens: 0,
             half_opens: 0,
             closes: 0,
+            log: Vec::new(),
+            log_enabled: false,
         }
     }
 
     fn enabled(&self) -> bool {
         self.cfg.breaker_enabled()
+    }
+
+    fn note(&mut self, t: f64, b: usize, name: &'static str) {
+        if self.log_enabled {
+            self.log.push((t, b, name));
+        }
     }
 
     /// Advances `b`'s state machine to time `t`: an expired cooldown
@@ -391,6 +403,7 @@ impl Breakers {
                         successes: 0,
                     };
                     self.half_opens += 1;
+                    self.note(t, b, "breaker_half_open");
                     qcpa_obs::event!(qcpa_obs::Level::Debug, "sim.resilience", "breaker_half_open", {
                         "backend" => b,
                         "at" => t,
@@ -405,6 +418,7 @@ impl Breakers {
                         h.state = BState::Closed;
                         h.consec = 0;
                         self.closes += 1;
+                        self.note(t, b, "breaker_close");
                         qcpa_obs::event!(qcpa_obs::Level::Info, "sim.resilience", "breaker_close", {
                             "backend" => b,
                             "at" => t,
@@ -448,6 +462,7 @@ impl Breakers {
         let until = t + self.cfg.breaker_cooldown;
         if !matches!(self.health[b].state, BState::Open { .. }) {
             self.opens += 1;
+            self.note(t, b, "breaker_open");
         }
         self.health[b].state = BState::Open { until };
         qcpa_obs::event!(qcpa_obs::Level::Info, "sim.resilience", "breaker_open", {
@@ -511,12 +526,13 @@ impl Breakers {
     }
 
     /// A crash holds the breaker open until recovery.
-    fn on_crash(&mut self, b: usize) {
+    fn on_crash(&mut self, b: usize, at: f64) {
         if !self.enabled() {
             return;
         }
         if !matches!(self.health[b].state, BState::Open { .. }) {
             self.opens += 1;
+            self.note(at, b, "breaker_open");
         }
         self.health[b].state = BState::Open {
             until: f64::INFINITY,
@@ -525,7 +541,10 @@ impl Breakers {
 
     /// Recovery resets health entirely — the catch-up pause already
     /// models the rejoin cost.
-    fn on_recover(&mut self, b: usize) {
+    fn on_recover(&mut self, b: usize, at: f64) {
+        if self.enabled() && !matches!(self.health[b].state, BState::Closed) {
+            self.note(at, b, "breaker_reset");
+        }
         self.health[b] = Health::fresh();
     }
 }
@@ -533,6 +552,8 @@ impl Breakers {
 /// One per-backend work unit of a request.
 #[derive(Debug, Clone, Copy)]
 struct RLeg {
+    /// Backend the leg ran on (the export track).
+    backend: usize,
     end: f64,
     svc: f64,
     /// Voided by a crash (work after the crash refunded).
@@ -703,9 +724,56 @@ struct Engine<'a> {
     retries: BinaryHeap<Reverse<RetryEv>>,
     retry_seq: u64,
     tally: Tally,
+    tracer: Option<&'a mut qcpa_obs::Tracer>,
 }
 
 impl Engine<'_> {
+    /// Records an instant mark for request `idx` at `t` on the fault
+    /// track when the tracer admits the request. The span id is salted
+    /// with the mark name and time, so repeated marks on one request
+    /// stay distinct.
+    fn trace_mark(&mut self, idx: usize, name: &'static str, t: f64) {
+        let track = self.free_at.len() as u32;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            if tr.admit(idx as u64) {
+                let salt = name
+                    .bytes()
+                    .fold(t.to_bits(), |a, b| a.rotate_left(7) ^ u64::from(b));
+                let id = tr.span_id(idx as u64, salt);
+                tr.tree.mark(
+                    id,
+                    None,
+                    "resilience",
+                    name,
+                    track,
+                    t,
+                    vec![("request", (idx as u64).into())],
+                );
+            }
+        }
+    }
+
+    /// Records the backoff interval of a scheduled retry for `idx` as a
+    /// span on the fault track.
+    fn trace_backoff(&mut self, idx: usize, from: f64, until: f64, attempt: u32) {
+        let track = self.free_at.len() as u32;
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            if tr.admit(idx as u64) {
+                let s = tr.tree.begin(
+                    tr.span_id(idx as u64, 0x4000_0000_0000_0000 | u64::from(attempt)),
+                    None,
+                    "resilience",
+                    "backoff",
+                    track,
+                    from,
+                );
+                tr.tree.arg(s, "request", idx as u64);
+                tr.tree.arg(s, "attempt", attempt);
+                tr.tree.end(s, until);
+            }
+        }
+    }
+
     /// Schedules a retry for `idx` from time `from`, or marks it timed
     /// out when the budget is exhausted.
     fn retry_or_expire(&mut self, idx: usize, from: f64) {
@@ -721,16 +789,18 @@ impl Engine<'_> {
             }));
             self.arena[idx].retry_pending = true;
             self.tally.retries += 1;
+            self.trace_backoff(idx, from, from + delay, attempts);
         } else {
             self.arena[idx].outcome = Outcome::TimedOut;
             self.tally.timed_out += 1;
+            self.trace_mark(idx, "timed_out", from);
         }
     }
 
     /// Picks the backend for a read of `class` at time `t`, consulting
     /// the breaker and falling back to degraded-mode routing. `None`
     /// only when the class has no capable backend at all.
-    fn pick_read_backend(&mut self, class: ClassId, t: f64) -> Option<usize> {
+    fn pick_read_backend(&mut self, idx: usize, class: ClassId, t: f64) -> Option<usize> {
         if !self.breakers.enabled() {
             let free_at = &self.free_at;
             return self
@@ -777,6 +847,7 @@ impl Engine<'_> {
             .or_else(|| avail.into_iter().min_by(|a, b| by_pending(a, b)));
         if let Some(b) = pick {
             self.tally.degraded_fallbacks += 1;
+            self.trace_mark(idx, "degraded_fallback", t);
             return Some(b);
         }
         // Nothing healthy anywhere: overriding the breaker beats
@@ -787,6 +858,7 @@ impl Engine<'_> {
             .route_read_with(class, |b| (self.free_at[b] - t).max(0.0));
         if routed.is_some() {
             self.tally.breaker_overrides += 1;
+            self.trace_mark(idx, "breaker_override", t);
         }
         routed
     }
@@ -804,7 +876,7 @@ impl Engine<'_> {
         }
         match self.rcfg.overload {
             OverloadPolicy::Reject => {
-                self.shed_incoming(idx);
+                self.shed_incoming(idx, t);
                 None
             }
             OverloadPolicy::ShedLowestWeight => {
@@ -832,29 +904,32 @@ impl Engine<'_> {
                         self.arena[ve.req].outcome = Outcome::Shed;
                         self.tally.shed += 1;
                         self.tally.shed_victims += 1;
+                        self.trace_mark(ve.req, "shed_victim", t);
                         Some(1.0)
                     }
                     _ => {
-                        self.shed_incoming(idx);
+                        self.shed_incoming(idx, t);
                         None
                     }
                 }
             }
             OverloadPolicy::Brownout => {
                 if q.len() >= 2 * self.rcfg.queue_cap {
-                    self.shed_incoming(idx);
+                    self.shed_incoming(idx, t);
                     None
                 } else {
                     self.tally.browned_out += 1;
+                    self.trace_mark(idx, "brownout", t);
                     Some(self.rcfg.brownout_discount)
                 }
             }
         }
     }
 
-    fn shed_incoming(&mut self, idx: usize) {
+    fn shed_incoming(&mut self, idx: usize, t: f64) {
         self.arena[idx].outcome = Outcome::Shed;
         self.tally.shed += 1;
+        self.trace_mark(idx, "shed", t);
     }
 
     /// Dispatches request `idx` at time `t` (arrival, retry, or crash
@@ -872,8 +947,9 @@ impl Engine<'_> {
         };
         match kind {
             QueryKind::Read => {
-                let Some(b) = self.pick_read_backend(class, t) else {
+                let Some(b) = self.pick_read_backend(idx, class, t) else {
                     self.tally.unroutable += 1;
+                    self.trace_mark(idx, "unroutable", t);
                     self.retry_or_expire(idx, t);
                     return;
                 };
@@ -892,6 +968,7 @@ impl Engine<'_> {
                     self.busy[b] += performed;
                     self.free_at[b] = start + performed;
                     self.arena[idx].legs.push(RLeg {
+                        backend: b,
                         end: start + performed,
                         svc: performed,
                         voided: false,
@@ -910,11 +987,13 @@ impl Engine<'_> {
                     }
                     self.breakers.on_timeout(b, t, performed.max(0.0));
                     self.tally.timeouts += 1;
+                    self.trace_mark(idx, "leg_timeout", deadline);
                     self.retry_or_expire(idx, deadline);
                 } else {
                     self.free_at[b] = end;
                     self.busy[b] += svc;
                     self.arena[idx].legs.push(RLeg {
+                        backend: b,
                         end,
                         svc,
                         voided: false,
@@ -940,6 +1019,7 @@ impl Engine<'_> {
                 let targets = self.scheduler.route_update(class).to_vec();
                 if targets.is_empty() {
                     self.tally.unroutable += 1;
+                    self.trace_mark(idx, "unroutable", t);
                     self.retry_or_expire(idx, t);
                     return;
                 }
@@ -961,6 +1041,7 @@ impl Engine<'_> {
                     self.free_at[b] = end;
                     self.busy[b] += svc;
                     self.arena[idx].legs.push(RLeg {
+                        backend: b,
                         end,
                         svc,
                         voided: false,
@@ -981,6 +1062,54 @@ impl Engine<'_> {
     }
 }
 
+/// Records a sampled request's finalize-time span tree: a `request`
+/// root stamped with its terminal outcome and one `leg` child per
+/// dispatched leg (cancelled and voided legs annotated), reconstructed
+/// from the engine arena exactly as the finalize scan sees it.
+fn trace_resilient_request(
+    tr: &mut qcpa_obs::Tracer,
+    req: u64,
+    r: &RReq,
+    outcome: &'static str,
+    fault_track: u32,
+) {
+    let name = match r.kind {
+        QueryKind::Read => "read",
+        QueryKind::Update => "update",
+    };
+    let track = r.legs.first().map_or(fault_track, |l| l.backend as u32);
+    let root = tr
+        .tree
+        .begin(tr.span_id(req, 0), None, "request", name, track, r.arrival);
+    tr.tree.arg(root, "request", req);
+    tr.tree.arg(root, "class", r.class.0);
+    tr.tree.arg(root, "outcome", outcome);
+    tr.tree.arg(root, "attempts", r.attempts);
+    let mut end = r.arrival;
+    for (i, leg) in r.legs.iter().enumerate() {
+        let s = tr.tree.begin(
+            tr.span_id(req, 1 + i as u64),
+            Some(root),
+            "service",
+            "leg",
+            leg.backend as u32,
+            leg.end - leg.svc,
+        );
+        tr.tree.arg(s, "backend", leg.backend);
+        if leg.voided {
+            tr.tree.arg(s, "voided", "true");
+        }
+        if leg.cancelled {
+            tr.tree.arg(s, "cancelled", "true");
+        }
+        tr.tree.end(s, leg.end);
+        if !leg.voided && !leg.cancelled {
+            end = end.max(leg.end);
+        }
+    }
+    tr.tree.end(root, end);
+}
+
 /// Runs timed arrivals through the scheduler with the resilience layer
 /// active, while applying `plan`'s crashes and recoveries. Requests
 /// must be sorted by arrival time. With [`ResilienceConfig::default`]
@@ -998,6 +1127,41 @@ pub fn run_open_resilient(
     fcfg: &FaultConfig,
     rcfg: &ResilienceConfig,
 ) -> ResilienceReport {
+    run_open_resilient_traced(
+        alloc,
+        cls,
+        cluster,
+        catalog,
+        requests,
+        warmup_backlog,
+        cfg,
+        plan,
+        fcfg,
+        rcfg,
+        None,
+    )
+}
+
+/// [`run_open_resilient`] with an optional causal tracer. Sampled
+/// requests become span trees (per-leg service intervals plus backoff
+/// spans), while admission, retry, breaker, and fault transitions
+/// become instant marks on a dedicated track (`tid == cluster size`).
+/// `None` — and `Some` with a zero sampling rate — leave the simulated
+/// results bit-identical to the untraced run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_open_resilient_traced(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    requests: &[Request],
+    warmup_backlog: f64,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    fcfg: &FaultConfig,
+    rcfg: &ResilienceConfig,
+    mut tracer: Option<&mut qcpa_obs::Tracer>,
+) -> ResilienceReport {
     let _span = qcpa_obs::span("sim", "run_open_resilient");
     let n = cluster.len();
     assert_eq!(
@@ -1006,6 +1170,17 @@ pub fn run_open_resilient(
         "fault plan validated for a different cluster size"
     );
     rcfg.validate();
+
+    let fault_track = n as u32;
+    if let Some(tr) = tracer.as_deref_mut() {
+        if tr.enabled() {
+            for b in 0..n {
+                tr.tree.name_track(b as u32, format!("backend {b}"));
+            }
+            tr.tree.name_track(fault_track, "resilience");
+        }
+    }
+    let trace_on = tracer.as_ref().is_some_and(|tr| tr.enabled());
 
     let mut current = alloc.clone();
     let mut eng = Engine {
@@ -1024,7 +1199,9 @@ pub fn run_open_resilient(
         retries: BinaryHeap::new(),
         retry_seq: 0,
         tally: Tally::default(),
+        tracer,
     };
+    eng.breakers.log_enabled = trace_on;
 
     let mut crashes = 0usize;
     let mut recoveries = 0usize;
@@ -1061,7 +1238,7 @@ pub fn run_open_resilient(
                 FaultEvent::Crash { backend, at } => {
                     eng.alive[backend] = false;
                     crashes += 1;
-                    eng.breakers.on_crash(backend);
+                    eng.breakers.on_crash(backend, at);
                     // Void legs still running or queued on the casualty
                     // and refund their unperformed work.
                     let entries = std::mem::take(&mut eng.queues[backend]);
@@ -1084,6 +1261,19 @@ pub fn run_open_resilient(
                         "at" => at,
                         "voided_legs" => voided,
                     });
+                    if let Some(tr) = eng.tracer.as_deref_mut() {
+                        if tr.enabled() {
+                            tr.tree.mark(
+                                tr.span_id(u64::MAX - backend as u64, at.to_bits()),
+                                None,
+                                "fault",
+                                "crash",
+                                fault_track,
+                                at,
+                                vec![("backend", backend.into()), ("voided_legs", voided.into())],
+                            );
+                        }
+                    }
                     eng.scheduler = reroute(
                         at,
                         &mut current,
@@ -1129,6 +1319,7 @@ pub fn run_open_resilient(
                         }
                         eng.arena[ri].outcome = Outcome::Pending;
                         eng.tally.redispatched += 1;
+                        eng.trace_mark(ri, "redispatch", at);
                         eng.dispatch(ri, at);
                     }
                 }
@@ -1141,13 +1332,29 @@ pub fn run_open_resilient(
                     recoveries += 1;
                     eng.free_at[backend] = at + catchup_cost;
                     eng.queues[backend].clear();
-                    eng.breakers.on_recover(backend);
+                    eng.breakers.on_recover(backend, at);
                     qcpa_obs::global().counter("sim.fault.recoveries").inc();
                     qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "recover", {
                         "backend" => backend,
                         "at" => at,
                         "catchup_secs" => catchup_cost,
                     });
+                    if let Some(tr) = eng.tracer.as_deref_mut() {
+                        if tr.enabled() {
+                            tr.tree.mark(
+                                tr.span_id(u64::MAX - backend as u64, at.to_bits() ^ 1),
+                                None,
+                                "fault",
+                                "recover",
+                                fault_track,
+                                at,
+                                vec![
+                                    ("backend", backend.into()),
+                                    ("catchup_secs", catchup_cost.into()),
+                                ],
+                            );
+                        }
+                    }
                     eng.scheduler = reroute(
                         at,
                         &mut current,
@@ -1191,6 +1398,25 @@ pub fn run_open_resilient(
         }
     }
 
+    // Reclaim the tracer: the breaker transition log and the sampled
+    // per-request trees are recorded outside the engine's borrow.
+    let mut tracer = eng.tracer.take();
+    if let Some(tr) = tracer.as_deref_mut() {
+        if tr.enabled() {
+            for (i, &(t, b, name)) in eng.breakers.log.iter().enumerate() {
+                tr.tree.mark(
+                    tr.span_id(0x8000_0000_0000_0000 | b as u64, i as u64),
+                    None,
+                    "breaker",
+                    name,
+                    fault_track,
+                    t,
+                    vec![("backend", b.into())],
+                );
+            }
+        }
+    }
+
     // Finalize: every non-voided, non-cancelled leg ran to completion.
     let mut responses = Vec::with_capacity(eng.arena.len());
     let mut resp_hist = qcpa_obs::Histogram::new();
@@ -1198,10 +1424,16 @@ pub fn run_open_resilient(
     let mut shed = 0usize;
     let mut timed_out = 0usize;
     let mut lost = 0usize;
-    for r in &eng.arena {
-        match r.outcome {
-            Outcome::Shed => shed += 1,
-            Outcome::TimedOut => timed_out += 1,
+    for (idx, r) in eng.arena.iter().enumerate() {
+        let outcome = match r.outcome {
+            Outcome::Shed => {
+                shed += 1;
+                "shed"
+            }
+            Outcome::TimedOut => {
+                timed_out += 1;
+                "timed_out"
+            }
             Outcome::Pending => {
                 let live = |l: &&RLeg| !l.voided && !l.cancelled;
                 let completion = match (r.kind, cfg.propagation) {
@@ -1226,9 +1458,18 @@ pub fn run_open_resilient(
                         resp_hist.record(end - r.arrival);
                         responses.push((r.arrival, end - r.arrival));
                         per_class_completed[r.class.idx()] += 1;
+                        "completed"
                     }
-                    None => lost += 1,
+                    None => {
+                        lost += 1;
+                        "lost"
+                    }
                 }
+            }
+        };
+        if let Some(tr) = tracer.as_deref_mut() {
+            if tr.admit(idx as u64) {
+                trace_resilient_request(tr, idx as u64, r, outcome, fault_track);
             }
         }
     }

@@ -70,6 +70,10 @@ if [[ "$FAST" == "1" || "$DEEP" == "1" ]]; then
     QCPA_THREADS=4 cargo test -q --test conformance resilient_runs_conserve_and_replay_exactly
     echo "== resilience sweep smoke (fails on any lost request) =="
     QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin fig_resilience
+    echo "== trace exporter smoke (byte-stable, parseable) =="
+    cargo run --release -q -p qcpa-bench --bin trace_smoke
+    echo "== bench trajectory gate =="
+    cargo run --release -q -p qcpa-bench --bin bench_trend
     if [[ "$DEEP" == "1" ]]; then
         run_tsan
         echo "Deep checks passed."
@@ -96,9 +100,20 @@ QCPA_THREADS=4 cargo test -q --test conformance
 echo "== allocator speedup bench (quick) =="
 QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin bench_allocator
 
+# Quick sim-throughput run: appends a quick-keyed entry to
+# BENCH_sim.json (quick entries only ever compare against each other).
+echo "== simulator throughput bench (quick, appends BENCH_sim.json) =="
+QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin bench_sim
+
 # The resilience sweep's binary exits nonzero if any run violates the
 # conservation law (completed + shed + timed_out == offered).
 echo "== resilience sweep smoke (fails on any lost request) =="
 QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin fig_resilience
+
+echo "== trace exporter smoke (byte-stable, parseable) =="
+cargo run --release -q -p qcpa-bench --bin trace_smoke
+
+echo "== bench trajectory gate =="
+cargo run --release -q -p qcpa-bench --bin bench_trend
 
 echo "All checks passed."
