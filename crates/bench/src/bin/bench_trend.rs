@@ -1,14 +1,20 @@
 //! Bench-trajectory gate: diffs the last two comparable entries of each
 //! `BENCH_*.json` history (see `qcpa_bench::history`) and exits nonzero
-//! when a tracked throughput metric regressed by more than 20%.
+//! when a tracked metric regressed past its trend's tolerance.
 //!
 //! Tracked trajectories:
 //!
 //! * `BENCH_allocator.json` — `timings_secs.delta_par` (wall seconds,
-//!   lower is better), comparable when population / iterations / quick
-//!   mode / available threads all match;
-//! * `BENCH_sim.json` — `events_per_sec` (higher is better), comparable
-//!   when duration / rate / quick mode match.
+//!   lower is better, 20% tolerance), plus the **speedup ratios**
+//!   `speedups.par_vs_1thread` and `speedups.delta_vs_baseline_1thread`
+//!   (higher is better, 15% tolerance) — a parallel-efficiency
+//!   regression must not hide behind a still-acceptable absolute wall
+//!   time, which is exactly how the 1.02×→0.956× `par_vs_1thread` slide
+//!   slipped through when only the timing was gated. Comparable when
+//!   population / iterations / quick mode / available threads all
+//!   match.
+//! * `BENCH_sim.json` — `events_per_sec` (higher is better, 20%
+//!   tolerance), comparable when duration / rate / quick mode match.
 //!
 //! Fewer than two comparable entries (fresh clone, first run after a
 //! config change) passes with a note — the gate only ever compares
@@ -19,15 +25,22 @@ use std::path::Path;
 use qcpa_bench::history::{get_f64, last_two, load_history};
 use serde::Value;
 
-/// Allowed relative throughput loss between consecutive comparable runs.
-const TOLERANCE: f64 = 0.20;
+/// Comparability keys of the allocator trajectory.
+const ALLOCATOR_KEYS: &[&[&str]] = &[
+    &["config", "quick"],
+    &["config", "population"],
+    &["config", "iterations"],
+    &["threads_available"],
+];
 
 struct Trend {
     file: &'static str,
     metric: &'static [&'static str],
-    /// `true` when larger metric values are better (throughput);
-    /// `false` for wall-clock seconds.
+    /// `true` when larger metric values are better (throughput,
+    /// speedup ratios); `false` for wall-clock seconds.
     higher_is_better: bool,
+    /// Allowed relative loss between consecutive comparable runs.
+    tolerance: f64,
     keys: &'static [&'static [&'static str]],
 }
 
@@ -36,17 +49,28 @@ const TRENDS: &[Trend] = &[
         file: "BENCH_allocator.json",
         metric: &["timings_secs", "delta_par"],
         higher_is_better: false,
-        keys: &[
-            &["config", "quick"],
-            &["config", "population"],
-            &["config", "iterations"],
-            &["threads_available"],
-        ],
+        tolerance: 0.20,
+        keys: ALLOCATOR_KEYS,
+    },
+    Trend {
+        file: "BENCH_allocator.json",
+        metric: &["speedups", "par_vs_1thread"],
+        higher_is_better: true,
+        tolerance: 0.15,
+        keys: ALLOCATOR_KEYS,
+    },
+    Trend {
+        file: "BENCH_allocator.json",
+        metric: &["speedups", "delta_vs_baseline_1thread"],
+        higher_is_better: true,
+        tolerance: 0.15,
+        keys: ALLOCATOR_KEYS,
     },
     Trend {
         file: "BENCH_sim.json",
         metric: &["events_per_sec"],
         higher_is_better: true,
+        tolerance: 0.20,
         keys: &[
             &["config", "quick"],
             &["config", "target_events"],
@@ -78,16 +102,17 @@ fn check(trend: &Trend, history: &[Value]) -> Result<String, String> {
             trend.file
         ));
     }
-    // Express both directions as a throughput ratio ≥/≤ 1.
+    // Express both directions as a ratio ≥/≤ 1 (bigger = better).
     let ratio = if trend.higher_is_better { b / a } else { a / b };
     let verdict = format!(
-        "{}: {metric_name} {a:.4} -> {b:.4} (throughput x{ratio:.3})",
-        trend.file
+        "{}: {metric_name} {a:.4} -> {b:.4} (x{ratio:.3}, tolerance {:.0}%)",
+        trend.file,
+        trend.tolerance * 100.0
     );
-    if ratio < 1.0 - TOLERANCE {
+    if ratio < 1.0 - trend.tolerance {
         Err(format!(
             "{verdict} — REGRESSION beyond {:.0}% tolerance",
-            TOLERANCE * 100.0
+            trend.tolerance * 100.0
         ))
     } else {
         Ok(verdict)
@@ -95,10 +120,7 @@ fn check(trend: &Trend, history: &[Value]) -> Result<String, String> {
 }
 
 fn main() -> std::io::Result<()> {
-    println!(
-        "== Bench trajectory gate (tolerance {:.0}%) ==",
-        TOLERANCE * 100.0
-    );
+    println!("== Bench trajectory gate ==");
     let mut failures = 0usize;
     for trend in TRENDS {
         let path = Path::new(trend.file);

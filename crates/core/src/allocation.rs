@@ -1008,6 +1008,15 @@ impl DeltaCost {
         cluster: &ClusterSpec,
         catalog: &Catalog,
     ) {
+        // The oracle costs a full normalize + aggregate rebuild per
+        // transfer — fine on test-sized instances, quadratic death on
+        // multilevel-scale ones (thousands of fragments × hundreds of
+        // backends). Small instances keep the cross-check; big ones are
+        // covered by the conformance oracles comparing tracked against
+        // full costs at the end of a run.
+        if alloc.n_backends() > 64 || cls.len() > 256 {
+            return;
+        }
         let mut reference = alloc.clone();
         reference.normalize(cls, cluster);
         debug_assert_eq!(

@@ -57,6 +57,7 @@
 pub mod allocation;
 pub mod classify;
 pub mod cluster;
+pub mod coarsen;
 pub mod error;
 pub mod fragment;
 pub mod greedy;
@@ -97,6 +98,7 @@ pub mod prelude {
     pub use crate::allocation::{AllocCost, Allocation, DeltaCost, DeltaUndo};
     pub use crate::classify::{Classification, Granularity, QueryClass};
     pub use crate::cluster::{BackendSpec, ClusterSpec};
+    pub use crate::coarsen::{CoarsenConfig, MultilevelOutcome};
     pub use crate::error::{ClassificationError, InvalidAllocation};
     pub use crate::fragment::{Catalog, Fragment, FragmentId, FragmentKind};
     pub use crate::journal::{Journal, Query, QueryKind};

@@ -31,8 +31,13 @@ use crate::{BackendId, ClassId, EPS};
 /// Reusable buffers for the candidate enumeration: refilled in place on
 /// every probe so the steady-state search performs no heap allocation
 /// beyond the undo tokens' saved state.
+///
+/// Public (with private fields) so parallel drivers can keep one
+/// `Scratch` per worker lane and thread it through
+/// [`improve_with_scratch`] — every field is cleared or refilled before
+/// use, so no state leaks between probes or between callers.
 #[derive(Debug, Default)]
-struct Scratch {
+pub struct Scratch {
     /// Backends currently hosting the update class under consideration.
     hosts: Vec<usize>,
     /// Read classes pinning the update class on the evacuated backend.
@@ -77,10 +82,25 @@ pub fn improve_with(
     cluster: &ClusterSpec,
 ) -> bool {
     let mut scratch = Scratch::default();
+    improve_with_scratch(alloc, tracker, cls, catalog, cluster, &mut scratch)
+}
+
+/// [`improve_with`] with a caller-owned [`Scratch`] — the form the
+/// parallel memetic driver uses, keeping one scratch set per worker
+/// lane so repeated local-search probes in one optimize run allocate
+/// nothing.
+pub fn improve_with_scratch(
+    alloc: &mut Allocation,
+    tracker: &mut DeltaCost,
+    cls: &Classification,
+    catalog: &Catalog,
+    cluster: &ClusterSpec,
+    scratch: &mut Scratch,
+) -> bool {
     let mut improved_any = false;
     loop {
-        let s1 = drop_tracked(alloc, tracker, cls, cluster, catalog, &mut scratch);
-        let s2 = swap_tracked(alloc, tracker, cls, cluster, catalog, &mut scratch);
+        let s1 = drop_tracked(alloc, tracker, cls, cluster, catalog, scratch);
+        let s2 = swap_tracked(alloc, tracker, cls, cluster, catalog, scratch);
         if s1 || s2 {
             improved_any = true;
         } else {

@@ -14,27 +14,41 @@
 //!
 //! ## Parallel execution and determinism
 //!
-//! The generation loop fans both the offspring construction and the
-//! local-search improvement out over a [`qcpa_par::Pool`]
-//! (`QCPA_THREADS` workers by default, overridable per run with
-//! [`MemeticConfig::threads`]). Results are **bit-identical at any
-//! thread count** because nothing in a task depends on scheduling:
+//! The generation loop submits **one fused batch per generation** to a
+//! [`qcpa_par::with_session`] worker set (`QCPA_THREADS` workers by
+//! default, overridable per run with [`MemeticConfig::threads`]):
+//! every task builds one offspring (mutation) and — when the driver
+//! flagged its index for improvement — runs the local search on that
+//! offspring *inside the same task*, so the formerly serial
+//! `driver.improve_fanout` phase is now parallel work. Workers are
+//! spawned once per optimize call and stay parked on a job channel
+//! between generations (no per-generation thread wakeup cost).
+//!
+//! Results are **bit-identical at any thread count** because nothing in
+//! a task depends on scheduling:
 //!
 //! * every offspring draws from its own `ChaCha8Rng`, seeded with
 //!   [`qcpa_par::stream_seed]`(seed, generation, offspring_index)` —
 //!   there is no shared RNG to race on;
-//! * the improvement-selection shuffle uses a separate dedicated stream
-//!   (`index = u64::MAX`), drawn on the driver thread;
-//! * [`qcpa_par::Pool::map`] returns results in task-index order, and
-//!   all selection sorts are stable.
+//! * the improvement-set shuffle uses a separate dedicated stream
+//!   (`index = u64::MAX`), drawn on the driver thread *before* the
+//!   fan-out, so the improve flags ride along with the jobs;
+//! * [`qcpa_par::Session::run`] returns results in task-index order,
+//!   and all selection sorts are stable;
+//! * per-lane scratch buffers ([`localsearch::Scratch`]) are reused
+//!   across probes but carry no state between them — they are an
+//!   allocation cache, not an input.
 //!
 //! Candidate evaluation inside a task is incremental: mutations are
 //! expressed as [`DeltaCost::transfer`]s, so an offspring's cost comes
 //! from O(touched backends) bookkeeping instead of a full
-//! [`Allocation::normalize`] + cost recomputation. Worker tasks record
-//! their telemetry into private [`qcpa_obs::Registry`] shards that the
-//! driver merges in index order ([`qcpa_obs::Registry::merge_shard`]),
-//! keeping the global registry deterministic too.
+//! [`Allocation::normalize`] + cost recomputation, and the local search
+//! continues on the same tracker. Worker tasks record their telemetry
+//! into private [`qcpa_obs::Registry`] shards that the driver merges in
+//! index order ([`qcpa_obs::Registry::merge_shard`]), keeping the
+//! global registry deterministic too.
+
+use std::sync::{Arc, Mutex, PoisonError};
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -123,12 +137,13 @@ pub fn optimize(
 
 /// [`optimize`] with phase profiling: returns the refined allocation
 /// plus a [`qcpa_obs::PhaseProfile`] attributing the optimize wall time
-/// to driver phases (seed build, offspring fan-out, selection, improve
-/// fan-out, merges, telemetry), worker-side task phases (mutation,
-/// local search) and per-worker busy lanes — plus a `pool.overhead`
-/// estimate of the fan-out wall time no task accounts for (thread
-/// wakeup, channel merge, load imbalance): the serial fraction that
-/// caps parallel speedup.
+/// to driver phases (seed build, improve planning, the fused generation
+/// fan-out and merge, selection, telemetry), worker-side task phases
+/// (mutation, local search) and per-worker busy lanes — plus a
+/// `pool.overhead` estimate of the fan-out wall time no task accounts
+/// for (channel dispatch, result merge, load imbalance) relative to a
+/// perfect spread over `min(workers, hardware)` lanes: the serial
+/// fraction that caps parallel speedup.
 ///
 /// Profiling never changes the result: the allocation is bit-identical
 /// to [`optimize`]'s, and the profile's
@@ -247,167 +262,197 @@ fn run_generations(
         tracker: seed_tracker,
     }];
 
-    for generation in 0..cfg.iterations {
-        // Offspring fan-out: each task owns an RNG stream derived from
-        // (seed, generation, index) — scheduling cannot perturb it.
-        let parents = &population;
-        let t_fan = profile.as_deref().map(|p| p.start());
-        let born = pool.map_worker(cfg.population, |i, lane| {
-            let shard = qcpa_obs::Registry::new();
-            let mut tp = qcpa_obs::PhaseProfile::new();
-            let mut rng = ChaCha8Rng::seed_from_u64(qcpa_par::stream_seed(
-                cfg.seed,
-                generation as u64,
-                i as u64,
-            ));
-            let build = |rng: &mut ChaCha8Rng| {
-                let _span = qcpa_obs::span_on(&shard, "core", "memetic_offspring");
-                let parent = &parents[rng.gen_range(0..parents.len())];
-                let mut child = mutate(parent, cls, catalog, cluster, cfg, rng);
-                if let Some(rep) = repair {
-                    rep(&mut child.alloc);
-                    child.cost = cost_of(&child.alloc);
-                    child.tracker = None;
-                }
-                child
-            };
-            let child = if profiling {
-                let c = tp.time("task.mutation", 1, || build(&mut rng));
-                let secs = tp.get("task.mutation").map_or(0.0, |s| s.secs);
-                tp.record(qcpa_obs::worker_phase(lane), secs, 0);
-                c
-            } else {
-                build(&mut rng)
-            };
-            (child, shard, tp)
-        });
-        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_fan) {
-            p.stop("driver.offspring_fanout", t0, cfg.population as u64);
-        }
-        let t_merge = profile.as_deref().map(|p| p.start());
-        let mut offspring: Vec<Individual> = Vec::with_capacity(cfg.population);
-        for (child, shard, tp) in born {
-            qcpa_obs::global().merge_shard(&shard);
-            if let Some(p) = profile.as_deref_mut() {
-                p.merge(&tp);
+    // One fused task per offspring: mutate, and — when the driver
+    // flagged this index — locally improve the child in the same task.
+    // All inputs (generation, index, improve flag, parents snapshot)
+    // ride in the job; nothing depends on scheduling.
+    struct Job {
+        generation: u64,
+        index: u64,
+        improve: bool,
+        parents: Arc<Vec<Individual>>,
+    }
+
+    // Per-lane local-search scratch: an allocation cache reused across
+    // every probe a lane runs in this optimize call. Each field is
+    // refilled before use, so lanes stay pure functions of their jobs.
+    let workers = pool.workers();
+    let scratches: Vec<Mutex<localsearch::Scratch>> = (0..workers)
+        .map(|_| Mutex::new(localsearch::Scratch::default()))
+        .collect();
+
+    let worker_fn = |job: Job, lane: usize| {
+        let Job {
+            generation,
+            index,
+            improve,
+            parents,
+        } = job;
+        let shard = qcpa_obs::Registry::new();
+        let mut tp = qcpa_obs::PhaseProfile::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(qcpa_par::stream_seed(cfg.seed, generation, index));
+        let build = |rng: &mut ChaCha8Rng| {
+            let _span = qcpa_obs::span_on(&shard, "core", "memetic_offspring");
+            let parent = &parents[rng.gen_range(0..parents.len())];
+            let mut child = mutate(parent, cls, catalog, cluster, cfg, rng);
+            if let Some(rep) = repair {
+                rep(&mut child.alloc);
+                child.cost = cost_of(&child.alloc);
+                child.tracker = None;
             }
-            offspring.push(child);
-        }
-        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_merge) {
-            p.stop("driver.offspring_merge", t0, cfg.population as u64);
-        }
-
-        // (λ+µ) selection — best 2/3 parents + best 1/3 offspring.
-        let t_sel = profile.as_deref().map(|p| p.start());
-        population.sort_by_key(|a| a.cost);
-        offspring.sort_by_key(|a| a.cost);
-        let acceptance = acceptance_rate(&population, &offspring);
-        let keep_old = (cfg.population * 2 / 3).max(1).min(population.len());
-        let keep_new = (cfg.population - keep_old).min(offspring.len());
-        population.truncate(keep_old);
-        population.extend(offspring.into_iter().take(keep_new));
-        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_sel) {
-            p.stop("driver.selection", t0, (keep_old + keep_new) as u64);
-        }
-
-        // Improvement fan-out: a random third (chosen on a dedicated
-        // driver-side stream) goes through local search; an individual
-        // is replaced only if its cost strictly improves, which keeps
-        // convergence monotone under any repair step.
-        let improve_count = (population.len() / 3).max(1);
-        let t_plan = profile.as_deref().map(|p| p.start());
-        let mut shuffle_rng =
-            ChaCha8Rng::seed_from_u64(qcpa_par::stream_seed(cfg.seed, generation as u64, u64::MAX));
-        let mut idx: Vec<usize> = (0..population.len()).collect();
-        idx.shuffle(&mut shuffle_rng);
-        idx.truncate(improve_count);
-        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_plan) {
-            p.stop("driver.improve_plan", t0, improve_count as u64);
-        }
-        let snapshot = &population;
-        let t_fan = profile.as_deref().map(|p| p.start());
-        let improved = pool.map_worker(idx.len(), |j, lane| {
-            let shard = qcpa_obs::Registry::new();
-            let mut tp = qcpa_obs::PhaseProfile::new();
-            let search = || {
+            child
+        };
+        let mut child = if profiling {
+            tp.time("task.mutation", 1, || build(&mut rng))
+        } else {
+            build(&mut rng)
+        };
+        if improve {
+            let search = |child: &mut Individual| {
                 let _span = qcpa_obs::span_on(&shard, "core", "memetic_improve");
-                let current = &snapshot[idx[j]];
-                let mut cand = current.alloc.clone();
-                match (&current.tracker, repair) {
-                    // Plain path: continue on the individual's tracker.
+                match (&mut child.tracker, repair) {
+                    // Plain path: continue on the child's tracker with
+                    // the lane's scratch buffers. Local search is
+                    // monotone, so the improved child never costs more.
                     (Some(tracker), None) => {
-                        let mut tracker = tracker.clone();
-                        let changed = localsearch::improve_with(
-                            &mut cand,
-                            &mut tracker,
+                        let mut scratch = scratches[lane]
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner);
+                        let changed = localsearch::improve_with_scratch(
+                            &mut child.alloc,
+                            tracker,
                             cls,
                             catalog,
                             cluster,
+                            &mut scratch,
                         );
-                        let c = tracker.cost(cluster);
-                        (changed && c.better_than(&current.cost)).then_some(Individual {
-                            alloc: cand,
-                            cost: c,
-                            tracker: Some(tracker),
-                        })
+                        if changed {
+                            child.cost = tracker.cost(cluster);
+                        }
                     }
                     // Repair path: full improve, re-harden, full cost.
                     _ => {
-                        localsearch::improve(&mut cand, cls, catalog, cluster);
+                        localsearch::improve(&mut child.alloc, cls, catalog, cluster);
                         if let Some(rep) = repair {
-                            rep(&mut cand);
+                            rep(&mut child.alloc);
                         }
-                        let c = cost_of(&cand);
-                        c.better_than(&current.cost).then_some(Individual {
-                            alloc: cand,
-                            cost: c,
-                            tracker: None,
-                        })
+                        child.cost = cost_of(&child.alloc);
+                        child.tracker = None;
                     }
                 }
             };
-            let replacement = if profiling {
-                let r = tp.time("task.local_search", 1, search);
-                let secs = tp.get("task.local_search").map_or(0.0, |s| s.secs);
-                tp.record(qcpa_obs::worker_phase(lane), secs, 0);
-                r
+            if profiling {
+                tp.time("task.local_search", 1, || search(&mut child));
             } else {
-                search()
+                search(&mut child);
+            }
+        }
+        if profiling {
+            let secs = tp.secs_with_prefix("task.");
+            tp.record(qcpa_obs::worker_phase(lane), secs, 0);
+        }
+        // `parents` (this job's snapshot handle) drops here, before the
+        // result is sent — the driver's `Arc::try_unwrap` relies on it.
+        (child, shard, tp)
+    };
+
+    let t_spawn = profile.as_deref().map(|p| p.start());
+    qcpa_par::with_session(workers, worker_fn, |session| {
+        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_spawn) {
+            p.stop("driver.pool_spawn", t0, 1);
+        }
+        for generation in 0..cfg.iterations {
+            // Improvement plan: a random third of this generation's
+            // offspring (dedicated driver-side stream) gets the local
+            // search, flagged before the fan-out so the work runs
+            // inside the parallel region.
+            let improve_count = (cfg.population / 3).max(1);
+            let t_plan = profile.as_deref().map(|p| p.start());
+            let mut shuffle_rng = ChaCha8Rng::seed_from_u64(qcpa_par::stream_seed(
+                cfg.seed,
+                generation as u64,
+                u64::MAX,
+            ));
+            let mut idx: Vec<usize> = (0..cfg.population).collect();
+            idx.shuffle(&mut shuffle_rng);
+            idx.truncate(improve_count);
+            let mut improve_flag = vec![false; cfg.population];
+            for &i in &idx {
+                improve_flag[i] = true;
+            }
+            if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_plan) {
+                p.stop("driver.improve_plan", t0, improve_count as u64);
+            }
+
+            // Fused generation fan-out: one batch per generation.
+            let parents = Arc::new(std::mem::take(&mut population));
+            let t_fan = profile.as_deref().map(|p| p.start());
+            let jobs: Vec<Job> = (0..cfg.population)
+                .map(|i| Job {
+                    generation: generation as u64,
+                    index: i as u64,
+                    improve: improve_flag[i],
+                    parents: Arc::clone(&parents),
+                })
+                .collect();
+            let born = session.run(jobs);
+            if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_fan) {
+                p.stop("driver.generation_fanout", t0, cfg.population as u64);
+            }
+            let t_merge = profile.as_deref().map(|p| p.start());
+            let mut offspring: Vec<Individual> = Vec::with_capacity(cfg.population);
+            for (child, shard, tp) in born {
+                qcpa_obs::global().merge_shard(&shard);
+                if let Some(p) = profile.as_deref_mut() {
+                    p.merge(&tp);
+                }
+                offspring.push(child);
+            }
+            if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_merge) {
+                p.stop("driver.generation_merge", t0, cfg.population as u64);
+            }
+            // Every job dropped its snapshot handle before returning,
+            // so the population moves back without a copy; the clone
+            // fallback is a correctness net, not an expected path.
+            population = match Arc::try_unwrap(parents) {
+                Ok(v) => v,
+                Err(shared) => (*shared).clone(),
             };
-            (replacement, shard, tp)
-        });
-        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_fan) {
-            p.stop("driver.improve_fanout", t0, idx.len() as u64);
-        }
-        let t_merge = profile.as_deref().map(|p| p.start());
-        for (j, (replacement, shard, tp)) in improved.into_iter().enumerate() {
-            qcpa_obs::global().merge_shard(&shard);
-            if let Some(p) = profile.as_deref_mut() {
-                p.merge(&tp);
-            }
-            if let Some(better) = replacement {
-                population[idx[j]] = better;
-            }
-        }
-        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_merge) {
-            p.stop("driver.improve_merge", t0, improve_count as u64);
-        }
 
-        let t_tel = profile.as_deref().map(|p| p.start());
-        trace_generation(prefix, &population, acceptance);
-        if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_tel) {
-            p.stop("driver.telemetry", t0, 1);
-        }
-    }
+            // (λ+µ) selection — best 2/3 parents + best 1/3 offspring.
+            // Parents survive unchanged, so the best cost is monotone
+            // even though offspring improvement happened pre-selection.
+            let t_sel = profile.as_deref().map(|p| p.start());
+            population.sort_by_key(|a| a.cost);
+            offspring.sort_by_key(|a| a.cost);
+            let acceptance = acceptance_rate(&population, &offspring);
+            let keep_old = (cfg.population * 2 / 3).max(1).min(population.len());
+            let keep_new = (cfg.population - keep_old).min(offspring.len());
+            population.truncate(keep_old);
+            population.extend(offspring.into_iter().take(keep_new));
+            if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_sel) {
+                p.stop("driver.selection", t0, (keep_old + keep_new) as u64);
+            }
 
-    // Wall time the fan-outs spent beyond a perfect spread of the
-    // measured task time over the lanes: thread wakeup, channel merge,
-    // and load imbalance — the serial fraction that caps speedup.
+            let t_tel = profile.as_deref().map(|p| p.start());
+            trace_generation(prefix, &population, acceptance);
+            if let (Some(p), Some(t0)) = (profile.as_deref_mut(), t_tel) {
+                p.stop("driver.telemetry", t0, 1);
+            }
+        }
+    });
+
+    // Wall time the generation fan-outs spent beyond a perfect spread
+    // of the measured task time over the *effective* lanes (workers
+    // capped by hardware parallelism — oversubscribed workers
+    // time-slice, which is not pool overhead): channel dispatch, result
+    // merge, and load imbalance — the serial fraction that caps
+    // speedup.
     if let Some(p) = profile.as_deref_mut() {
-        let fanout = p.secs_with_prefix("driver.offspring_fanout")
-            + p.secs_with_prefix("driver.improve_fanout");
+        let fanout = p.secs_with_prefix("driver.generation_fanout");
         let tasks = p.secs_with_prefix("task.");
-        let ideal = tasks / pool.workers().max(1) as f64;
+        let effective = workers.min(qcpa_par::hardware_parallelism()).max(1);
+        let ideal = tasks / effective as f64;
         p.record("pool.overhead", (fanout - ideal).max(0.0), 0);
     }
 

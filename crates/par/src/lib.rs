@@ -25,12 +25,22 @@
 //! caller's stack data without `'static` bounds and are joined before
 //! `map` returns, so a `Pool` holds no OS resources between calls —
 //! "fork/join" in the literal sense.
+//!
+//! For a *sequence* of fan-outs over the same context — the memetic
+//! generation loop submits one batch per generation, hundreds of times
+//! per optimize call — re-spawning threads per batch is measurable
+//! overhead. [`with_session`] keeps one set of scoped workers parked on
+//! a job channel across every [`Session::run`] call, so the spawn cost
+//! is paid once per optimize run instead of once per generation.
+//! Determinism is identical to [`Pool::map`]: jobs are keyed by their
+//! index in the submitted batch and results return in index order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// A fixed-width fork/join pool. Cheap to construct (two words); spawns
 /// scoped threads per [`Pool::map`] call and joins them before
@@ -145,6 +155,164 @@ impl Default for Pool {
     fn default() -> Self {
         Self::from_env()
     }
+}
+
+/// A persistent batch-execution session: workers spawned once, parked
+/// on a job channel between [`Session::run`] calls. Created by
+/// [`with_session`].
+pub struct Session<'s, T, R> {
+    mode: Mode<'s, T, R>,
+}
+
+enum Mode<'s, T, R> {
+    /// One worker: jobs run inline on the calling thread, lane 0.
+    Inline(&'s (dyn Fn(T, usize) -> R + Sync)),
+    /// Parked scoped workers fed over a shared channel.
+    Pooled {
+        workers: usize,
+        job_tx: mpsc::Sender<(usize, T)>,
+        res_rx: mpsc::Receiver<(usize, Option<R>)>,
+    },
+}
+
+impl<T, R> Session<'_, T, R> {
+    /// The number of workers serving this session.
+    pub fn workers(&self) -> usize {
+        match &self.mode {
+            Mode::Inline(_) => 1,
+            Mode::Pooled { workers, .. } => *workers,
+        }
+    }
+
+    /// Submits one batch of jobs and returns the results **in job
+    /// order** (job `i`'s result at index `i`) — bit-identical at any
+    /// worker count for a pure worker function, exactly like
+    /// [`Pool::map`]. Blocks until the whole batch completes. Workers
+    /// stay parked on the channel afterwards, ready for the next batch.
+    ///
+    /// # Panics
+    /// If a worker task panicked (the panic is surfaced on the calling
+    /// thread; the original panic also propagates when the session's
+    /// scope joins).
+    pub fn run(&self, jobs: Vec<T>) -> Vec<R> {
+        match &self.mode {
+            Mode::Inline(f) => jobs.into_iter().map(|t| f(t, 0)).collect(),
+            Mode::Pooled { job_tx, res_rx, .. } => {
+                let n = jobs.len();
+                for (i, t) in jobs.into_iter().enumerate() {
+                    if job_tx.send((i, t)).is_err() {
+                        panic!("session workers exited before the batch was submitted");
+                    }
+                }
+                let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+                slots.resize_with(n, || None);
+                for _ in 0..n {
+                    match res_rx.recv() {
+                        Ok((i, Some(r))) => slots[i] = Some(r),
+                        Ok((i, None)) => panic!("session worker task {i} panicked"),
+                        Err(_) => panic!("all session workers exited mid-batch"),
+                    }
+                }
+                slots
+                    .into_iter()
+                    .map(|s| match s {
+                        Some(r) => r,
+                        None => panic!("batch completed with a missing result slot"),
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Notifies the driver when a worker task unwinds, so [`Session::run`]
+/// panics instead of deadlocking on a result that will never arrive.
+struct PanicSentinel<'a, R> {
+    tx: &'a mpsc::Sender<(usize, Option<R>)>,
+    index: usize,
+    armed: bool,
+}
+
+impl<R> Drop for PanicSentinel<'_, R> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.tx.send((self.index, None));
+        }
+    }
+}
+
+/// Runs `body` with a [`Session`] of `workers` parked workers, each
+/// evaluating `worker_fn(job, lane)` for the jobs that
+/// [`Session::run`] batches hand it. Threads are scoped: `worker_fn`
+/// and the jobs may borrow caller stack data, and every worker is
+/// joined before `with_session` returns.
+///
+/// With one worker the session runs jobs inline on the calling thread
+/// (no spawn, no channel), mirroring [`Pool::map_worker`]'s inline
+/// path.
+pub fn with_session<T, R, O, F, B>(workers: usize, worker_fn: F, body: B) -> O
+where
+    T: Send,
+    R: Send,
+    F: Fn(T, usize) -> R + Sync,
+    B: FnOnce(&Session<'_, T, R>) -> O,
+{
+    let workers = workers.max(1);
+    if workers == 1 {
+        return body(&Session {
+            mode: Mode::Inline(&worker_fn),
+        });
+    }
+    let (job_tx, job_rx) = mpsc::channel::<(usize, T)>();
+    let (res_tx, res_rx) = mpsc::channel::<(usize, Option<R>)>();
+    let job_rx = Mutex::new(job_rx);
+    std::thread::scope(|scope| {
+        for lane in 0..workers {
+            let job_rx = &job_rx;
+            let res_tx = res_tx.clone();
+            let worker_fn = &worker_fn;
+            scope.spawn(move || loop {
+                // Park on the shared channel between batches. A lock
+                // poisoned by a panicking sibling, or a disconnected
+                // sender (session dropped), both end the worker.
+                let job = match job_rx.lock() {
+                    Ok(guard) => guard.recv(),
+                    Err(_) => break,
+                };
+                let Ok((index, t)) = job else { break };
+                let mut sentinel = PanicSentinel {
+                    tx: &res_tx,
+                    index,
+                    armed: true,
+                };
+                let r = worker_fn(t, lane);
+                sentinel.armed = false;
+                if res_tx.send((index, Some(r))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(res_tx);
+        let session = Session {
+            mode: Mode::Pooled {
+                workers,
+                job_tx,
+                res_rx,
+            },
+        };
+        body(&session)
+        // `session` drops here: the job sender disconnects, every
+        // parked worker wakes, breaks, and the scope joins them.
+    })
+}
+
+/// The machine's available hardware parallelism (1 when unknown).
+/// Callers computing *ideal* parallel time divide by
+/// `workers.min(hardware_parallelism())`: four workers time-slicing one
+/// core are concurrency, not parallelism, and must not be booked as
+/// pool overhead.
+pub fn hardware_parallelism() -> usize {
+    default_threads()
 }
 
 /// Parses `QCPA_THREADS`; `None` when unset, empty, zero, or garbage.
@@ -262,5 +430,95 @@ mod tests {
             })
         });
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn session_results_in_index_order_across_worker_counts() {
+        let reference: Vec<u64> = (0..100u64).map(|i| stream_seed(9, 3, i)).collect();
+        for workers in [1, 2, 4, 8] {
+            let out = with_session(
+                workers,
+                |job: u64, _lane| stream_seed(9, 3, job),
+                |session| {
+                    assert_eq!(session.workers(), workers);
+                    session.run((0..100u64).collect())
+                },
+            );
+            assert_eq!(out, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn session_reuses_workers_across_batches() {
+        // Three batches through one session: each batch's results must
+        // be complete and ordered, and the distinct OS threads serving
+        // them must number at most `workers` — proof the workers parked
+        // between batches instead of respawning.
+        let out = with_session(
+            3,
+            |job: usize, _lane| (job * 2, std::thread::current().id()),
+            |session| {
+                let mut all = Vec::new();
+                for _ in 0..3 {
+                    all.push(session.run((0..40).collect()));
+                }
+                all
+            },
+        );
+        let mut tids = std::collections::BTreeSet::new();
+        for batch in &out {
+            for (i, (v, tid)) in batch.iter().enumerate() {
+                assert_eq!(*v, i * 2);
+                tids.insert(format!("{tid:?}"));
+            }
+        }
+        assert!(tids.len() <= 3, "expected ≤3 worker threads, saw {tids:?}");
+    }
+
+    #[test]
+    fn session_empty_batch_is_fine() {
+        let out = with_session(
+            4,
+            |job: usize, _lane| job,
+            |session| session.run(Vec::new()),
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn session_worker_panic_propagates_without_deadlock() {
+        let res = std::panic::catch_unwind(|| {
+            with_session(
+                2,
+                |job: usize, _lane| {
+                    if job == 5 {
+                        panic!("task blew up");
+                    }
+                    job
+                },
+                |session| session.run((0..8).collect()),
+            )
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn session_inline_mode_runs_on_caller_thread() {
+        let caller = std::thread::current().id();
+        let out = with_session(
+            1,
+            move |job: usize, lane| {
+                assert_eq!(lane, 0);
+                assert_eq!(std::thread::current().id(), caller);
+                job + 1
+            },
+            |session| session.run(vec![1, 2, 3]),
+        );
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn hardware_parallelism_is_positive() {
+        assert!(hardware_parallelism() >= 1);
     }
 }

@@ -18,6 +18,9 @@
 //!   night hours);
 //! * [`hpart`] — a horizontally partitioned hot/cold-range scenario
 //!   exercising predicate-based classification (Section 3.1);
+//! * [`mod@scale`] — clustered co-access instances dialed two orders of
+//!   magnitude past the paper's fragment counts, for the multilevel
+//!   allocator's scaling bench;
 //! * [`common`] — journal → (classification, request-stream) plumbing
 //!   shared by all generators.
 
@@ -26,12 +29,14 @@
 
 pub mod common;
 pub mod hpart;
+pub mod scale;
 pub mod tpcapp;
 pub mod tpch;
 pub mod trace;
 
 pub use common::{classify_and_stream, ClassifiedWorkload};
 pub use hpart::{hot_ranges, HPartWorkload};
+pub use scale::{clustered, ScaledWorkload};
 pub use tpcapp::{tpcapp, tpcapp_large, TpcAppWorkload};
 pub use tpch::{tpch, TpchWorkload};
 pub use trace::{diurnal, TraceWorkload};

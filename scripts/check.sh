@@ -7,8 +7,9 @@
 #                               # matrix, conformance at both thread
 #                               # counts, bench)
 #   ./scripts/check.sh --fast   # inner-loop tier: fmt + clippy + audit +
-#                               # lib/unit tests at the default thread
-#                               # count only
+#                               # lib/unit tests, resilience + multilevel
+#                               # conformance at both thread counts, and
+#                               # the quick bench-matrix corner
 #   ./scripts/check.sh --deep   # fast tier + the test suite under
 #                               # ThreadSanitizer (requires a nightly
 #                               # toolchain with rust-src; skipped with a
@@ -68,6 +69,12 @@ if [[ "$FAST" == "1" || "$DEEP" == "1" ]]; then
     QCPA_THREADS=1 cargo test -q --test conformance resilient_runs_conserve_and_replay_exactly
     echo "== resilience conformance (QCPA_THREADS=4) =="
     QCPA_THREADS=4 cargo test -q --test conformance resilient_runs_conserve_and_replay_exactly
+    echo "== multilevel conformance (QCPA_THREADS=1) =="
+    QCPA_THREADS=1 cargo test -q --test conformance multilevel
+    echo "== multilevel conformance (QCPA_THREADS=4) =="
+    QCPA_THREADS=4 cargo test -q --test conformance multilevel
+    echo "== allocator bench-matrix corner (quick, small instances) =="
+    QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin bench_allocator
     echo "== resilience sweep smoke (fails on any lost request) =="
     QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin fig_resilience
     echo "== trace exporter smoke (byte-stable, parseable) =="

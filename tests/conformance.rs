@@ -19,11 +19,18 @@
 //! * fault-plan determinism — `run_open_faults` under the identical
 //!   seeded `FaultPlan` is bit-identical across the thread-1 and
 //!   thread-4 memetic allocations, with zero lost requests.
+//!
+//! The multilevel pipeline (`coarsen::allocate_multilevel`) has its own
+//! oracle set below: coarsen → allocate → project → refine must round-
+//! trip to a *valid* allocation that is never worse than the projected
+//! coarse solution, stay bit-identical across worker-thread counts and
+//! reruns, and the k-safe variant must come back `is_k_safe`.
 
 use proptest::prelude::*;
 use qcpa::core::allocation::DeltaCost;
 use qcpa::core::classify::Classification;
 use qcpa::core::cluster::ClusterSpec;
+use qcpa::core::coarsen::{allocate_multilevel, allocate_multilevel_ksafe, CoarsenConfig};
 use qcpa::core::fragment::Catalog;
 use qcpa::core::journal::QueryKind;
 use qcpa::core::{greedy, ksafety, memetic, BackendId};
@@ -352,4 +359,114 @@ proptest! {
             }
         }
     }
+
+    /// Multilevel oracle set over randomized workloads, with coarsening
+    /// *forced* (`target_fragments = 2`, generous size cap) so even the
+    /// small materialized instances contract at least once whenever a
+    /// co-access edge exists:
+    ///
+    /// * round trip — coarsen → allocate → project → refine yields an
+    ///   allocation passing `validate` (Eq. 8–16) on the *finest* level;
+    /// * monotone refinement — the final cost is never worse than the
+    ///   projected coarse solution's cost at the finest level;
+    /// * thread independence — the pipeline is bit-identical between
+    ///   1 and 4 memetic worker threads, and across reruns (check.sh
+    ///   drives this test under `QCPA_THREADS=1` and `4`);
+    /// * k-safety — `allocate_multilevel_ksafe(.., 1)` validates and
+    ///   reports `is_k_safe` at k = 1.
+    #[test]
+    fn multilevel_pipeline_conforms(
+        w in workload_strategy(),
+        n in 2usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let (catalog, cls) = materialize(&w);
+        let Some(cls) = cls else { return Ok(()); };
+        let cluster = ClusterSpec::homogeneous(n);
+        let mcfg = |threads: usize| memetic::MemeticConfig {
+            population: 4,
+            iterations: 3,
+            seed,
+            threads: Some(threads),
+            ..Default::default()
+        };
+        let ccfg = CoarsenConfig {
+            target_fragments: 2,
+            max_levels: 8,
+            size_cap_factor: 1e6,
+        };
+
+        let out1 = allocate_multilevel(&cls, &catalog, &cluster, &mcfg(1), &ccfg);
+        out1.alloc
+            .validate(&cls, &cluster)
+            .unwrap_or_else(|e| panic!("multilevel: invalid refined allocation: {e}"));
+        prop_assert!(
+            !out1.projected_cost.better_than(&out1.final_cost),
+            "refinement worsened the projected coarse solution: {:?} -> {:?}",
+            out1.projected_cost,
+            out1.final_cost
+        );
+
+        let out4 = allocate_multilevel(&cls, &catalog, &cluster, &mcfg(4), &ccfg);
+        prop_assert_eq!(
+            &out1.alloc, &out4.alloc,
+            "multilevel diverged between 1 and 4 worker threads (seed {})", seed
+        );
+        prop_assert_eq!(out1.levels, out4.levels, "level count diverged with threads");
+        let again = allocate_multilevel(&cls, &catalog, &cluster, &mcfg(1), &ccfg);
+        prop_assert_eq!(&out1.alloc, &again.alloc, "multilevel rerun diverged");
+
+        let kout = allocate_multilevel_ksafe(&cls, &catalog, &cluster, &mcfg(4), &ccfg, 1);
+        kout.alloc
+            .validate(&cls, &cluster)
+            .unwrap_or_else(|e| panic!("multilevel-ksafe: invalid allocation: {e}"));
+        prop_assert!(
+            ksafety::is_k_safe(&kout.alloc, &cls, 1),
+            "multilevel k-safe pipeline lost its 1-safety"
+        );
+    }
+}
+
+/// The multilevel oracles on an instance big enough for *real* depth:
+/// 64 clustered fragments (`qcpa::workloads::clustered`) coarsened to a
+/// 16-fragment target must contract at least one level, refine to a
+/// valid allocation no worse than the projection, stay bit-identical
+/// across thread counts, and keep 1-safety through the k-safe variant.
+#[test]
+fn multilevel_deep_instance_conforms() {
+    let w = qcpa::workloads::clustered(64, 42);
+    let cluster = ClusterSpec::homogeneous(8);
+    let mcfg = |threads: usize| memetic::MemeticConfig {
+        population: 4,
+        iterations: 3,
+        seed: 42,
+        threads: Some(threads),
+        ..Default::default()
+    };
+    let ccfg = CoarsenConfig {
+        target_fragments: 16,
+        ..CoarsenConfig::default()
+    };
+    let out1 = allocate_multilevel(&w.classification, &w.catalog, &cluster, &mcfg(1), &ccfg);
+    assert!(out1.levels >= 1, "64→16 coarsening must contract");
+    out1.alloc
+        .validate(&w.classification, &cluster)
+        .unwrap_or_else(|e| panic!("deep multilevel: invalid allocation: {e}"));
+    assert!(
+        !out1.projected_cost.better_than(&out1.final_cost),
+        "refinement worsened the projection"
+    );
+    let out4 = allocate_multilevel(&w.classification, &w.catalog, &cluster, &mcfg(4), &ccfg);
+    assert_eq!(
+        out1.alloc, out4.alloc,
+        "deep multilevel diverged with threads"
+    );
+    assert_eq!(out1.levels, out4.levels);
+
+    let kout =
+        allocate_multilevel_ksafe(&w.classification, &w.catalog, &cluster, &mcfg(4), &ccfg, 1);
+    kout.alloc
+        .validate(&w.classification, &cluster)
+        .unwrap_or_else(|e| panic!("deep multilevel-ksafe: invalid allocation: {e}"));
+    assert!(ksafety::is_k_safe(&kout.alloc, &w.classification, 1));
 }
