@@ -72,12 +72,16 @@ pub fn run() -> std::io::Result<()> {
     let quick = std::env::var_os("QCPA_BENCH_QUICK").is_some();
     println!("== Simulator throughput (open-loop events/sec) ==");
 
+    // Quick mode is the check.sh --fast corner: one 16-backend run over
+    // 20k events — big enough that events/sec is signal, small enough
+    // for the inner loop. Quick entries key on `target_events`, so they
+    // only ever trend against other quick corners of the same shape.
     let (target, repeats) = if quick {
-        (1_000.0, 1)
+        (20_000.0, 1)
     } else {
         (TARGET_EVENTS, 5)
     };
-    let sizes: [usize; 3] = [16, 64, 256];
+    let sizes: &[usize] = if quick { &[16] } else { &[16, 64, 256] };
 
     let w = tpcapp(100);
     let journal = w.journal(100);
@@ -110,7 +114,7 @@ pub fn run() -> std::io::Result<()> {
     let mut total_events = 0usize;
     let mut total_secs = 0.0f64;
     let mut total_off_secs = 0.0f64;
-    for &n in &sizes {
+    for &n in sizes {
         let cluster = ClusterSpec::homogeneous(n);
         let alloc = greedy::allocate(&cw.classification, &w.catalog, &cluster);
         let mut rng = ChaCha8Rng::seed_from_u64(SEED);

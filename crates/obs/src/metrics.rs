@@ -159,8 +159,12 @@ impl Histogram {
     }
 
     /// The value at quantile `q` in `[0, 1]`, reconstructed from the
-    /// bucket counts (exact for `q = 1`, which returns the tracked
-    /// maximum). Returns `None` on an empty histogram.
+    /// bucket counts. Exact at the rank extremes: a rank that lands on
+    /// the first or last observation returns the tracked minimum or
+    /// maximum rather than a bucket midpoint — which also makes counts
+    /// 0 and 1 exact (`None` and the single observation), and any
+    /// quantile with `q > 1 - 1/count` (e.g. p999 below 1000 samples)
+    /// exact. Returns `None` on an empty histogram.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         if self.count == 0 {
             return None;
@@ -171,6 +175,12 @@ impl Histogram {
         // Rank of the target observation, 1-based ceil like the
         // nearest-rank definition.
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return Some(self.max);
+        }
+        if rank == 1 {
+            return Some(self.min);
+        }
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -455,6 +465,58 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a.summary(), both.summary());
+    }
+
+    /// Table-driven pin of the nearest-rank edge cases: the first and
+    /// last ranks are exact (tracked min/max), including the degenerate
+    /// counts 0 and 1 and any `q` whose rank saturates at `count`
+    /// (p999 under 1000 samples).
+    #[test]
+    fn quantile_rank_extremes_are_exact() {
+        // (observations, q, expected)
+        let cases: &[(&[f64], f64, Option<f64>)] = &[
+            (&[], 0.5, None),
+            (&[], 0.999, None),
+            // A single observation is every quantile, exactly — even
+            // when it sits mid-bucket, far from the bucket midpoint.
+            (&[3.7], 0.0, Some(3.7)),
+            (&[3.7], 0.5, Some(3.7)),
+            (&[3.7], 0.95, Some(3.7)),
+            (&[3.7], 0.999, Some(3.7)),
+            (&[3.7], 1.0, Some(3.7)),
+            // Two observations: rank 1 → min, rank 2 → max, exactly.
+            (&[1.3, 9.1], 0.25, Some(1.3)),
+            (&[1.3, 9.1], 0.5, Some(1.3)),
+            (&[1.3, 9.1], 0.75, Some(9.1)),
+            (&[1.3, 9.1], 0.999, Some(9.1)),
+            // Ten observations: p999 rank saturates at count → max.
+            (
+                &[0.11, 0.22, 0.33, 0.44, 0.55, 0.66, 0.77, 0.88, 0.99, 1.23],
+                0.999,
+                Some(1.23),
+            ),
+            // ...and p05 lands on rank 1 → min.
+            (
+                &[0.11, 0.22, 0.33, 0.44, 0.55, 0.66, 0.77, 0.88, 0.99, 1.23],
+                0.05,
+                Some(0.11),
+            ),
+        ];
+        for &(obs, q, want) in cases {
+            let mut h = Histogram::new();
+            for &v in obs {
+                h.record(v);
+            }
+            assert_eq!(h.quantile(q), want, "obs={obs:?} q={q}");
+        }
+        // Below 1000 samples p999's rank saturates at the count: exact
+        // max (at exactly 1000, rank 999 is a genuine interior rank).
+        let mut h = Histogram::new();
+        for i in 1..=999 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.quantile(0.999), Some(999.0));
+        assert_eq!(h.quantile(0.0005), Some(1.0));
     }
 
     #[test]

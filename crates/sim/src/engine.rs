@@ -14,6 +14,7 @@ use qcpa_core::cluster::ClusterSpec;
 use qcpa_core::fragment::Catalog;
 use qcpa_core::journal::QueryKind;
 
+use crate::queue::{EventQueue, QueueKind, SimQueue};
 use crate::request::Request;
 use crate::scheduler::Scheduler;
 use crate::service::{LocalityModel, ServiceProfile};
@@ -189,36 +190,46 @@ pub fn run_batch(
 /// * `idle` — backends already free at the current time. They all have
 ///   zero pending work, so the scheduler's tie-break (lowest index)
 ///   makes the answer `idle.first()`.
-/// * `heap` — a lazy min-heap of `(free_at, backend)` for the rest.
-///   Entries are never removed on update; a popped entry that disagrees
-///   with the live `free_at` value is stale and skipped. Keys are the
-///   raw IEEE bits, whose order matches the numeric order for the
-///   non-negative release times.
+/// * `queue` — a lazy min-queue of `(free_at_bits, backend)` events for
+///   the rest, running on the pluggable [`SimQueue`] (binary heap or
+///   calendar queue, see [`crate::queue`]). Entries are never removed
+///   on update; a popped entry that disagrees with the live `free_at`
+///   value is stale and skipped. Keys are the raw IEEE bits, whose
+///   order matches the numeric order for the non-negative release
+///   times, and the backend index doubles as the FIFO tie-break `seq`,
+///   reproducing the scheduler's lowest-index rule exactly.
+///
+/// Since the index only ever answers full-cluster reads, the open-loop
+/// core builds it *lazily*: workloads where no read class is eligible
+/// on every backend (any partial allocation) never pay the per-leg
+/// `touch` — which is what made update fan-out O(log n) per leg before
+/// the rewrite.
 struct PendingIndex {
     idle: std::collections::BTreeSet<usize>,
-    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+    queue: SimQueue,
 }
 
 impl PendingIndex {
-    fn new(free_at: &[f64]) -> Self {
-        let mut heap = std::collections::BinaryHeap::with_capacity(free_at.len() * 2);
+    fn new(free_at: &[f64], kind: QueueKind) -> Self {
+        let mut queue = SimQueue::with_capacity(kind, free_at.len() * 2);
         for (b, &f) in free_at.iter().enumerate() {
-            heap.push(std::cmp::Reverse((f.to_bits(), b)));
+            queue.push(f.to_bits(), b as u64);
         }
         Self {
             idle: std::collections::BTreeSet::new(),
-            heap,
+            queue,
         }
     }
 
     /// Moves every backend whose release time has passed `t` into the
-    /// idle tier. Amortized O(log n): each heap entry is popped once.
+    /// idle tier. Amortized O(log n): each queued entry is popped once.
     fn advance(&mut self, free_at: &[f64], t: f64) {
-        while let Some(&std::cmp::Reverse((bits, b))) = self.heap.peek() {
+        while let Some((bits, b)) = self.queue.peek() {
+            let b = b as usize;
             if bits != free_at[b].to_bits() {
-                self.heap.pop(); // stale entry superseded by a later push
+                self.queue.pop(); // stale entry superseded by a later push
             } else if f64::from_bits(bits) <= t {
-                self.heap.pop();
+                self.queue.pop();
                 self.idle.insert(b);
             } else {
                 break;
@@ -233,9 +244,10 @@ impl PendingIndex {
         if let Some(&b) = self.idle.first() {
             return Some(b);
         }
-        while let Some(&std::cmp::Reverse((bits, b))) = self.heap.peek() {
+        while let Some((bits, b)) = self.queue.peek() {
+            let b = b as usize;
             if bits != free_at[b].to_bits() {
-                self.heap.pop();
+                self.queue.pop();
             } else {
                 return Some(b);
             }
@@ -247,7 +259,7 @@ impl PendingIndex {
     /// `new_free` (which never decreases).
     fn touch(&mut self, b: usize, new_free: f64) {
         self.idle.remove(&b);
-        self.heap.push(std::cmp::Reverse((new_free.to_bits(), b)));
+        self.queue.push(new_free.to_bits(), b as u64);
     }
 }
 
@@ -392,7 +404,8 @@ pub fn run_open(
 /// index) record `request → queue → service` span trees (updates: one
 /// `leg` span per replica) into `tracer`'s [`qcpa_obs::TraceTree`] on
 /// the sim clock. `None` — or a tracer with `QCPA_TRACE_SAMPLE=0` —
-/// costs one branch per request.
+/// costs nothing per request (the sampling check is hoisted out of the
+/// loop).
 #[allow(clippy::too_many_arguments)]
 pub fn run_open_traced(
     alloc: &Allocation,
@@ -402,7 +415,36 @@ pub fn run_open_traced(
     requests: &[Request],
     warmup_backlog: f64,
     cfg: &SimConfig,
+    tracer: Option<&mut qcpa_obs::Tracer>,
+) -> OpenReport {
+    run_open_with(
+        alloc,
+        cls,
+        cluster,
+        catalog,
+        requests,
+        warmup_backlog,
+        cfg,
+        tracer,
+        QueueKind::from_env(),
+    )
+}
+
+/// [`run_open_traced`] with an explicit event-queue implementation,
+/// bypassing the `QCPA_SIM_QUEUE` knob — the entry point the
+/// differential suite uses to pit the implementations against each
+/// other without touching process environment.
+#[allow(clippy::too_many_arguments)]
+pub fn run_open_with(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    requests: &[Request],
+    warmup_backlog: f64,
+    cfg: &SimConfig,
     mut tracer: Option<&mut qcpa_obs::Tracer>,
+    kind: QueueKind,
 ) -> OpenReport {
     let _span = qcpa_obs::span("sim", "run_open");
     if let Some(tr) = tracer.as_deref_mut() {
@@ -415,101 +457,214 @@ pub fn run_open_traced(
     let scheduler = Scheduler::new(alloc, cls);
     let profile = ServiceProfile::new(alloc, cluster, catalog, cfg.locality);
     let n = cluster.len();
+    let (outcomes, busy) = open_loop_core(
+        &scheduler,
+        &profile,
+        n,
+        requests,
+        warmup_backlog,
+        cfg,
+        kind,
+        tracer,
+    );
+    finish_open_report(requests, &outcomes, busy)
+}
+
+/// One routed request's contribution to the report: its index in the
+/// driving request slice, and the values the baseline engine recorded
+/// for it (queueing delay at dispatch, response time). Reads that found
+/// no eligible backend and updates with an empty ROWA set produce no
+/// outcome, exactly as they produced no records before.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CoreOutcome {
+    /// Index into the request slice the core was driven with.
+    pub(crate) req: u32,
+    /// Arrival time.
+    pub(crate) arrival: f64,
+    /// Queueing delay at the (primary) backend when dispatched.
+    pub(crate) queue_delay: f64,
+    /// Response time.
+    pub(crate) response: f64,
+}
+
+/// The open-loop hot path: routes `requests` (sorted by arrival),
+/// advances per-backend release times, and returns the per-request
+/// outcomes plus per-backend busy seconds. All statistics,
+/// histogramming, and registry traffic live in the callers so the
+/// sharded runner can merge outcomes from several cores in global
+/// arrival order and rebuild bit-identical aggregates.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn open_loop_core(
+    scheduler: &Scheduler,
+    profile: &ServiceProfile,
+    n: usize,
+    requests: &[Request],
+    warmup_backlog: f64,
+    cfg: &SimConfig,
+    kind: QueueKind,
+    mut tracer: Option<&mut qcpa_obs::Tracer>,
+) -> (Vec<CoreOutcome>, Vec<f64>) {
     let mut free_at = vec![warmup_backlog.max(0.0); n];
     let mut busy = vec![0.0f64; n];
-    let mut responses = Vec::with_capacity(requests.len());
-    // Local histograms keep the per-request cost to two array
-    // increments; they are merged into the global registry once at the
-    // end of the run.
-    let mut resp_hist = qcpa_obs::Histogram::new();
-    let mut queue_hist = qcpa_obs::Histogram::new();
+    let mut outcomes = Vec::with_capacity(requests.len());
 
-    let mut index = PendingIndex::new(&free_at);
+    // Per-class dispatch tables, hoisted out of the per-request loop.
+    let nc = scheduler.n_classes();
+    // Whether a read class's eligible set is the whole cluster — the
+    // only case the pending index answers.
+    let mut full_set = vec![false; nc];
+    // An update's service multiplier on its primary (first) and
+    // secondary legs, resolving the propagation-protocol match once.
+    let mut first_mult = vec![1.0f64; nc];
+    let mut rest_mult = vec![1.0f64; nc];
+    for c in 0..nc {
+        let id = qcpa_core::ClassId(c as u32);
+        full_set[c] = scheduler.read_targets(id).len() == n;
+        let targets = scheduler.route_update(id);
+        let sync = match cfg.propagation {
+            UpdatePropagation::Rowa => 1.0 + cfg.rowa_overhead * (targets.len() as f64 - 1.0),
+            _ => 1.0,
+        };
+        first_mult[c] = sync;
+        rest_mult[c] = match cfg.propagation {
+            UpdatePropagation::Lazy { batching_discount } => batching_discount,
+            _ => sync,
+        };
+    }
+    let rowa_response = matches!(cfg.propagation, UpdatePropagation::Rowa);
+    // The index is only consulted for full-cluster reads; when no class
+    // can ask, skip its per-leg maintenance entirely.
+    let mut index = full_set
+        .iter()
+        .any(|&f| f)
+        .then(|| PendingIndex::new(&free_at, kind));
+    // Hoisted tracer gate: a disabled sampler (`QCPA_TRACE_SAMPLE=0`,
+    // the production setting) costs nothing per request.
+    let trace_on = tracer.as_deref().is_some_and(|tr| tr.enabled());
+
     let mut last_t = 0.0f64;
     for (req_id, r) in requests.iter().enumerate() {
         debug_assert!(r.arrival >= last_t, "arrivals must be sorted");
         last_t = r.arrival;
         let t = r.arrival;
-        let req_id = req_id as u64;
-        // Pending work is derived from release times on demand — no
-        // per-request vector, and only the probed backends are touched.
-        let pending_at = |b: usize, free_at: &[f64]| (free_at[b] - t).max(0.0);
+        let cid = r.class.idx();
         match r.kind {
             QueryKind::Read => {
                 // Full-cluster eligible set: answer from the index in
                 // O(log n). Restricted set: probe just those targets.
-                let routed = if scheduler.read_targets(r.class).len() == n {
-                    index.advance(&free_at, t);
-                    index.least_pending(&free_at)
-                } else {
-                    scheduler.route_read_with(r.class, |b| pending_at(b, &free_at))
+                let routed = match index.as_mut() {
+                    Some(idx) if full_set[cid] => {
+                        idx.advance(&free_at, t);
+                        idx.least_pending(&free_at)
+                    }
+                    _ => scheduler.route_read_with(r.class, |b| (free_at[b] - t).max(0.0)),
                 };
                 if let Some(b) = routed {
                     let svc = profile.effective(b, r.service);
+                    let queue_delay = (free_at[b] - t).max(0.0);
                     let begin = free_at[b].max(t);
                     let done = begin + svc;
-                    queue_hist.record(pending_at(b, &free_at));
                     free_at[b] = done;
-                    index.touch(b, done);
+                    if let Some(idx) = index.as_mut() {
+                        idx.touch(b, done);
+                    }
                     busy[b] += svc;
-                    resp_hist.record(done - t);
-                    responses.push((t, done - t));
-                    if let Some(tr) = tracer.as_deref_mut() {
-                        if tr.admit(req_id) {
-                            trace_leg(tr, req_id, "read", r.class.0, b, t, begin, done);
+                    outcomes.push(CoreOutcome {
+                        req: req_id as u32,
+                        arrival: t,
+                        queue_delay,
+                        response: done - t,
+                    });
+                    if trace_on {
+                        if let Some(tr) = tracer.as_deref_mut() {
+                            let req = req_id as u64;
+                            if tr.admit(req) {
+                                trace_leg(tr, req, "read", r.class.0, b, t, begin, done);
+                            }
                         }
                     }
                 }
             }
             QueryKind::Update => {
                 let targets = scheduler.route_update(r.class);
-                let sync = match cfg.propagation {
-                    UpdatePropagation::Rowa => {
-                        1.0 + cfg.rowa_overhead * (targets.len() as f64 - 1.0)
-                    }
-                    _ => 1.0,
+                let Some((&b0, rest)) = targets.split_first() else {
+                    continue; // empty ROWA set: no legs, no record
                 };
-                let trace_this = tracer.as_ref().is_some_and(|tr| tr.admit(req_id));
+                let trace_this =
+                    trace_on && tracer.as_ref().is_some_and(|tr| tr.admit(req_id as u64));
                 let mut legs: Vec<(usize, f64, f64)> = Vec::new();
-                let mut done_all: f64 = t;
-                let mut done_primary: f64 = t;
-                for (i, &b) in targets.iter().enumerate() {
-                    let mult = match cfg.propagation {
-                        UpdatePropagation::Lazy { batching_discount } if i > 0 => batching_discount,
-                        _ => sync,
-                    };
-                    let svc = profile.effective(b, r.service) * mult;
-                    if i == 0 {
-                        queue_hist.record(pending_at(b, &free_at));
-                    }
+                // Primary leg, peeled: it alone sets the queueing delay
+                // and the primary-copy response.
+                let svc0 = profile.effective(b0, r.service) * first_mult[cid];
+                let queue_delay = (free_at[b0] - t).max(0.0);
+                let begin0 = free_at[b0].max(t);
+                let done_primary = begin0 + svc0;
+                free_at[b0] = done_primary;
+                if let Some(idx) = index.as_mut() {
+                    idx.touch(b0, done_primary);
+                }
+                busy[b0] += svc0;
+                let mut done_all = t.max(done_primary);
+                if trace_this {
+                    legs.push((b0, begin0, done_primary));
+                }
+                let rm = rest_mult[cid];
+                for &b in rest {
+                    let svc = profile.effective(b, r.service) * rm;
                     let begin = free_at[b].max(t);
                     let done = begin + svc;
                     free_at[b] = done;
-                    index.touch(b, done);
+                    if let Some(idx) = index.as_mut() {
+                        idx.touch(b, done);
+                    }
                     busy[b] += svc;
                     done_all = done_all.max(done);
-                    if i == 0 {
-                        done_primary = done;
-                    }
                     if trace_this {
                         legs.push((b, begin, done));
                     }
                 }
-                let response = match cfg.propagation {
-                    UpdatePropagation::Rowa => done_all - t,
-                    _ => done_primary - t,
+                let response = if rowa_response {
+                    done_all - t
+                } else {
+                    done_primary - t
                 };
-                if !targets.is_empty() {
-                    resp_hist.record(response);
-                    responses.push((t, response));
-                    if trace_this {
-                        if let Some(tr) = tracer.as_deref_mut() {
-                            trace_update(tr, req_id, r.class.0, t, t + response, &legs);
-                        }
+                outcomes.push(CoreOutcome {
+                    req: req_id as u32,
+                    arrival: t,
+                    queue_delay,
+                    response,
+                });
+                if trace_this {
+                    if let Some(tr) = tracer.as_deref_mut() {
+                        trace_update(tr, req_id as u64, r.class.0, t, t + response, &legs);
                     }
                 }
             }
         }
+    }
+    (outcomes, busy)
+}
+
+/// Builds the [`OpenReport`] (and publishes the run's registry
+/// telemetry) from core outcomes. `outcomes` must be in global arrival
+/// order — the histogram accumulation order is part of the bit-identity
+/// contract with the baseline engine. `requests` is the *full* driving
+/// slice (its last arrival defines the utilization window).
+pub(crate) fn finish_open_report(
+    requests: &[Request],
+    outcomes: &[CoreOutcome],
+    busy: Vec<f64>,
+) -> OpenReport {
+    // Local histograms keep the per-request cost to two array
+    // increments; they are merged into the global registry once at the
+    // end of the run.
+    let mut resp_hist = qcpa_obs::Histogram::new();
+    let mut queue_hist = qcpa_obs::Histogram::new();
+    let mut responses = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        queue_hist.record(o.queue_delay);
+        resp_hist.record(o.response);
+        responses.push((o.arrival, o.response));
     }
 
     let mut resp: Vec<f64> = responses.iter().map(|&(_, r)| r).collect();
@@ -719,39 +874,41 @@ mod tests {
         );
     }
 
-    /// The heap/idle-set index answers exactly like a naive full scan
+    /// The queue/idle-set index answers exactly like a naive full scan
     /// with the scheduler's tie-break, across growing time and random
-    /// dispatches.
+    /// dispatches — on both event-queue implementations.
     #[test]
     fn pending_index_matches_linear_scan() {
         use rand::Rng;
-        let n = 8;
-        let mut rng = ChaCha8Rng::seed_from_u64(42);
-        let mut free_at = vec![0.5f64; n];
-        let mut index = PendingIndex::new(&free_at);
-        let mut t = 0.0;
-        for _ in 0..2_000 {
-            t += rng.gen_range(0.0..0.02);
-            index.advance(&free_at, t);
-            let fast = index.least_pending(&free_at).unwrap();
-            let naive = (0..n)
-                .min_by(|&a, &b| {
-                    let pa = (free_at[a] - t).max(0.0);
-                    let pb = (free_at[b] - t).max(0.0);
-                    pa.partial_cmp(&pb).unwrap().then(a.cmp(&b))
-                })
-                .unwrap();
-            assert_eq!(fast, naive, "t={t}");
-            // Dispatch to the chosen backend, sometimes to a random one
-            // too (update fan-out touches non-minimal backends).
-            let done = free_at[fast].max(t) + rng.gen_range(0.001..0.05);
-            free_at[fast] = done;
-            index.touch(fast, done);
-            if rng.gen_bool(0.3) {
-                let b = rng.gen_range(0..n);
-                let done = free_at[b].max(t) + rng.gen_range(0.001..0.05);
-                free_at[b] = done;
-                index.touch(b, done);
+        for kind in [QueueKind::Heap, QueueKind::Calendar] {
+            let n = 8;
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            let mut free_at = vec![0.5f64; n];
+            let mut index = PendingIndex::new(&free_at, kind);
+            let mut t = 0.0;
+            for _ in 0..2_000 {
+                t += rng.gen_range(0.0..0.02);
+                index.advance(&free_at, t);
+                let fast = index.least_pending(&free_at).unwrap();
+                let naive = (0..n)
+                    .min_by(|&a, &b| {
+                        let pa = (free_at[a] - t).max(0.0);
+                        let pb = (free_at[b] - t).max(0.0);
+                        pa.partial_cmp(&pb).unwrap().then(a.cmp(&b))
+                    })
+                    .unwrap();
+                assert_eq!(fast, naive, "kind={kind:?} t={t}");
+                // Dispatch to the chosen backend, sometimes to a random
+                // one too (update fan-out touches non-minimal backends).
+                let done = free_at[fast].max(t) + rng.gen_range(0.001..0.05);
+                free_at[fast] = done;
+                index.touch(fast, done);
+                if rng.gen_bool(0.3) {
+                    let b = rng.gen_range(0..n);
+                    let done = free_at[b].max(t) + rng.gen_range(0.001..0.05);
+                    free_at[b] = done;
+                    index.touch(b, done);
+                }
             }
         }
     }

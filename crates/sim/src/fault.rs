@@ -42,6 +42,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::arena::{LegArena, LegList, LegRef};
 use crate::engine::{nearest_rank, SimConfig, UpdatePropagation};
 use crate::request::Request;
 use crate::scheduler::Scheduler;
@@ -437,14 +438,16 @@ struct Leg {
     primary: bool,
 }
 
-/// A request's lifetime across dispatches and re-dispatches.
-#[derive(Debug, Clone)]
+/// A request's lifetime across dispatches and re-dispatches. Legs live
+/// in the run's shared [`LegArena`]; the request holds only the chain
+/// head.
+#[derive(Debug, Clone, Copy)]
 struct OpenReq {
     arrival: f64,
     class: ClassId,
     kind: QueryKind,
     service: f64,
-    legs: Vec<Leg>,
+    legs: LegList,
     redispatches: u32,
 }
 
@@ -508,6 +511,7 @@ fn trace_fault_request(
     tr: &mut qcpa_obs::Tracer,
     req: u64,
     r: &OpenReq,
+    leg_arena: &LegArena<Leg>,
     completion: Option<f64>,
     fault_track: u32,
 ) {
@@ -515,7 +519,10 @@ fn trace_fault_request(
         QueryKind::Read => "read",
         QueryKind::Update => "update",
     };
-    let track = r.legs.first().map_or(fault_track, |l| l.backend as u32);
+    let track = leg_arena
+        .iter(r.legs)
+        .next()
+        .map_or(fault_track, |l| l.backend as u32);
     let root = tr
         .tree
         .begin(tr.span_id(req, 0), None, "request", name, track, r.arrival);
@@ -525,7 +532,7 @@ fn trace_fault_request(
     if completion.is_none() {
         tr.tree.arg(root, "lost", "true");
     }
-    for (i, leg) in r.legs.iter().enumerate() {
+    for (i, leg) in leg_arena.iter(r.legs).enumerate() {
         let s = tr.tree.begin(
             tr.span_id(req, 1 + i as u64),
             Some(root),
@@ -615,7 +622,8 @@ pub fn run_open_faults_traced(
     let mut free_at = vec![warmup_backlog.max(0.0); n];
     let mut busy = vec![0.0f64; n];
     let mut arena: Vec<OpenReq> = Vec::with_capacity(requests.len());
-    let mut inflight: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    let mut leg_arena: LegArena<Leg> = LegArena::with_capacity(requests.len() * 2);
+    let mut inflight: Vec<Vec<(usize, LegRef)>> = vec![Vec::new(); n];
     let mut scheduler = Scheduler::new(&current, cls);
     let mut profile = ServiceProfile::new(&current, cluster, catalog, cfg.locality);
 
@@ -637,7 +645,8 @@ pub fn run_open_faults_traced(
         profile: &ServiceProfile,
         cfg: &SimConfig,
         arena: &mut [OpenReq],
-        inflight: &mut [Vec<(usize, usize)>],
+        leg_arena: &mut LegArena<Leg>,
+        inflight: &mut [Vec<(usize, LegRef)>],
         free_at: &mut [f64],
         busy: &mut [f64],
     ) -> bool {
@@ -653,14 +662,17 @@ pub fn run_open_faults_traced(
                 let end = free_at[b].max(t) + svc;
                 free_at[b] = end;
                 busy[b] += svc;
-                arena[idx].legs.push(Leg {
-                    backend: b,
-                    end,
-                    svc,
-                    voided: false,
-                    primary: true,
-                });
-                inflight[b].push((idx, arena[idx].legs.len() - 1));
+                let lref = leg_arena.push(
+                    &mut arena[idx].legs,
+                    Leg {
+                        backend: b,
+                        end,
+                        svc,
+                        voided: false,
+                        primary: true,
+                    },
+                );
+                inflight[b].push((idx, lref));
                 true
             }
             QueryKind::Update => {
@@ -683,14 +695,17 @@ pub fn run_open_faults_traced(
                     let end = free_at[b].max(t) + svc;
                     free_at[b] = end;
                     busy[b] += svc;
-                    arena[idx].legs.push(Leg {
-                        backend: b,
-                        end,
-                        svc,
-                        voided: false,
-                        primary: i == 0,
-                    });
-                    inflight[b].push((idx, arena[idx].legs.len() - 1));
+                    let lref = leg_arena.push(
+                        &mut arena[idx].legs,
+                        Leg {
+                            backend: b,
+                            end,
+                            svc,
+                            voided: false,
+                            primary: i == 0,
+                        },
+                    );
+                    inflight[b].push((idx, lref));
                 }
                 true
             }
@@ -701,7 +716,8 @@ pub fn run_open_faults_traced(
     let mut ev_i = 0usize;
     let mut apply_event = |e: &FaultEvent,
                            arena: &mut Vec<OpenReq>,
-                           inflight: &mut Vec<Vec<(usize, usize)>>,
+                           leg_arena: &mut LegArena<Leg>,
+                           inflight: &mut Vec<Vec<(usize, LegRef)>>,
                            free_at: &mut Vec<f64>,
                            busy: &mut Vec<f64>,
                            alive: &mut Vec<bool>,
@@ -715,13 +731,13 @@ pub fn run_open_faults_traced(
                 crashes += 1;
                 // Void the legs still running or queued on the casualty
                 // and refund their unperformed work.
-                let legs = std::mem::take(&mut inflight[backend]);
+                let entries = std::mem::take(&mut inflight[backend]);
                 let mut candidates: Vec<usize> = Vec::new();
                 let mut voided = 0usize;
-                for (ri, li) in legs {
-                    let leg = arena[ri].legs[li];
+                for (ri, lref) in entries {
+                    let leg = *leg_arena.get(lref);
                     if leg.end > at {
-                        arena[ri].legs[li].voided = true;
+                        leg_arena.get_mut(lref).voided = true;
                         busy[backend] -= (leg.end - at).min(leg.svc);
                         candidates.push(ri);
                         voided += 1;
@@ -770,13 +786,12 @@ pub fn run_open_faults_traced(
                         let r = &arena[ri];
                         match (r.kind, cfg.propagation) {
                             (QueryKind::Read, _) | (QueryKind::Update, UpdatePropagation::Rowa) => {
-                                r.legs.iter().all(|l| l.voided)
+                                leg_arena.iter(r.legs).all(|l| l.voided)
                             }
-                            (QueryKind::Update, _) => r
-                                .legs
-                                .iter()
-                                .rev()
-                                .find(|l| l.primary)
+                            (QueryKind::Update, _) => leg_arena
+                                .iter(r.legs)
+                                .filter(|l| l.primary)
+                                .last()
                                 .is_none_or(|l| l.voided),
                         }
                     };
@@ -804,7 +819,7 @@ pub fn run_open_faults_traced(
                         }
                     }
                     dispatch_one(
-                        ri, at, scheduler, profile, cfg, arena, inflight, free_at, busy,
+                        ri, at, scheduler, profile, cfg, arena, leg_arena, inflight, free_at, busy,
                     );
                 }
             }
@@ -867,6 +882,7 @@ pub fn run_open_faults_traced(
             apply_event(
                 &events[ev_i],
                 &mut arena,
+                &mut leg_arena,
                 &mut inflight,
                 &mut free_at,
                 &mut busy,
@@ -884,7 +900,7 @@ pub fn run_open_faults_traced(
             class: r.class,
             kind: r.kind,
             service: r.service,
-            legs: Vec::with_capacity(1),
+            legs: LegList::new(),
             redispatches: 0,
         });
         dispatch_one(
@@ -894,6 +910,7 @@ pub fn run_open_faults_traced(
             &profile,
             cfg,
             &mut arena,
+            &mut leg_arena,
             &mut inflight,
             &mut free_at,
             &mut busy,
@@ -904,6 +921,7 @@ pub fn run_open_faults_traced(
         apply_event(
             &events[ev_i],
             &mut arena,
+            &mut leg_arena,
             &mut inflight,
             &mut free_at,
             &mut busy,
@@ -922,20 +940,22 @@ pub fn run_open_faults_traced(
     let mut lost = 0usize;
     for (idx, r) in arena.iter().enumerate() {
         let completion = match (r.kind, cfg.propagation) {
-            (QueryKind::Read, _) => r.legs.iter().rev().find(|l| !l.voided).map(|l| l.end),
-            (QueryKind::Update, UpdatePropagation::Rowa) => r
-                .legs
-                .iter()
+            (QueryKind::Read, _) => leg_arena
+                .iter(r.legs)
+                .filter(|l| !l.voided)
+                .last()
+                .map(|l| l.end),
+            (QueryKind::Update, UpdatePropagation::Rowa) => leg_arena
+                .iter(r.legs)
                 .filter(|l| !l.voided)
                 .map(|l| l.end)
                 .fold(None, |acc: Option<f64>, e| {
                     Some(acc.map_or(e, |a| a.max(e)))
                 }),
-            (QueryKind::Update, _) => r
-                .legs
-                .iter()
-                .rev()
-                .find(|l| l.primary && !l.voided)
+            (QueryKind::Update, _) => leg_arena
+                .iter(r.legs)
+                .filter(|l| l.primary && !l.voided)
+                .last()
                 .map(|l| l.end),
         };
         match completion {
@@ -947,7 +967,7 @@ pub fn run_open_faults_traced(
         }
         if let Some(tr) = tracer.as_deref_mut() {
             if tr.admit(idx as u64) {
-                trace_fault_request(tr, idx as u64, r, completion, fault_track);
+                trace_fault_request(tr, idx as u64, r, &leg_arena, completion, fault_track);
             }
         }
     }

@@ -34,13 +34,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod baseline;
 pub mod engine;
 pub mod fault;
+pub mod queue;
 pub mod request;
 pub mod resilience;
 pub mod scheduler;
 pub mod service;
+pub mod shard;
 
+pub use arena::{LegArena, LegList, LegRef};
 pub use engine::{
     run_batch, run_open, run_open_traced, BatchReport, OpenReport, SimConfig, UpdatePropagation,
 };
@@ -48,6 +53,7 @@ pub use fault::{
     run_open_faults, run_open_faults_traced, FaultConfig, FaultEvent, FaultInjectionConfig,
     FaultPlan, FaultReport, InvalidFaultPlan,
 };
+pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind, SimQueue};
 pub use request::{Request, RequestStream};
 pub use resilience::{
     run_open_resilient, run_open_resilient_traced, OverloadPolicy, ResilienceConfig,

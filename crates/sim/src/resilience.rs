@@ -45,8 +45,7 @@
 //! under any valid fault plan (`lost` exists only to make a violation
 //! visible instead of silent).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use qcpa_core::allocation::Allocation;
 use qcpa_core::classify::Classification;
@@ -58,8 +57,10 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+use crate::arena::{LegArena, LegList, LegRef};
 use crate::engine::{nearest_rank, SimConfig, UpdatePropagation};
 use crate::fault::{reroute, FaultConfig, FaultEvent, FaultPlan};
+use crate::queue::{EventQueue, QueueKind, SimQueue};
 use crate::request::Request;
 use crate::scheduler::Scheduler;
 use crate::service::ServiceProfile;
@@ -572,13 +573,14 @@ enum Outcome {
     TimedOut,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct RReq {
     arrival: f64,
     class: ClassId,
     kind: QueryKind,
     service: f64,
-    legs: Vec<RLeg>,
+    /// Chain head in the run's shared [`LegArena`].
+    legs: LegList,
     attempts: u32,
     retry_pending: bool,
     outcome: Outcome,
@@ -593,21 +595,21 @@ struct QEntry {
     end: f64,
     start: f64,
     req: usize,
-    leg: usize,
+    leg: LegRef,
     weight: f64,
     /// Only not-yet-started read legs may be evicted by
     /// [`OverloadPolicy::ShedLowestWeight`].
     sheddable: bool,
 }
 
-/// A scheduled retry; ordered by `(time bits, sequence)` so the replay
-/// order is total and deterministic (times are non-negative, so the
-/// IEEE bit pattern orders like the value).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct RetryEv {
-    at_bits: u64,
-    seq: u64,
-    req: usize,
+/// Packs a retry's `(sequence, request)` pair into the event queue's
+/// payload word. The sequence is unique and monotone, so ordering by
+/// the packed word reproduces the old `(at_bits, seq, req)` replay
+/// order exactly; both halves stay within 32 bits for any realistic
+/// run (debug-asserted at the push site).
+fn pack_retry(seq: u64, req: usize) -> u64 {
+    debug_assert!(seq < (1 << 32) && req < (1 << 32));
+    (seq << 32) | req as u64
 }
 
 #[derive(Debug, Default)]
@@ -720,8 +722,9 @@ struct Engine<'a> {
     busy: Vec<f64>,
     queues: Vec<VecDeque<QEntry>>,
     arena: Vec<RReq>,
+    leg_arena: LegArena<RLeg>,
     breakers: Breakers,
-    retries: BinaryHeap<Reverse<RetryEv>>,
+    retries: SimQueue,
     retry_seq: u64,
     tally: Tally,
     tracer: Option<&'a mut qcpa_obs::Tracer>,
@@ -782,11 +785,8 @@ impl Engine<'_> {
         if attempts <= self.rcfg.max_retries {
             let delay = self.rcfg.backoff(idx as u64, attempts);
             self.retry_seq += 1;
-            self.retries.push(Reverse(RetryEv {
-                at_bits: (from + delay).to_bits(),
-                seq: self.retry_seq,
-                req: idx,
-            }));
+            self.retries
+                .push((from + delay).to_bits(), pack_retry(self.retry_seq, idx));
             self.arena[idx].retry_pending = true;
             self.tally.retries += 1;
             self.trace_backoff(idx, from, from + delay, attempts);
@@ -900,7 +900,7 @@ impl Engine<'_> {
                         // capacity hole, the same discipline as crash
                         // voiding.
                         self.busy[b] -= ve.end - ve.start;
-                        self.arena[ve.req].legs[ve.leg].voided = true;
+                        self.leg_arena.get_mut(ve.leg).voided = true;
                         self.arena[ve.req].outcome = Outcome::Shed;
                         self.tally.shed += 1;
                         self.tally.shed_victims += 1;
@@ -967,20 +967,23 @@ impl Engine<'_> {
                     let performed = (deadline - start).clamp(0.0, svc);
                     self.busy[b] += performed;
                     self.free_at[b] = start + performed;
-                    self.arena[idx].legs.push(RLeg {
-                        backend: b,
-                        end: start + performed,
-                        svc: performed,
-                        voided: false,
-                        cancelled: true,
-                        primary: true,
-                    });
+                    let lref = self.leg_arena.push(
+                        &mut self.arena[idx].legs,
+                        RLeg {
+                            backend: b,
+                            end: start + performed,
+                            svc: performed,
+                            voided: false,
+                            cancelled: true,
+                            primary: true,
+                        },
+                    );
                     if performed > 0.0 {
                         self.queues[b].push_back(QEntry {
                             end: start + performed,
                             start,
                             req: idx,
-                            leg: self.arena[idx].legs.len() - 1,
+                            leg: lref,
                             weight: f64::INFINITY,
                             sheddable: false,
                         });
@@ -992,19 +995,22 @@ impl Engine<'_> {
                 } else {
                     self.free_at[b] = end;
                     self.busy[b] += svc;
-                    self.arena[idx].legs.push(RLeg {
-                        backend: b,
-                        end,
-                        svc,
-                        voided: false,
-                        cancelled: false,
-                        primary: true,
-                    });
+                    let lref = self.leg_arena.push(
+                        &mut self.arena[idx].legs,
+                        RLeg {
+                            backend: b,
+                            end,
+                            svc,
+                            voided: false,
+                            cancelled: false,
+                            primary: true,
+                        },
+                    );
                     self.queues[b].push_back(QEntry {
                         end,
                         start,
                         req: idx,
-                        leg: self.arena[idx].legs.len() - 1,
+                        leg: lref,
                         weight: self.cls.classes[class.idx()].weight,
                         sheddable: true,
                     });
@@ -1040,19 +1046,22 @@ impl Engine<'_> {
                     let end = start + svc;
                     self.free_at[b] = end;
                     self.busy[b] += svc;
-                    self.arena[idx].legs.push(RLeg {
-                        backend: b,
-                        end,
-                        svc,
-                        voided: false,
-                        cancelled: false,
-                        primary: i == 0,
-                    });
+                    let lref = self.leg_arena.push(
+                        &mut self.arena[idx].legs,
+                        RLeg {
+                            backend: b,
+                            end,
+                            svc,
+                            voided: false,
+                            cancelled: false,
+                            primary: i == 0,
+                        },
+                    );
                     self.queues[b].push_back(QEntry {
                         end,
                         start,
                         req: idx,
-                        leg: self.arena[idx].legs.len() - 1,
+                        leg: lref,
                         weight,
                         sheddable: false,
                     });
@@ -1070,6 +1079,7 @@ fn trace_resilient_request(
     tr: &mut qcpa_obs::Tracer,
     req: u64,
     r: &RReq,
+    leg_arena: &LegArena<RLeg>,
     outcome: &'static str,
     fault_track: u32,
 ) {
@@ -1077,7 +1087,10 @@ fn trace_resilient_request(
         QueryKind::Read => "read",
         QueryKind::Update => "update",
     };
-    let track = r.legs.first().map_or(fault_track, |l| l.backend as u32);
+    let track = leg_arena
+        .iter(r.legs)
+        .next()
+        .map_or(fault_track, |l| l.backend as u32);
     let root = tr
         .tree
         .begin(tr.span_id(req, 0), None, "request", name, track, r.arrival);
@@ -1086,7 +1099,7 @@ fn trace_resilient_request(
     tr.tree.arg(root, "outcome", outcome);
     tr.tree.arg(root, "attempts", r.attempts);
     let mut end = r.arrival;
-    for (i, leg) in r.legs.iter().enumerate() {
+    for (i, leg) in leg_arena.iter(r.legs).enumerate() {
         let s = tr.tree.begin(
             tr.span_id(req, 1 + i as u64),
             Some(root),
@@ -1195,8 +1208,9 @@ pub fn run_open_resilient_traced(
         busy: vec![0.0; n],
         queues: vec![VecDeque::new(); n],
         arena: Vec::with_capacity(requests.len()),
+        leg_arena: LegArena::with_capacity(requests.len() * 2),
         breakers: Breakers::new(n, rcfg),
-        retries: BinaryHeap::new(),
+        retries: SimQueue::with_capacity(QueueKind::from_env(), 0),
         retry_seq: 0,
         tally: Tally::default(),
         tracer,
@@ -1226,7 +1240,7 @@ pub fn run_open_resilient_traced(
         let tr = eng
             .retries
             .peek()
-            .map(|Reverse(ev)| f64::from_bits(ev.at_bits))
+            .map(|(bits, _)| f64::from_bits(bits))
             .unwrap_or(f64::INFINITY);
         if ta.is_infinite() && te.is_infinite() && tr.is_infinite() {
             break;
@@ -1246,8 +1260,8 @@ pub fn run_open_resilient_traced(
                     let mut voided = 0usize;
                     for qe in entries {
                         if qe.end > at {
-                            let leg = eng.arena[qe.req].legs[qe.leg];
-                            eng.arena[qe.req].legs[qe.leg].voided = true;
+                            let leg = *eng.leg_arena.get(qe.leg);
+                            eng.leg_arena.get_mut(qe.leg).voided = true;
                             eng.busy[backend] -= (leg.end - at).min(leg.svc);
                             candidates.push(qe.req);
                             voided += 1;
@@ -1301,15 +1315,16 @@ pub fn run_open_resilient_traced(
                             } else {
                                 match (r.kind, cfg.propagation) {
                                     (QueryKind::Read, _)
-                                    | (QueryKind::Update, UpdatePropagation::Rowa) => {
-                                        r.legs.iter().filter(|l| !l.cancelled).all(|l| l.voided)
-                                    }
-                                    (QueryKind::Update, _) => r
-                                        .legs
-                                        .iter()
-                                        .rev()
+                                    | (QueryKind::Update, UpdatePropagation::Rowa) => eng
+                                        .leg_arena
+                                        .iter(r.legs)
                                         .filter(|l| !l.cancelled)
-                                        .find(|l| l.primary)
+                                        .all(|l| l.voided),
+                                    (QueryKind::Update, _) => eng
+                                        .leg_arena
+                                        .iter(r.legs)
+                                        .filter(|l| !l.cancelled && l.primary)
+                                        .last()
                                         .is_none_or(|l| l.voided),
                                 }
                             }
@@ -1374,8 +1389,9 @@ pub fn run_open_resilient_traced(
             }
             availability.push((e.at(), eng.alive.iter().filter(|&&a| a).count()));
         } else if tr <= ta {
-            let Reverse(ev) = eng.retries.pop().expect("peeked retry exists");
-            eng.dispatch(ev.req, f64::from_bits(ev.at_bits));
+            if let Some((bits, packed)) = eng.retries.pop() {
+                eng.dispatch((packed & 0xFFFF_FFFF) as usize, f64::from_bits(bits));
+            }
         } else {
             let r = &requests[req_i];
             req_i += 1;
@@ -1389,7 +1405,7 @@ pub fn run_open_resilient_traced(
                 class: r.class,
                 kind: r.kind,
                 service: r.service,
-                legs: Vec::with_capacity(1),
+                legs: LegList::new(),
                 attempts: 0,
                 retry_pending: false,
                 outcome: Outcome::Pending,
@@ -1437,20 +1453,25 @@ pub fn run_open_resilient_traced(
             Outcome::Pending => {
                 let live = |l: &&RLeg| !l.voided && !l.cancelled;
                 let completion = match (r.kind, cfg.propagation) {
-                    (QueryKind::Read, _) => r.legs.iter().rev().find(live).map(|l| l.end),
-                    (QueryKind::Update, UpdatePropagation::Rowa) => r
-                        .legs
-                        .iter()
+                    (QueryKind::Read, _) => eng
+                        .leg_arena
+                        .iter(r.legs)
+                        .filter(live)
+                        .last()
+                        .map(|l| l.end),
+                    (QueryKind::Update, UpdatePropagation::Rowa) => eng
+                        .leg_arena
+                        .iter(r.legs)
                         .filter(live)
                         .map(|l| l.end)
                         .fold(None, |acc: Option<f64>, e| {
                             Some(acc.map_or(e, |a| a.max(e)))
                         }),
-                    (QueryKind::Update, _) => r
-                        .legs
-                        .iter()
-                        .rev()
-                        .find(|l| l.primary && !l.voided && !l.cancelled)
+                    (QueryKind::Update, _) => eng
+                        .leg_arena
+                        .iter(r.legs)
+                        .filter(|l| l.primary && !l.voided && !l.cancelled)
+                        .last()
                         .map(|l| l.end),
                 };
                 match completion {
@@ -1469,7 +1490,7 @@ pub fn run_open_resilient_traced(
         };
         if let Some(tr) = tracer.as_deref_mut() {
             if tr.admit(idx as u64) {
-                trace_resilient_request(tr, idx as u64, r, outcome, fault_track);
+                trace_resilient_request(tr, idx as u64, r, &eng.leg_arena, outcome, fault_track);
             }
         }
     }

@@ -163,6 +163,12 @@ impl Scheduler {
         &self.update_targets[c.idx()]
     }
 
+    /// Number of query classes the tables are sized for (class ids are
+    /// dense, so this bounds every valid `ClassId::idx`).
+    pub fn n_classes(&self) -> usize {
+        self.read_targets.len()
+    }
+
     /// Eligible backends for a read class (diagnostics).
     pub fn read_targets(&self, c: ClassId) -> &[usize] {
         &self.read_targets[c.idx()]

@@ -1,0 +1,318 @@
+//! Sharded open-loop runs: partition the cluster into independent
+//! backend components and simulate them on [`qcpa_par`] workers.
+//!
+//! Two backends interact in [`crate::engine::run_open`] only if some
+//! query class can touch both — a read routed between them, or an
+//! update fanned out across them. Union-find over every class's target
+//! sets therefore splits the cluster into **connected components**
+//! whose simulations are completely independent: a request only ever
+//! probes and advances the release times of its own component.
+//!
+//! [`run_open_sharded`] exploits that:
+//!
+//! 1. classes (and with them requests) are assigned to components;
+//! 2. each component replays *its* request subsequence through the
+//!    same [`crate::engine`] hot path, on a [`qcpa_par::Pool`] of up to
+//!    `shards` workers (`QCPA_SIM_SHARDS` via [`shards_from_env`]);
+//! 3. the per-request outcomes are merged back **by original arrival
+//!    index** and the report's histograms/statistics are rebuilt in
+//!    that global order.
+//!
+//! The merge contract makes the result *bit-identical* to the
+//! single-threaded [`crate::engine::run_open`] at every worker count:
+//! outcome values are unchanged (a component's release times never
+//! depend on another component's requests), and every order-sensitive
+//! f64 accumulation — histogram sums, the mean, per-backend busy —
+//! replays in the exact sequence the unsharded loop used.
+//! `tests/sim_equivalence.rs` holds that gate across shard counts and
+//! `QCPA_THREADS`.
+//!
+//! A workload whose class graph is one component (e.g. any class
+//! eligible on every backend) degenerates to the plain engine run —
+//! sharding never changes results, it only buys wall-clock when the
+//! allocation actually decomposes.
+
+use qcpa_core::allocation::Allocation;
+use qcpa_core::classify::Classification;
+use qcpa_core::cluster::ClusterSpec;
+use qcpa_core::fragment::Catalog;
+use qcpa_core::journal::QueryKind;
+
+use crate::engine::{finish_open_report, open_loop_core, CoreOutcome, OpenReport, SimConfig};
+use crate::queue::QueueKind;
+use crate::request::Request;
+use crate::scheduler::Scheduler;
+use crate::service::ServiceProfile;
+
+/// Reads `QCPA_SIM_SHARDS`: the maximum number of parallel workers a
+/// sharded run may use. Unset, unparsable, or `0` means 1 (serial).
+#[must_use]
+pub fn shards_from_env() -> usize {
+    std::env::var("QCPA_SIM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1)
+}
+
+/// Union-find with path halving; union by smaller root so component
+/// representatives are the lowest backend index they contain.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// The connected components of the backend-interaction graph under
+/// `scheduler`'s routing tables: `component[b]` is a dense id in
+/// `0..n_components`, numbered in order of lowest member backend.
+/// Classes whose targets span several backends weld them together;
+/// backends no class touches each form a singleton.
+#[must_use]
+pub fn backend_components(scheduler: &Scheduler, cls: &Classification, n: usize) -> Vec<usize> {
+    let mut uf = UnionFind::new(n);
+    for c in &cls.classes {
+        let weld = |uf: &mut UnionFind, targets: &[usize]| {
+            for w in targets.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+        };
+        match c.kind {
+            QueryKind::Read => {
+                weld(&mut uf, scheduler.read_targets(c.id));
+                // Degraded routing may fall back to any capable backend;
+                // welding the superset keeps the split conservative.
+                weld(&mut uf, scheduler.capable_read_targets(c.id));
+            }
+            QueryKind::Update => weld(&mut uf, scheduler.route_update(c.id)),
+        }
+    }
+    let mut component = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for b in 0..n {
+        let root = uf.find(b);
+        if component[root] == usize::MAX {
+            component[root] = next;
+            next += 1;
+        }
+        component[b] = component[root];
+    }
+    component
+}
+
+/// [`crate::engine::run_open`] over backend components on up to
+/// `shards` [`qcpa_par`] workers — bit-identical to the unsharded run
+/// (see the module docs for the merge contract). Tracing is not
+/// supported here; use the unsharded [`crate::engine::run_open_traced`]
+/// when a trace is wanted.
+#[allow(clippy::too_many_arguments)]
+pub fn run_open_sharded(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    requests: &[Request],
+    warmup_backlog: f64,
+    cfg: &SimConfig,
+    shards: usize,
+) -> OpenReport {
+    let _span = qcpa_obs::span("sim", "run_open_sharded");
+    let scheduler = Scheduler::new(alloc, cls);
+    let profile = ServiceProfile::new(alloc, cluster, catalog, cfg.locality);
+    let n = cluster.len();
+    let kind = QueueKind::from_env();
+
+    let component = backend_components(&scheduler, cls, n);
+    let n_components = component.iter().copied().max().map_or(0, |m| m + 1);
+
+    // One component (or a degenerate cluster): the split buys nothing.
+    if n_components <= 1 {
+        let (outcomes, busy) = open_loop_core(
+            &scheduler,
+            &profile,
+            n,
+            requests,
+            warmup_backlog,
+            cfg,
+            kind,
+            None,
+        );
+        return finish_open_report(requests, &outcomes, busy);
+    }
+
+    // A class's component is the component of any of its targets (they
+    // are all welded together). Classes with no targets at all route
+    // nowhere in the engine, so their requests are dropped the same way
+    // the unsharded loop drops them: no outcome, no state change.
+    let class_comp: Vec<Option<usize>> = cls
+        .classes
+        .iter()
+        .map(|c| {
+            let targets = match c.kind {
+                QueryKind::Read => scheduler.read_targets(c.id),
+                QueryKind::Update => scheduler.route_update(c.id),
+            };
+            targets.first().map(|&b| component[b])
+        })
+        .collect();
+
+    // Partition the arrival sequence per component, remembering each
+    // request's original index for the merge.
+    let mut shard_reqs: Vec<Vec<Request>> = vec![Vec::new(); n_components];
+    let mut shard_orig: Vec<Vec<u32>> = vec![Vec::new(); n_components];
+    for (i, r) in requests.iter().enumerate() {
+        if let Some(j) = class_comp.get(r.class.idx()).copied().flatten() {
+            shard_reqs[j].push(*r);
+            shard_orig[j].push(i as u32);
+        }
+    }
+
+    // Simulate each component independently. Results are slotted by
+    // component index, so the outcome is identical at any worker count.
+    let pool = qcpa_par::Pool::with_workers(shards.max(1).min(n_components));
+    let per_shard: Vec<(Vec<CoreOutcome>, Vec<f64>)> = pool.map(n_components, |j| {
+        open_loop_core(
+            &scheduler,
+            &profile,
+            n,
+            &shard_reqs[j],
+            warmup_backlog,
+            cfg,
+            kind,
+            None,
+        )
+    });
+
+    // Merge outcomes back into global arrival order and re-key them by
+    // original request index; merge busy from each backend's owning
+    // component (the only one that ever dispatched to it).
+    let mut merged: Vec<CoreOutcome> =
+        Vec::with_capacity(per_shard.iter().map(|(o, _)| o.len()).sum());
+    for (j, (outcomes, _)) in per_shard.iter().enumerate() {
+        merged.extend(outcomes.iter().map(|o| CoreOutcome {
+            req: shard_orig[j][o.req as usize],
+            ..*o
+        }));
+    }
+    merged.sort_unstable_by_key(|o| o.req);
+    let mut busy = vec![0.0f64; n];
+    for (b, busy_b) in busy.iter_mut().enumerate() {
+        *busy_b = per_shard[component[b]].1[b];
+    }
+    finish_open_report(requests, &merged, busy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_open;
+    use crate::request::RequestStream;
+    use qcpa_core::classify::QueryClass;
+    use qcpa_core::greedy;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Two disjoint table groups → two components under a greedy
+    /// allocation that keeps them apart.
+    fn disjoint_setup() -> (Catalog, Classification, RequestStream) {
+        let mut cat = Catalog::new();
+        let a = cat.add_table("A", 4_000);
+        let b = cat.add_table("B", 4_000);
+        let c = cat.add_table("C", 4_000);
+        let d = cat.add_table("D", 4_000);
+        let cls = Classification::from_classes(vec![
+            QueryClass::read(0, [a], 0.3),
+            QueryClass::update(1, [b], 0.2),
+            QueryClass::read(2, [c], 0.3),
+            QueryClass::update(3, [d], 0.2),
+        ])
+        .unwrap();
+        let stream = RequestStream::new(
+            vec![30.0, 20.0, 30.0, 20.0],
+            vec![
+                QueryKind::Read,
+                QueryKind::Update,
+                QueryKind::Read,
+                QueryKind::Update,
+            ],
+            vec![0.01; 4],
+        );
+        (cat, cls, stream)
+    }
+
+    fn assert_reports_bit_identical(a: &OpenReport, b: &OpenReport) {
+        assert_eq!(a.responses.len(), b.responses.len());
+        for (x, y) in a.responses.iter().zip(&b.responses) {
+            assert_eq!(x.0.to_bits(), y.0.to_bits());
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+        assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+        assert_eq!(a.p95_response.to_bits(), b.p95_response.to_bits());
+        for (x, y) in a.busy.iter().zip(&b.busy) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.utilization.iter().zip(&b.utilization) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_unsharded_bit_for_bit() {
+        let (cat, cls, stream) = disjoint_setup();
+        let cluster = ClusterSpec::homogeneous(4);
+        let alloc = greedy::allocate(&cls, &cat, &cluster);
+        let scheduler = Scheduler::new(&alloc, &cls);
+        let comps = backend_components(&scheduler, &cls, 4);
+        let n_comp = comps.iter().max().unwrap() + 1;
+        assert!(n_comp >= 2, "setup must decompose: components {comps:?}");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let reqs = stream.sample_poisson(80.0, 30.0, 0.1, &mut rng);
+        let cfg = SimConfig::default();
+        let plain = run_open(&alloc, &cls, &cluster, &cat, &reqs, 0.0, &cfg);
+        for shards in [1usize, 2, 4] {
+            let sharded = run_open_sharded(&alloc, &cls, &cluster, &cat, &reqs, 0.0, &cfg, shards);
+            assert_reports_bit_identical(&plain, &sharded);
+        }
+    }
+
+    #[test]
+    fn full_replication_is_one_component() {
+        let (cat, cls, _) = disjoint_setup();
+        let cluster = ClusterSpec::homogeneous(3);
+        let full = Allocation::full_replication(&cls, &cluster);
+        let scheduler = Scheduler::new(&full, &cls);
+        let comps = backend_components(&scheduler, &cls, 3);
+        assert!(comps.iter().all(|&c| c == 0), "{comps:?}");
+        let _ = cat;
+    }
+
+    #[test]
+    fn shards_env_defaults_to_serial() {
+        // Not manipulating the environment (tests run concurrently):
+        // the parse contract is pinned on the helper's fallback.
+        assert!(shards_from_env() >= 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests of the [`CalendarQueue`] against the binary-heap
+//! reference: any interleaving of pushes and pops over any timestamp
+//! distribution must observe the identical `(time_bits, seq)` pop
+//! sequence, FIFO at equal timestamps, through rollovers and resizes.
+
+use proptest::prelude::*;
+use qcpa_sim::{BinaryHeapQueue, CalendarQueue, EventQueue};
+
+fn drain(q: &mut impl EventQueue) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    while let Some(e) = q.pop() {
+        out.push(e);
+    }
+    out
+}
+
+/// Timestamps drawn from deliberately adversarial regimes: dense
+/// sub-width clusters (many events per bucket window), uniform spreads,
+/// far-future spikes (fruitless cursor laps → global-min jump), and
+/// exact duplicates (FIFO ties).
+fn adversarial_time() -> impl Strategy<Value = f64> {
+    (0u8..6, 0.0f64..1.0).prop_map(|(regime, u)| match regime {
+        0 => u * 1e-6,
+        1 => u,
+        2 => u * 1_000.0,
+        3 => 1e6 + u * (1e12 - 1e6),
+        4 => 42.0,
+        _ => 0.0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any push/pop interleaving pops exactly what the heap oracle
+    /// pops, step for step, and drains to the identical tail.
+    #[test]
+    fn interleaved_ops_match_heap_oracle(
+        ops in proptest::collection::vec(
+            (adversarial_time(), proptest::bool::weighted(0.35)),
+            1..400,
+        ),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = BinaryHeapQueue::default();
+        let mut seq = 0u64;
+        for (step, &(t, is_pop)) in ops.iter().enumerate() {
+            if is_pop {
+                prop_assert_eq!(cal.peek(), heap.peek(), "peek at step {}", step);
+                prop_assert_eq!(cal.pop(), heap.pop(), "pop at step {}", step);
+            } else {
+                cal.push(t.to_bits(), seq);
+                heap.push(t.to_bits(), seq);
+                seq += 1;
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+            prop_assert_eq!(cal.is_empty(), heap.is_empty());
+        }
+        prop_assert_eq!(drain(&mut cal), drain(&mut heap));
+    }
+
+    /// A batch of pushes followed by a full drain is a sort by
+    /// `(time_bits, seq)` — push order never leaks into pop order
+    /// except through the seq tie-break.
+    #[test]
+    fn full_drain_is_a_stable_sort(
+        times in proptest::collection::vec(adversarial_time(), 0..300),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut expect: Vec<(u64, u64)> = Vec::with_capacity(times.len());
+        for (i, &t) in times.iter().enumerate() {
+            cal.push(t.to_bits(), i as u64);
+            expect.push((t.to_bits(), i as u64));
+        }
+        expect.sort_unstable();
+        prop_assert_eq!(drain(&mut cal), expect);
+    }
+
+    /// Events at one shared timestamp pop strictly in push (seq) order:
+    /// the FIFO tie-break, regardless of how many resizes the burst
+    /// forces.
+    #[test]
+    fn equal_timestamps_pop_fifo(t in adversarial_time(), n in 1usize..200) {
+        let mut cal = CalendarQueue::new();
+        for i in 0..n as u64 {
+            cal.push(t.to_bits(), i);
+        }
+        let seqs: Vec<u64> = drain(&mut cal).into_iter().map(|(_, s)| s).collect();
+        prop_assert_eq!(seqs, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    /// Alternating near/far timestamp regimes: each drain-and-refill
+    /// cycle forces the cursor across empty windows (global-min jump)
+    /// and drives occupancy through the grow/shrink thresholds, and the
+    /// heap-oracle equivalence must survive every cycle.
+    #[test]
+    fn rollover_and_resize_under_regime_shifts(
+        regimes in proptest::collection::vec(
+            (0.0f64..1e9, 1usize..60, 1usize..60),
+            1..12,
+        ),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap = BinaryHeapQueue::default();
+        let mut seq = 0u64;
+        for &(base, pushes, pops) in &regimes {
+            for i in 0..pushes {
+                // Cluster tightly around the regime base so each shift
+                // lands far outside the previous geometry's windows.
+                let t = base + i as f64 * 1e-7;
+                cal.push(t.to_bits(), seq);
+                heap.push(t.to_bits(), seq);
+                seq += 1;
+            }
+            for _ in 0..pops {
+                prop_assert_eq!(cal.pop(), heap.pop());
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+        }
+        prop_assert_eq!(drain(&mut cal), drain(&mut heap));
+    }
+}

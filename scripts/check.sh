@@ -73,12 +73,18 @@ if [[ "$FAST" == "1" || "$DEEP" == "1" ]]; then
     QCPA_THREADS=1 cargo test -q --test conformance multilevel
     echo "== multilevel conformance (QCPA_THREADS=4) =="
     QCPA_THREADS=4 cargo test -q --test conformance multilevel
+    echo "== sim differential suite (QCPA_THREADS=1, calendar queue) =="
+    QCPA_THREADS=1 cargo test -q --test sim_equivalence
+    echo "== sim differential suite (QCPA_THREADS=4, heap queue) =="
+    QCPA_THREADS=4 QCPA_SIM_QUEUE=heap cargo test -q --test sim_equivalence
     echo "== allocator bench-matrix corner (quick, small instances) =="
     QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin bench_allocator
     echo "== resilience sweep smoke (fails on any lost request) =="
     QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin fig_resilience
     echo "== trace exporter smoke (byte-stable, parseable) =="
     cargo run --release -q -p qcpa-bench --bin trace_smoke
+    echo "== simulator throughput corner (quick, 16 backends / 20k events) =="
+    QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin bench_sim
     echo "== bench trajectory gate =="
     cargo run --release -q -p qcpa-bench --bin bench_trend
     if [[ "$DEEP" == "1" ]]; then
@@ -103,6 +109,14 @@ QCPA_THREADS=1 cargo test -q --test conformance
 
 echo "== conformance harness (QCPA_THREADS=4) =="
 QCPA_THREADS=4 cargo test -q --test conformance
+
+# The hot-path rewrite's differential lockdown must hold on both worker
+# pools and under both event-queue implementations (the default run
+# above already covers threads=1/4 × calendar; cross it with the heap).
+echo "== sim differential suite (QCPA_THREADS=1, heap queue) =="
+QCPA_THREADS=1 QCPA_SIM_QUEUE=heap cargo test -q --test sim_equivalence
+echo "== sim differential suite (QCPA_THREADS=4, heap queue) =="
+QCPA_THREADS=4 QCPA_SIM_QUEUE=heap cargo test -q --test sim_equivalence
 
 echo "== allocator speedup bench (quick) =="
 QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin bench_allocator

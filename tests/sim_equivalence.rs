@@ -1,0 +1,261 @@
+//! Differential lockdown of the hot-path simulator rewrite.
+//!
+//! [`qcpa::sim::baseline`] preserves the pre-rewrite open-loop engine
+//! verbatim as the oracle; this harness replays random scenarios
+//! (workload × cluster size × propagation protocol × warmup × jitter)
+//! through the rewritten engine and asserts **bit-identical**
+//! `OpenReport`s — every `f64` compared by `to_bits`, never by
+//! tolerance — across every axis of the rewrite:
+//!
+//! * **Queue implementation** — `run_open_with` under both
+//!   [`QueueKind::Heap`] and [`QueueKind::Calendar`] must equal the
+//!   baseline (which has its own frozen `BinaryHeap` index);
+//! * **Tracing** — traced runs must return the untraced report and
+//!   produce the same trace-tree fingerprint as the baseline engine;
+//! * **Sharding** — `run_open_sharded` at 1, 2 and 4 shards must equal
+//!   the unsharded run (the cross-component merge contract, DESIGN.md
+//!   §14.3). check.sh replays this suite under `QCPA_THREADS=1` and
+//!   `4`, and under `QCPA_SIM_QUEUE=heap`, so the worker pool and the
+//!   env-selected queue are exercised on both settings;
+//! * **Degenerate configs collapse** — `run_open_faults` with an empty
+//!   plan equals `run_open`; `run_open_resilient` with the
+//!   all-disabled `ResilienceConfig::default()` equals
+//!   `run_open_faults` under the *same* (possibly crashing) plan, and
+//!   replays itself bit for bit.
+
+use proptest::prelude::*;
+use qcpa::core::classify::Classification;
+use qcpa::core::cluster::ClusterSpec;
+use qcpa::core::greedy;
+use qcpa::core::journal::QueryKind;
+use qcpa::sim::baseline::{run_open_baseline, run_open_baseline_traced};
+use qcpa::sim::engine::run_open_with;
+use qcpa::sim::fault::{run_open_faults, FaultConfig, FaultInjectionConfig, FaultPlan};
+use qcpa::sim::resilience::run_open_resilient;
+use qcpa::sim::shard::run_open_sharded;
+use qcpa::sim::{
+    OpenReport, QueueKind, Request, RequestStream, ResilienceConfig, SimConfig, UpdatePropagation,
+};
+use qcpa_obs::Tracer;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+mod common;
+use common::{materialize, workload_strategy};
+
+/// Asserts two open-loop reports are indistinguishable to any consumer:
+/// responses, aggregates, busy time and utilization, all by bits.
+fn assert_open_bit_identical(a: &OpenReport, b: &OpenReport, what: &str) {
+    assert_eq!(a.responses.len(), b.responses.len(), "{what}: counts");
+    for (i, (x, y)) in a.responses.iter().zip(&b.responses).enumerate() {
+        assert_eq!(x.0.to_bits(), y.0.to_bits(), "{what}: arrival bits @{i}");
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "{what}: response bits @{i}");
+    }
+    assert_eq!(
+        a.mean_response.to_bits(),
+        b.mean_response.to_bits(),
+        "{what}: mean bits"
+    );
+    assert_eq!(
+        a.p95_response.to_bits(),
+        b.p95_response.to_bits(),
+        "{what}: p95 bits"
+    );
+    assert_eq!(a.busy.len(), b.busy.len(), "{what}: busy len");
+    for (i, (x, y)) in a.busy.iter().zip(&b.busy).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: busy bits @{i}");
+    }
+    for (i, (x, y)) in a.utilization.iter().zip(&b.utilization).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: utilization bits @{i}");
+    }
+}
+
+/// A scenario's simulator knobs, decoded from small proptest draws so
+/// every propagation protocol, warmup and jitter regime gets coverage.
+fn sim_config(propagation: u8) -> SimConfig {
+    SimConfig {
+        propagation: match propagation % 3 {
+            0 => UpdatePropagation::Rowa,
+            1 => UpdatePropagation::PrimaryCopy,
+            _ => UpdatePropagation::Lazy {
+                batching_discount: 0.4,
+            },
+        },
+        rowa_overhead: if propagation.is_multiple_of(2) {
+            0.0
+        } else {
+            0.25
+        },
+        ..SimConfig::default()
+    }
+}
+
+/// Requests matching the classification, Poisson at roughly the
+/// cluster's saturation knee so queues actually form.
+fn requests(cls: &Classification, n: usize, seed: u64, jitter: f64) -> Vec<Request> {
+    let freq: Vec<f64> = cls.classes.iter().map(|c| c.weight).collect();
+    let kinds: Vec<QueryKind> = cls.classes.iter().map(|c| c.kind).collect();
+    let stream = RequestStream::new(freq, kinds, vec![0.02; cls.len()]);
+    let rate = 0.9 * n as f64 / 0.02;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    stream.sample_poisson(rate, 2.0, jitter, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The rewritten engine equals the preserved baseline bit for bit,
+    /// under both event-queue implementations, traced and untraced,
+    /// with identical trace trees.
+    #[test]
+    fn rewritten_engine_matches_baseline_under_both_queues(
+        w in workload_strategy(),
+        n in 2usize..6,
+        seed in 0u64..1_000,
+        propagation in 0u8..6,
+        warm in proptest::bool::ANY,
+        jit in proptest::bool::ANY,
+    ) {
+        let (catalog, Some(cls)) = materialize(&w) else { return Ok(()) };
+        let cluster = ClusterSpec::homogeneous(n);
+        let alloc = greedy::allocate(&cls, &catalog, &cluster);
+        let reqs = requests(&cls, n, seed, if jit { 0.15 } else { 0.0 });
+        if reqs.is_empty() {
+            return Ok(());
+        }
+        let cfg = sim_config(propagation);
+        let warmup = if warm { 0.05 } else { 0.0 };
+
+        let mut oracle_tr = Tracer::new(seed, 1.0);
+        let oracle = run_open_baseline_traced(
+            &alloc, &cls, &cluster, &catalog, &reqs, warmup, &cfg,
+            Some(&mut oracle_tr),
+        );
+        let oracle_fp = oracle_tr.into_tree().fingerprint();
+        assert_open_bit_identical(
+            &oracle,
+            &run_open_baseline(&alloc, &cls, &cluster, &catalog, &reqs, warmup, &cfg),
+            "baseline traced vs untraced",
+        );
+
+        for kind in [QueueKind::Heap, QueueKind::Calendar] {
+            let plain = run_open_with(
+                &alloc, &cls, &cluster, &catalog, &reqs, warmup, &cfg, None, kind,
+            );
+            assert_open_bit_identical(&oracle, &plain, &format!("baseline vs {kind:?}"));
+
+            let mut tr = Tracer::new(seed, 1.0);
+            let traced = run_open_with(
+                &alloc, &cls, &cluster, &catalog, &reqs, warmup, &cfg,
+                Some(&mut tr), kind,
+            );
+            assert_open_bit_identical(&oracle, &traced, &format!("baseline vs traced {kind:?}"));
+            prop_assert_eq!(
+                tr.into_tree().fingerprint(),
+                oracle_fp,
+                "trace fingerprint diverged under {:?}",
+                kind
+            );
+        }
+    }
+
+    /// Sharded runs merge to the exact unsharded report at every shard
+    /// count — the per-component simulations plus the deterministic
+    /// cross-shard merge are observationally invisible.
+    #[test]
+    fn sharded_runs_are_bit_identical_to_unsharded(
+        w in workload_strategy(),
+        n in 2usize..7,
+        seed in 0u64..1_000,
+        propagation in 0u8..6,
+    ) {
+        let (catalog, Some(cls)) = materialize(&w) else { return Ok(()) };
+        let cluster = ClusterSpec::homogeneous(n);
+        let alloc = greedy::allocate(&cls, &catalog, &cluster);
+        let reqs = requests(&cls, n, seed, 0.0);
+        if reqs.is_empty() {
+            return Ok(());
+        }
+        let cfg = sim_config(propagation);
+        let oracle =
+            run_open_baseline(&alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg);
+        for shards in [1usize, 2, 4] {
+            let sharded = run_open_sharded(
+                &alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg, shards,
+            );
+            assert_open_bit_identical(&oracle, &sharded, &format!("{shards}-shard merge"));
+        }
+    }
+
+    /// Degenerate configurations collapse exactly: an empty fault plan
+    /// reproduces `run_open`; the all-disabled resilience default
+    /// reproduces `run_open_faults` under the same crashing plan; and
+    /// both replay themselves bit for bit.
+    #[test]
+    fn degenerate_fault_and_resilience_configs_collapse(
+        w in workload_strategy(),
+        n in 2usize..5,
+        seed in 0u64..1_000,
+        propagation in 0u8..6,
+    ) {
+        let (catalog, Some(cls)) = materialize(&w) else { return Ok(()) };
+        let cluster = ClusterSpec::homogeneous(n);
+        let alloc = greedy::allocate(&cls, &catalog, &cluster);
+        let reqs = requests(&cls, n, seed, 0.0);
+        if reqs.is_empty() {
+            return Ok(());
+        }
+        let cfg = sim_config(propagation);
+
+        // Empty plan ≡ run_open (and hence the baseline oracle).
+        let oracle =
+            run_open_baseline(&alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg);
+        let empty = FaultPlan::new(Vec::new(), n).expect("empty plan is valid");
+        let faults_empty = run_open_faults(
+            &alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg,
+            &empty, &FaultConfig::default(),
+        );
+        prop_assert_eq!(faults_empty.responses.len(), oracle.responses.len());
+        for (x, y) in faults_empty.responses.iter().zip(&oracle.responses) {
+            prop_assert_eq!(x.0.to_bits(), y.0.to_bits(), "empty-plan arrival bits");
+            prop_assert_eq!(x.1.to_bits(), y.1.to_bits(), "empty-plan response bits");
+        }
+        for (x, y) in faults_empty.busy.iter().zip(&oracle.busy) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "empty-plan busy bits");
+        }
+
+        // Default resilience ≡ faults under the same crashing plan.
+        let plan = FaultPlan::from_seed(
+            seed,
+            n,
+            2.0,
+            &FaultInjectionConfig { crashes: 1, mttr: 0.5, ..Default::default() },
+        );
+        let faulted = run_open_faults(
+            &alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg,
+            &plan, &FaultConfig::default(),
+        );
+        let resilient = run_open_resilient(
+            &alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg,
+            &plan, &FaultConfig::default(), &ResilienceConfig::default(),
+        );
+        prop_assert_eq!(resilient.responses.len(), faulted.responses.len());
+        for (x, y) in resilient.responses.iter().zip(&faulted.responses) {
+            prop_assert_eq!(x.0.to_bits(), y.0.to_bits(), "resilient arrival bits");
+            prop_assert_eq!(x.1.to_bits(), y.1.to_bits(), "resilient response bits");
+        }
+        for (x, y) in resilient.busy.iter().zip(&faulted.busy) {
+            prop_assert_eq!(x.to_bits(), y.to_bits(), "resilient busy bits");
+        }
+
+        // Replays are exact.
+        let replay = run_open_resilient(
+            &alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg,
+            &plan, &FaultConfig::default(), &ResilienceConfig::default(),
+        );
+        prop_assert_eq!(replay.responses.len(), resilient.responses.len());
+        for (x, y) in replay.responses.iter().zip(&resilient.responses) {
+            prop_assert_eq!(x.1.to_bits(), y.1.to_bits(), "replay response bits");
+        }
+    }
+}
