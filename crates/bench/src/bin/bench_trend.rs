@@ -22,8 +22,30 @@
 
 use std::path::Path;
 
-use qcpa_bench::history::{get_f64, last_two, load_history};
+use qcpa_bench::history::{get, get_f64, last_two, load_history};
 use serde::Value;
+
+/// Applies a trend's producer filter to the loaded history.
+fn select(history: &[Value], filter: Option<&Filter>) -> Vec<Value> {
+    let Some(f) = filter else {
+        return history.to_vec();
+    };
+    history
+        .iter()
+        .filter(|e| {
+            let mut cur = Some(*e);
+            for key in f.path {
+                cur = cur.and_then(|v| get(v, key));
+            }
+            match cur {
+                Some(Value::Str(s)) => s == f.value,
+                Some(_) => false,
+                None => f.missing_matches,
+            }
+        })
+        .cloned()
+        .collect()
+}
 
 /// Comparability keys of the allocator trajectory.
 const ALLOCATOR_KEYS: &[&[&str]] = &[
@@ -32,6 +54,18 @@ const ALLOCATOR_KEYS: &[&[&str]] = &[
     &["config", "iterations"],
     &["threads_available"],
 ];
+
+/// Restricts a trend to the history entries of one producer when
+/// several benches append into the same file (`BENCH_sim.json` holds
+/// both `bench_sim` and `fig_resilience` rows).
+struct Filter {
+    path: &'static [&'static str],
+    value: &'static str,
+    /// Whether entries without the field count as matching — `true`
+    /// keeps pre-tag entries comparable for the bench that historically
+    /// owned the file.
+    missing_matches: bool,
+}
 
 struct Trend {
     file: &'static str,
@@ -42,6 +76,7 @@ struct Trend {
     /// Allowed relative loss between consecutive comparable runs.
     tolerance: f64,
     keys: &'static [&'static [&'static str]],
+    filter: Option<Filter>,
 }
 
 const TRENDS: &[Trend] = &[
@@ -51,6 +86,7 @@ const TRENDS: &[Trend] = &[
         higher_is_better: false,
         tolerance: 0.20,
         keys: ALLOCATOR_KEYS,
+        filter: None,
     },
     Trend {
         file: "BENCH_allocator.json",
@@ -58,6 +94,7 @@ const TRENDS: &[Trend] = &[
         higher_is_better: true,
         tolerance: 0.15,
         keys: ALLOCATOR_KEYS,
+        filter: None,
     },
     Trend {
         file: "BENCH_allocator.json",
@@ -65,6 +102,7 @@ const TRENDS: &[Trend] = &[
         higher_is_better: true,
         tolerance: 0.15,
         keys: ALLOCATOR_KEYS,
+        filter: None,
     },
     Trend {
         file: "BENCH_sim.json",
@@ -76,6 +114,31 @@ const TRENDS: &[Trend] = &[
             &["config", "target_events"],
             &["config", "rate_per_backend"],
         ],
+        // Entries predating the producer tag are bench_sim rows.
+        filter: Some(Filter {
+            path: &["config", "bench"],
+            value: "bench_sim",
+            missing_matches: true,
+        }),
+    },
+    // Resilience-path goodput: the fig_resilience canonical cell
+    // (highest rate × Reject). Gates retry/breaker/admission overhead.
+    Trend {
+        file: "BENCH_sim.json",
+        metric: &["goodput_rps"],
+        higher_is_better: true,
+        tolerance: 0.20,
+        keys: &[
+            &["config", "quick"],
+            &["config", "seed"],
+            &["config", "rate_mult"],
+            &["config", "policy"],
+        ],
+        filter: Some(Filter {
+            path: &["config", "bench"],
+            value: "fig_resilience",
+            missing_matches: false,
+        }),
     },
 ];
 
@@ -128,7 +191,7 @@ fn main() -> std::io::Result<()> {
             println!("{}: absent — skipping", trend.file);
             continue;
         }
-        let history = load_history(path)?;
+        let history = select(&load_history(path)?, trend.filter.as_ref());
         match check(trend, &history) {
             Ok(msg) => println!("{msg}"),
             Err(msg) => {

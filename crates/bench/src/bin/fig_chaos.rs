@@ -1,0 +1,6 @@
+//! Chaos/soak sweep over randomized layered fault schedules; exits
+//! nonzero on any invariant violation. `QCPA_CHAOS_RUNS` sets the
+//! schedule count.
+fn main() -> std::io::Result<()> {
+    qcpa_bench::experiments::chaos::fig_chaos()
+}

@@ -26,6 +26,7 @@ fn main() -> std::io::Result<()> {
     ablations::heterogeneous()?;
     faults::fig_fault_availability()?;
     resilience::fig_resilience()?;
+    chaos::fig_chaos()?;
     println!("All experiments done; CSVs in results/.");
     Ok(())
 }

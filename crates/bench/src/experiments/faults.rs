@@ -77,6 +77,16 @@ pub fn fig_fault_availability() -> std::io::Result<()> {
             .map(|e| match e {
                 FaultEvent::Crash { backend, at } => format!("crash b{backend}@{at:.1}s"),
                 FaultEvent::Recover { backend, at, .. } => format!("recover b{backend}@{at:.1}s"),
+                FaultEvent::Degrade {
+                    backend,
+                    at,
+                    factor,
+                } => {
+                    format!("degrade b{backend}x{factor:.1}@{at:.1}s")
+                }
+                FaultEvent::Restore { backend, at } => format!("restore b{backend}@{at:.1}s"),
+                FaultEvent::Partition { id, at } => format!("partition p{id}@{at:.1}s"),
+                FaultEvent::Heal { id, at } => format!("heal p{id}@{at:.1}s"),
             })
             .collect::<Vec<_>>()
             .join(" | "),

@@ -5,6 +5,7 @@ pub mod ablations;
 pub mod allocbench;
 pub mod autoscale;
 pub mod balance;
+pub mod chaos;
 pub mod faults;
 pub mod resilience;
 pub mod simbench;

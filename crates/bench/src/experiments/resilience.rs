@@ -8,6 +8,8 @@
 //! `QCPA_BENCH_QUICK=1` shrinks the observation window for CI smoke
 //! runs; the conservation check is identical in both modes.
 
+use std::path::Path;
+
 use qcpa_core::classify::Granularity;
 use qcpa_core::cluster::ClusterSpec;
 use qcpa_core::ksafety;
@@ -18,8 +20,14 @@ use qcpa_workloads::common::classify_and_stream;
 use qcpa_workloads::tpch::tpch;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::Value;
 
 use crate::harness::{f2, Csv};
+use crate::history;
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
 
 /// Journal cost unit → seconds (as in the TPC-H throughput figures).
 const UNIT: f64 = 0.2;
@@ -99,6 +107,11 @@ pub fn fig_resilience() -> std::io::Result<()> {
         "p99 (ms)"
     );
     let mut violations = 0usize;
+    // Canonical trajectory cell: highest offered rate × Reject — the
+    // cell whose goodput collapses first when the resilience path
+    // regresses. Appended to BENCH_sim.json for `bench_trend`.
+    let canon_mult = rate_mults.last().copied().unwrap_or(1.5);
+    let mut canon: Option<(f64, f64, usize, usize)> = None;
     for &mult in rate_mults {
         let rate = SATURATION_RPS * mult;
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -139,6 +152,14 @@ pub fn fig_resilience() -> std::io::Result<()> {
                     rep.offered
                 );
             }
+            if mult == canon_mult && matches!(policy, OverloadPolicy::Reject) {
+                canon = Some((
+                    rep.goodput,
+                    rep.p95_response * 1000.0,
+                    rep.offered,
+                    rep.completed,
+                ));
+            }
             println!(
                 "{:>18} {:>6.2} {:>8} {:>8} {:>6} {:>9} {:>8} {:>10.2} {:>9.0} {:>9.0}",
                 policy.name(),
@@ -168,6 +189,27 @@ pub fn fig_resilience() -> std::io::Result<()> {
                 rep.lost.to_string(),
             ])?;
         }
+    }
+    if let Some((goodput, p95, offered, completed)) = canon {
+        let entry = obj(vec![
+            ("workload", Value::Str("tpch sf1 (journal x50)".into())),
+            (
+                "config",
+                obj(vec![
+                    ("bench", Value::Str("fig_resilience".into())),
+                    ("quick", Value::Bool(quick)),
+                    ("seed", Value::U64(seed)),
+                    ("rate_mult", Value::F64(canon_mult)),
+                    ("policy", Value::Str("reject".into())),
+                ]),
+            ),
+            ("goodput_rps", Value::F64(goodput)),
+            ("p95_ms", Value::F64(p95)),
+            ("offered", Value::U64(offered as u64)),
+            ("completed", Value::U64(completed as u64)),
+        ]);
+        let n = history::append_entry(Path::new("BENCH_sim.json"), "bench_sim", entry)?;
+        println!("canonical cell {goodput:.2} rps goodput -> BENCH_sim.json (history entry {n})");
     }
     println!("-> {}\n", csv.path().display());
     if violations > 0 {

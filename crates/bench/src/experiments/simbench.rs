@@ -244,6 +244,7 @@ pub fn run() -> std::io::Result<()> {
         (
             "config",
             obj(vec![
+                ("bench", Value::Str("bench_sim".into())),
                 ("target_events", Value::F64(target)),
                 ("rate_per_backend", Value::F64(RATE_PER_BACKEND)),
                 ("seed", Value::U64(SEED)),

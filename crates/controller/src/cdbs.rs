@@ -141,6 +141,11 @@ pub struct Cdbs {
     /// Backends currently failed: routing skips them, writes they miss
     /// are replayed from the master copy on recovery.
     offline: Vec<bool>,
+    /// Backends currently cut off by a network partition: unreachable
+    /// rather than dead. Routing skips them like offline backends and
+    /// missed writes defer into the same staleness ledgers, but their
+    /// health/breaker state is untouched — the node never failed.
+    cut: Vec<bool>,
     /// Resilience knobs (breaker thresholds, staleness-ledger cap).
     resilience: ControllerResilience,
     /// Per-backend health: cost EWMA, consecutive failures, breaker.
@@ -253,6 +258,7 @@ impl Cdbs {
             cumulative_cost: vec![0.0; n_backends],
             journal: Journal::new(),
             offline: vec![false; n_backends],
+            cut: vec![false; n_backends],
             resilience: ControllerResilience::from_env(),
             health: vec![BackendHealth::default(); n_backends],
             request_seq: 0,
@@ -591,6 +597,95 @@ impl Cdbs {
             .collect()
     }
 
+    /// Whether routing may target backend `b`: neither failed nor cut
+    /// off by a partition.
+    fn routable(&self, b: usize) -> bool {
+        !self.offline[b] && !self.cut[b]
+    }
+
+    /// Marks the backends of `side` as cut off by a network partition:
+    /// routing skips them and writes they miss defer into their
+    /// staleness ledgers — exactly the offline machinery — but their
+    /// health and breaker state is untouched, because an unreachable
+    /// node is not a failed one. Already-cut backends are unaffected.
+    ///
+    /// # Panics
+    /// Panics if any backend index is out of range.
+    pub fn partition_backends(&mut self, side: &[usize]) {
+        for &b in side {
+            assert!(b < self.backends.len(), "unknown backend {b}");
+            if !self.cut[b] {
+                self.cut[b] = true;
+                qcpa_obs::global().counter("controller.partitions").inc();
+                qcpa_obs::event!(qcpa_obs::Level::Info, "controller", "partition_backend", {
+                    "backend" => b as u64,
+                });
+            }
+        }
+    }
+
+    /// Heals a partition: the backends of `side` become routable again
+    /// after catching up on the writes they missed. A backend whose
+    /// staleness ledger held every missed write replays it in order (no
+    /// bulk data movement); an overflowed or inconsistent ledger falls
+    /// back to a full reload from the master copy. Returns the total
+    /// bytes moved by such reloads (0 on the pure-replay path). Unlike
+    /// [`Cdbs::recover_backend`], breaker/health state is left alone.
+    ///
+    /// # Errors
+    /// [`CdbsError::Internal`] when a backend's layout references a
+    /// table the controller no longer knows — a bookkeeping bug.
+    ///
+    /// # Panics
+    /// Panics if any backend index is out of range.
+    pub fn heal_partition(&mut self, side: &[usize]) -> Result<u64, CdbsError> {
+        let mut moved_total = 0u64;
+        for &b in side {
+            assert!(b < self.backends.len(), "unknown backend {b}");
+            if !self.cut[b] {
+                continue;
+            }
+            let overflowed = std::mem::take(&mut self.ledger_overflow[b]);
+            let deferred: Vec<WriteRequest> = self.ledgers[b].drain(..).collect();
+            let replayed = !overflowed
+                && deferred
+                    .iter()
+                    .all(|w| self.apply_write_to_backend(b, w).is_ok());
+            let moved = if replayed {
+                qcpa_obs::global()
+                    .counter("controller.ledger.replayed")
+                    .add(deferred.len() as u64);
+                0
+            } else {
+                let stale: Vec<String> = self.backends[b]
+                    .fragment_names()
+                    .map(|s| s.to_string())
+                    .collect();
+                for name in stale {
+                    self.backends[b].drop_fragment(&name);
+                }
+                let moved = self.load_layout(b)?;
+                qcpa_obs::global()
+                    .counter("controller.recoveries.moved_bytes")
+                    .add(moved);
+                moved
+            };
+            self.cut[b] = false;
+            moved_total += moved;
+            qcpa_obs::global().counter("controller.heals").inc();
+            qcpa_obs::event!(qcpa_obs::Level::Info, "controller", "heal_backend", {
+                "backend" => b as u64,
+                "moved_bytes" => moved,
+            });
+        }
+        Ok(moved_total)
+    }
+
+    /// Indices of the backends currently cut off by a partition.
+    pub fn partitioned_backends(&self) -> Vec<usize> {
+        (0..self.backends.len()).filter(|&b| self.cut[b]).collect()
+    }
+
     /// Loads every fragment of backend `b`'s layout from the master
     /// copy, skipping fragments already stored. Returns loaded bytes.
     ///
@@ -860,7 +955,7 @@ impl Cdbs {
                 let online: Vec<usize> = capable
                     .iter()
                     .copied()
-                    .filter(|&b| !self.offline[b])
+                    .filter(|&b| self.routable(b))
                     .collect();
                 if online.is_empty() {
                     return Err(if capable.is_empty() {
@@ -918,7 +1013,7 @@ impl Cdbs {
                 let targets: Vec<usize> = overlapping
                     .iter()
                     .copied()
-                    .filter(|&b| !self.offline[b])
+                    .filter(|&b| self.routable(b))
                     .collect();
                 if targets.is_empty() {
                     // No live replica accepts the write: fail it rather
@@ -944,7 +1039,7 @@ impl Cdbs {
                 // Offline replicas missed the write: defer it into
                 // their staleness ledgers for replay at recovery.
                 for b in overlapping {
-                    if self.offline[b] {
+                    if !self.routable(b) {
                         self.defer_write(b, w);
                     }
                 }
@@ -1024,7 +1119,7 @@ impl Cdbs {
                 let online: Vec<usize> = capable
                     .iter()
                     .copied()
-                    .filter(|&b| !self.offline[b])
+                    .filter(|&b| self.routable(b))
                     .collect();
                 if online.is_empty() {
                     return Err(if capable.is_empty() {
@@ -1089,7 +1184,7 @@ impl Cdbs {
                 let targets: Vec<usize> = overlapping
                     .iter()
                     .copied()
-                    .filter(|&b| !self.offline[b])
+                    .filter(|&b| self.routable(b))
                     .collect();
                 if targets.is_empty() {
                     return Err(if overlapping.is_empty() {
@@ -1111,7 +1206,7 @@ impl Cdbs {
                     self.cumulative_cost[b] += cost;
                 }
                 for b in overlapping {
-                    if self.offline[b] {
+                    if !self.routable(b) {
                         self.defer_write(b, w);
                     }
                 }
@@ -1206,6 +1301,7 @@ impl Cdbs {
         // Everybody was recovered above and freshly reloaded below;
         // health, breakers and ledgers start clean on the new cluster.
         self.offline = vec![false; matched.n_backends()];
+        self.cut = vec![false; matched.n_backends()];
         self.health = vec![BackendHealth::default(); matched.n_backends()];
         self.ledgers = vec![VecDeque::new(); matched.n_backends()];
         self.ledger_overflow = vec![false; matched.n_backends()];

@@ -30,6 +30,27 @@
 //! A recovery at time `T` brings the backend back with its fragments
 //! intact after a catch-up pause: it accepts new work from
 //! `T + catchup_cost` on.
+//!
+//! On top of clean crashes the plan carries a **layered adversary**
+//! ([`FaultPlan::from_seed_layered`]):
+//!
+//! * **gray failures** ([`FaultEvent::Degrade`]/[`FaultEvent::Restore`])
+//!   — a backend keeps serving but legs dispatched inside the window
+//!   take `factor ≥ 1` times as long; nothing is voided and routing is
+//!   unchanged, modelling the slow-not-dead node real clusters degrade
+//!   through;
+//! * **network partitions** ([`FaultEvent::Partition`]/
+//!   [`FaultEvent::Heal`]) — a registered backend *side* becomes
+//!   unreachable: in-flight legs still complete and no work is voided,
+//!   but new routing excludes the side until it heals (triggering the
+//!   same online repair as a crash if a weighted class lost its last
+//!   reachable replica);
+//! * **correlated zone failures** — one seed draw crashes every backend
+//!   of a zone (`zone(b) = b % zones`) at the same instant.
+//!
+//! All layers draw a fixed amount of RNG per attempted event, so plans
+//! stay bit-reproducible and stable under config tweaks that do not
+//! change the draw counts.
 
 use qcpa_core::allocation::Allocation;
 use qcpa_core::classify::Classification;
@@ -70,21 +91,89 @@ pub enum FaultEvent {
         /// Catch-up pause in seconds before it serves again.
         catchup_cost: f64,
     },
+    /// Backend `backend` enters a **gray failure** window at `at`: it
+    /// stays alive and routable, but every leg dispatched to it until
+    /// the matching [`FaultEvent::Restore`] takes `factor` (≥ 1) times
+    /// as long. Legs already dispatched keep their original service
+    /// time — degradation is observed at dispatch, like a slow disk.
+    Degrade {
+        /// The degrading backend (full-cluster index).
+        backend: usize,
+        /// Window start in seconds.
+        at: f64,
+        /// Service-time multiplier for legs dispatched in the window.
+        factor: f64,
+    },
+    /// Backend `backend` leaves its gray-failure window at `at` and
+    /// serves at full rate again.
+    Restore {
+        /// The restored backend (full-cluster index).
+        backend: usize,
+        /// Window end in seconds.
+        at: f64,
+    },
+    /// Network partition `id` activates at `at`: every backend in
+    /// [`FaultPlan::partition_side`]`(id)` becomes **unreachable** —
+    /// alive, in-flight legs still complete, but excluded from new
+    /// routing until the matching [`FaultEvent::Heal`]. Unlike a crash
+    /// nothing is voided and nothing is refunded: the replicas are cut
+    /// off, not dead.
+    Partition {
+        /// Index into the plan's partition-side table.
+        id: u32,
+        /// Cut time in seconds.
+        at: f64,
+    },
+    /// Partition `id` heals at `at`: its side rejoins routing with all
+    /// state intact (no catch-up — links were cut, data never diverged
+    /// because cut backends received no new work).
+    Heal {
+        /// Index into the plan's partition-side table.
+        id: u32,
+        /// Heal time in seconds.
+        at: f64,
+    },
 }
 
 impl FaultEvent {
     /// The event's scheduled time.
     pub fn at(&self) -> f64 {
         match *self {
-            FaultEvent::Crash { at, .. } | FaultEvent::Recover { at, .. } => at,
+            FaultEvent::Crash { at, .. }
+            | FaultEvent::Recover { at, .. }
+            | FaultEvent::Degrade { at, .. }
+            | FaultEvent::Restore { at, .. }
+            | FaultEvent::Partition { at, .. }
+            | FaultEvent::Heal { at, .. } => at,
         }
     }
 
-    /// The backend the event concerns.
-    pub fn backend(&self) -> usize {
+    /// The backend the event concerns, if it is a single-backend event
+    /// (partitions concern a backend *set*, keyed by id instead).
+    pub fn backend(&self) -> Option<usize> {
         match *self {
-            FaultEvent::Crash { backend, .. } | FaultEvent::Recover { backend, .. } => backend,
+            FaultEvent::Crash { backend, .. }
+            | FaultEvent::Recover { backend, .. }
+            | FaultEvent::Degrade { backend, .. }
+            | FaultEvent::Restore { backend, .. } => Some(backend),
+            FaultEvent::Partition { .. } | FaultEvent::Heal { .. } => None,
         }
+    }
+
+    /// Total order for equal-time events: capacity-restoring variants
+    /// first (recover, restore, heal), then capacity-removing ones
+    /// (crash, degrade, partition), tie-broken by backend / partition
+    /// id. Keeps `Recover < Crash` exactly as the pre-layered sort did.
+    fn sort_key(&self) -> (u64, u8, usize) {
+        let (rank, tie) = match *self {
+            FaultEvent::Recover { backend, .. } => (0u8, backend),
+            FaultEvent::Restore { backend, .. } => (1, backend),
+            FaultEvent::Heal { id, .. } => (2, id as usize),
+            FaultEvent::Crash { backend, .. } => (3, backend),
+            FaultEvent::Degrade { backend, .. } => (4, backend),
+            FaultEvent::Partition { id, .. } => (5, id as usize),
+        };
+        (self.at().to_bits(), rank, tie)
     }
 }
 
@@ -126,10 +215,66 @@ pub enum InvalidFaultPlan {
     },
     /// The plan takes every backend down simultaneously — the simulated
     /// system would have nowhere to queue work, so such plans are
-    /// rejected up front.
+    /// rejected up front. Raised by the crash (or partition) that would
+    /// leave zero backends both alive *and* reachable.
     AllBackendsDown {
         /// Index of the crash that kills the last backend.
         index: usize,
+    },
+    /// A gray-failure factor is NaN, infinite or below 1.
+    BadDegradeFactor {
+        /// Offending event index.
+        index: usize,
+    },
+    /// A backend degrades while already inside a gray window.
+    DoubleDegrade {
+        /// Offending event index.
+        index: usize,
+        /// The backend degraded twice.
+        backend: usize,
+    },
+    /// A backend is restored without an open gray window.
+    RestoreHealthy {
+        /// Offending event index.
+        index: usize,
+        /// The backend restored while healthy.
+        backend: usize,
+    },
+    /// A partition event names an id with no registered side.
+    UnknownPartition {
+        /// Offending event index.
+        index: usize,
+        /// The unregistered partition id.
+        id: u32,
+    },
+    /// A partition side is empty, unsorted, out of range, or covers the
+    /// whole cluster (cutting everything is [`Self::AllBackendsDown`] in
+    /// disguise and is rejected structurally).
+    BadPartitionSide {
+        /// The malformed side's id.
+        id: u32,
+    },
+    /// A partition activates while already active.
+    DoublePartition {
+        /// Offending event index.
+        index: usize,
+        /// The partition activated twice.
+        id: u32,
+    },
+    /// A partition would cut a backend another active partition has
+    /// already cut — overlapping concurrent cuts are ambiguous to heal.
+    OverlappingPartitions {
+        /// Offending event index.
+        index: usize,
+        /// The doubly-cut backend.
+        backend: usize,
+    },
+    /// A heal names a partition that is not active.
+    HealUnpartitioned {
+        /// Offending event index.
+        index: usize,
+        /// The inactive partition id.
+        id: u32,
     },
 }
 
@@ -158,6 +303,40 @@ impl std::fmt::Display for InvalidFaultPlan {
             }
             InvalidFaultPlan::AllBackendsDown { index } => {
                 write!(f, "event {index} would take the last live backend down")
+            }
+            InvalidFaultPlan::BadDegradeFactor { index } => {
+                write!(f, "event {index} has a non-finite or sub-1 degrade factor")
+            }
+            InvalidFaultPlan::DoubleDegrade { index, backend } => {
+                write!(
+                    f,
+                    "event {index}: backend {backend} degrades while degraded"
+                )
+            }
+            InvalidFaultPlan::RestoreHealthy { index, backend } => {
+                write!(f, "event {index}: backend {backend} restored while healthy")
+            }
+            InvalidFaultPlan::UnknownPartition { index, id } => {
+                write!(f, "event {index}: partition {id} has no registered side")
+            }
+            InvalidFaultPlan::BadPartitionSide { id } => {
+                write!(
+                    f,
+                    "partition {id}: side must be non-empty, strictly sorted, \
+                     in range and smaller than the cluster"
+                )
+            }
+            InvalidFaultPlan::DoublePartition { index, id } => {
+                write!(f, "event {index}: partition {id} activates while active")
+            }
+            InvalidFaultPlan::OverlappingPartitions { index, backend } => {
+                write!(
+                    f,
+                    "event {index}: backend {backend} is already cut by another partition"
+                )
+            }
+            InvalidFaultPlan::HealUnpartitioned { index, id } => {
+                write!(f, "event {index}: partition {id} healed while inactive")
             }
         }
     }
@@ -196,36 +375,129 @@ impl Default for FaultInjectionConfig {
     }
 }
 
+/// Knobs for [`FaultPlan::from_seed_layered`]: the crash layer reuses
+/// [`FaultInjectionConfig`] verbatim, then gray windows, partitions and
+/// correlated zone failures stack on top. With every non-crash layer at
+/// zero the generated plan equals [`FaultPlan::from_seed`]'s exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct LayeredFaultConfig {
+    /// The independent crash/recover layer (drawn first, so crash-only
+    /// layered plans are bit-identical to `from_seed`).
+    pub crashes: FaultInjectionConfig,
+    /// Gray-failure windows to attempt.
+    pub gray: usize,
+    /// Half-open `[lo, hi)` range the degrade factor is drawn from
+    /// (clamped to at least 1).
+    pub gray_factor: (f64, f64),
+    /// Mean gray-window length in seconds (each realized length is
+    /// jittered in `[0.5, 1.5) × gray_duration`).
+    pub gray_duration: f64,
+    /// Partition episodes to attempt; each cuts a uniformly drawn
+    /// proper subset of backends and heals after a jittered duration.
+    pub partitions: usize,
+    /// Mean partition length in seconds (jittered like gray windows).
+    pub partition_duration: f64,
+    /// Zones backends are striped over (`zone(b) = b % zones`); `< 2`
+    /// disables the zone layer.
+    pub zones: usize,
+    /// Correlated zone failures to attempt: one draw crashes every
+    /// backend of the drawn zone at the same instant.
+    pub zone_failures: usize,
+    /// Mean time to zone recovery in seconds (jittered like `mttr`).
+    pub zone_mttr: f64,
+}
+
+impl Default for LayeredFaultConfig {
+    fn default() -> Self {
+        Self {
+            crashes: FaultInjectionConfig::default(),
+            gray: 1,
+            gray_factor: (1.5, 4.0),
+            gray_duration: 5.0,
+            partitions: 1,
+            partition_duration: 5.0,
+            zones: 0,
+            zone_failures: 0,
+            zone_mttr: 5.0,
+        }
+    }
+}
+
+impl LayeredFaultConfig {
+    /// Applies the chaos env knobs: `QCPA_FAULT_GRAY` overrides the
+    /// gray-window count and `QCPA_FAULT_PARTITION` the partition
+    /// count. Unset or unparsable values leave the field untouched.
+    #[must_use]
+    pub fn env_overrides(mut self) -> Self {
+        let parse = |v: Result<String, std::env::VarError>| v.ok().and_then(|s| s.parse().ok());
+        if let Some(v) = parse(std::env::var("QCPA_FAULT_GRAY")) {
+            self.gray = v;
+        }
+        if let Some(v) = parse(std::env::var("QCPA_FAULT_PARTITION")) {
+            self.partitions = v;
+        }
+        self
+    }
+}
+
 /// A validated, time-ordered fault schedule for a cluster of
-/// `n_backends`.
+/// `n_backends`, plus the backend sides of its network partitions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     events: Vec<FaultEvent>,
     n_backends: usize,
+    partition_sides: Vec<Vec<usize>>,
 }
 
 impl FaultPlan {
-    /// Validates an explicit event list: times non-decreasing and
-    /// finite, backends in range, crash/recover alternating per backend,
-    /// and at least one backend alive at every instant.
+    /// Validates an explicit event list with no partition events: times
+    /// non-decreasing and finite, backends in range, crash/recover and
+    /// degrade/restore alternating per backend, and at least one backend
+    /// alive at every instant.
     pub fn new(events: Vec<FaultEvent>, n_backends: usize) -> Result<FaultPlan, InvalidFaultPlan> {
+        FaultPlan::with_partitions(events, n_backends, Vec::new())
+    }
+
+    /// Validates an explicit event list against a partition-side table:
+    /// `Partition { id }` cuts `partition_sides[id]`. On top of
+    /// [`FaultPlan::new`]'s invariants: sides are non-empty, strictly
+    /// sorted, in-range, proper subsets of the cluster; partitions
+    /// activate/heal alternately, never overlap on a backend, and never
+    /// leave the cluster with zero backends both alive and reachable.
+    pub fn with_partitions(
+        events: Vec<FaultEvent>,
+        n_backends: usize,
+        partition_sides: Vec<Vec<usize>>,
+    ) -> Result<FaultPlan, InvalidFaultPlan> {
+        for (id, side) in partition_sides.iter().enumerate() {
+            let sorted = side.windows(2).all(|w| w[0] < w[1]);
+            let in_range = side.iter().all(|&b| b < n_backends);
+            if side.is_empty() || side.len() >= n_backends || !sorted || !in_range {
+                return Err(InvalidFaultPlan::BadPartitionSide { id: id as u32 });
+            }
+        }
         let mut alive = vec![true; n_backends];
-        let mut n_alive = n_backends;
+        let mut cut = vec![false; n_backends];
+        let mut degraded = vec![false; n_backends];
+        let mut active = vec![false; partition_sides.len()];
+        // Backends both alive and reachable — the set routing can use.
+        let mut routable = n_backends;
         let mut last_t = 0.0f64;
         for (index, e) in events.iter().enumerate() {
-            let b = e.backend();
-            if b >= n_backends {
-                return Err(InvalidFaultPlan::UnknownBackend {
-                    index,
-                    backend: b,
-                    n_backends,
-                });
+            if let Some(b) = e.backend() {
+                if b >= n_backends {
+                    return Err(InvalidFaultPlan::UnknownBackend {
+                        index,
+                        backend: b,
+                        n_backends,
+                    });
+                }
             }
             let finite = match *e {
-                FaultEvent::Crash { at, .. } => at.is_finite() && at >= 0.0,
                 FaultEvent::Recover {
                     at, catchup_cost, ..
                 } => at.is_finite() && at >= 0.0 && catchup_cost.is_finite() && catchup_cost >= 0.0,
+                _ => e.at().is_finite() && e.at() >= 0.0,
             };
             if !finite {
                 return Err(InvalidFaultPlan::NonFinite { index });
@@ -239,22 +511,164 @@ impl FaultPlan {
                     if !alive[backend] {
                         return Err(InvalidFaultPlan::DoubleCrash { index, backend });
                     }
-                    if n_alive == 1 {
-                        return Err(InvalidFaultPlan::AllBackendsDown { index });
+                    if !cut[backend] {
+                        if routable == 1 {
+                            return Err(InvalidFaultPlan::AllBackendsDown { index });
+                        }
+                        routable -= 1;
                     }
                     alive[backend] = false;
-                    n_alive -= 1;
                 }
                 FaultEvent::Recover { backend, .. } => {
                     if alive[backend] {
                         return Err(InvalidFaultPlan::RecoverAlive { index, backend });
                     }
                     alive[backend] = true;
-                    n_alive += 1;
+                    if !cut[backend] {
+                        routable += 1;
+                    }
+                }
+                FaultEvent::Degrade {
+                    backend, factor, ..
+                } => {
+                    if !factor.is_finite() || factor < 1.0 {
+                        return Err(InvalidFaultPlan::BadDegradeFactor { index });
+                    }
+                    if degraded[backend] {
+                        return Err(InvalidFaultPlan::DoubleDegrade { index, backend });
+                    }
+                    degraded[backend] = true;
+                }
+                FaultEvent::Restore { backend, .. } => {
+                    if !degraded[backend] {
+                        return Err(InvalidFaultPlan::RestoreHealthy { index, backend });
+                    }
+                    degraded[backend] = false;
+                }
+                FaultEvent::Partition { id, .. } => {
+                    let Some(side) = partition_sides.get(id as usize) else {
+                        return Err(InvalidFaultPlan::UnknownPartition { index, id });
+                    };
+                    if active[id as usize] {
+                        return Err(InvalidFaultPlan::DoublePartition { index, id });
+                    }
+                    if let Some(&backend) = side.iter().find(|&&m| cut[m]) {
+                        return Err(InvalidFaultPlan::OverlappingPartitions { index, backend });
+                    }
+                    let losing = side.iter().filter(|&&m| alive[m]).count();
+                    if routable == losing {
+                        return Err(InvalidFaultPlan::AllBackendsDown { index });
+                    }
+                    routable -= losing;
+                    for &m in side {
+                        cut[m] = true;
+                    }
+                    active[id as usize] = true;
+                }
+                FaultEvent::Heal { id, .. } => {
+                    let Some(side) = partition_sides.get(id as usize) else {
+                        return Err(InvalidFaultPlan::UnknownPartition { index, id });
+                    };
+                    if !active[id as usize] {
+                        return Err(InvalidFaultPlan::HealUnpartitioned { index, id });
+                    }
+                    routable += side.iter().filter(|&&m| alive[m]).count();
+                    for &m in side {
+                        cut[m] = false;
+                    }
+                    active[id as usize] = false;
                 }
             }
         }
-        Ok(FaultPlan { events, n_backends })
+        Ok(FaultPlan {
+            events,
+            n_backends,
+            partition_sides,
+        })
+    }
+
+    /// Sorts candidates by `(time, variant rank, backend/id)` and runs
+    /// them through the liveness state machine, dropping candidates that
+    /// would not validate (already-dead backend, would breach
+    /// `min_alive` routable backends, overlapping windows/partitions).
+    /// Dropped starts naturally drop their matching ends. Shared by both
+    /// seeded generators so the crash layer filters identically.
+    fn finish_seeded(
+        mut cand: Vec<FaultEvent>,
+        n_backends: usize,
+        partition_sides: Vec<Vec<usize>>,
+        min_alive: usize,
+    ) -> FaultPlan {
+        cand.sort_by_key(FaultEvent::sort_key);
+        let min_alive = min_alive.max(1);
+        let mut alive = vec![true; n_backends];
+        let mut cut = vec![false; n_backends];
+        let mut degraded = vec![false; n_backends];
+        let mut active = vec![false; partition_sides.len()];
+        let mut routable = n_backends;
+        let mut events = Vec::with_capacity(cand.len());
+        for e in cand {
+            match e {
+                FaultEvent::Crash { backend, .. } => {
+                    if alive[backend] && (cut[backend] || routable > min_alive) {
+                        alive[backend] = false;
+                        if !cut[backend] {
+                            routable -= 1;
+                        }
+                        events.push(e);
+                    }
+                }
+                FaultEvent::Recover { backend, .. } => {
+                    if !alive[backend] {
+                        alive[backend] = true;
+                        if !cut[backend] {
+                            routable += 1;
+                        }
+                        events.push(e);
+                    }
+                }
+                FaultEvent::Degrade { backend, .. } => {
+                    if !degraded[backend] {
+                        degraded[backend] = true;
+                        events.push(e);
+                    }
+                }
+                FaultEvent::Restore { backend, .. } => {
+                    if degraded[backend] {
+                        degraded[backend] = false;
+                        events.push(e);
+                    }
+                }
+                FaultEvent::Partition { id, .. } => {
+                    let side = &partition_sides[id as usize];
+                    let losing = side.iter().filter(|&&m| alive[m] && !cut[m]).count();
+                    if !active[id as usize]
+                        && side.iter().all(|&m| !cut[m])
+                        && routable - losing >= min_alive
+                    {
+                        routable -= losing;
+                        for &m in side {
+                            cut[m] = true;
+                        }
+                        active[id as usize] = true;
+                        events.push(e);
+                    }
+                }
+                FaultEvent::Heal { id, .. } => {
+                    if active[id as usize] {
+                        let side = &partition_sides[id as usize];
+                        routable += side.iter().filter(|&&m| alive[m]).count();
+                        for &m in side {
+                            cut[m] = false;
+                        }
+                        active[id as usize] = false;
+                        events.push(e);
+                    }
+                }
+            }
+        }
+        FaultPlan::with_partitions(events, n_backends, partition_sides)
+            .expect("state-machine-filtered plan is valid")
     }
 
     /// Derives a valid plan from a seed: `cfg.crashes` candidate crash
@@ -273,51 +687,85 @@ impl FaultPlan {
         assert!(n_backends > 0, "need at least one backend");
         assert!(duration > 0.0 && duration.is_finite());
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut cand: Vec<FaultEvent> = Vec::with_capacity(cfg.crashes * 2);
-        for _ in 0..cfg.crashes {
+        let cand = draw_crashes(&mut rng, n_backends, duration, cfg);
+        FaultPlan::finish_seeded(cand, n_backends, Vec::new(), cfg.min_alive)
+    }
+
+    /// Derives a **layered** adversary from a seed: the crash layer is
+    /// drawn first with exactly [`FaultPlan::from_seed`]'s draws (so a
+    /// crash-only `LayeredFaultConfig` reproduces that plan bit for
+    /// bit), then gray windows, partition episodes and correlated zone
+    /// failures. Every layer draws a fixed number of RNG values per
+    /// attempted event — partition membership spends `n_backends` key
+    /// draws regardless of the realized side size — so plans are stable
+    /// under config tweaks that do not change the draw counts.
+    pub fn from_seed_layered(
+        seed: u64,
+        n_backends: usize,
+        duration: f64,
+        cfg: &LayeredFaultConfig,
+    ) -> FaultPlan {
+        assert!(n_backends > 0, "need at least one backend");
+        assert!(duration > 0.0 && duration.is_finite());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut cand = draw_crashes(&mut rng, n_backends, duration, &cfg.crashes);
+
+        for _ in 0..cfg.gray {
             let at = duration * rng.gen_range(0.1..0.9);
             let backend = rng.gen_range(0..n_backends);
-            cand.push(FaultEvent::Crash { backend, at });
-            if cfg.recover {
-                let delay = cfg.mttr.max(0.0) * rng.gen_range(0.5..1.5);
-                cand.push(FaultEvent::Recover {
-                    backend,
-                    at: at + delay,
-                    catchup_cost: cfg.catchup_cost.max(0.0),
-                });
+            let (lo, hi) = (cfg.gray_factor.0.max(1.0), cfg.gray_factor.1.max(1.0));
+            let factor = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+            let len = cfg.gray_duration.max(0.0) * rng.gen_range(0.5..1.5);
+            cand.push(FaultEvent::Degrade {
+                backend,
+                at,
+                factor,
+            });
+            cand.push(FaultEvent::Restore {
+                backend,
+                at: at + len,
+            });
+        }
+
+        let mut sides: Vec<Vec<usize>> = Vec::with_capacity(cfg.partitions);
+        if n_backends > 1 {
+            for _ in 0..cfg.partitions {
+                let at = duration * rng.gen_range(0.1..0.9);
+                let len = cfg.partition_duration.max(0.0) * rng.gen_range(0.5..1.5);
+                let size = rng.gen_range(1..n_backends);
+                // Fixed draw count: rank every backend, cut the `size`
+                // lowest keys — the side size never changes how much RNG
+                // the episode consumes.
+                let mut keys: Vec<(u64, usize)> = (0..n_backends)
+                    .map(|b| (rng.gen_range(0..=u64::MAX), b))
+                    .collect();
+                keys.sort_unstable();
+                let mut side: Vec<usize> = keys[..size].iter().map(|&(_, b)| b).collect();
+                side.sort_unstable();
+                let id = sides.len() as u32;
+                sides.push(side);
+                cand.push(FaultEvent::Partition { id, at });
+                cand.push(FaultEvent::Heal { id, at: at + len });
             }
         }
-        // Recoveries before crashes at equal times: freed capacity first.
-        cand.sort_by_key(|e| {
-            let variant = match e {
-                FaultEvent::Recover { .. } => 0u8,
-                FaultEvent::Crash { .. } => 1u8,
-            };
-            (e.at().to_bits(), variant, e.backend())
-        });
-        let min_alive = cfg.min_alive.max(1);
-        let mut alive = vec![true; n_backends];
-        let mut n_alive = n_backends;
-        let mut events = Vec::with_capacity(cand.len());
-        for e in cand {
-            match e {
-                FaultEvent::Crash { backend, .. } => {
-                    if alive[backend] && n_alive > min_alive {
-                        alive[backend] = false;
-                        n_alive -= 1;
-                        events.push(e);
-                    }
-                }
-                FaultEvent::Recover { backend, .. } => {
-                    if !alive[backend] {
-                        alive[backend] = true;
-                        n_alive += 1;
-                        events.push(e);
-                    }
+
+        if cfg.zones >= 2 {
+            for _ in 0..cfg.zone_failures {
+                let at = duration * rng.gen_range(0.1..0.9);
+                let zone = rng.gen_range(0..cfg.zones);
+                let delay = cfg.zone_mttr.max(0.0) * rng.gen_range(0.5..1.5);
+                for backend in (0..n_backends).filter(|b| b % cfg.zones == zone) {
+                    cand.push(FaultEvent::Crash { backend, at });
+                    cand.push(FaultEvent::Recover {
+                        backend,
+                        at: at + delay,
+                        catchup_cost: cfg.crashes.catchup_cost.max(0.0),
+                    });
                 }
             }
         }
-        FaultPlan::new(events, n_backends).expect("state-machine-filtered plan is valid")
+
+        FaultPlan::finish_seeded(cand, n_backends, sides, cfg.crashes.min_alive)
     }
 
     /// The validated events in time order.
@@ -328,6 +776,16 @@ impl FaultPlan {
     /// The cluster size the plan was validated against.
     pub fn n_backends(&self) -> usize {
         self.n_backends
+    }
+
+    /// The registered partition sides, indexed by partition id.
+    pub fn partition_sides(&self) -> &[Vec<usize>] {
+        &self.partition_sides
+    }
+
+    /// The backends partition `id` cuts off.
+    pub fn partition_side(&self, id: u32) -> &[usize] {
+        &self.partition_sides[id as usize]
     }
 
     /// Number of scheduled events.
@@ -342,6 +800,32 @@ impl FaultPlan {
     }
 }
 
+/// The crash layer's candidate draws — shared verbatim by
+/// [`FaultPlan::from_seed`] and [`FaultPlan::from_seed_layered`] so
+/// both consume the RNG identically.
+fn draw_crashes(
+    rng: &mut ChaCha8Rng,
+    n_backends: usize,
+    duration: f64,
+    cfg: &FaultInjectionConfig,
+) -> Vec<FaultEvent> {
+    let mut cand: Vec<FaultEvent> = Vec::with_capacity(cfg.crashes * 2);
+    for _ in 0..cfg.crashes {
+        let at = duration * rng.gen_range(0.1..0.9);
+        let backend = rng.gen_range(0..n_backends);
+        cand.push(FaultEvent::Crash { backend, at });
+        if cfg.recover {
+            let delay = cfg.mttr.max(0.0) * rng.gen_range(0.5..1.5);
+            cand.push(FaultEvent::Recover {
+                backend,
+                at: at + delay,
+                catchup_cost: cfg.catchup_cost.max(0.0),
+            });
+        }
+    }
+    cand
+}
+
 /// Driver knobs for [`run_open_faults`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FaultConfig {
@@ -353,8 +837,69 @@ pub struct FaultConfig {
     pub repair_k: usize,
 }
 
-/// Rebuilds routing for the current liveness, repairing the allocation
-/// online when a weighted class lost its last replica. Shared between
+/// Why [`reroute`] could not produce a routing table. Callers keep the
+/// previous scheduler (a deterministic degraded mode) and the failure
+/// is tallied in [`RepairTally::failures`] — the chaos harness asserts
+/// it never actually happens under generated plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RerouteError {
+    /// No backend is both alive and reachable — nothing to repair onto.
+    NoRoutableBackend,
+    /// The online repair ran but some weighted class still has no
+    /// capable routable backend.
+    RepairIncomplete,
+}
+
+impl std::fmt::Display for RerouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RerouteError::NoRoutableBackend => {
+                write!(f, "no backend is both alive and reachable")
+            }
+            RerouteError::RepairIncomplete => {
+                write!(f, "online repair left a weighted class unroutable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RerouteError {}
+
+/// Running account of [`reroute`]'s online repairs across a fault run.
+#[derive(Debug, Clone)]
+pub(crate) struct RepairTally {
+    /// Online repairs triggered by unroutable classes.
+    pub repairs: usize,
+    /// Total seconds the survivors were paused for repair ETL.
+    pub pause_secs: f64,
+    /// Total bytes the repairs re-replicated (Eq. 27).
+    pub moved_bytes: u64,
+    /// Reroutes that returned [`RerouteError`].
+    pub failures: usize,
+    /// False once any post-repair allocation missed the
+    /// `min(repair_k, survivors − 1)` safety level.
+    pub safety_ok: bool,
+    /// Emit obs counters/events (sharded component replays pass false
+    /// so the merged run publishes once).
+    pub publish: bool,
+}
+
+impl RepairTally {
+    pub(crate) fn new(publish: bool) -> Self {
+        RepairTally {
+            repairs: 0,
+            pause_secs: 0.0,
+            moved_bytes: 0,
+            failures: 0,
+            safety_ok: true,
+            publish,
+        }
+    }
+}
+
+/// Rebuilds routing for the current reachability (`routable[b]` = alive
+/// and not partitioned away), repairing the allocation online when a
+/// weighted class lost its last routable replica. Shared between
 /// [`run_open_faults`] and [`crate::resilience::run_open_resilient`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn reroute(
@@ -363,30 +908,34 @@ pub(crate) fn reroute(
     cls: &Classification,
     cluster: &ClusterSpec,
     catalog: &Catalog,
-    alive: &[bool],
+    routable: &[bool],
     fcfg: &FaultConfig,
     free_at: &mut [f64],
-    repairs: &mut usize,
-    repair_pause_secs: &mut f64,
-    repair_moved_bytes: &mut u64,
-) -> Scheduler {
-    let failed: Vec<usize> = (0..alive.len()).filter(|&b| !alive[b]).collect();
+    tally: &mut RepairTally,
+) -> Result<Scheduler, RerouteError> {
+    let failed: Vec<usize> = (0..routable.len()).filter(|&b| !routable[b]).collect();
     if failed.is_empty() {
-        return Scheduler::new(current, cls);
+        return Ok(Scheduler::new(current, cls));
     }
     if let Some(s) = Scheduler::for_survivors(current, cls, cluster, &failed) {
-        return s;
+        return Ok(s);
     }
     // Some weighted class has no capable survivor: repair the
     // surviving sub-allocation and graft the grown fragment sets
     // back into the full-width allocation.
-    *repairs += 1;
-    let survivors: Vec<usize> = (0..alive.len()).filter(|&b| alive[b]).collect();
+    tally.repairs += 1;
+    let survivors: Vec<usize> = (0..routable.len()).filter(|&b| routable[b]).collect();
     let failed_ids: Vec<BackendId> = failed.iter().map(|&b| BackendId(b as u32)).collect();
-    let surv_cluster = ksafety::surviving_cluster(cluster, &failed_ids)
-        .expect("fault plans keep at least one backend alive");
+    let Some(surv_cluster) = ksafety::surviving_cluster(cluster, &failed_ids) else {
+        tally.failures += 1;
+        return Err(RerouteError::NoRoutableBackend);
+    };
     let mut restricted = current.restrict(&survivors);
     let report = ksafety::repair_report(&mut restricted, cls, &surv_cluster, fcfg.repair_k);
+    let want = fcfg.repair_k.min(surv_cluster.len().saturating_sub(1));
+    if ksafety::class_safety(&restricted, cls) < want {
+        tally.safety_ok = false;
+    }
     let before = current.clone();
     for (nb, &b) in survivors.iter().enumerate() {
         current.fragments[b] = restricted.fragments[nb].clone();
@@ -414,17 +963,24 @@ pub(crate) fn reroute(
     for &b in &survivors {
         free_at[b] = free_at[b].max(at) + pause;
     }
-    *repair_pause_secs += pause;
-    *repair_moved_bytes += moved;
-    qcpa_obs::global().counter("sim.fault.repairs").inc();
-    qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "repair", {
-        "at" => at,
-        "moved_bytes" => moved,
-        "pause_secs" => pause,
-        "grants" => report.grants,
-    });
-    Scheduler::for_survivors(current, cls, cluster, &failed)
-        .expect("repair restores coverage for every class")
+    tally.pause_secs += pause;
+    tally.moved_bytes += moved;
+    if tally.publish {
+        qcpa_obs::global().counter("sim.fault.repairs").inc();
+        qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "repair", {
+            "at" => at,
+            "moved_bytes" => moved,
+            "pause_secs" => pause,
+            "grants" => report.grants,
+        });
+    }
+    match Scheduler::for_survivors(current, cls, cluster, &failed) {
+        Some(s) => Ok(s),
+        None => {
+            tally.failures += 1;
+            Err(RerouteError::RepairIncomplete)
+        }
+    }
 }
 
 /// One per-backend work unit of a request (the backend it runs on is
@@ -485,9 +1041,23 @@ pub struct FaultReport {
     pub repair_pause_secs: f64,
     /// Total bytes the repairs re-replicated (Eq. 27).
     pub repair_moved_bytes: u64,
-    /// `(time, live backends)` after each applied fault event, starting
-    /// with `(0, n)` — the nodes-available timeline of the availability
-    /// figure.
+    /// Gray-failure windows opened ([`FaultEvent::Degrade`] applied).
+    pub gray_windows: usize,
+    /// Network partitions activated.
+    pub partitions: usize,
+    /// Network partitions healed.
+    pub heals: usize,
+    /// Reroutes that failed even after online repair (the run keeps the
+    /// previous routing table; zero under every generated plan).
+    pub reroute_failures: usize,
+    /// False if any online repair left a weighted class below the
+    /// `min(repair_k, survivors − 1)` safety level.
+    pub post_repair_safety_ok: bool,
+    /// `(time, routable backends)` after each applied fault event,
+    /// starting with `(0, n)` — the nodes-available timeline of the
+    /// availability figure. A backend counts while it is both alive and
+    /// not cut off by a partition, so for crash-only plans this is the
+    /// live-backend timeline it always was.
     pub availability: Vec<(f64, usize)>,
 }
 
@@ -501,6 +1071,49 @@ impl FaultReport {
     pub fn max_response(&self) -> f64 {
         self.responses.iter().map(|&(_, r)| r).fold(0.0, f64::max)
     }
+}
+
+/// Event-level statistics of a fault-driven run — everything the event
+/// arms accumulate, shared by the fault and resilience engines. Under a
+/// sharded run every component applies the full event schedule, so
+/// these are identical across components (except `redispatched`, which
+/// is request-driven and sums).
+#[derive(Debug, Clone)]
+pub(crate) struct FaultStats {
+    pub crashes: usize,
+    pub recoveries: usize,
+    pub gray_windows: usize,
+    pub partitions: usize,
+    pub heals: usize,
+    pub redispatched: usize,
+    pub tally: RepairTally,
+    pub availability: Vec<(f64, usize)>,
+}
+
+impl FaultStats {
+    pub(crate) fn new(n: usize, publish: bool) -> Self {
+        FaultStats {
+            crashes: 0,
+            recoveries: 0,
+            gray_windows: 0,
+            partitions: 0,
+            heals: 0,
+            redispatched: 0,
+            tally: RepairTally::new(publish),
+            availability: vec![(0.0, n)],
+        }
+    }
+}
+
+/// Raw outcome of [`fault_core`]: per-request completions in arrival
+/// order plus per-backend busy time and the event statistics — exactly
+/// what the sharded merge needs to rebuild the unsharded report.
+pub(crate) struct FaultCore {
+    /// `(arrival, completion time)` per request, in arrival order;
+    /// `None` marks a lost request.
+    pub completions: Vec<(f64, Option<f64>)>,
+    pub busy: Vec<f64>,
+    pub stats: FaultStats,
 }
 
 /// Records a sampled request's lifetime from the fault-run arena: a
@@ -598,8 +1211,43 @@ pub fn run_open_faults_traced(
     cfg: &SimConfig,
     plan: &FaultPlan,
     fcfg: &FaultConfig,
-    mut tracer: Option<&mut qcpa_obs::Tracer>,
+    tracer: Option<&mut qcpa_obs::Tracer>,
 ) -> FaultReport {
+    let core = fault_core(
+        alloc,
+        cls,
+        cluster,
+        catalog,
+        requests,
+        warmup_backlog,
+        cfg,
+        plan,
+        fcfg,
+        tracer,
+        true,
+    );
+    assemble_fault_report(requests, core)
+}
+
+/// The fault engine proper: replays arrivals against the layered event
+/// schedule and returns raw per-request completions plus event
+/// statistics. `publish = false` suppresses obs event emission — the
+/// sharded driver runs one core per backend component and publishes
+/// once from the merged result.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fault_core(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    requests: &[Request],
+    warmup_backlog: f64,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    fcfg: &FaultConfig,
+    mut tracer: Option<&mut qcpa_obs::Tracer>,
+    publish: bool,
+) -> FaultCore {
     let _span = qcpa_obs::span("sim", "run_open_faults");
     let n = cluster.len();
     let fault_track = n as u32;
@@ -619,6 +1267,11 @@ pub fn run_open_faults_traced(
 
     let mut current = alloc.clone();
     let mut alive = vec![true; n];
+    // Gray-failure service multiplier per backend; 1.0 when healthy.
+    // Applied at dispatch, so `x * 1.0` keeps healthy runs bit-exact.
+    let mut slow = vec![1.0f64; n];
+    // Backends cut off by an active partition: alive, but unroutable.
+    let mut cut = vec![false; n];
     let mut free_at = vec![warmup_backlog.max(0.0); n];
     let mut busy = vec![0.0f64; n];
     let mut arena: Vec<OpenReq> = Vec::with_capacity(requests.len());
@@ -627,13 +1280,15 @@ pub fn run_open_faults_traced(
     let mut scheduler = Scheduler::new(&current, cls);
     let mut profile = ServiceProfile::new(&current, cluster, catalog, cfg.locality);
 
-    let mut crashes = 0usize;
-    let mut recoveries = 0usize;
-    let mut repairs = 0usize;
-    let mut redispatched = 0usize;
-    let mut repair_pause_secs = 0.0f64;
-    let mut repair_moved_bytes = 0u64;
-    let mut availability = vec![(0.0, n)];
+    let mut stats = FaultStats::new(n, publish);
+
+    fn routable_of(alive: &[bool], cut: &[bool]) -> Vec<bool> {
+        alive
+            .iter()
+            .zip(cut.iter())
+            .map(|(&a, &c)| a && !c)
+            .collect()
+    }
 
     // Dispatches request `idx` at time `t`, appending its legs. Returns
     // false if no backend could serve it.
@@ -649,6 +1304,7 @@ pub fn run_open_faults_traced(
         inflight: &mut [Vec<(usize, LegRef)>],
         free_at: &mut [f64],
         busy: &mut [f64],
+        slow: &[f64],
     ) -> bool {
         let (class, kind, service) = {
             let r = &arena[idx];
@@ -658,7 +1314,7 @@ pub fn run_open_faults_traced(
             QueryKind::Read => {
                 let routed = scheduler.route_read_with(class, |b| (free_at[b] - t).max(0.0));
                 let Some(b) = routed else { return false };
-                let svc = profile.effective(b, service);
+                let svc = profile.effective(b, service) * slow[b];
                 let end = free_at[b].max(t) + svc;
                 free_at[b] = end;
                 busy[b] += svc;
@@ -691,7 +1347,7 @@ pub fn run_open_faults_traced(
                         UpdatePropagation::Lazy { batching_discount } if i > 0 => batching_discount,
                         _ => sync,
                     };
-                    let svc = profile.effective(b, service) * mult;
+                    let svc = profile.effective(b, service) * mult * slow[b];
                     let end = free_at[b].max(t) + svc;
                     free_at[b] = end;
                     busy[b] += svc;
@@ -721,6 +1377,7 @@ pub fn run_open_faults_traced(
                            free_at: &mut Vec<f64>,
                            busy: &mut Vec<f64>,
                            alive: &mut Vec<bool>,
+                           slow: &mut Vec<f64>,
                            current: &mut Allocation,
                            scheduler: &mut Scheduler,
                            profile: &mut ServiceProfile,
@@ -728,7 +1385,7 @@ pub fn run_open_faults_traced(
         match *e {
             FaultEvent::Crash { backend, at } => {
                 alive[backend] = false;
-                crashes += 1;
+                stats.crashes += 1;
                 // Void the legs still running or queued on the casualty
                 // and refund their unperformed work.
                 let entries = std::mem::take(&mut inflight[backend]);
@@ -745,12 +1402,13 @@ pub fn run_open_faults_traced(
                 }
                 candidates.sort_unstable();
                 candidates.dedup();
-                qcpa_obs::global().counter("sim.fault.crashes").inc();
-                qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "crash", {
-                    "backend" => backend,
-                    "at" => at,
-                    "voided_legs" => voided,
-                });
+                if publish {
+                    qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "crash", {
+                        "backend" => backend,
+                        "at" => at,
+                        "voided_legs" => voided,
+                    });
+                }
                 if let Some(tr) = tracer.as_deref_mut() {
                     if tr.enabled() {
                         let id = tr.span_id(u64::MAX - backend as u64, at.to_bits());
@@ -765,19 +1423,19 @@ pub fn run_open_faults_traced(
                         );
                     }
                 }
-                *scheduler = reroute(
+                if let Ok(s) = reroute(
                     at,
                     current,
                     cls,
                     cluster,
                     catalog,
-                    alive,
+                    &routable_of(alive, &cut),
                     fcfg,
                     free_at,
-                    &mut repairs,
-                    &mut repair_pause_secs,
-                    &mut repair_moved_bytes,
-                );
+                    &mut stats.tally,
+                ) {
+                    *scheduler = s;
+                }
                 *profile = ServiceProfile::new(current, cluster, catalog, cfg.locality);
                 // Re-queue the requests the crash voided, in arrival
                 // order, through the post-crash router.
@@ -799,7 +1457,7 @@ pub fn run_open_faults_traced(
                         continue;
                     }
                     arena[ri].redispatches += 1;
-                    redispatched += 1;
+                    stats.redispatched += 1;
                     if let Some(tr) = tracer.as_deref_mut() {
                         if tr.admit(ri as u64) {
                             let id =
@@ -820,6 +1478,7 @@ pub fn run_open_faults_traced(
                     }
                     dispatch_one(
                         ri, at, scheduler, profile, cfg, arena, leg_arena, inflight, free_at, busy,
+                        slow,
                     );
                 }
             }
@@ -829,15 +1488,16 @@ pub fn run_open_faults_traced(
                 catchup_cost,
             } => {
                 alive[backend] = true;
-                recoveries += 1;
+                stats.recoveries += 1;
                 free_at[backend] = at + catchup_cost;
                 inflight[backend].clear();
-                qcpa_obs::global().counter("sim.fault.recoveries").inc();
-                qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "recover", {
-                    "backend" => backend,
-                    "at" => at,
-                    "catchup_secs" => catchup_cost,
-                });
+                if publish {
+                    qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "recover", {
+                        "backend" => backend,
+                        "at" => at,
+                        "catchup_secs" => catchup_cost,
+                    });
+                }
                 if let Some(tr) = tracer.as_deref_mut() {
                     if tr.enabled() {
                         let id = tr.span_id(u64::MAX - backend as u64, at.to_bits() ^ 1);
@@ -855,23 +1515,170 @@ pub fn run_open_faults_traced(
                         );
                     }
                 }
-                *scheduler = reroute(
+                if let Ok(s) = reroute(
                     at,
                     current,
                     cls,
                     cluster,
                     catalog,
-                    alive,
+                    &routable_of(alive, &cut),
                     fcfg,
                     free_at,
-                    &mut repairs,
-                    &mut repair_pause_secs,
-                    &mut repair_moved_bytes,
-                );
+                    &mut stats.tally,
+                ) {
+                    *scheduler = s;
+                }
+                *profile = ServiceProfile::new(current, cluster, catalog, cfg.locality);
+            }
+            FaultEvent::Degrade {
+                backend,
+                at,
+                factor,
+            } => {
+                // Gray failure: the backend keeps serving, but every leg
+                // dispatched from now on takes `factor` times as long.
+                // In-flight legs keep their committed service time.
+                slow[backend] = factor;
+                stats.gray_windows += 1;
+                if publish {
+                    qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "degrade", {
+                        "backend" => backend,
+                        "at" => at,
+                        "factor" => factor,
+                    });
+                }
+                if let Some(tr) = tracer.as_deref_mut() {
+                    if tr.enabled() {
+                        let id = tr.span_id(u64::MAX - backend as u64, at.to_bits() ^ 2);
+                        tr.tree.mark(
+                            id,
+                            None,
+                            "fault",
+                            "degrade",
+                            fault_track,
+                            at,
+                            vec![("backend", backend.into()), ("factor", factor.into())],
+                        );
+                    }
+                }
+            }
+            FaultEvent::Restore { backend, at } => {
+                slow[backend] = 1.0;
+                if publish {
+                    qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "restore", {
+                        "backend" => backend,
+                        "at" => at,
+                    });
+                }
+                if let Some(tr) = tracer.as_deref_mut() {
+                    if tr.enabled() {
+                        let id = tr.span_id(u64::MAX - backend as u64, at.to_bits() ^ 3);
+                        tr.tree.mark(
+                            id,
+                            None,
+                            "fault",
+                            "restore",
+                            fault_track,
+                            at,
+                            vec![("backend", backend.into())],
+                        );
+                    }
+                }
+            }
+            FaultEvent::Partition { id, at } => {
+                // Link cut, not death: nothing is voided or refunded —
+                // in-flight legs on the cut side still complete, the
+                // side is just excluded from new routing until healed.
+                for &m in plan.partition_side(id) {
+                    cut[m] = true;
+                }
+                stats.partitions += 1;
+                if publish {
+                    qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "partition", {
+                        "partition" => id,
+                        "at" => at,
+                        "cut" => plan.partition_side(id).len(),
+                    });
+                }
+                if let Some(tr) = tracer.as_deref_mut() {
+                    if tr.enabled() {
+                        let id_span = tr.span_id(u64::MAX / 2 - u64::from(id), at.to_bits());
+                        tr.tree.mark(
+                            id_span,
+                            None,
+                            "fault",
+                            "partition",
+                            fault_track,
+                            at,
+                            vec![
+                                ("partition", id.into()),
+                                ("cut", plan.partition_side(id).len().into()),
+                            ],
+                        );
+                    }
+                }
+                if let Ok(s) = reroute(
+                    at,
+                    current,
+                    cls,
+                    cluster,
+                    catalog,
+                    &routable_of(alive, &cut),
+                    fcfg,
+                    free_at,
+                    &mut stats.tally,
+                ) {
+                    *scheduler = s;
+                }
+                *profile = ServiceProfile::new(current, cluster, catalog, cfg.locality);
+            }
+            FaultEvent::Heal { id, at } => {
+                for &m in plan.partition_side(id) {
+                    cut[m] = false;
+                }
+                stats.heals += 1;
+                if publish {
+                    qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "heal", {
+                        "partition" => id,
+                        "at" => at,
+                    });
+                }
+                if let Some(tr) = tracer.as_deref_mut() {
+                    if tr.enabled() {
+                        let id_span = tr.span_id(u64::MAX / 2 - u64::from(id), at.to_bits() ^ 1);
+                        tr.tree.mark(
+                            id_span,
+                            None,
+                            "fault",
+                            "heal",
+                            fault_track,
+                            at,
+                            vec![("partition", id.into())],
+                        );
+                    }
+                }
+                if let Ok(s) = reroute(
+                    at,
+                    current,
+                    cls,
+                    cluster,
+                    catalog,
+                    &routable_of(alive, &cut),
+                    fcfg,
+                    free_at,
+                    &mut stats.tally,
+                ) {
+                    *scheduler = s;
+                }
                 *profile = ServiceProfile::new(current, cluster, catalog, cfg.locality);
             }
         }
-        availability.push((e.at(), alive.iter().filter(|&&a| a).count()));
+        let routable = alive
+            .iter()
+            .zip(cut.iter())
+            .filter(|&(&a, &c)| a && !c)
+            .count();
+        stats.availability.push((e.at(), routable));
     };
 
     let mut last_t = 0.0f64;
@@ -887,6 +1694,7 @@ pub fn run_open_faults_traced(
                 &mut free_at,
                 &mut busy,
                 &mut alive,
+                &mut slow,
                 &mut current,
                 &mut scheduler,
                 &mut profile,
@@ -914,6 +1722,7 @@ pub fn run_open_faults_traced(
             &mut inflight,
             &mut free_at,
             &mut busy,
+            &slow,
         );
     }
     // Crashes scheduled past the last arrival still void queued work.
@@ -926,6 +1735,7 @@ pub fn run_open_faults_traced(
             &mut free_at,
             &mut busy,
             &mut alive,
+            &mut slow,
             &mut current,
             &mut scheduler,
             &mut profile,
@@ -935,40 +1745,70 @@ pub fn run_open_faults_traced(
     }
 
     // Finalize: every non-voided leg ran to completion.
-    let mut responses = Vec::with_capacity(arena.len());
-    let mut resp_hist = qcpa_obs::Histogram::new();
-    let mut lost = 0usize;
+    let mut completions = Vec::with_capacity(arena.len());
     for (idx, r) in arena.iter().enumerate() {
-        let completion = match (r.kind, cfg.propagation) {
-            (QueryKind::Read, _) => leg_arena
-                .iter(r.legs)
-                .filter(|l| !l.voided)
-                .last()
-                .map(|l| l.end),
-            (QueryKind::Update, UpdatePropagation::Rowa) => leg_arena
-                .iter(r.legs)
-                .filter(|l| !l.voided)
-                .map(|l| l.end)
-                .fold(None, |acc: Option<f64>, e| {
-                    Some(acc.map_or(e, |a| a.max(e)))
-                }),
-            (QueryKind::Update, _) => leg_arena
-                .iter(r.legs)
-                .filter(|l| l.primary && !l.voided)
-                .last()
-                .map(|l| l.end),
-        };
-        match completion {
-            Some(end) => {
-                resp_hist.record(end - r.arrival);
-                responses.push((r.arrival, end - r.arrival));
-            }
-            None => lost += 1,
-        }
+        let completion = completion_of(r, &leg_arena, cfg);
         if let Some(tr) = tracer.as_deref_mut() {
             if tr.admit(idx as u64) {
                 trace_fault_request(tr, idx as u64, r, &leg_arena, completion, fault_track);
             }
+        }
+        completions.push((r.arrival, completion));
+    }
+
+    FaultCore {
+        completions,
+        busy,
+        stats,
+    }
+}
+
+/// A request's completion time under the response rule of
+/// [`crate::engine::run_open`]: reads complete on their (last
+/// non-voided) leg; ROWA updates when every surviving replica leg ends;
+/// other propagation modes on the primary leg.
+fn completion_of(r: &OpenReq, leg_arena: &LegArena<Leg>, cfg: &SimConfig) -> Option<f64> {
+    match (r.kind, cfg.propagation) {
+        (QueryKind::Read, _) => leg_arena
+            .iter(r.legs)
+            .filter(|l| !l.voided)
+            .last()
+            .map(|l| l.end),
+        (QueryKind::Update, UpdatePropagation::Rowa) => leg_arena
+            .iter(r.legs)
+            .filter(|l| !l.voided)
+            .map(|l| l.end)
+            .fold(None, |acc: Option<f64>, e| {
+                Some(acc.map_or(e, |a| a.max(e)))
+            }),
+        (QueryKind::Update, _) => leg_arena
+            .iter(r.legs)
+            .filter(|l| l.primary && !l.voided)
+            .last()
+            .map(|l| l.end),
+    }
+}
+
+/// Rebuilds the public [`FaultReport`] from a core's raw completions —
+/// the histogram, mean and p95 replay in global arrival order, so a
+/// merge of per-component cores assembles to the unsharded report bit
+/// for bit. Publishes the run's obs counters.
+pub(crate) fn assemble_fault_report(requests: &[Request], core: FaultCore) -> FaultReport {
+    let FaultCore {
+        completions,
+        busy,
+        stats,
+    } = core;
+    let mut responses = Vec::with_capacity(completions.len());
+    let mut resp_hist = qcpa_obs::Histogram::new();
+    let mut lost = 0usize;
+    for &(arrival, completion) in &completions {
+        match completion {
+            Some(end) => {
+                resp_hist.record(end - arrival);
+                responses.push((arrival, end - arrival));
+            }
+            None => lost += 1,
         }
     }
 
@@ -986,7 +1826,14 @@ pub fn run_open_faults_traced(
     reg.counter("sim.fault.requests").add(requests.len() as u64);
     reg.counter("sim.fault.lost").add(lost as u64);
     reg.counter("sim.fault.redispatched")
-        .add(redispatched as u64);
+        .add(stats.redispatched as u64);
+    reg.counter("sim.fault.crashes").add(stats.crashes as u64);
+    reg.counter("sim.fault.recoveries")
+        .add(stats.recoveries as u64);
+    reg.counter("sim.fault.gray_windows")
+        .add(stats.gray_windows as u64);
+    reg.counter("sim.fault.partitions")
+        .add(stats.partitions as u64);
     reg.merge_histogram("sim.fault.response_secs", &resp_hist);
 
     FaultReport {
@@ -997,13 +1844,18 @@ pub fn run_open_faults_traced(
         busy,
         utilization,
         lost,
-        redispatched,
-        crashes,
-        recoveries,
-        repairs,
-        repair_pause_secs,
-        repair_moved_bytes,
-        availability,
+        redispatched: stats.redispatched,
+        crashes: stats.crashes,
+        recoveries: stats.recoveries,
+        repairs: stats.tally.repairs,
+        repair_pause_secs: stats.tally.pause_secs,
+        repair_moved_bytes: stats.tally.moved_bytes,
+        gray_windows: stats.gray_windows,
+        partitions: stats.partitions,
+        heals: stats.heals,
+        reroute_failures: stats.tally.failures,
+        post_repair_safety_ok: stats.tally.safety_ok,
+        availability: stats.availability,
     }
 }
 
@@ -1216,9 +2068,315 @@ mod tests {
                 match e {
                     FaultEvent::Crash { .. } => n_alive -= 1,
                     FaultEvent::Recover { .. } => n_alive += 1,
+                    _ => {}
                 }
                 assert!(n_alive >= 2, "seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn crash_only_layered_plan_equals_from_seed() {
+        let fic = FaultInjectionConfig {
+            crashes: 3,
+            ..Default::default()
+        };
+        let layered = LayeredFaultConfig {
+            crashes: fic,
+            gray: 0,
+            partitions: 0,
+            zones: 0,
+            zone_failures: 0,
+            ..Default::default()
+        };
+        for seed in 0..20 {
+            let a = FaultPlan::from_seed(seed, 4, 60.0, &fic);
+            let b = FaultPlan::from_seed_layered(seed, 4, 60.0, &layered);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn layered_plan_is_deterministic_and_layered() {
+        let cfg = LayeredFaultConfig {
+            gray: 2,
+            partitions: 1,
+            zones: 2,
+            zone_failures: 1,
+            ..Default::default()
+        };
+        let a = FaultPlan::from_seed_layered(7, 5, 60.0, &cfg);
+        let b = FaultPlan::from_seed_layered(7, 5, 60.0, &cfg);
+        assert_eq!(a, b);
+        let has = |p: &FaultPlan, f: fn(&FaultEvent) -> bool| p.events().iter().any(f);
+        assert!(has(&a, |e| matches!(e, FaultEvent::Degrade { .. })));
+        assert!(has(&a, |e| matches!(e, FaultEvent::Partition { .. })));
+        assert!(has(&a, |e| matches!(e, FaultEvent::Crash { .. })));
+        assert_eq!(a.partition_sides().len(), 1);
+        // Every Degrade/Partition has its matching Restore/Heal kept.
+        let count = |f: fn(&FaultEvent) -> bool| a.events().iter().filter(|e| f(e)).count();
+        assert_eq!(
+            count(|e| matches!(e, FaultEvent::Degrade { .. })),
+            count(|e| matches!(e, FaultEvent::Restore { .. }))
+        );
+        assert_eq!(
+            count(|e| matches!(e, FaultEvent::Partition { .. })),
+            count(|e| matches!(e, FaultEvent::Heal { .. }))
+        );
+    }
+
+    #[test]
+    fn layered_validation_rejects_bad_schedules() {
+        use InvalidFaultPlan as E;
+        let degrade = |backend, at, factor| FaultEvent::Degrade {
+            backend,
+            at,
+            factor,
+        };
+        let restore = |backend, at| FaultEvent::Restore { backend, at };
+        assert!(matches!(
+            FaultPlan::new(vec![degrade(0, 1.0, 0.5)], 3),
+            Err(E::BadDegradeFactor { index: 0 })
+        ));
+        assert!(matches!(
+            FaultPlan::new(vec![degrade(0, 1.0, 2.0), degrade(0, 2.0, 3.0)], 3),
+            Err(E::DoubleDegrade { backend: 0, .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new(vec![restore(1, 1.0)], 3),
+            Err(E::RestoreHealthy { backend: 1, .. })
+        ));
+        assert!(matches!(
+            FaultPlan::new(vec![FaultEvent::Partition { id: 0, at: 1.0 }], 3),
+            Err(E::UnknownPartition { id: 0, .. })
+        ));
+        assert!(matches!(
+            FaultPlan::with_partitions(Vec::new(), 3, vec![vec![0, 1, 2]]),
+            Err(E::BadPartitionSide { id: 0 })
+        ));
+        assert!(matches!(
+            FaultPlan::with_partitions(Vec::new(), 3, vec![vec![1, 0]]),
+            Err(E::BadPartitionSide { id: 0 })
+        ));
+        let part = |id, at| FaultEvent::Partition { id, at };
+        let heal = |id, at| FaultEvent::Heal { id, at };
+        assert!(matches!(
+            FaultPlan::with_partitions(vec![part(0, 1.0), part(0, 2.0)], 3, vec![vec![0]]),
+            Err(E::DoublePartition { id: 0, .. })
+        ));
+        assert!(matches!(
+            FaultPlan::with_partitions(
+                vec![part(0, 1.0), part(1, 2.0)],
+                3,
+                vec![vec![0], vec![0, 1]]
+            ),
+            Err(E::OverlappingPartitions { backend: 0, .. })
+        ));
+        assert!(matches!(
+            FaultPlan::with_partitions(vec![heal(0, 1.0)], 3, vec![vec![0]]),
+            Err(E::HealUnpartitioned { id: 0, .. })
+        ));
+        // Partitioning one side then crashing the rest strands routing.
+        assert!(matches!(
+            FaultPlan::with_partitions(
+                vec![
+                    part(0, 1.0),
+                    FaultEvent::Crash {
+                        backend: 2,
+                        at: 2.0
+                    }
+                ],
+                3,
+                vec![vec![0, 1]]
+            ),
+            Err(E::AllBackendsDown { index: 1 })
+        ));
+        // A full gray window + partition episode validates.
+        assert!(FaultPlan::with_partitions(
+            vec![
+                degrade(0, 1.0, 2.0),
+                part(0, 2.0),
+                heal(0, 3.0),
+                restore(0, 4.0)
+            ],
+            3,
+            vec![vec![1, 2]]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn gray_window_slows_only_window_dispatches() {
+        let (cat, cls, stream) = workload();
+        let cluster = ClusterSpec::homogeneous(2);
+        let alloc = Allocation::full_replication(&cls, &cluster);
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let reqs = stream.sample_poisson(60.0, 30.0, 0.0, &mut rng);
+        let cfg = SimConfig::default();
+        let run = |events: Vec<FaultEvent>| {
+            let plan = FaultPlan::new(events, 2).unwrap();
+            run_open_faults(
+                &alloc,
+                &cls,
+                &cluster,
+                &cat,
+                &reqs,
+                0.0,
+                &cfg,
+                &plan,
+                &FaultConfig::default(),
+            )
+        };
+        let healthy = run(Vec::new());
+        let grayed = run(vec![
+            FaultEvent::Degrade {
+                backend: 0,
+                at: 5.0,
+                factor: 4.0,
+            },
+            FaultEvent::Restore {
+                backend: 0,
+                at: 20.0,
+            },
+        ]);
+        assert_eq!(grayed.gray_windows, 1);
+        assert_eq!(grayed.lost, 0);
+        assert_eq!(grayed.responses.len(), healthy.responses.len());
+        assert!(
+            grayed.mean_response > healthy.mean_response,
+            "a 4x gray window must slow the run: {} vs {}",
+            grayed.mean_response,
+            healthy.mean_response
+        );
+        assert!(grayed.busy[0] > healthy.busy[0]);
+    }
+
+    #[test]
+    fn partition_cuts_routing_without_voiding() {
+        let (cat, cls, stream) = workload();
+        let cluster = ClusterSpec::homogeneous(3);
+        let alloc = Allocation::full_replication(&cls, &cluster);
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let reqs = stream.sample_poisson(60.0, 30.0, 0.0, &mut rng);
+        let cfg = SimConfig::default();
+        let plan = FaultPlan::with_partitions(
+            vec![
+                FaultEvent::Partition { id: 0, at: 4.0 },
+                FaultEvent::Heal { id: 0, at: 18.0 },
+            ],
+            3,
+            vec![vec![2]],
+        )
+        .unwrap();
+        let rep = run_open_faults(
+            &alloc,
+            &cls,
+            &cluster,
+            &cat,
+            &reqs,
+            0.0,
+            &cfg,
+            &plan,
+            &FaultConfig::default(),
+        );
+        assert_eq!(rep.partitions, 1);
+        assert_eq!(rep.heals, 1);
+        assert_eq!(rep.lost, 0, "cut replicas lose no requests");
+        assert_eq!(rep.redispatched, 0, "a cut voids nothing");
+        assert_eq!(rep.crashes, 0);
+        assert_eq!(rep.min_alive(), 2, "availability tracks routable");
+        assert!(rep.post_repair_safety_ok);
+        assert_eq!(rep.reroute_failures, 0);
+    }
+
+    #[test]
+    fn partition_before_first_arrival_heals_back_to_healthy_run() {
+        let (cat, cls, stream) = workload();
+        let cluster = ClusterSpec::homogeneous(3);
+        let alloc = Allocation::full_replication(&cls, &cluster);
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let mut reqs = stream.sample_poisson(60.0, 20.0, 0.0, &mut rng);
+        // Shift all arrivals past the heal: the episode is over before
+        // any request is routed, so the run equals the empty-plan run.
+        for r in &mut reqs {
+            r.arrival += 3.0;
+        }
+        let cfg = SimConfig::default();
+        let empty = FaultPlan::new(Vec::new(), 3).unwrap();
+        let base = run_open_faults(
+            &alloc,
+            &cls,
+            &cluster,
+            &cat,
+            &reqs,
+            0.0,
+            &cfg,
+            &empty,
+            &FaultConfig::default(),
+        );
+        let plan = FaultPlan::with_partitions(
+            vec![
+                FaultEvent::Partition { id: 0, at: 1.0 },
+                FaultEvent::Heal { id: 0, at: 2.0 },
+            ],
+            3,
+            vec![vec![0, 1]],
+        )
+        .unwrap();
+        let healed = run_open_faults(
+            &alloc,
+            &cls,
+            &cluster,
+            &cat,
+            &reqs,
+            0.0,
+            &cfg,
+            &plan,
+            &FaultConfig::default(),
+        );
+        assert_eq!(healed.responses.len(), base.responses.len());
+        for (x, y) in healed.responses.iter().zip(&base.responses) {
+            assert_eq!(x.1.to_bits(), y.1.to_bits(), "heal must restore routing");
+        }
+        for (x, y) in healed.busy.iter().zip(&base.busy) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn zone_failure_crashes_all_members_at_one_instant() {
+        let cfg = LayeredFaultConfig {
+            crashes: FaultInjectionConfig {
+                crashes: 0,
+                ..Default::default()
+            },
+            gray: 0,
+            partitions: 0,
+            zones: 2,
+            zone_failures: 1,
+            ..Default::default()
+        };
+        // 6 backends, 2 zones: one draw fails 3 backends together (the
+        // min_alive=1 filter keeps all three: 6 - 3 = 3 ≥ 1).
+        let plan = FaultPlan::from_seed_layered(3, 6, 60.0, &cfg);
+        let crash_ats: Vec<u64> = plan
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Crash { at, .. } => Some(at.to_bits()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crash_ats.len(), 3, "{:?}", plan.events());
+        assert!(crash_ats.windows(2).all(|w| w[0] == w[1]));
+        let zones: Vec<usize> = plan
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Crash { backend, .. } => Some(backend % 2),
+                _ => None,
+            })
+            .collect();
+        assert!(zones.windows(2).all(|w| w[0] == w[1]), "one zone only");
     }
 }

@@ -36,6 +36,7 @@
 
 pub mod arena;
 pub mod baseline;
+pub mod chaos;
 pub mod engine;
 pub mod fault;
 pub mod queue;
@@ -46,12 +47,13 @@ pub mod service;
 pub mod shard;
 
 pub use arena::{LegArena, LegList, LegRef};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use engine::{
     run_batch, run_open, run_open_traced, BatchReport, OpenReport, SimConfig, UpdatePropagation,
 };
 pub use fault::{
     run_open_faults, run_open_faults_traced, FaultConfig, FaultEvent, FaultInjectionConfig,
-    FaultPlan, FaultReport, InvalidFaultPlan,
+    FaultPlan, FaultReport, InvalidFaultPlan, LayeredFaultConfig, RerouteError,
 };
 pub use queue::{BinaryHeapQueue, CalendarQueue, EventQueue, QueueKind, SimQueue};
 pub use request::{Request, RequestStream};
@@ -61,3 +63,7 @@ pub use resilience::{
 };
 pub use scheduler::Scheduler;
 pub use service::{LocalityModel, ServiceProfile};
+pub use shard::{
+    backend_components, fault_components, plan_may_repair, run_open_faults_sharded,
+    run_open_resilient_sharded, run_open_sharded,
+};

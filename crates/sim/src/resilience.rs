@@ -59,7 +59,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::arena::{LegArena, LegList, LegRef};
 use crate::engine::{nearest_rank, SimConfig, UpdatePropagation};
-use crate::fault::{reroute, FaultConfig, FaultEvent, FaultPlan};
+use crate::fault::{reroute, FaultConfig, FaultEvent, FaultPlan, FaultStats};
 use crate::queue::{EventQueue, QueueKind, SimQueue};
 use crate::request::Request;
 use crate::scheduler::Scheduler;
@@ -356,13 +356,20 @@ impl Health {
 struct Breakers {
     cfg: ResilienceConfig,
     health: Vec<Health>,
-    opens: usize,
-    half_opens: usize,
-    closes: usize,
+    /// Transition counters per backend. A sharded component replays all
+    /// fault events but only its own dispatches, so backend `b`'s
+    /// counters are exact in the component that owns `b` — the merge
+    /// takes each backend's column from its owner and sums for the
+    /// report.
+    opens: Vec<usize>,
+    half_opens: Vec<usize>,
+    closes: Vec<usize>,
     /// Transition log `(time, backend, name)` drained into the tracer
     /// at the end of a traced run; stays empty unless `log_enabled`.
     log: Vec<(f64, usize, &'static str)>,
     log_enabled: bool,
+    /// Emit obs events (sharded component replays pass false).
+    publish: bool,
 }
 
 impl Breakers {
@@ -370,11 +377,12 @@ impl Breakers {
         Breakers {
             cfg: *cfg,
             health: vec![Health::fresh(); n],
-            opens: 0,
-            half_opens: 0,
-            closes: 0,
+            opens: vec![0; n],
+            half_opens: vec![0; n],
+            closes: vec![0; n],
             log: Vec::new(),
             log_enabled: false,
+            publish: true,
         }
     }
 
@@ -403,12 +411,14 @@ impl Breakers {
                         probe_end: None,
                         successes: 0,
                     };
-                    self.half_opens += 1;
+                    self.half_opens[b] += 1;
                     self.note(t, b, "breaker_half_open");
-                    qcpa_obs::event!(qcpa_obs::Level::Debug, "sim.resilience", "breaker_half_open", {
-                        "backend" => b,
-                        "at" => t,
-                    });
+                    if self.publish {
+                        qcpa_obs::event!(qcpa_obs::Level::Debug, "sim.resilience", "breaker_half_open", {
+                            "backend" => b,
+                            "at" => t,
+                        });
+                    }
                 }
                 BState::HalfOpen {
                     probe_end: Some(pe),
@@ -418,12 +428,14 @@ impl Breakers {
                     if s >= self.cfg.half_open_probes.max(1) {
                         h.state = BState::Closed;
                         h.consec = 0;
-                        self.closes += 1;
+                        self.closes[b] += 1;
                         self.note(t, b, "breaker_close");
-                        qcpa_obs::event!(qcpa_obs::Level::Info, "sim.resilience", "breaker_close", {
-                            "backend" => b,
-                            "at" => t,
-                        });
+                        if self.publish {
+                            qcpa_obs::event!(qcpa_obs::Level::Info, "sim.resilience", "breaker_close", {
+                                "backend" => b,
+                                "at" => t,
+                            });
+                        }
                     } else {
                         h.state = BState::HalfOpen {
                             probe_end: None,
@@ -462,15 +474,17 @@ impl Breakers {
     fn trip(&mut self, b: usize, t: f64) {
         let until = t + self.cfg.breaker_cooldown;
         if !matches!(self.health[b].state, BState::Open { .. }) {
-            self.opens += 1;
+            self.opens[b] += 1;
             self.note(t, b, "breaker_open");
         }
         self.health[b].state = BState::Open { until };
-        qcpa_obs::event!(qcpa_obs::Level::Info, "sim.resilience", "breaker_open", {
-            "backend" => b,
-            "at" => t,
-            "until" => until,
-        });
+        if self.publish {
+            qcpa_obs::event!(qcpa_obs::Level::Info, "sim.resilience", "breaker_open", {
+                "backend" => b,
+                "at" => t,
+                "until" => until,
+            });
+        }
     }
 
     /// A leg dispatched at `t` will finish by `end` within its
@@ -532,7 +546,7 @@ impl Breakers {
             return;
         }
         if !matches!(self.health[b].state, BState::Open { .. }) {
-            self.opens += 1;
+            self.opens[b] += 1;
             self.note(at, b, "breaker_open");
         }
         self.health[b].state = BState::Open {
@@ -579,6 +593,11 @@ struct RReq {
     class: ClassId,
     kind: QueryKind,
     service: f64,
+    /// Global request index — equals the arena index in an unsharded
+    /// run, the original stream index in a sharded component. Backoff
+    /// jitter is keyed on it so components reproduce the unsharded
+    /// delays bit for bit.
+    gid: u64,
     /// Chain head in the run's shared [`LegArena`].
     legs: LegList,
     attempts: u32,
@@ -612,8 +631,8 @@ fn pack_retry(seq: u64, req: usize) -> u64 {
     (seq << 32) | req as u64
 }
 
-#[derive(Debug, Default)]
-struct Tally {
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Tally {
     retries: usize,
     timeouts: usize,
     shed: usize,
@@ -624,6 +643,23 @@ struct Tally {
     degraded_fallbacks: usize,
     breaker_overrides: usize,
     unroutable: usize,
+}
+
+impl Tally {
+    /// Folds another component's per-request counters into this one —
+    /// every field is request-driven, so the sharded merge is a sum.
+    pub(crate) fn absorb(&mut self, o: &Tally) {
+        self.retries += o.retries;
+        self.timeouts += o.timeouts;
+        self.shed += o.shed;
+        self.shed_victims += o.shed_victims;
+        self.browned_out += o.browned_out;
+        self.timed_out += o.timed_out;
+        self.redispatched += o.redispatched;
+        self.degraded_fallbacks += o.degraded_fallbacks;
+        self.breaker_overrides += o.breaker_overrides;
+        self.unroutable += o.unroutable;
+    }
 }
 
 /// Result of [`run_open_resilient`].
@@ -688,13 +724,26 @@ pub struct ResilienceReport {
     pub crashes: usize,
     /// Recovery events applied.
     pub recoveries: usize,
+    /// Gray-failure windows opened ([`FaultEvent::Degrade`] applied).
+    pub gray_windows: usize,
+    /// Network partitions activated.
+    pub partitions: usize,
+    /// Network partitions healed.
+    pub heals: usize,
     /// Online repairs triggered by unroutable classes.
     pub repairs: usize,
     /// Total seconds survivors were paused for repair ETL.
     pub repair_pause_secs: f64,
     /// Total bytes repairs re-replicated (Eq. 27).
     pub repair_moved_bytes: u64,
-    /// `(time, live backends)` after each applied fault event.
+    /// Reroutes that failed even after online repair (the run keeps the
+    /// previous routing table).
+    pub reroute_failures: usize,
+    /// False if any online repair left a weighted class below the
+    /// `min(repair_k, survivors − 1)` safety level.
+    pub post_repair_safety_ok: bool,
+    /// `(time, routable backends)` after each applied fault event — a
+    /// backend counts while it is alive and not cut off by a partition.
     pub availability: Vec<(f64, usize)>,
     /// Completed requests per second of observation window — the
     /// graceful-degradation metric of `fig_resilience`.
@@ -718,6 +767,11 @@ struct Engine<'a> {
     profile: ServiceProfile,
     spare: Vec<f64>,
     alive: Vec<bool>,
+    /// Gray-failure service multiplier per backend; 1.0 when healthy.
+    /// Applied at dispatch, so `x * 1.0` keeps healthy runs bit-exact.
+    slow: Vec<f64>,
+    /// Backends cut off by an active partition: alive, but unroutable.
+    cut: Vec<bool>,
     free_at: Vec<f64>,
     busy: Vec<f64>,
     queues: Vec<VecDeque<QEntry>>,
@@ -783,7 +837,7 @@ impl Engine<'_> {
         let attempts = self.arena[idx].attempts + 1;
         self.arena[idx].attempts = attempts;
         if attempts <= self.rcfg.max_retries {
-            let delay = self.rcfg.backoff(idx as u64, attempts);
+            let delay = self.rcfg.backoff(self.arena[idx].gid, attempts);
             self.retry_seq += 1;
             self.retries
                 .push((from + delay).to_bits(), pack_retry(self.retry_seq, idx));
@@ -837,7 +891,7 @@ impl Engine<'_> {
             .capable_read_targets(class)
             .iter()
             .copied()
-            .filter(|&b| self.alive[b] && !self.breakers.is_blocked(b))
+            .filter(|&b| self.alive[b] && !self.cut[b] && !self.breakers.is_blocked(b))
             .collect();
         let pick = avail
             .iter()
@@ -956,7 +1010,7 @@ impl Engine<'_> {
                 let Some(mult) = self.admit_read(idx, class, b, t) else {
                     return;
                 };
-                let svc = self.profile.effective(b, service) * mult;
+                let svc = self.profile.effective(b, service) * mult * self.slow[b];
                 let start = self.free_at[b].max(t);
                 let end = start + svc;
                 let deadline = t + self.rcfg.deadline;
@@ -1041,7 +1095,7 @@ impl Engine<'_> {
                         UpdatePropagation::Lazy { batching_discount } if i > 0 => batching_discount,
                         _ => sync,
                     };
-                    let svc = self.profile.effective(b, service) * mult;
+                    let svc = self.profile.effective(b, service) * mult * self.slow[b];
                     let start = self.free_at[b].max(t);
                     let end = start + svc;
                     self.free_at[b] = end;
@@ -1173,8 +1227,74 @@ pub fn run_open_resilient_traced(
     plan: &FaultPlan,
     fcfg: &FaultConfig,
     rcfg: &ResilienceConfig,
-    mut tracer: Option<&mut qcpa_obs::Tracer>,
+    tracer: Option<&mut qcpa_obs::Tracer>,
 ) -> ResilienceReport {
+    let core = resilient_core(
+        alloc,
+        cls,
+        cluster,
+        catalog,
+        requests,
+        None,
+        warmup_backlog,
+        cfg,
+        plan,
+        fcfg,
+        rcfg,
+        tracer,
+        true,
+    );
+    assemble_resilience_report(requests, cls.len(), core)
+}
+
+/// Terminal state of one request in a [`resilient_core`] run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RFinal {
+    /// Completed at this absolute time.
+    Completed(f64),
+    Shed,
+    TimedOut,
+    /// Never reached a terminal state — a conservation-law violation.
+    Lost,
+}
+
+/// Raw outcome of [`resilient_core`]: per-request terminal states in
+/// arrival order plus the counters the sharded merge recombines.
+pub(crate) struct RCore {
+    /// `(arrival, class, final state)` per request, in arrival order.
+    pub finals: Vec<(f64, ClassId, RFinal)>,
+    pub busy: Vec<f64>,
+    pub tally: Tally,
+    /// Per-backend breaker transition counts (see [`Breakers`]).
+    pub breaker_opens: Vec<usize>,
+    pub breaker_half_opens: Vec<usize>,
+    pub breaker_closes: Vec<usize>,
+    pub stats: FaultStats,
+}
+
+/// The resilience engine proper: replays arrivals, retries, and the
+/// layered fault schedule in one total order and returns raw terminal
+/// states. `gids` maps each request to its global stream index (`None`
+/// = identity) so backoff jitter in a sharded component reproduces the
+/// unsharded draws bit for bit; `publish = false` suppresses obs
+/// emission for per-component replays — the sharded driver publishes
+/// once from the merged result.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn resilient_core(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    requests: &[Request],
+    gids: Option<&[usize]>,
+    warmup_backlog: f64,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    fcfg: &FaultConfig,
+    rcfg: &ResilienceConfig,
+    mut tracer: Option<&mut qcpa_obs::Tracer>,
+    publish: bool,
+) -> RCore {
     let _span = qcpa_obs::span("sim", "run_open_resilient");
     let n = cluster.len();
     assert_eq!(
@@ -1204,6 +1324,8 @@ pub fn run_open_resilient_traced(
         profile: ServiceProfile::new(&current, cluster, catalog, cfg.locality),
         spare: robust::spare_room(&current, cluster),
         alive: vec![true; n],
+        slow: vec![1.0f64; n],
+        cut: vec![false; n],
         free_at: vec![warmup_backlog.max(0.0); n],
         busy: vec![0.0; n],
         queues: vec![VecDeque::new(); n],
@@ -1216,13 +1338,9 @@ pub fn run_open_resilient_traced(
         tracer,
     };
     eng.breakers.log_enabled = trace_on;
+    eng.breakers.publish = publish;
 
-    let mut crashes = 0usize;
-    let mut recoveries = 0usize;
-    let mut repairs = 0usize;
-    let mut repair_pause_secs = 0.0f64;
-    let mut repair_moved_bytes = 0u64;
-    let mut availability = vec![(0.0, n)];
+    let mut stats = FaultStats::new(n, publish);
 
     let events = plan.events();
     let mut ev_i = 0usize;
@@ -1251,7 +1369,7 @@ pub fn run_open_resilient_traced(
             match *e {
                 FaultEvent::Crash { backend, at } => {
                     eng.alive[backend] = false;
-                    crashes += 1;
+                    stats.crashes += 1;
                     eng.breakers.on_crash(backend, at);
                     // Void legs still running or queued on the casualty
                     // and refund their unperformed work.
@@ -1269,12 +1387,13 @@ pub fn run_open_resilient_traced(
                     }
                     candidates.sort_unstable();
                     candidates.dedup();
-                    qcpa_obs::global().counter("sim.fault.crashes").inc();
-                    qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "crash", {
-                        "backend" => backend,
-                        "at" => at,
-                        "voided_legs" => voided,
-                    });
+                    if publish {
+                        qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "crash", {
+                            "backend" => backend,
+                            "at" => at,
+                            "voided_legs" => voided,
+                        });
+                    }
                     if let Some(tr) = eng.tracer.as_deref_mut() {
                         if tr.enabled() {
                             tr.tree.mark(
@@ -1288,19 +1407,25 @@ pub fn run_open_resilient_traced(
                             );
                         }
                     }
-                    eng.scheduler = reroute(
+                    let routable: Vec<bool> = eng
+                        .alive
+                        .iter()
+                        .zip(eng.cut.iter())
+                        .map(|(&a, &c)| a && !c)
+                        .collect();
+                    if let Ok(s) = reroute(
                         at,
                         &mut current,
                         cls,
                         cluster,
                         catalog,
-                        &eng.alive,
+                        &routable,
                         fcfg,
                         &mut eng.free_at,
-                        &mut repairs,
-                        &mut repair_pause_secs,
-                        &mut repair_moved_bytes,
-                    );
+                        &mut stats.tally,
+                    ) {
+                        eng.scheduler = s;
+                    }
                     eng.profile = ServiceProfile::new(&current, cluster, catalog, cfg.locality);
                     eng.spare = robust::spare_room(&current, cluster);
                     // Re-queue the requests the crash voided, in
@@ -1344,16 +1469,17 @@ pub fn run_open_resilient_traced(
                     catchup_cost,
                 } => {
                     eng.alive[backend] = true;
-                    recoveries += 1;
+                    stats.recoveries += 1;
                     eng.free_at[backend] = at + catchup_cost;
                     eng.queues[backend].clear();
                     eng.breakers.on_recover(backend, at);
-                    qcpa_obs::global().counter("sim.fault.recoveries").inc();
-                    qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "recover", {
-                        "backend" => backend,
-                        "at" => at,
-                        "catchup_secs" => catchup_cost,
-                    });
+                    if publish {
+                        qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "recover", {
+                            "backend" => backend,
+                            "at" => at,
+                            "catchup_secs" => catchup_cost,
+                        });
+                    }
                     if let Some(tr) = eng.tracer.as_deref_mut() {
                         if tr.enabled() {
                             tr.tree.mark(
@@ -1370,24 +1496,190 @@ pub fn run_open_resilient_traced(
                             );
                         }
                     }
-                    eng.scheduler = reroute(
+                    let routable: Vec<bool> = eng
+                        .alive
+                        .iter()
+                        .zip(eng.cut.iter())
+                        .map(|(&a, &c)| a && !c)
+                        .collect();
+                    if let Ok(s) = reroute(
                         at,
                         &mut current,
                         cls,
                         cluster,
                         catalog,
-                        &eng.alive,
+                        &routable,
                         fcfg,
                         &mut eng.free_at,
-                        &mut repairs,
-                        &mut repair_pause_secs,
-                        &mut repair_moved_bytes,
-                    );
+                        &mut stats.tally,
+                    ) {
+                        eng.scheduler = s;
+                    }
+                    eng.profile = ServiceProfile::new(&current, cluster, catalog, cfg.locality);
+                    eng.spare = robust::spare_room(&current, cluster);
+                }
+                FaultEvent::Degrade {
+                    backend,
+                    at,
+                    factor,
+                } => {
+                    // Gray failure: the backend keeps serving (and keeps
+                    // its breaker state), but every leg dispatched from
+                    // now on takes `factor` times as long — the breaker
+                    // EWMA observes the slowdown and may trip on it.
+                    eng.slow[backend] = factor;
+                    stats.gray_windows += 1;
+                    if publish {
+                        qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "degrade", {
+                            "backend" => backend,
+                            "at" => at,
+                            "factor" => factor,
+                        });
+                    }
+                    if let Some(tr) = eng.tracer.as_deref_mut() {
+                        if tr.enabled() {
+                            tr.tree.mark(
+                                tr.span_id(u64::MAX - backend as u64, at.to_bits() ^ 2),
+                                None,
+                                "fault",
+                                "degrade",
+                                fault_track,
+                                at,
+                                vec![("backend", backend.into()), ("factor", factor.into())],
+                            );
+                        }
+                    }
+                }
+                FaultEvent::Restore { backend, at } => {
+                    eng.slow[backend] = 1.0;
+                    if publish {
+                        qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "restore", {
+                            "backend" => backend,
+                            "at" => at,
+                        });
+                    }
+                    if let Some(tr) = eng.tracer.as_deref_mut() {
+                        if tr.enabled() {
+                            tr.tree.mark(
+                                tr.span_id(u64::MAX - backend as u64, at.to_bits() ^ 3),
+                                None,
+                                "fault",
+                                "restore",
+                                fault_track,
+                                at,
+                                vec![("backend", backend.into())],
+                            );
+                        }
+                    }
+                }
+                FaultEvent::Partition { id, at } => {
+                    // Link cut, not death: no voiding, no breaker trip —
+                    // in-flight and queued legs on the cut side still
+                    // complete; the side is only excluded from new
+                    // routing until healed.
+                    for &m in plan.partition_side(id) {
+                        eng.cut[m] = true;
+                    }
+                    stats.partitions += 1;
+                    if publish {
+                        qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "partition", {
+                            "partition" => id,
+                            "at" => at,
+                            "cut" => plan.partition_side(id).len(),
+                        });
+                    }
+                    if let Some(tr) = eng.tracer.as_deref_mut() {
+                        if tr.enabled() {
+                            tr.tree.mark(
+                                tr.span_id(u64::MAX / 2 - u64::from(id), at.to_bits()),
+                                None,
+                                "fault",
+                                "partition",
+                                fault_track,
+                                at,
+                                vec![
+                                    ("partition", id.into()),
+                                    ("cut", plan.partition_side(id).len().into()),
+                                ],
+                            );
+                        }
+                    }
+                    let routable: Vec<bool> = eng
+                        .alive
+                        .iter()
+                        .zip(eng.cut.iter())
+                        .map(|(&a, &c)| a && !c)
+                        .collect();
+                    if let Ok(s) = reroute(
+                        at,
+                        &mut current,
+                        cls,
+                        cluster,
+                        catalog,
+                        &routable,
+                        fcfg,
+                        &mut eng.free_at,
+                        &mut stats.tally,
+                    ) {
+                        eng.scheduler = s;
+                    }
+                    eng.profile = ServiceProfile::new(&current, cluster, catalog, cfg.locality);
+                    eng.spare = robust::spare_room(&current, cluster);
+                }
+                FaultEvent::Heal { id, at } => {
+                    for &m in plan.partition_side(id) {
+                        eng.cut[m] = false;
+                    }
+                    stats.heals += 1;
+                    if publish {
+                        qcpa_obs::event!(qcpa_obs::Level::Info, "sim.fault", "heal", {
+                            "partition" => id,
+                            "at" => at,
+                        });
+                    }
+                    if let Some(tr) = eng.tracer.as_deref_mut() {
+                        if tr.enabled() {
+                            tr.tree.mark(
+                                tr.span_id(u64::MAX / 2 - u64::from(id), at.to_bits() ^ 1),
+                                None,
+                                "fault",
+                                "heal",
+                                fault_track,
+                                at,
+                                vec![("partition", id.into())],
+                            );
+                        }
+                    }
+                    let routable: Vec<bool> = eng
+                        .alive
+                        .iter()
+                        .zip(eng.cut.iter())
+                        .map(|(&a, &c)| a && !c)
+                        .collect();
+                    if let Ok(s) = reroute(
+                        at,
+                        &mut current,
+                        cls,
+                        cluster,
+                        catalog,
+                        &routable,
+                        fcfg,
+                        &mut eng.free_at,
+                        &mut stats.tally,
+                    ) {
+                        eng.scheduler = s;
+                    }
                     eng.profile = ServiceProfile::new(&current, cluster, catalog, cfg.locality);
                     eng.spare = robust::spare_room(&current, cluster);
                 }
             }
-            availability.push((e.at(), eng.alive.iter().filter(|&&a| a).count()));
+            let routable = eng
+                .alive
+                .iter()
+                .zip(eng.cut.iter())
+                .filter(|&(&a, &c)| a && !c)
+                .count();
+            stats.availability.push((e.at(), routable));
         } else if tr <= ta {
             if let Some((bits, packed)) = eng.retries.pop() {
                 eng.dispatch((packed & 0xFFFF_FFFF) as usize, f64::from_bits(bits));
@@ -1405,6 +1697,7 @@ pub fn run_open_resilient_traced(
                 class: r.class,
                 kind: r.kind,
                 service: r.service,
+                gid: gids.map_or(idx as u64, |g| g[idx] as u64),
                 legs: LegList::new(),
                 attempts: 0,
                 retry_pending: false,
@@ -1434,22 +1727,11 @@ pub fn run_open_resilient_traced(
     }
 
     // Finalize: every non-voided, non-cancelled leg ran to completion.
-    let mut responses = Vec::with_capacity(eng.arena.len());
-    let mut resp_hist = qcpa_obs::Histogram::new();
-    let mut per_class_completed = vec![0usize; cls.len()];
-    let mut shed = 0usize;
-    let mut timed_out = 0usize;
-    let mut lost = 0usize;
+    let mut finals = Vec::with_capacity(eng.arena.len());
     for (idx, r) in eng.arena.iter().enumerate() {
-        let outcome = match r.outcome {
-            Outcome::Shed => {
-                shed += 1;
-                "shed"
-            }
-            Outcome::TimedOut => {
-                timed_out += 1;
-                "timed_out"
-            }
+        let fin = match r.outcome {
+            Outcome::Shed => RFinal::Shed,
+            Outcome::TimedOut => RFinal::TimedOut,
             Outcome::Pending => {
                 let live = |l: &&RLeg| !l.voided && !l.cancelled;
                 let completion = match (r.kind, cfg.propagation) {
@@ -1475,27 +1757,74 @@ pub fn run_open_resilient_traced(
                         .map(|l| l.end),
                 };
                 match completion {
-                    Some(end) => {
-                        resp_hist.record(end - r.arrival);
-                        responses.push((r.arrival, end - r.arrival));
-                        per_class_completed[r.class.idx()] += 1;
-                        "completed"
-                    }
-                    None => {
-                        lost += 1;
-                        "lost"
-                    }
+                    Some(end) => RFinal::Completed(end),
+                    None => RFinal::Lost,
                 }
             }
         };
         if let Some(tr) = tracer.as_deref_mut() {
             if tr.admit(idx as u64) {
+                let outcome = match fin {
+                    RFinal::Completed(_) => "completed",
+                    RFinal::Shed => "shed",
+                    RFinal::TimedOut => "timed_out",
+                    RFinal::Lost => "lost",
+                };
                 trace_resilient_request(tr, idx as u64, r, &eng.leg_arena, outcome, fault_track);
             }
         }
+        finals.push((r.arrival, r.class, fin));
     }
-    debug_assert_eq!(shed, eng.tally.shed);
-    debug_assert_eq!(timed_out, eng.tally.timed_out);
+
+    RCore {
+        finals,
+        busy: eng.busy,
+        tally: eng.tally,
+        breaker_opens: eng.breakers.opens,
+        breaker_half_opens: eng.breakers.half_opens,
+        breaker_closes: eng.breakers.closes,
+        stats,
+    }
+}
+
+/// Rebuilds the public [`ResilienceReport`] from raw terminal states —
+/// the histogram, percentiles and per-class tallies replay in global
+/// arrival order, so a merge of per-component cores assembles to the
+/// unsharded report bit for bit. Publishes the run's obs counters.
+pub(crate) fn assemble_resilience_report(
+    requests: &[Request],
+    n_classes: usize,
+    core: RCore,
+) -> ResilienceReport {
+    let RCore {
+        finals,
+        busy,
+        tally,
+        breaker_opens,
+        breaker_half_opens,
+        breaker_closes,
+        stats,
+    } = core;
+    let mut responses = Vec::with_capacity(finals.len());
+    let mut resp_hist = qcpa_obs::Histogram::new();
+    let mut per_class_completed = vec![0usize; n_classes];
+    let mut shed = 0usize;
+    let mut timed_out = 0usize;
+    let mut lost = 0usize;
+    for &(arrival, class, fin) in &finals {
+        match fin {
+            RFinal::Completed(end) => {
+                resp_hist.record(end - arrival);
+                responses.push((arrival, end - arrival));
+                per_class_completed[class.idx()] += 1;
+            }
+            RFinal::Shed => shed += 1,
+            RFinal::TimedOut => timed_out += 1,
+            RFinal::Lost => lost += 1,
+        }
+    }
+    debug_assert_eq!(shed, tally.shed);
+    debug_assert_eq!(timed_out, tally.timed_out);
 
     let mut resp: Vec<f64> = responses.iter().map(|&(_, r)| r).collect();
     let mean_response = if resp.is_empty() {
@@ -1506,8 +1835,11 @@ pub fn run_open_resilient_traced(
     let p95_response = nearest_rank(&mut resp, 0.95);
     let p99_response = nearest_rank(&mut resp, 0.99);
     let window = requests.last().map(|r| r.arrival).unwrap_or(0.0).max(1e-9);
-    let utilization: Vec<f64> = eng.busy.iter().map(|b| b / window).collect();
+    let utilization: Vec<f64> = busy.iter().map(|b| b / window).collect();
     let goodput = responses.len() as f64 / window;
+    let opens: usize = breaker_opens.iter().sum();
+    let half_opens: usize = breaker_half_opens.iter().sum();
+    let closes: usize = breaker_closes.iter().sum();
 
     let reg = qcpa_obs::global();
     reg.counter("sim.resilience.offered")
@@ -1519,27 +1851,30 @@ pub fn run_open_resilient_traced(
         .add(timed_out as u64);
     reg.counter("sim.resilience.lost").add(lost as u64);
     reg.counter("sim.resilience.timeouts")
-        .add(eng.tally.timeouts as u64);
+        .add(tally.timeouts as u64);
     reg.counter("sim.resilience.retries")
-        .add(eng.tally.retries as u64);
+        .add(tally.retries as u64);
     reg.counter("sim.resilience.shed_victims")
-        .add(eng.tally.shed_victims as u64);
+        .add(tally.shed_victims as u64);
     reg.counter("sim.resilience.browned_out")
-        .add(eng.tally.browned_out as u64);
+        .add(tally.browned_out as u64);
     reg.counter("sim.resilience.redispatched")
-        .add(eng.tally.redispatched as u64);
+        .add(tally.redispatched as u64);
     reg.counter("sim.resilience.breaker_opens")
-        .add(eng.breakers.opens as u64);
+        .add(opens as u64);
     reg.counter("sim.resilience.breaker_half_opens")
-        .add(eng.breakers.half_opens as u64);
+        .add(half_opens as u64);
     reg.counter("sim.resilience.breaker_closes")
-        .add(eng.breakers.closes as u64);
+        .add(closes as u64);
     reg.counter("sim.resilience.degraded_fallbacks")
-        .add(eng.tally.degraded_fallbacks as u64);
+        .add(tally.degraded_fallbacks as u64);
     reg.counter("sim.resilience.breaker_overrides")
-        .add(eng.tally.breaker_overrides as u64);
+        .add(tally.breaker_overrides as u64);
     reg.counter("sim.resilience.unroutable")
-        .add(eng.tally.unroutable as u64);
+        .add(tally.unroutable as u64);
+    reg.counter("sim.fault.crashes").add(stats.crashes as u64);
+    reg.counter("sim.fault.recoveries")
+        .add(stats.recoveries as u64);
     reg.merge_histogram("sim.resilience.response_secs", &resp_hist);
 
     ResilienceReport {
@@ -1548,30 +1883,35 @@ pub fn run_open_resilient_traced(
         mean_response,
         p95_response,
         p99_response,
-        busy: eng.busy,
+        busy,
         utilization,
         offered: requests.len(),
         shed,
         timed_out,
         lost,
         per_class_completed,
-        retries: eng.tally.retries,
-        timeouts: eng.tally.timeouts,
-        shed_victims: eng.tally.shed_victims,
-        browned_out: eng.tally.browned_out,
-        redispatched: eng.tally.redispatched,
-        breaker_opens: eng.breakers.opens,
-        breaker_half_opens: eng.breakers.half_opens,
-        breaker_closes: eng.breakers.closes,
-        degraded_fallbacks: eng.tally.degraded_fallbacks,
-        breaker_overrides: eng.tally.breaker_overrides,
-        unroutable: eng.tally.unroutable,
-        crashes,
-        recoveries,
-        repairs,
-        repair_pause_secs,
-        repair_moved_bytes,
-        availability,
+        retries: tally.retries,
+        timeouts: tally.timeouts,
+        shed_victims: tally.shed_victims,
+        browned_out: tally.browned_out,
+        redispatched: tally.redispatched,
+        breaker_opens: opens,
+        breaker_half_opens: half_opens,
+        breaker_closes: closes,
+        degraded_fallbacks: tally.degraded_fallbacks,
+        breaker_overrides: tally.breaker_overrides,
+        unroutable: tally.unroutable,
+        crashes: stats.crashes,
+        recoveries: stats.recoveries,
+        gray_windows: stats.gray_windows,
+        partitions: stats.partitions,
+        heals: stats.heals,
+        repairs: stats.tally.repairs,
+        repair_pause_secs: stats.tally.pause_secs,
+        repair_moved_bytes: stats.tally.moved_bytes,
+        reroute_failures: stats.tally.failures,
+        post_repair_safety_ok: stats.tally.safety_ok,
+        availability: stats.availability,
         goodput,
     }
 }

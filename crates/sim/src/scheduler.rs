@@ -115,6 +115,31 @@ impl Scheduler {
         })
     }
 
+    /// Routing tables for a network partition: only the backends in
+    /// `reachable` (the requester's side, sorted ascending) accept new
+    /// work. Partitioned-away backends are treated exactly like failed
+    /// ones for routing — excluded from every target list, shares
+    /// redistributed — but nothing about them is repaired or voided,
+    /// so healing the partition and rebuilding with [`Scheduler::new`]
+    /// restores the pre-partition tables bit for bit.
+    ///
+    /// Returns `None` when some positively weighted class has no
+    /// capable replica on the reachable side.
+    pub fn for_partition(
+        alloc: &Allocation,
+        cls: &Classification,
+        cluster: &ClusterSpec,
+        reachable: &[usize],
+    ) -> Option<Scheduler> {
+        let unreachable: Vec<usize> = (0..alloc.n_backends())
+            .filter(|b| !reachable.contains(b))
+            .collect();
+        if unreachable.is_empty() {
+            return Some(Scheduler::new(alloc, cls));
+        }
+        Scheduler::for_survivors(alloc, cls, cluster, &unreachable)
+    }
+
     /// The backend a read of class `c` should go to, given current
     /// per-backend pending work: least pending first, ties to the lowest
     /// index. Returns `None` if no backend can serve the class.

@@ -39,8 +39,16 @@ use qcpa_core::fragment::Catalog;
 use qcpa_core::journal::QueryKind;
 
 use crate::engine::{finish_open_report, open_loop_core, CoreOutcome, OpenReport, SimConfig};
+use crate::fault::{
+    assemble_fault_report, fault_core, run_open_faults, FaultConfig, FaultCore, FaultEvent,
+    FaultPlan, FaultReport,
+};
 use crate::queue::QueueKind;
 use crate::request::Request;
+use crate::resilience::{
+    assemble_resilience_report, resilient_core, run_open_resilient, RCore, RFinal,
+    ResilienceConfig, ResilienceReport, Tally,
+};
 use crate::scheduler::Scheduler;
 use crate::service::ServiceProfile;
 
@@ -224,6 +232,366 @@ pub fn run_open_sharded(
     finish_open_report(requests, &merged, busy)
 }
 
+/// [`backend_components`] with the fault plan welded into the coupling
+/// graph: beyond the class-routing edges, every pair of backends coupled
+/// by a fault event lands in one component — members of a partition
+/// side (they are cut and healed as one routing change) and backends
+/// crashed at the same instant (a correlated zone failure). Repair
+/// source/target coupling is handled separately: plans that can trigger
+/// an online repair mutate the allocation globally, so the sharded
+/// drivers detect them with [`plan_may_repair`] and fall back to the
+/// unsharded engine instead of welding everything into one component.
+#[must_use]
+pub fn fault_components(
+    scheduler: &Scheduler,
+    cls: &Classification,
+    n: usize,
+    plan: &FaultPlan,
+) -> Vec<usize> {
+    let mut uf = UnionFind::new(n);
+    for c in &cls.classes {
+        let weld = |uf: &mut UnionFind, targets: &[usize]| {
+            for w in targets.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+        };
+        match c.kind {
+            QueryKind::Read => {
+                weld(&mut uf, scheduler.read_targets(c.id));
+                weld(&mut uf, scheduler.capable_read_targets(c.id));
+            }
+            QueryKind::Update => weld(&mut uf, scheduler.route_update(c.id)),
+        }
+    }
+    for side in plan.partition_sides() {
+        for w in side.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+    // Correlated crashes: zone failures draw one instant for every
+    // member, so identical at-bits mark the zone's members.
+    let crashes: Vec<(u64, usize)> = plan
+        .events()
+        .iter()
+        .filter_map(|e| match *e {
+            FaultEvent::Crash { backend, at } => Some((at.to_bits(), backend)),
+            _ => None,
+        })
+        .collect();
+    for (i, &(at, b)) in crashes.iter().enumerate() {
+        for &(at2, b2) in &crashes[i + 1..] {
+            if at == at2 {
+                uf.union(b, b2);
+            }
+        }
+    }
+    let mut component = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for b in 0..n {
+        let root = uf.find(b);
+        if component[root] == usize::MAX {
+            component[root] = next;
+            next += 1;
+        }
+        component[b] = component[root];
+    }
+    component
+}
+
+/// Whether replaying `plan` against the pristine allocation could ever
+/// trigger an online k-safety repair (or an outright reroute failure).
+/// Until the first repair the fault engines never mutate the
+/// allocation, so the pre-check is exact: after each routing-changing
+/// event the routable set either still serves every weighted class
+/// ([`Scheduler::for_survivors`] is `Some`) or the engine would repair.
+/// Repairs couple every surviving backend through the re-replicated
+/// fragments, so the sharded drivers fall back to the unsharded engine
+/// when this returns true.
+#[must_use]
+pub fn plan_may_repair(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    plan: &FaultPlan,
+) -> bool {
+    let n = alloc.n_backends();
+    let mut alive = vec![true; n];
+    let mut cut = vec![false; n];
+    for e in plan.events() {
+        let reroutes = match *e {
+            FaultEvent::Crash { backend, .. } => {
+                alive[backend] = false;
+                true
+            }
+            FaultEvent::Recover { backend, .. } => {
+                alive[backend] = true;
+                true
+            }
+            FaultEvent::Partition { id, .. } => {
+                for &m in plan.partition_side(id) {
+                    cut[m] = true;
+                }
+                true
+            }
+            FaultEvent::Heal { id, .. } => {
+                for &m in plan.partition_side(id) {
+                    cut[m] = false;
+                }
+                true
+            }
+            FaultEvent::Degrade { .. } | FaultEvent::Restore { .. } => false,
+        };
+        if !reroutes {
+            continue;
+        }
+        let failed: Vec<usize> = (0..n).filter(|&b| !alive[b] || cut[b]).collect();
+        if failed.is_empty() {
+            continue;
+        }
+        if failed.len() == n || Scheduler::for_survivors(alloc, cls, cluster, &failed).is_none() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Per-component request split shared by the fault-aware drivers:
+/// `(class → component, per-component requests, original indices)`.
+/// `None` in the class map marks a class with no routing targets.
+type RequestSplit = (Vec<Option<usize>>, Vec<Vec<Request>>, Vec<Vec<u32>>);
+
+fn split_requests(
+    scheduler: &Scheduler,
+    cls: &Classification,
+    component: &[usize],
+    n_components: usize,
+    requests: &[Request],
+) -> RequestSplit {
+    let class_comp: Vec<Option<usize>> = cls
+        .classes
+        .iter()
+        .map(|c| {
+            let targets = match c.kind {
+                QueryKind::Read => scheduler.read_targets(c.id),
+                QueryKind::Update => scheduler.route_update(c.id),
+            };
+            targets.first().map(|&b| component[b])
+        })
+        .collect();
+    let mut shard_reqs: Vec<Vec<Request>> = vec![Vec::new(); n_components];
+    let mut shard_orig: Vec<Vec<u32>> = vec![Vec::new(); n_components];
+    for (i, r) in requests.iter().enumerate() {
+        if let Some(j) = class_comp.get(r.class.idx()).copied().flatten() {
+            shard_reqs[j].push(*r);
+            shard_orig[j].push(i as u32);
+        }
+    }
+    (class_comp, shard_reqs, shard_orig)
+}
+
+/// [`run_open_faults`] over fault-welded backend components on up to
+/// `shards` [`qcpa_par`] workers — bit-identical to the unsharded run.
+/// Every component replays the *full* event schedule (events are cheap
+/// and keep the per-component alive/cut/slow trajectories exactly the
+/// unsharded ones) but only its own arrivals. Falls back to the
+/// unsharded engine when the plan could trigger an online repair, when
+/// some class routes nowhere, or when the graph is one component.
+#[allow(clippy::too_many_arguments)]
+pub fn run_open_faults_sharded(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    requests: &[Request],
+    warmup_backlog: f64,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    fcfg: &FaultConfig,
+    shards: usize,
+) -> FaultReport {
+    let _span = qcpa_obs::span("sim", "run_open_faults_sharded");
+    let n = cluster.len();
+    let scheduler = Scheduler::new(alloc, cls);
+    let component = fault_components(&scheduler, cls, n, plan);
+    let n_components = component.iter().copied().max().map_or(0, |m| m + 1);
+    let (class_comp, shard_reqs, shard_orig) =
+        split_requests(&scheduler, cls, &component, n_components.max(1), requests);
+    if n_components <= 1
+        || class_comp.iter().any(|c| c.is_none())
+        || plan_may_repair(alloc, cls, cluster, plan)
+    {
+        return run_open_faults(
+            alloc,
+            cls,
+            cluster,
+            catalog,
+            requests,
+            warmup_backlog,
+            cfg,
+            plan,
+            fcfg,
+        );
+    }
+
+    let pool = qcpa_par::Pool::with_workers(shards.max(1).min(n_components));
+    let per_shard: Vec<FaultCore> = pool.map(n_components, |j| {
+        fault_core(
+            alloc,
+            cls,
+            cluster,
+            catalog,
+            &shard_reqs[j],
+            warmup_backlog,
+            cfg,
+            plan,
+            fcfg,
+            None,
+            false,
+        )
+    });
+
+    // Merge: completions re-keyed by original arrival index; busy from
+    // each backend's owning component; event stats from component 0
+    // (identical everywhere) with the request-driven re-dispatch count
+    // summed.
+    let mut completions: Vec<(f64, Option<f64>)> =
+        requests.iter().map(|r| (r.arrival, None)).collect();
+    let mut redispatched = 0usize;
+    for (j, core) in per_shard.iter().enumerate() {
+        for (k, &c) in core.completions.iter().enumerate() {
+            completions[shard_orig[j][k] as usize] = c;
+        }
+        redispatched += core.stats.redispatched;
+        debug_assert_eq!(
+            core.stats.tally.repairs, 0,
+            "plans that may repair must fall back to the unsharded engine"
+        );
+    }
+    let mut busy = vec![0.0f64; n];
+    for (b, busy_b) in busy.iter_mut().enumerate() {
+        *busy_b = per_shard[component[b]].busy[b];
+    }
+    let mut stats = per_shard[0].stats.clone();
+    stats.redispatched = redispatched;
+    assemble_fault_report(
+        requests,
+        FaultCore {
+            completions,
+            busy,
+            stats,
+        },
+    )
+}
+
+/// [`run_open_resilient`] over fault-welded backend components — the
+/// sharded counterpart of [`run_open_faults_sharded`] for the full
+/// resilience runtime. Backend-local breaker state is exact in the
+/// component that owns the backend (it sees all fault events plus
+/// every dispatch to it), retry jitter is keyed on global request ids,
+/// and the per-request tallies sum — so the merge is bit-identical to
+/// the unsharded run. Same fallbacks as the fault driver.
+#[allow(clippy::too_many_arguments)]
+pub fn run_open_resilient_sharded(
+    alloc: &Allocation,
+    cls: &Classification,
+    cluster: &ClusterSpec,
+    catalog: &Catalog,
+    requests: &[Request],
+    warmup_backlog: f64,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    fcfg: &FaultConfig,
+    rcfg: &ResilienceConfig,
+    shards: usize,
+) -> ResilienceReport {
+    let _span = qcpa_obs::span("sim", "run_open_resilient_sharded");
+    let n = cluster.len();
+    let scheduler = Scheduler::new(alloc, cls);
+    let component = fault_components(&scheduler, cls, n, plan);
+    let n_components = component.iter().copied().max().map_or(0, |m| m + 1);
+    let (class_comp, shard_reqs, shard_orig) =
+        split_requests(&scheduler, cls, &component, n_components.max(1), requests);
+    if n_components <= 1
+        || class_comp.iter().any(|c| c.is_none())
+        || plan_may_repair(alloc, cls, cluster, plan)
+    {
+        return run_open_resilient(
+            alloc,
+            cls,
+            cluster,
+            catalog,
+            requests,
+            warmup_backlog,
+            cfg,
+            plan,
+            fcfg,
+            rcfg,
+        );
+    }
+
+    let shard_gids: Vec<Vec<usize>> = shard_orig
+        .iter()
+        .map(|orig| orig.iter().map(|&i| i as usize).collect())
+        .collect();
+    let pool = qcpa_par::Pool::with_workers(shards.max(1).min(n_components));
+    let per_shard: Vec<RCore> = pool.map(n_components, |j| {
+        resilient_core(
+            alloc,
+            cls,
+            cluster,
+            catalog,
+            &shard_reqs[j],
+            Some(&shard_gids[j]),
+            warmup_backlog,
+            cfg,
+            plan,
+            fcfg,
+            rcfg,
+            None,
+            false,
+        )
+    });
+
+    // Merge: terminal states re-keyed by original index (every request
+    // is in exactly one component, so the placeholder is always
+    // overwritten); busy and breaker columns from each backend's owner;
+    // request-driven tallies sum; event stats from component 0.
+    let mut finals: Vec<_> = requests
+        .iter()
+        .map(|r| (r.arrival, r.class, RFinal::Lost))
+        .collect();
+    let mut tally = Tally::default();
+    for (j, core) in per_shard.iter().enumerate() {
+        for (k, &f) in core.finals.iter().enumerate() {
+            finals[shard_orig[j][k] as usize] = f;
+        }
+        tally.absorb(&core.tally);
+        debug_assert_eq!(
+            core.stats.tally.repairs, 0,
+            "plans that may repair must fall back to the unsharded engine"
+        );
+    }
+    let owner = |b: usize| &per_shard[component[b]];
+    let busy: Vec<f64> = (0..n).map(|b| owner(b).busy[b]).collect();
+    let breaker_opens: Vec<usize> = (0..n).map(|b| owner(b).breaker_opens[b]).collect();
+    let breaker_half_opens: Vec<usize> = (0..n).map(|b| owner(b).breaker_half_opens[b]).collect();
+    let breaker_closes: Vec<usize> = (0..n).map(|b| owner(b).breaker_closes[b]).collect();
+    let stats = per_shard[0].stats.clone();
+    assemble_resilience_report(
+        requests,
+        cls.len(),
+        RCore {
+            finals,
+            busy,
+            tally,
+            breaker_opens,
+            breaker_half_opens,
+            breaker_closes,
+            stats,
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +664,145 @@ mod tests {
             let sharded = run_open_sharded(&alloc, &cls, &cluster, &cat, &reqs, 0.0, &cfg, shards);
             assert_reports_bit_identical(&plain, &sharded);
         }
+    }
+
+    #[test]
+    fn sharded_fault_engines_match_unsharded_bit_for_bit() {
+        use crate::fault::LayeredFaultConfig;
+
+        let (cat, cls, stream) = disjoint_setup();
+        let cluster = ClusterSpec::homogeneous(4);
+        let alloc = greedy::allocate(&cls, &cat, &cluster);
+        let cfg = SimConfig::default();
+        let fcfg = FaultConfig::default();
+        let rcfg = ResilienceConfig::default();
+        let lcfg = LayeredFaultConfig {
+            gray: 2,
+            partitions: 1,
+            gray_duration: 4.0,
+            partition_duration: 4.0,
+            ..LayeredFaultConfig::default()
+        };
+
+        let mut nontrivial = 0usize;
+        for seed in 0..10u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let reqs = stream.sample_poisson(80.0, 20.0, 0.1, &mut rng);
+            let plan = FaultPlan::from_seed_layered(seed, 4, 20.0, &lcfg);
+            let scheduler = Scheduler::new(&alloc, &cls);
+            let comps = fault_components(&scheduler, &cls, 4, &plan);
+            let n_comp = comps.iter().max().unwrap() + 1;
+            if n_comp >= 2 && !plan_may_repair(&alloc, &cls, &cluster, &plan) {
+                nontrivial += 1;
+            }
+
+            let fr = crate::fault::run_open_faults(
+                &alloc, &cls, &cluster, &cat, &reqs, 0.0, &cfg, &plan, &fcfg,
+            );
+            let rr = crate::resilience::run_open_resilient(
+                &alloc, &cls, &cluster, &cat, &reqs, 0.0, &cfg, &plan, &fcfg, &rcfg,
+            );
+            for shards in [1usize, 2, 4] {
+                let fs = run_open_faults_sharded(
+                    &alloc, &cls, &cluster, &cat, &reqs, 0.0, &cfg, &plan, &fcfg, shards,
+                );
+                assert_eq!(fr.responses.len(), fs.responses.len());
+                for (x, y) in fr.responses.iter().zip(&fs.responses) {
+                    assert_eq!(x.0.to_bits(), y.0.to_bits(), "seed {seed} shards {shards}");
+                    assert_eq!(x.1.to_bits(), y.1.to_bits());
+                }
+                assert_eq!(fr.lost, fs.lost);
+                assert_eq!(fr.redispatched, fs.redispatched);
+                assert_eq!(fr.gray_windows, fs.gray_windows);
+                assert_eq!(fr.partitions, fs.partitions);
+                for (x, y) in fr.busy.iter().zip(&fs.busy) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                assert_eq!(fr.availability, fs.availability);
+
+                let rs = run_open_resilient_sharded(
+                    &alloc, &cls, &cluster, &cat, &reqs, 0.0, &cfg, &plan, &fcfg, &rcfg, shards,
+                );
+                assert_eq!(rr.responses.len(), rs.responses.len());
+                for (x, y) in rr.responses.iter().zip(&rs.responses) {
+                    assert_eq!(x.0.to_bits(), y.0.to_bits(), "seed {seed} shards {shards}");
+                    assert_eq!(x.1.to_bits(), y.1.to_bits());
+                }
+                assert_eq!(rr.completed, rs.completed);
+                assert_eq!(rr.shed, rs.shed);
+                assert_eq!(rr.timed_out, rs.timed_out);
+                assert_eq!(rr.lost, rs.lost);
+                assert_eq!(rr.retries, rs.retries);
+                assert_eq!(rr.breaker_opens, rs.breaker_opens);
+                assert_eq!(rr.breaker_closes, rs.breaker_closes);
+                for (x, y) in rr.busy.iter().zip(&rs.busy) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "seed {seed} shards {shards}");
+                }
+                assert_eq!(rr.availability, rs.availability);
+            }
+        }
+        assert!(
+            nontrivial >= 1,
+            "at least one seed must exercise the genuinely sharded path"
+        );
+    }
+
+    #[test]
+    fn fault_components_weld_partition_sides_and_zones() {
+        let (cat, cls, _) = disjoint_setup();
+        let cluster = ClusterSpec::homogeneous(4);
+        let alloc = greedy::allocate(&cls, &cat, &cluster);
+        let scheduler = Scheduler::new(&alloc, &cls);
+        let base = backend_components(&scheduler, &cls, 4);
+        let n_base = base.iter().max().unwrap() + 1;
+        assert!(n_base >= 2, "setup must decompose: {base:?}");
+        // A partition side spanning two base components welds them.
+        let (u, v) = (0..4)
+            .flat_map(|a| (0..4).map(move |b| (a, b)))
+            .find(|&(a, b)| base[a] != base[b])
+            .unwrap();
+        let side = if u < v { vec![u, v] } else { vec![v, u] };
+        let plan = FaultPlan::with_partitions(
+            vec![
+                FaultEvent::Partition { id: 0, at: 1.0 },
+                FaultEvent::Heal { id: 0, at: 2.0 },
+            ],
+            4,
+            vec![side],
+        )
+        .unwrap();
+        let welded = fault_components(&scheduler, &cls, 4, &plan);
+        assert_eq!(welded[u], welded[v], "{welded:?}");
+        // Co-crashed backends (same instant → zone failure) weld too.
+        let plan = FaultPlan::new(
+            vec![
+                FaultEvent::Crash {
+                    backend: u,
+                    at: 1.5,
+                },
+                FaultEvent::Crash {
+                    backend: v,
+                    at: 1.5,
+                },
+                FaultEvent::Recover {
+                    backend: u,
+                    at: 3.0,
+                    catchup_cost: 0.0,
+                },
+                FaultEvent::Recover {
+                    backend: v,
+                    at: 3.5,
+                    catchup_cost: 0.0,
+                },
+            ],
+            4,
+        )
+        .unwrap();
+        let welded = fault_components(&scheduler, &cls, 4, &plan);
+        assert_eq!(welded[u], welded[v], "{welded:?}");
+        // An empty plan changes nothing.
+        let empty = FaultPlan::new(Vec::new(), 4).unwrap();
+        assert_eq!(fault_components(&scheduler, &cls, 4, &empty), base);
     }
 
     #[test]

@@ -73,14 +73,16 @@ if [[ "$FAST" == "1" || "$DEEP" == "1" ]]; then
     QCPA_THREADS=1 cargo test -q --test conformance multilevel
     echo "== multilevel conformance (QCPA_THREADS=4) =="
     QCPA_THREADS=4 cargo test -q --test conformance multilevel
-    echo "== sim differential suite (QCPA_THREADS=1, calendar queue) =="
-    QCPA_THREADS=1 cargo test -q --test sim_equivalence
-    echo "== sim differential suite (QCPA_THREADS=4, heap queue) =="
-    QCPA_THREADS=4 QCPA_SIM_QUEUE=heap cargo test -q --test sim_equivalence
+    echo "== sim differential suite (QCPA_THREADS=1, 1 shard, calendar queue) =="
+    QCPA_THREADS=1 QCPA_SIM_SHARDS=1 cargo test -q --test sim_equivalence
+    echo "== sim differential suite (QCPA_THREADS=4, 4 shards, heap queue) =="
+    QCPA_THREADS=4 QCPA_SIM_SHARDS=4 QCPA_SIM_QUEUE=heap cargo test -q --test sim_equivalence
     echo "== allocator bench-matrix corner (quick, small instances) =="
     QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin bench_allocator
     echo "== resilience sweep smoke (fails on any lost request) =="
     QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin fig_resilience
+    echo "== chaos smoke (8 layered schedules, fails on any violation) =="
+    QCPA_BENCH_QUICK=1 QCPA_CHAOS_RUNS=8 cargo run --release -q -p qcpa-bench --bin fig_chaos
     echo "== trace exporter smoke (byte-stable, parseable) =="
     cargo run --release -q -p qcpa-bench --bin trace_smoke
     echo "== simulator throughput corner (quick, 16 backends / 20k events) =="
@@ -113,10 +115,10 @@ QCPA_THREADS=4 cargo test -q --test conformance
 # The hot-path rewrite's differential lockdown must hold on both worker
 # pools and under both event-queue implementations (the default run
 # above already covers threads=1/4 × calendar; cross it with the heap).
-echo "== sim differential suite (QCPA_THREADS=1, heap queue) =="
-QCPA_THREADS=1 QCPA_SIM_QUEUE=heap cargo test -q --test sim_equivalence
-echo "== sim differential suite (QCPA_THREADS=4, heap queue) =="
-QCPA_THREADS=4 QCPA_SIM_QUEUE=heap cargo test -q --test sim_equivalence
+echo "== sim differential suite (QCPA_THREADS=1, 1 shard, heap queue) =="
+QCPA_THREADS=1 QCPA_SIM_SHARDS=1 QCPA_SIM_QUEUE=heap cargo test -q --test sim_equivalence
+echo "== sim differential suite (QCPA_THREADS=4, 4 shards, heap queue) =="
+QCPA_THREADS=4 QCPA_SIM_SHARDS=4 QCPA_SIM_QUEUE=heap cargo test -q --test sim_equivalence
 
 echo "== allocator speedup bench (quick) =="
 QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin bench_allocator
@@ -130,6 +132,13 @@ QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin bench_sim
 # conservation law (completed + shed + timed_out == offered).
 echo "== resilience sweep smoke (fails on any lost request) =="
 QCPA_BENCH_QUICK=1 cargo run --release -q -p qcpa-bench --bin fig_resilience
+
+# The chaos soak sweeps 64 randomized layered fault schedules (crashes,
+# zone failures, gray windows, partitions) and exits nonzero on any
+# invariant violation: conservation, post-repair k-safety, sharded
+# bit-identity, trace stability.
+echo "== chaos soak (64 layered schedules, fails on any violation) =="
+cargo run --release -q -p qcpa-bench --bin fig_chaos
 
 echo "== trace exporter smoke (byte-stable, parseable) =="
 cargo run --release -q -p qcpa-bench --bin trace_smoke

@@ -3,7 +3,7 @@
 //! and the k-safe memetic optimizer preserves the guarantee while
 //! improving cost.
 
-use qcpa::controller::{Cdbs, CdbsError, Request};
+use qcpa::controller::{Cdbs, CdbsError, Request, WriteRequest};
 use qcpa::core::allocation::Allocation;
 use qcpa::core::classify::Granularity;
 use qcpa::core::cluster::ClusterSpec;
@@ -421,4 +421,49 @@ fn controller_all_replicas_offline_is_typed() {
     }
     cdbs.recover_backend(0).unwrap();
     cdbs.execute(&q).expect("recovered replica serves again");
+}
+
+/// Partition-aware degraded routing: a cut backend is skipped like an
+/// offline one (unreachable, not dead — its breaker stays closed),
+/// missed writes defer into its staleness ledger, and healing replays
+/// them without bulk data movement.
+#[test]
+fn controller_partition_routes_around_cut_and_heals_by_replay() {
+    let (mut cdbs, q) = item_cdbs();
+    cdbs.execute(&q).unwrap();
+
+    cdbs.partition_backends(&[1]);
+    assert_eq!(cdbs.partitioned_backends(), vec![1]);
+    assert!(
+        !cdbs.breaker_open(1),
+        "a partitioned backend is unreachable, not failed"
+    );
+    let out = cdbs.execute(&q).expect("reachable replica serves");
+    assert_eq!(out.backends, vec![0], "read crossed the cut");
+
+    // A write lands on the reachable side and defers for the cut one.
+    let w = Request::Write(WriteRequest::insert(
+        "item",
+        vec![Value::I64(1000), Value::F64(9.5)],
+    ));
+    cdbs.execute(&w)
+        .expect("write proceeds on the reachable side");
+    assert_eq!(cdbs.deferred_writes(1), 1);
+
+    // Cutting every replica yields the typed routing error.
+    cdbs.partition_backends(&[0]);
+    assert!(matches!(
+        cdbs.execute(&q),
+        Err(CdbsError::AllReplicasOffline { .. })
+    ));
+    cdbs.heal_partition(&[0]).unwrap();
+
+    // Healing replays the ledger — zero bytes moved — and restores the
+    // pre-partition routing table.
+    let moved = cdbs.heal_partition(&[1]).unwrap();
+    assert_eq!(moved, 0, "an intact ledger replays without ETL");
+    assert_eq!(cdbs.deferred_writes(1), 0);
+    assert!(cdbs.partitioned_backends().is_empty());
+    let healed = cdbs.execute(&q).expect("healed cluster serves");
+    assert!(!healed.backends.is_empty());
 }

@@ -30,9 +30,11 @@ use qcpa::core::greedy;
 use qcpa::core::journal::QueryKind;
 use qcpa::sim::baseline::{run_open_baseline, run_open_baseline_traced};
 use qcpa::sim::engine::run_open_with;
-use qcpa::sim::fault::{run_open_faults, FaultConfig, FaultInjectionConfig, FaultPlan};
+use qcpa::sim::fault::{
+    run_open_faults, FaultConfig, FaultInjectionConfig, FaultPlan, LayeredFaultConfig,
+};
 use qcpa::sim::resilience::run_open_resilient;
-use qcpa::sim::shard::run_open_sharded;
+use qcpa::sim::shard::{run_open_faults_sharded, run_open_resilient_sharded, run_open_sharded};
 use qcpa::sim::{
     OpenReport, QueueKind, Request, RequestStream, ResilienceConfig, SimConfig, UpdatePropagation,
 };
@@ -224,12 +226,20 @@ proptest! {
             prop_assert_eq!(x.to_bits(), y.to_bits(), "empty-plan busy bits");
         }
 
-        // Default resilience ≡ faults under the same crashing plan.
-        let plan = FaultPlan::from_seed(
+        // Default resilience ≡ faults under the same *layered* plan
+        // (crash + gray window + partition episode).
+        let plan = FaultPlan::from_seed_layered(
             seed,
             n,
             2.0,
-            &FaultInjectionConfig { crashes: 1, mttr: 0.5, ..Default::default() },
+            &LayeredFaultConfig {
+                crashes: FaultInjectionConfig { crashes: 1, mttr: 0.5, ..Default::default() },
+                gray: 1,
+                gray_duration: 0.5,
+                partitions: 1,
+                partition_duration: 0.5,
+                ..LayeredFaultConfig::default()
+            },
         );
         let faulted = run_open_faults(
             &alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg,
@@ -256,6 +266,89 @@ proptest! {
         prop_assert_eq!(replay.responses.len(), resilient.responses.len());
         for (x, y) in replay.responses.iter().zip(&resilient.responses) {
             prop_assert_eq!(x.1.to_bits(), y.1.to_bits(), "replay response bits");
+        }
+    }
+
+    /// The fault-aware sharded drivers merge to the exact unsharded
+    /// reports under a non-empty layered plan (crashes + gray windows +
+    /// partitions) — the DESIGN.md §15 contract. check.sh replays this
+    /// suite under `QCPA_THREADS`=1 and 4 and `QCPA_SIM_SHARDS`=1 and
+    /// 4, so the merge is exercised on every thread × shard setting.
+    #[test]
+    fn sharded_fault_engines_are_bit_identical_to_unsharded(
+        w in workload_strategy(),
+        n in 2usize..7,
+        seed in 0u64..1_000,
+        propagation in 0u8..6,
+    ) {
+        let (catalog, Some(cls)) = materialize(&w) else { return Ok(()) };
+        let cluster = ClusterSpec::homogeneous(n);
+        let alloc = greedy::allocate(&cls, &catalog, &cluster);
+        let reqs = requests(&cls, n, seed, 0.0);
+        if reqs.is_empty() {
+            return Ok(());
+        }
+        let cfg = sim_config(propagation);
+        let plan = FaultPlan::from_seed_layered(
+            seed,
+            n,
+            2.0,
+            &LayeredFaultConfig {
+                crashes: FaultInjectionConfig { crashes: 1, mttr: 0.5, ..Default::default() },
+                gray: 1,
+                gray_duration: 0.5,
+                partitions: 1,
+                partition_duration: 0.5,
+                ..LayeredFaultConfig::default()
+            },
+        );
+        prop_assert!(!plan.is_empty(), "layered plan must schedule events");
+        let fcfg = FaultConfig::default();
+        let rcfg = ResilienceConfig::standard();
+
+        let faulted = run_open_faults(
+            &alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg, &plan, &fcfg,
+        );
+        let resilient = run_open_resilient(
+            &alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg, &plan, &fcfg, &rcfg,
+        );
+        for shards in [1usize, 2, 4] {
+            let fs = run_open_faults_sharded(
+                &alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg, &plan, &fcfg, shards,
+            );
+            prop_assert_eq!(fs.responses.len(), faulted.responses.len());
+            for (x, y) in fs.responses.iter().zip(&faulted.responses) {
+                prop_assert_eq!(x.0.to_bits(), y.0.to_bits(), "fault arrival bits");
+                prop_assert_eq!(x.1.to_bits(), y.1.to_bits(), "fault response bits");
+            }
+            prop_assert_eq!(fs.lost, faulted.lost);
+            prop_assert_eq!(fs.redispatched, faulted.redispatched);
+            prop_assert_eq!(fs.gray_windows, faulted.gray_windows);
+            prop_assert_eq!(fs.partitions, faulted.partitions);
+            prop_assert_eq!(&fs.availability, &faulted.availability);
+            for (x, y) in fs.busy.iter().zip(&faulted.busy) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "fault busy bits");
+            }
+
+            let rs = run_open_resilient_sharded(
+                &alloc, &cls, &cluster, &catalog, &reqs, 0.0, &cfg, &plan, &fcfg, &rcfg,
+                shards,
+            );
+            prop_assert_eq!(rs.responses.len(), resilient.responses.len());
+            for (x, y) in rs.responses.iter().zip(&resilient.responses) {
+                prop_assert_eq!(x.0.to_bits(), y.0.to_bits(), "resilient arrival bits");
+                prop_assert_eq!(x.1.to_bits(), y.1.to_bits(), "resilient response bits");
+            }
+            prop_assert_eq!(rs.completed, resilient.completed);
+            prop_assert_eq!(rs.shed, resilient.shed);
+            prop_assert_eq!(rs.timed_out, resilient.timed_out);
+            prop_assert_eq!(rs.lost, resilient.lost);
+            prop_assert_eq!(rs.retries, resilient.retries);
+            prop_assert_eq!(rs.breaker_opens, resilient.breaker_opens);
+            prop_assert_eq!(&rs.availability, &resilient.availability);
+            for (x, y) in rs.busy.iter().zip(&resilient.busy) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "resilient busy bits");
+            }
         }
     }
 }
