@@ -17,6 +17,12 @@ pub fn violations() {
     let _home = std::env::var("HOME");
 }
 
+// A hot entry point reaching the unwrap above: the panic-path rule
+// must separate it from the test-only unwrap below.
+pub fn run_open() {
+    violations();
+}
+
 // audit:allow(hash-iter): fixture demonstrates a suppressed finding
 pub type Suppressed = HashMap<String, u32>;
 

@@ -14,8 +14,38 @@
 //! Handled constructs: line comments (`//`, `///`, `//!`), *nested*
 //! block comments, string literals with escapes, raw strings
 //! (`r"…"`, `r#"…"#`, any hash depth), byte strings (`b"…"`, `br#"…"#`),
-//! char and byte-char literals, and the char-literal vs. lifetime
-//! ambiguity (`'a'` vs. `<'a>` vs. `'outer: loop`).
+//! char and byte-char literals, raw identifiers (`r#type`), and the
+//! char-literal vs. lifetime ambiguity (`'a'` vs. `<'a>` vs.
+//! `'outer: loop`).
+//!
+//! Beyond the masked per-line streams, [`Masked`] records which lines
+//! belong to *doc* comments (outer `///`/`/**` and inner `//!`/`/*!`,
+//! including every continuation line of a block doc comment) and the
+//! exact span of every string/char literal — the inputs the
+//! [`crate::parser`] tokenizer needs to rebuild a positioned token
+//! stream without re-lexing.
+
+/// Which kind of literal a [`LitSpan`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitKind {
+    /// A string, raw string, or byte string literal.
+    Str,
+    /// A char or byte-char literal.
+    Char,
+}
+
+/// One string/char literal: where it starts and what its body says.
+#[derive(Debug, Clone)]
+pub struct LitSpan {
+    /// 0-based line of the opening delimiter (or `b`/`r` prefix).
+    pub line: usize,
+    /// 0-based column (char offset) of the literal's first character.
+    pub col: usize,
+    /// The literal body (escapes unprocessed, delimiters stripped).
+    pub text: String,
+    /// String vs. char.
+    pub kind: LitKind,
+}
 
 /// The result of masking one source file. All line indices are 0-based;
 /// callers present them 1-based.
@@ -29,6 +59,13 @@ pub struct Masked {
     pub comments: Vec<String>,
     /// Concatenated string-literal content on each line.
     pub strings: Vec<String>,
+    /// Per-line flag: the line's comment text belongs to a doc comment
+    /// (`///`, `//!`, `/** */`, `/*! */`) — including the continuation
+    /// lines of multi-line block doc comments, which a prefix check on
+    /// the line's own text cannot classify.
+    pub doc_comment: Vec<bool>,
+    /// Every string/char literal, in source order.
+    pub literals: Vec<LitSpan>,
 }
 
 impl Masked {
@@ -64,35 +101,52 @@ pub fn mask(src: &str) -> Masked {
         let next = chars.get(i + 1).copied();
         match c {
             '/' if next == Some('/') => {
+                // `///` (but not `////`) and `//!` are doc comments.
+                let doc = match (chars.get(i + 2), chars.get(i + 3)) {
+                    (Some('!'), _) => true,
+                    (Some('/'), Some('/')) => false,
+                    (Some('/'), _) => true,
+                    _ => false,
+                };
                 while i < chars.len() && chars[i] != '\n' {
-                    out.comment(chars[i]);
+                    out.comment(chars[i], doc);
                     i += 1;
                 }
             }
             '/' if next == Some('*') => {
+                // `/**` (but not `/***` or the empty `/**/`) and `/*!`
+                // open doc comments; every line they span is doc.
+                let doc = match (chars.get(i + 2), chars.get(i + 3)) {
+                    (Some('!'), _) => true,
+                    (Some('*'), Some('*')) | (Some('*'), Some('/')) => false,
+                    (Some('*'), _) => true,
+                    _ => false,
+                };
                 let mut depth = 0usize;
                 while i < chars.len() {
                     if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
                         depth += 1;
-                        out.comment('/');
-                        out.comment('*');
+                        out.comment('/', doc);
+                        out.comment('*', doc);
                         i += 2;
                     } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
                         depth -= 1;
-                        out.comment('*');
-                        out.comment('/');
+                        out.comment('*', doc);
+                        out.comment('/', doc);
                         i += 2;
                         if depth == 0 {
                             break;
                         }
                     } else {
-                        out.comment(chars[i]);
+                        out.comment(chars[i], doc);
                         i += 1;
                     }
                 }
             }
             '"' => {
+                out.begin_lit(LitKind::Str);
                 i = consume_string(&chars, i, &mut out);
+                out.end_lit();
                 prev_code = Some('"');
             }
             'r' | 'b' if prev_code.is_none_or(|p| !is_ident_char(p)) => {
@@ -100,6 +154,7 @@ pub fn mask(src: &str) -> Masked {
                     // r"…" / r#"…"# / br"…" / br##"…"## — mask the lot.
                     let mut j = i;
                     let hashes = count_hashes(&chars, i);
+                    out.begin_lit(LitKind::Str);
                     // Skip prefix + hashes + opening quote.
                     while j < chars.len() && chars[j] != '"' {
                         out.blank(chars[j]);
@@ -117,16 +172,38 @@ pub fn mask(src: &str) -> Masked {
                         out.blank(chars[j]);
                         j += 1;
                     }
+                    out.end_lit();
                     i = j;
                     prev_code = Some('"');
                 } else if c == 'b' && next == Some('"') {
+                    out.begin_lit(LitKind::Str);
                     out.blank('b');
                     i = consume_string(&chars, i + 1, &mut out);
+                    out.end_lit();
                     prev_code = Some('"');
                 } else if c == 'b' && next == Some('\'') {
+                    out.begin_lit(LitKind::Char);
                     out.blank('b');
                     i = consume_char_literal(&chars, i + 1, &mut out);
+                    out.end_lit();
                     prev_code = Some('\'');
+                } else if c == 'r'
+                    && next == Some('#')
+                    && chars
+                        .get(i + 2)
+                        .is_some_and(|&c| is_ident_char(c) && !c.is_ascii_digit())
+                {
+                    // Raw identifier (`r#type`): one identifier token,
+                    // kept in code. Emitting the prefix as code keeps
+                    // columns aligned; the tokenizer strips it.
+                    out.code('r');
+                    out.code('#');
+                    i += 2;
+                    while i < chars.len() && is_ident_char(chars[i]) {
+                        out.code(chars[i]);
+                        prev_code = Some(chars[i]);
+                        i += 1;
+                    }
                 } else {
                     out.code(c);
                     prev_code = Some(c);
@@ -135,7 +212,9 @@ pub fn mask(src: &str) -> Masked {
             }
             '\'' => {
                 if is_char_literal(&chars, i) {
+                    out.begin_lit(LitKind::Char);
                     i = consume_char_literal(&chars, i, &mut out);
+                    out.end_lit();
                     prev_code = Some('\'');
                 } else {
                     // Lifetime or loop label: plain code.
@@ -276,6 +355,10 @@ struct MaskWriter {
     code: Vec<String>,
     comments: Vec<String>,
     strings: Vec<String>,
+    doc_comment: Vec<bool>,
+    literals: Vec<LitSpan>,
+    /// The literal being accumulated, when inside one.
+    lit: Option<LitSpan>,
 }
 
 impl MaskWriter {
@@ -284,6 +367,9 @@ impl MaskWriter {
             code: vec![String::new()],
             comments: vec![String::new()],
             strings: vec![String::new()],
+            doc_comment: vec![false],
+            literals: Vec::new(),
+            lit: None,
         }
     }
 
@@ -291,6 +377,7 @@ impl MaskWriter {
         self.code.push(String::new());
         self.comments.push(String::new());
         self.strings.push(String::new());
+        self.doc_comment.push(false);
     }
 
     /// A genuine code character.
@@ -304,19 +391,26 @@ impl MaskWriter {
     }
 
     /// A character inside a comment: blank in code, kept in comments.
-    fn comment(&mut self, c: char) {
+    /// `doc` marks the line as doc-comment text.
+    fn comment(&mut self, c: char, doc: bool) {
         if c == '\n' {
             self.newline();
         } else {
             let line = self.code.len() - 1;
             self.code[line].push(' ');
             self.comments[line].push(c);
+            if doc {
+                self.doc_comment[line] = true;
+            }
         }
     }
 
     /// A character inside a string/char literal body: blank in code,
-    /// kept in strings.
+    /// kept in strings (and in the active literal span).
     fn string_body(&mut self, c: char) {
+        if let Some(lit) = &mut self.lit {
+            lit.text.push(c);
+        }
         if c == '\n' {
             self.newline();
         } else {
@@ -337,11 +431,32 @@ impl MaskWriter {
         }
     }
 
+    /// Opens a literal span at the current write position.
+    fn begin_lit(&mut self, kind: LitKind) {
+        let line = self.code.len() - 1;
+        let col = self.code[line].chars().count();
+        self.lit = Some(LitSpan {
+            line,
+            col,
+            text: String::new(),
+            kind,
+        });
+    }
+
+    /// Closes the current literal span.
+    fn end_lit(&mut self) {
+        if let Some(lit) = self.lit.take() {
+            self.literals.push(lit);
+        }
+    }
+
     fn finish(self) -> Masked {
         Masked {
             code: self.code,
             comments: self.comments,
             strings: self.strings,
+            doc_comment: self.doc_comment,
+            literals: self.literals,
         }
     }
 }
@@ -472,5 +587,63 @@ mod tests {
         assert!(m.is_comment_only(0));
         assert!(!m.is_comment_only(1));
         assert!(!m.is_comment_only(2));
+    }
+
+    #[test]
+    fn doc_comment_lines_classified() {
+        let m = mask("//! inner doc\n/// outer doc\n// plain\n//// not doc\nlet x = 1;\n");
+        assert_eq!(m.doc_comment[..5], [true, true, false, false, false]);
+    }
+
+    #[test]
+    fn block_doc_comment_marks_continuation_lines() {
+        let m = mask("/*! inner block\n continues here\n*/\n/* plain block\n tail */\n");
+        assert!(m.doc_comment[0] && m.doc_comment[1] && m.doc_comment[2]);
+        assert!(!m.doc_comment[3] && !m.doc_comment[4]);
+        let m = mask("/** outer block\n second line */ code()\n");
+        assert!(m.doc_comment[0] && m.doc_comment[1]);
+        // `/**/` (empty) and `/***/` are not doc comments.
+        assert!(!mask("/**/ x\n").doc_comment[0]);
+        assert!(!mask("/*** banner ***/ x\n").doc_comment[0]);
+    }
+
+    #[test]
+    fn raw_identifiers_stay_code() {
+        let m = mask("let r#type = r#match.r#fn; struct r#struct;\n");
+        assert!(m.code[0].contains("r#type"));
+        assert!(m.code[0].contains("r#match"));
+        assert!(m.code[0].contains("r#struct"));
+        assert!(m.literals.is_empty());
+        // A raw *string* right after is still a string.
+        let m = mask("let a = r#type; let s = r#\"body\"#;\n");
+        assert!(m.code[0].contains("r#type"));
+        assert!(!m.code[0].contains("body"));
+        assert_eq!(m.literals.len(), 1);
+    }
+
+    #[test]
+    fn literal_spans_record_position_and_body() {
+        let m = mask("let s = \"abc\"; let c = 'x'; let r = r#\"raw\"#;\n");
+        assert_eq!(m.literals.len(), 3);
+        assert_eq!(m.literals[0].text, "abc");
+        assert_eq!(m.literals[0].kind, LitKind::Str);
+        assert_eq!(m.literals[0].line, 0);
+        assert_eq!(m.literals[0].col, 8);
+        assert_eq!(m.literals[1].text, "x");
+        assert_eq!(m.literals[1].kind, LitKind::Char);
+        assert_eq!(m.literals[2].text, "raw");
+        // Byte strings/chars record the prefix position.
+        let m = mask("f(b\"xy\", b'z')\n");
+        assert_eq!(m.literals[0].col, 2);
+        assert_eq!(m.literals[0].text, "xy");
+        assert_eq!(m.literals[1].text, "z");
+    }
+
+    #[test]
+    fn multiline_literal_span_keeps_start() {
+        let m = mask("let s = \"one\ntwo\";\n");
+        assert_eq!(m.literals.len(), 1);
+        assert_eq!(m.literals[0].line, 0);
+        assert_eq!(m.literals[0].text, "one\ntwo");
     }
 }

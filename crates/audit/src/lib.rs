@@ -25,9 +25,13 @@
 //! See DESIGN.md §11 for the rule table and the mapping from each rule
 //! to the paper-level invariant it guards.
 
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod semantic;
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -61,6 +65,17 @@ pub fn discover_root(start: &Path) -> Option<PathBuf> {
 /// The audit driver: scans every source file of the workspace at
 /// `root` and returns the assembled [`Report`].
 pub fn run(root: &Path) -> io::Result<Report> {
+    run_inner(root, false)
+}
+
+/// [`run`], additionally stamping per-phase analysis wall time into
+/// [`Report::timing_ms`]. Kept out of the default path so the
+/// canonical report stays byte-identical across reruns.
+pub fn run_with_timing(root: &Path) -> io::Result<Report> {
+    run_inner(root, true)
+}
+
+fn run_inner(root: &Path, timed: bool) -> io::Result<Report> {
     let baseline = load_baseline(root)?;
     let mut findings: Vec<Finding> = Vec::new();
     let mut files_scanned = 0u32;
@@ -100,6 +115,69 @@ pub fn run(root: &Path) -> io::Result<Report> {
         }
     }
 
+    // ---- semantic pass: AST + call graph, five cross-function rules.
+    let clock = std::time::Instant::now();
+    let mut timing: BTreeMap<String, f64> = BTreeMap::new();
+    let mut last_ms = 0.0f64;
+    let mut lap = |timing: &mut BTreeMap<String, f64>, phase: &str| {
+        let now = clock.elapsed().as_secs_f64() * 1000.0;
+        timing.insert(
+            phase.to_string(),
+            ((now - last_ms) * 1000.0).round() / 1000.0,
+        );
+        last_ms = now;
+    };
+
+    let mut sem_units: Vec<(String, callgraph::CrateGraph, Vec<semantic::FilePrep>)> = Vec::new();
+    for unit in workspace_units(root)? {
+        let crate_dir = if unit.dir.is_empty() {
+            root.to_path_buf()
+        } else {
+            root.join(&unit.dir)
+        };
+        if !crate_dir.join("src").is_dir() {
+            continue;
+        }
+        let graph = callgraph::CrateGraph::load(&unit.crate_name, &crate_dir)?;
+        let preps = semantic::prep_files(&graph);
+        sem_units.push((unit.dir, graph, preps));
+    }
+    lap(&mut timing, "parse");
+
+    for (prefix, graph, preps) in &sem_units {
+        findings.extend(semantic::rng_taint(prefix, graph, preps));
+    }
+    lap(&mut timing, "rng-taint");
+    for (prefix, graph, preps) in &sem_units {
+        findings.extend(semantic::lock_order(prefix, graph, preps));
+    }
+    lap(&mut timing, "lock-order");
+    for (prefix, graph, preps) in &sem_units {
+        findings.extend(semantic::ordered_reduction(prefix, graph, preps));
+    }
+    lap(&mut timing, "ordered-reduction");
+
+    let mut hot_sites: BTreeMap<String, u32> = BTreeMap::new();
+    for (prefix, graph, preps) in &sem_units {
+        let sites = panic_counts
+            .get(&graph.crate_name)
+            .map(|(s, _, _)| *s)
+            .unwrap_or(0);
+        let budget = baseline.get(&graph.crate_name).copied().unwrap_or(0);
+        let (fs, hot) = semantic::panic_path(prefix, graph, preps, sites <= budget);
+        findings.extend(fs);
+        hot_sites.insert(graph.crate_name.clone(), hot);
+    }
+    lap(&mut timing, "panic-path");
+
+    let readme = fs::read_to_string(root.join("README.md")).ok();
+    findings.extend(semantic::env_doc_drift(
+        &sem_units,
+        "README.md",
+        readme.as_deref(),
+    ));
+    lap(&mut timing, "env-doc-drift");
+
     // Baseline the panic-hygiene findings: a crate at or under budget
     // has its unannotated sites marked `baselined`; a crate over budget
     // keeps them all unsuppressed.
@@ -125,11 +203,16 @@ pub fn run(root: &Path) -> io::Result<Report> {
                 baseline: budget,
                 lib_lines: *lib_lines,
                 density_per_kloc: density,
+                hot_sites: hot_sites.get(krate).copied().unwrap_or(0),
             },
         );
     }
 
-    Ok(Report::assemble(files_scanned, findings, stats))
+    let mut report = Report::assemble(files_scanned, findings, stats);
+    if timed {
+        report.timing_ms = Some(timing);
+    }
+    Ok(report)
 }
 
 /// Scans one source file, pushing findings and panic accounting.

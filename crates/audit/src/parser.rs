@@ -1,0 +1,1916 @@
+//! Tokenizer and recursive-descent parser over [`crate::lexer::Masked`]
+//! streams, producing the [`crate::ast`] item/expression tree.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never fail, never hang.** Real workspace sources must always
+//!    parse to *something*; constructs outside the grammar degrade to
+//!    [`Expr::Unknown`] / [`ItemKind::Other`] and the cursor always
+//!    advances. The parser is a total function of the token stream.
+//! 2. **Deterministic.** Same input, same AST, bit for bit — the audit
+//!    report is pinned byte-for-byte in fixtures.
+//! 3. **Span-accounting.** Top-level item token ranges tile the token
+//!    stream exactly (`[0, n_tokens)`), so the property tests can prove
+//!    no token is dropped or double-consumed.
+//!
+//! The tokenizer does not re-lex: it walks the masked code lines (all
+//! comments and literal bodies already blanked) and re-injects literal
+//! tokens from the lexer's recorded [`crate::lexer::LitSpan`]s, so the
+//! two passes can never disagree about what is code.
+
+use crate::ast::{Arm, Block, Expr, File, FnItem, Item, ItemKind, Param, Stmt, UseLeaf};
+use crate::lexer::{LitKind, Masked};
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// A raw identifier (`r#type` — `text` holds `type`).
+    RawIdent,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// A numeric literal (loosely lexed; never interpreted).
+    Number,
+    /// A string/raw-string/byte-string literal (`text` is the body).
+    Str,
+    /// A char/byte-char literal (`text` is the body).
+    Char,
+    /// Punctuation (multi-character operators are one token).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (identifier name, literal body, operator).
+    pub text: String,
+    /// 0-based source line.
+    pub line: usize,
+    /// 0-based char column of the token start.
+    pub col: usize,
+}
+
+/// Multi-character operators, longest first so greedy matching wins.
+const MULTI_PUNCT: [&str; 22] = [
+    "..=", "<<=", ">>=", "...", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "^=", "&=",
+    "|=", "==", "!=", "<=", ">=", "&&", "||",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes a masked file: idents, numbers, lifetimes, punctuation
+/// from the code stream; literals re-injected from the lexer's spans.
+pub fn tokenize(masked: &Masked) -> Vec<Token> {
+    let mut toks = Vec::new();
+    let mut next_lit = 0usize;
+    for (line_no, line) in masked.code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut col = 0usize;
+        while col < chars.len() {
+            // Literal injection: the masked code holds only blanks
+            // here, so the span's start column is where the literal
+            // token belongs.
+            if let Some(lit) = masked.literals.get(next_lit) {
+                if lit.line == line_no && lit.col == col {
+                    toks.push(Token {
+                        kind: match lit.kind {
+                            LitKind::Str => TokKind::Str,
+                            LitKind::Char => TokKind::Char,
+                        },
+                        text: lit.text.clone(),
+                        line: line_no,
+                        col,
+                    });
+                    next_lit += 1;
+                    col += 1;
+                    continue;
+                }
+            }
+            let c = chars[col];
+            if c.is_whitespace() {
+                col += 1;
+                continue;
+            }
+            // Raw identifier: `r#name` lexes to one RawIdent token.
+            if c == 'r'
+                && chars.get(col + 1) == Some(&'#')
+                && chars
+                    .get(col + 2)
+                    .is_some_and(|&c| is_ident_start(c) || c.is_ascii_digit())
+            {
+                let start = col;
+                col += 2;
+                let mut text = String::new();
+                while col < chars.len() && is_ident_char(chars[col]) {
+                    text.push(chars[col]);
+                    col += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::RawIdent,
+                    text,
+                    line: line_no,
+                    col: start,
+                });
+                continue;
+            }
+            if is_ident_start(c) {
+                let start = col;
+                let mut text = String::new();
+                while col < chars.len() && is_ident_char(chars[col]) {
+                    text.push(chars[col]);
+                    col += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line: line_no,
+                    col: start,
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = col;
+                let mut text = String::new();
+                while col < chars.len() && is_ident_char(chars[col]) {
+                    text.push(chars[col]);
+                    col += 1;
+                }
+                // `1.5` continues the number; `1..3` does not.
+                if chars.get(col) == Some(&'.')
+                    && chars.get(col + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    text.push('.');
+                    col += 1;
+                    while col < chars.len() && is_ident_char(chars[col]) {
+                        text.push(chars[col]);
+                        col += 1;
+                    }
+                }
+                toks.push(Token {
+                    kind: TokKind::Number,
+                    text,
+                    line: line_no,
+                    col: start,
+                });
+                continue;
+            }
+            if c == '\'' && chars.get(col + 1).is_some_and(|&c| is_ident_start(c)) {
+                // Char literals are masked out, so a surviving quote
+                // followed by an identifier is a lifetime or label.
+                let start = col;
+                let mut text = String::from("'");
+                col += 1;
+                while col < chars.len() && is_ident_char(chars[col]) {
+                    text.push(chars[col]);
+                    col += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line: line_no,
+                    col: start,
+                });
+                continue;
+            }
+            // Punctuation: longest multi-char operator first.
+            let rest: String = chars[col..chars.len().min(col + 3)].iter().collect();
+            let mut matched = None;
+            for op in MULTI_PUNCT {
+                if rest.starts_with(op) {
+                    matched = Some(op);
+                    break;
+                }
+            }
+            let text = match matched {
+                Some(op) => op.to_string(),
+                None => c.to_string(),
+            };
+            let len = text.chars().count();
+            toks.push(Token {
+                kind: TokKind::Punct,
+                text,
+                line: line_no,
+                col,
+            });
+            col += len;
+        }
+    }
+    toks
+}
+
+/// Parses a masked file into the AST. Total: never panics, always
+/// consumes every token (top-level item spans tile the stream).
+pub fn parse_file(masked: &Masked) -> File {
+    let toks = tokenize(masked);
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+    };
+    let items = p.parse_items(None);
+    File {
+        items,
+        n_tokens: toks.len(),
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + off)
+    }
+
+    fn peek_text(&self) -> &'a str {
+        self.peek().map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    fn peek_is(&self, text: &str) -> bool {
+        self.peek().is_some_and(|t| t.text == text)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn line(&self) -> usize {
+        self.peek()
+            .map(|t| t.line)
+            .or_else(|| self.toks.last().map(|t| t.line))
+            .unwrap_or(0)
+    }
+
+    fn prev_line(&self) -> usize {
+        self.toks
+            .get(self.pos.saturating_sub(1))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the token if its text matches.
+    fn eat(&mut self, text: &str) -> bool {
+        if self.peek_is(text) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skips a balanced delimiter group assuming the opener is next;
+    /// returns the consumed tokens. No-op when the opener is absent.
+    fn skip_group(&mut self, open: &str, close: &str) -> &'a [Token] {
+        if !self.peek_is(open) {
+            return &[];
+        }
+        let start = self.pos;
+        let mut depth = 0usize;
+        while let Some(t) = self.bump() {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        &self.toks[start..self.pos]
+    }
+
+    /// Skips a generic-argument group `<…>`, treating `<`/`>` as
+    /// brackets and bailing out at `;`/`{` (a lone comparison `<`
+    /// would otherwise swallow the file). Returns true if a balanced
+    /// group was consumed.
+    fn skip_angle_group(&mut self) -> bool {
+        if !self.peek_is("<") {
+            return false;
+        }
+        let save = self.pos;
+        let mut depth = 0isize;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.pos += 1;
+                        return true;
+                    }
+                }
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                "->" => {}
+                ";" | "{" => break,
+                _ => {}
+            }
+            self.pos += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+        self.pos = save;
+        false
+    }
+
+    /// Collects tokens until one of `stops` at delimiter depth 0
+    /// (not consuming the stop token). Angle brackets are depth too,
+    /// so `Foo<A, B>` does not stop at the comma.
+    fn tokens_until(&mut self, stops: &[&str]) -> &'a [Token] {
+        let start = self.pos;
+        let mut round = 0usize; // ( )
+        let mut square = 0usize; // [ ]
+        let mut curly = 0usize; // { }
+        let mut angle = 0isize; // < >
+        while let Some(t) = self.peek() {
+            let tx = t.text.as_str();
+            if round == 0 && square == 0 && curly == 0 && angle <= 0 && stops.contains(&tx) {
+                break;
+            }
+            match tx {
+                "(" => round += 1,
+                ")" => {
+                    if round == 0 {
+                        break;
+                    }
+                    round -= 1;
+                }
+                "[" => square += 1,
+                "]" => {
+                    if square == 0 {
+                        break;
+                    }
+                    square -= 1;
+                }
+                "{" => curly += 1,
+                "}" => {
+                    if curly == 0 {
+                        break;
+                    }
+                    curly -= 1;
+                }
+                "<" => angle += 1,
+                ">" => angle = (angle - 1).max(0),
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        &self.toks[start..self.pos]
+    }
+
+    // ---------------------------------------------------------------
+    // Items
+    // ---------------------------------------------------------------
+
+    /// Parses items until `closer` (or end of stream). The closer
+    /// itself is consumed.
+    fn parse_items(&mut self, closer: Option<&str>) -> Vec<Item> {
+        let mut items = Vec::new();
+        while let Some(t) = self.peek() {
+            if let Some(c) = closer {
+                if t.text == c {
+                    self.pos += 1;
+                    break;
+                }
+            }
+            items.push(self.parse_item());
+        }
+        items
+    }
+
+    fn parse_item(&mut self) -> Item {
+        let tok_start = self.pos;
+        let line = self.line();
+        let mut attrs = Vec::new();
+        // Attributes: `#[…]` and the crate-level `#![…]`.
+        while self.peek_is("#") {
+            let save = self.pos;
+            self.pos += 1;
+            self.eat("!");
+            if self.peek_is("[") {
+                let group = self.skip_group("[", "]");
+                let inner: Vec<&str> = group
+                    .iter()
+                    .skip(1)
+                    .take(group.len().saturating_sub(2))
+                    .map(|t| t.text.as_str())
+                    .collect();
+                attrs.push(inner.join(" "));
+            } else {
+                // A stray `#`: not an attribute; rewind and let the
+                // fallback consume it.
+                self.pos = save;
+                break;
+            }
+        }
+        // Visibility.
+        if self.eat("pub") {
+            self.skip_group("(", ")");
+        }
+        // Qualifiers before `fn`.
+        let mut qualified_fn = false;
+        loop {
+            match self.peek_text() {
+                "const" if self.peek_at(1).is_some_and(|t| t.text == "fn") => {
+                    self.pos += 1;
+                    qualified_fn = true;
+                }
+                "unsafe" | "async" => {
+                    if self.peek_at(1).is_some_and(|t| t.text == "fn") {
+                        self.pos += 1;
+                        qualified_fn = true;
+                    } else {
+                        break;
+                    }
+                }
+                "extern" if self.peek_at(1).is_some_and(|t| t.kind == TokKind::Str) => {
+                    if self.peek_at(2).is_some_and(|t| t.text == "fn") {
+                        self.pos += 2;
+                        qualified_fn = true;
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let _ = qualified_fn;
+        let kind = match self.peek_text() {
+            "fn" => self.parse_fn(),
+            "mod" => self.parse_mod(),
+            "use" => self.parse_use(),
+            "impl" => self.parse_impl(),
+            "trait" => self.parse_trait(),
+            "struct" | "enum" | "union" => {
+                let kw = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                let name = self.ident();
+                self.skip_angle_group();
+                // Tuple struct `( … );`, unit `;`, or braced `{ … }`
+                // (possibly after a where clause).
+                self.tokens_until(&["{", ";", "("]);
+                if self.peek_is("(") {
+                    self.skip_group("(", ")");
+                    self.tokens_until(&[";"]);
+                }
+                if !self.eat(";") {
+                    self.skip_group("{", "}");
+                }
+                ItemKind::Other { keyword: kw, name }
+            }
+            "const" | "static" | "type" => {
+                let kw = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                let name = self.ident();
+                self.tokens_until(&[";"]);
+                self.eat(";");
+                ItemKind::Other { keyword: kw, name }
+            }
+            "macro_rules" => {
+                self.pos += 1;
+                self.eat("!");
+                let name = self.ident();
+                self.skip_group("{", "}");
+                self.skip_group("(", ")");
+                self.eat(";");
+                ItemKind::Other {
+                    keyword: "macro_rules".to_string(),
+                    name,
+                }
+            }
+            "extern" => {
+                self.pos += 1;
+                if self.eat("crate") {
+                    let name = self.ident();
+                    self.tokens_until(&[";"]);
+                    self.eat(";");
+                    ItemKind::Other {
+                        keyword: "extern crate".to_string(),
+                        name,
+                    }
+                } else {
+                    if self.peek().is_some_and(|t| t.kind == TokKind::Str) {
+                        self.pos += 1;
+                    }
+                    self.skip_group("{", "}");
+                    ItemKind::Other {
+                        keyword: "extern".to_string(),
+                        name: None,
+                    }
+                }
+            }
+            _ => {
+                // Macro invocation at item level, or an unparseable
+                // token: consume something and move on.
+                if self.peek().is_some_and(|t| t.kind == TokKind::Ident)
+                    && self.peek_at(1).is_some_and(|t| t.text == "!")
+                {
+                    let name = self.ident();
+                    self.eat("!");
+                    self.skip_group("(", ")");
+                    self.skip_group("[", "]");
+                    self.skip_group("{", "}");
+                    self.eat(";");
+                    ItemKind::Other {
+                        keyword: "macro".to_string(),
+                        name,
+                    }
+                } else {
+                    let kw = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                    ItemKind::Other {
+                        keyword: kw,
+                        name: None,
+                    }
+                }
+            }
+        };
+        Item {
+            kind,
+            line,
+            end_line: self.prev_line(),
+            tok_start,
+            tok_end: self.pos,
+            attrs,
+        }
+    }
+
+    /// The next token's text when it is an identifier.
+    fn ident(&mut self) -> Option<String> {
+        if self
+            .peek()
+            .is_some_and(|t| matches!(t.kind, TokKind::Ident | TokKind::RawIdent))
+        {
+            return self.bump().map(|t| t.text.clone());
+        }
+        None
+    }
+
+    fn parse_fn(&mut self) -> ItemKind {
+        self.eat("fn");
+        let name = self.ident().unwrap_or_default();
+        self.skip_angle_group();
+        let mut params = Vec::new();
+        if self.peek_is("(") {
+            let group = self.skip_group("(", ")");
+            if group.len() >= 2 {
+                params = parse_params(&group[1..group.len() - 1]);
+            }
+        }
+        // Return type and where clause: skip to the body or `;`.
+        self.tokens_until(&["{", ";"]);
+        let body = if self.peek_is("{") {
+            Some(self.parse_block())
+        } else {
+            self.eat(";");
+            None
+        };
+        ItemKind::Fn(FnItem { name, params, body })
+    }
+
+    fn parse_mod(&mut self) -> ItemKind {
+        self.eat("mod");
+        let name = self.ident().unwrap_or_default();
+        if self.eat(";") {
+            ItemKind::Mod { name, items: None }
+        } else if self.eat("{") {
+            let items = self.parse_items(Some("}"));
+            ItemKind::Mod {
+                name,
+                items: Some(items),
+            }
+        } else {
+            ItemKind::Mod { name, items: None }
+        }
+    }
+
+    fn parse_use(&mut self) -> ItemKind {
+        self.eat("use");
+        let tree = self.tokens_until(&[";"]);
+        self.eat(";");
+        let mut leaves = Vec::new();
+        flatten_use(tree, &mut Vec::new(), &mut leaves);
+        ItemKind::Use { leaves }
+    }
+
+    fn parse_impl(&mut self) -> ItemKind {
+        self.eat("impl");
+        self.skip_angle_group();
+        let first = self.type_path();
+        let (trait_name, type_name) = if self.eat("for") {
+            (first, self.type_path())
+        } else {
+            (None, first)
+        };
+        self.tokens_until(&["{", ";"]);
+        if self.eat(";") {
+            return ItemKind::Impl {
+                type_name: type_name.unwrap_or_default(),
+                trait_name,
+                items: Vec::new(),
+            };
+        }
+        self.eat("{");
+        let items = self.parse_items(Some("}"));
+        ItemKind::Impl {
+            type_name: type_name.unwrap_or_default(),
+            trait_name,
+            items,
+        }
+    }
+
+    fn parse_trait(&mut self) -> ItemKind {
+        self.eat("trait");
+        let name = self.ident().unwrap_or_default();
+        self.skip_angle_group();
+        self.tokens_until(&["{", ";"]);
+        if self.eat(";") {
+            return ItemKind::Trait {
+                name,
+                items: Vec::new(),
+            };
+        }
+        self.eat("{");
+        let items = self.parse_items(Some("}"));
+        ItemKind::Trait { name, items }
+    }
+
+    /// A type path for impl headers: returns the last meaningful path
+    /// segment (`Vec < Foo >` → `Vec`; `a::b::Baz` → `Baz`; `& mut T`
+    /// → `T`; `dyn Trait` → `Trait`).
+    fn type_path(&mut self) -> Option<String> {
+        while matches!(self.peek_text(), "&" | "*" | "mut" | "dyn" | "'") {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|t| t.kind == TokKind::Lifetime) {
+            self.pos += 1;
+        }
+        let mut last = None;
+        while let Some(seg) = self.ident() {
+            last = Some(seg);
+            self.skip_angle_group();
+            if !self.eat("::") {
+                break;
+            }
+        }
+        self.skip_angle_group();
+        last
+    }
+
+    // ---------------------------------------------------------------
+    // Blocks and statements
+    // ---------------------------------------------------------------
+
+    fn parse_block(&mut self) -> Block {
+        let line = self.line();
+        self.eat("{");
+        let mut stmts = Vec::new();
+        loop {
+            if self.at_end() || self.peek_is("}") {
+                self.eat("}");
+                break;
+            }
+            if self.eat(";") {
+                continue;
+            }
+            let before = self.pos;
+            stmts.push(self.parse_stmt());
+            if self.pos == before {
+                // Safety valve: a statement that consumed nothing
+                // would loop forever.
+                self.pos += 1;
+            }
+        }
+        Block {
+            stmts,
+            line,
+            end_line: self.prev_line(),
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Stmt {
+        // Item-in-block (fn, struct, use, …). Attributes ahead of an
+        // item keyword also take the item path.
+        let t = self.peek_text();
+        let is_item_start = matches!(
+            t,
+            "fn" | "mod" | "use" | "impl" | "trait" | "struct" | "enum" | "union" | "macro_rules"
+        ) || (t == "pub")
+            || (t == "#" && self.stmt_attr_precedes_item())
+            || (matches!(t, "const" | "static" | "type" | "unsafe" | "extern")
+                && self.item_disambiguation());
+        if is_item_start {
+            return Stmt::Item(self.parse_item());
+        }
+        if self.peek_is("let") {
+            return self.parse_let();
+        }
+        let e = self.parse_expr(false);
+        self.eat(";");
+        Stmt::Expr(e)
+    }
+
+    /// After a `#` in statement position: does an item keyword follow
+    /// the attribute group(s)?
+    fn stmt_attr_precedes_item(&self) -> bool {
+        let mut i = self.pos;
+        while self.toks.get(i).is_some_and(|t| t.text == "#") {
+            i += 1;
+            if self.toks.get(i).is_some_and(|t| t.text == "!") {
+                i += 1;
+            }
+            if self.toks.get(i).is_none_or(|t| t.text != "[") {
+                return false;
+            }
+            let mut depth = 0usize;
+            while let Some(t) = self.toks.get(i) {
+                if t.text == "[" {
+                    depth += 1;
+                } else if t.text == "]" {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+        }
+        matches!(
+            self.toks.get(i).map(|t| t.text.as_str()).unwrap_or(""),
+            "fn" | "mod"
+                | "use"
+                | "impl"
+                | "trait"
+                | "struct"
+                | "enum"
+                | "const"
+                | "static"
+                | "type"
+                | "pub"
+                | "macro_rules"
+        )
+    }
+
+    /// `const`/`static`/`type`/`unsafe`/`extern` in statement position:
+    /// item (const X: …) or expression (`unsafe { … }`, `const` block)?
+    fn item_disambiguation(&self) -> bool {
+        match self.peek_text() {
+            "unsafe" => self.peek_at(1).is_some_and(|t| t.text == "fn"),
+            "const" => self
+                .peek_at(1)
+                .is_some_and(|t| matches!(t.kind, TokKind::Ident | TokKind::RawIdent)),
+            "static" | "type" => true,
+            "extern" => true,
+            _ => false,
+        }
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let line = self.line();
+        self.eat("let");
+        let pat = self.tokens_until(&[":", "=", ";"]);
+        let names = pattern_names(pat);
+        let ty = if self.eat(":") {
+            let ty_toks = self.tokens_until(&["=", ";"]);
+            Some(join_tokens(ty_toks))
+        } else {
+            None
+        };
+        let init = if self.eat("=") {
+            let e = self.parse_expr(false);
+            // let-else: `let Some(x) = e else { … };`
+            if self.eat("else") {
+                self.parse_block();
+            }
+            Some(e)
+        } else {
+            None
+        };
+        self.eat(";");
+        Stmt::Let {
+            names,
+            ty,
+            init,
+            line,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Expressions
+    // ---------------------------------------------------------------
+
+    /// Parses one expression. `no_struct` suppresses struct-literal
+    /// parsing (condition/scrutinee/iterator position, where `{` opens
+    /// the body instead).
+    fn parse_expr(&mut self, no_struct: bool) -> Expr {
+        let lhs = self.parse_prefix(no_struct);
+        self.parse_binary_tail(lhs, no_struct)
+    }
+
+    fn parse_binary_tail(&mut self, mut lhs: Expr, no_struct: bool) -> Expr {
+        loop {
+            let line = self.line();
+            match self.peek_text() {
+                "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>=" => {
+                    let op = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                    let value = self.parse_expr(no_struct);
+                    lhs = Expr::Assign {
+                        op,
+                        target: Box::new(lhs),
+                        value: Box::new(value),
+                        line,
+                    };
+                }
+                "+" | "-" | "*" | "/" | "%" | "==" | "!=" | "<" | ">" | "<=" | ">=" | "&&"
+                | "||" | "&" | "|" | "^" | ".." | "..=" => {
+                    let op = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                    // Open-ended range (`start..`): no right operand.
+                    if (op == ".." || op == "..=") && self.range_has_no_rhs() {
+                        lhs = Expr::Binary {
+                            op,
+                            lhs: Box::new(lhs),
+                            rhs: Box::new(Expr::Unknown { line }),
+                            line,
+                        };
+                        continue;
+                    }
+                    let rhs = self.parse_prefix(no_struct);
+                    lhs = Expr::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        line,
+                    };
+                }
+                "as" => {
+                    self.pos += 1;
+                    self.skip_type();
+                }
+                "?" => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        lhs
+    }
+
+    fn range_has_no_rhs(&self) -> bool {
+        matches!(
+            self.peek_text(),
+            "" | ")" | "]" | "}" | "," | ";" | "=>" | "{"
+        )
+    }
+
+    /// Consumes a type after `as`: references, paths, generics,
+    /// primitive names. Conservative: stops at any operator that can
+    /// continue an expression.
+    fn skip_type(&mut self) {
+        while matches!(self.peek_text(), "&" | "mut" | "dyn" | "*" | "const") {
+            self.pos += 1;
+        }
+        loop {
+            if self
+                .peek()
+                .is_some_and(|t| matches!(t.kind, TokKind::Ident | TokKind::RawIdent))
+            {
+                self.pos += 1;
+                self.skip_angle_group();
+                if self.eat("::") {
+                    continue;
+                }
+            } else if self.peek_is("(") {
+                self.skip_group("(", ")");
+            }
+            break;
+        }
+    }
+
+    fn parse_prefix(&mut self, no_struct: bool) -> Expr {
+        let line = self.line();
+        match self.peek_text() {
+            "&" | "&&" => {
+                // `&&x` is two nested borrows.
+                let tok = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                self.eat("mut");
+                let inner = self.parse_prefix(no_struct);
+                let once = Expr::Unary {
+                    op: "&".to_string(),
+                    expr: Box::new(inner),
+                    line,
+                };
+                if tok == "&&" {
+                    Expr::Unary {
+                        op: "&".to_string(),
+                        expr: Box::new(once),
+                        line,
+                    }
+                } else {
+                    once
+                }
+            }
+            "*" | "!" | "-" => {
+                let op = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                let inner = self.parse_prefix(no_struct);
+                Expr::Unary {
+                    op,
+                    expr: Box::new(inner),
+                    line,
+                }
+            }
+            "return" | "break" | "continue" => {
+                let op = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                // Optional label, optional value.
+                if self.peek().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                    self.pos += 1;
+                }
+                let expr = if matches!(self.peek_text(), "" | ";" | "}" | ")" | "," | "]") {
+                    Expr::Unknown { line }
+                } else {
+                    self.parse_expr(no_struct)
+                };
+                Expr::Unary {
+                    op,
+                    expr: Box::new(expr),
+                    line,
+                }
+            }
+            ".." | "..=" => {
+                let op = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                let expr = if self.range_has_no_rhs() {
+                    Expr::Unknown { line }
+                } else {
+                    self.parse_prefix(no_struct)
+                };
+                Expr::Unary {
+                    op,
+                    expr: Box::new(expr),
+                    line,
+                }
+            }
+            _ => {
+                let primary = self.parse_primary(no_struct);
+                self.parse_postfix(primary, no_struct)
+            }
+        }
+    }
+
+    fn parse_postfix(&mut self, mut expr: Expr, no_struct: bool) -> Expr {
+        loop {
+            let line = self.line();
+            if self.peek_is(".") {
+                self.pos += 1;
+                if self.peek().is_some_and(|t| t.kind == TokKind::Number) {
+                    let name = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                    expr = Expr::Field {
+                        recv: Box::new(expr),
+                        name,
+                        line,
+                    };
+                    continue;
+                }
+                let Some(name) = self.ident() else {
+                    // `.await` would be an ident; anything else is
+                    // unshapeable — stop the chain.
+                    break;
+                };
+                // Turbofish on a method call.
+                if self.peek_is("::") {
+                    self.pos += 1;
+                    self.skip_angle_group();
+                }
+                if self.peek_is("(") {
+                    let args = self.parse_call_args();
+                    expr = Expr::MethodCall {
+                        recv: Box::new(expr),
+                        name,
+                        args,
+                        line,
+                    };
+                } else {
+                    expr = Expr::Field {
+                        recv: Box::new(expr),
+                        name,
+                        line,
+                    };
+                }
+            } else if self.peek_is("(") {
+                let args = self.parse_call_args();
+                expr = Expr::Call {
+                    callee: Box::new(expr),
+                    args,
+                    line,
+                };
+            } else if self.peek_is("[") {
+                self.pos += 1;
+                let index = if self.peek_is("]") {
+                    Expr::Unknown { line }
+                } else {
+                    self.parse_expr(false)
+                };
+                // `[x; n]` in index position cannot occur; `]` closes.
+                self.tokens_until(&["]"]);
+                self.eat("]");
+                expr = Expr::Index {
+                    recv: Box::new(expr),
+                    index: Box::new(index),
+                    line,
+                };
+            } else if self.peek_is("?") {
+                self.pos += 1;
+            } else if self.peek_is("{") && !no_struct && struct_lit_candidate(&expr) {
+                let path = match &expr {
+                    Expr::Path { segs, .. } => segs.clone(),
+                    _ => Vec::new(),
+                };
+                let fields = self.parse_struct_fields();
+                expr = Expr::StructLit { path, fields, line };
+            } else {
+                break;
+            }
+        }
+        expr
+    }
+
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        self.eat("(");
+        let mut args = Vec::new();
+        loop {
+            if self.at_end() || self.eat(")") {
+                break;
+            }
+            if self.eat(",") {
+                continue;
+            }
+            let before = self.pos;
+            args.push(self.parse_expr(false));
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        args
+    }
+
+    fn parse_struct_fields(&mut self) -> Vec<(String, Expr)> {
+        self.eat("{");
+        let mut fields = Vec::new();
+        loop {
+            if self.at_end() || self.eat("}") {
+                break;
+            }
+            if self.eat(",") {
+                continue;
+            }
+            if self.peek_is("..") {
+                let line = self.line();
+                self.pos += 1;
+                let base = if self.peek_is("}") {
+                    Expr::Unknown { line }
+                } else {
+                    self.parse_expr(false)
+                };
+                fields.push(("..".to_string(), base));
+                continue;
+            }
+            let before = self.pos;
+            let name = self.ident().unwrap_or_default();
+            if self.eat(":") {
+                let value = self.parse_expr(false);
+                fields.push((name, value));
+            } else {
+                // Shorthand `Foo { x }`.
+                let line = self.prev_line();
+                fields.push((
+                    name.clone(),
+                    Expr::Path {
+                        segs: vec![name],
+                        line,
+                    },
+                ));
+            }
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        fields
+    }
+
+    fn parse_primary(&mut self, no_struct: bool) -> Expr {
+        let line = self.line();
+        let Some(t) = self.peek() else {
+            return Expr::Unknown { line };
+        };
+        match t.kind {
+            TokKind::Number | TokKind::Str | TokKind::Char => {
+                let text = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                return Expr::Lit { text, line };
+            }
+            TokKind::Lifetime => {
+                // Loop label: `'outer: loop { … }`.
+                self.pos += 1;
+                self.eat(":");
+                return self.parse_primary(no_struct);
+            }
+            _ => {}
+        }
+        match t.text.as_str() {
+            "true" | "false" => {
+                let text = self.bump().map(|t| t.text.clone()).unwrap_or_default();
+                Expr::Lit { text, line }
+            }
+            "if" => self.parse_if(),
+            "match" => self.parse_match(),
+            "for" => self.parse_for(),
+            "while" => self.parse_while(),
+            "loop" => {
+                self.pos += 1;
+                let body = self.parse_block();
+                Expr::While {
+                    cond: None,
+                    body,
+                    line,
+                }
+            }
+            "unsafe" => {
+                self.pos += 1;
+                Expr::Block(self.parse_block())
+            }
+            "move" => {
+                self.pos += 1;
+                self.parse_closure(line)
+            }
+            "|" | "||" => self.parse_closure(line),
+            "(" => {
+                self.pos += 1;
+                let mut elems = Vec::new();
+                let mut trailing_comma = false;
+                loop {
+                    if self.at_end() || self.eat(")") {
+                        break;
+                    }
+                    if self.eat(",") {
+                        trailing_comma = true;
+                        continue;
+                    }
+                    let before = self.pos;
+                    elems.push(self.parse_expr(false));
+                    if self.pos == before {
+                        self.pos += 1;
+                    }
+                }
+                if elems.len() == 1 && !trailing_comma {
+                    elems.pop().unwrap_or(Expr::Unknown { line })
+                } else {
+                    Expr::Tuple { elems, line }
+                }
+            }
+            "[" => {
+                self.pos += 1;
+                let mut elems = Vec::new();
+                loop {
+                    if self.at_end() || self.eat("]") {
+                        break;
+                    }
+                    if self.eat(",") || self.eat(";") {
+                        continue;
+                    }
+                    let before = self.pos;
+                    elems.push(self.parse_expr(false));
+                    if self.pos == before {
+                        self.pos += 1;
+                    }
+                }
+                Expr::Array { elems, line }
+            }
+            "{" => Expr::Block(self.parse_block()),
+            "<" => {
+                // Qualified path `<T as Trait>::method(…)`.
+                self.skip_angle_group();
+                if self.eat("::") {
+                    self.parse_path_expr(no_struct)
+                } else {
+                    Expr::Unknown { line }
+                }
+            }
+            _ if matches!(t.kind, TokKind::Ident | TokKind::RawIdent) => {
+                // Macro call?
+                if self.peek_at(1).is_some_and(|t| t.text == "!")
+                    && self
+                        .peek_at(2)
+                        .is_some_and(|t| matches!(t.text.as_str(), "(" | "[" | "{"))
+                {
+                    let name = self.ident().unwrap_or_default();
+                    self.eat("!");
+                    let args = self.parse_macro_args();
+                    return Expr::MacroCall { name, args, line };
+                }
+                self.parse_path_expr(no_struct)
+            }
+            _ => {
+                self.pos += 1;
+                Expr::Unknown { line }
+            }
+        }
+    }
+
+    /// Parses a path expression: segments joined by `::`, skipping
+    /// turbofish generic groups.
+    fn parse_path_expr(&mut self, _no_struct: bool) -> Expr {
+        let line = self.line();
+        let mut segs = Vec::new();
+        while let Some(seg) = self.ident() {
+            segs.push(seg);
+            if self.peek_is("::") {
+                self.pos += 1;
+                if self.peek_is("<") {
+                    self.skip_angle_group();
+                    if self.peek_is("::") {
+                        self.pos += 1;
+                        continue;
+                    }
+                    break;
+                }
+                continue;
+            }
+            break;
+        }
+        if segs.is_empty() {
+            return Expr::Unknown { line };
+        }
+        Expr::Path { segs, line }
+    }
+
+    fn parse_macro_args(&mut self) -> Vec<Expr> {
+        let (open, close) = match self.peek_text() {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return Vec::new(),
+        };
+        self.eat(open);
+        let mut args = Vec::new();
+        loop {
+            if self.at_end() || self.eat(close) {
+                break;
+            }
+            if self.eat(",") || self.eat(";") {
+                continue;
+            }
+            let before = self.pos;
+            args.push(self.parse_expr(false));
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        args
+    }
+
+    fn parse_closure(&mut self, line: usize) -> Expr {
+        let mut params = Vec::new();
+        if self.eat("||") {
+            // Empty parameter list.
+        } else if self.eat("|") {
+            loop {
+                if self.at_end() || self.eat("|") {
+                    break;
+                }
+                if self.eat(",") {
+                    continue;
+                }
+                let pat = self.tokens_until(&[",", "|", ":"]);
+                params.extend(pattern_names(pat));
+                if self.eat(":") {
+                    self.tokens_until(&[",", "|"]);
+                }
+                if pat.is_empty() && !self.peek_is(",") && !self.peek_is("|") {
+                    self.pos += 1;
+                }
+            }
+        } else {
+            return Expr::Unknown { line };
+        }
+        // Optional return type.
+        if self.eat("->") {
+            self.tokens_until(&["{"]);
+        }
+        let body = self.parse_expr(false);
+        Expr::Closure {
+            params,
+            body: Box::new(body),
+            line,
+        }
+    }
+
+    fn parse_if(&mut self) -> Expr {
+        let line = self.line();
+        self.eat("if");
+        if self.eat("let") {
+            // `if let pat = scrutinee { then } else { els }` → Match.
+            let pat = self.tokens_until(&["="]);
+            let names = pattern_names(pat);
+            self.eat("=");
+            let scrutinee = self.parse_expr(true);
+            let then = self.parse_block();
+            let mut arms = vec![Arm {
+                names,
+                body: Expr::Block(then),
+            }];
+            if self.eat("else") {
+                let els = if self.peek_is("if") {
+                    self.parse_if()
+                } else {
+                    Expr::Block(self.parse_block())
+                };
+                arms.push(Arm {
+                    names: Vec::new(),
+                    body: els,
+                });
+            }
+            return Expr::Match {
+                scrutinee: Box::new(scrutinee),
+                arms,
+                line,
+            };
+        }
+        let cond = self.parse_expr(true);
+        let then = self.parse_block();
+        let els = if self.eat("else") {
+            let e = if self.peek_is("if") {
+                self.parse_if()
+            } else {
+                Expr::Block(self.parse_block())
+            };
+            Some(Box::new(e))
+        } else {
+            None
+        };
+        Expr::If {
+            cond: Box::new(cond),
+            then,
+            els,
+            line,
+        }
+    }
+
+    fn parse_match(&mut self) -> Expr {
+        let line = self.line();
+        self.eat("match");
+        let scrutinee = self.parse_expr(true);
+        self.eat("{");
+        let mut arms = Vec::new();
+        loop {
+            if self.at_end() || self.eat("}") {
+                break;
+            }
+            if self.eat(",") {
+                continue;
+            }
+            let before = self.pos;
+            let pat = self.tokens_until(&["=>"]);
+            // Guard identifiers are not bindings: cut the pattern at a
+            // top-level `if`.
+            let pat_end = pat.iter().position(|t| t.text == "if").unwrap_or(pat.len());
+            let names = pattern_names(&pat[..pat_end]);
+            self.eat("=>");
+            let body = self.parse_expr(false);
+            arms.push(Arm { names, body });
+            self.eat(",");
+            if self.pos == before {
+                self.pos += 1;
+            }
+        }
+        Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            line,
+        }
+    }
+
+    fn parse_while(&mut self) -> Expr {
+        let line = self.line();
+        self.eat("while");
+        if self.eat("let") {
+            // `while let pat = scrutinee { body }` → Match with one
+            // arm so pattern bindings stay visible to rules.
+            let pat = self.tokens_until(&["="]);
+            let names = pattern_names(pat);
+            self.eat("=");
+            let scrutinee = self.parse_expr(true);
+            let body = self.parse_block();
+            return Expr::Match {
+                scrutinee: Box::new(scrutinee),
+                arms: vec![Arm {
+                    names,
+                    body: Expr::Block(body),
+                }],
+                line,
+            };
+        }
+        let cond = self.parse_expr(true);
+        let body = self.parse_block();
+        Expr::While {
+            cond: Some(Box::new(cond)),
+            body,
+            line,
+        }
+    }
+
+    fn parse_for(&mut self) -> Expr {
+        let line = self.line();
+        self.eat("for");
+        let pat = self.tokens_until(&["in"]);
+        let names = pattern_names(pat);
+        self.eat("in");
+        let iter = self.parse_expr(true);
+        let body = self.parse_block();
+        Expr::For {
+            names,
+            iter: Box::new(iter),
+            body,
+            line,
+        }
+    }
+}
+
+/// Parses a fn parameter list token slice (delimiters stripped):
+/// split on top-level commas, each element is `pat : ty` or a self
+/// receiver (`self`, `&self`, `&mut self`, `mut self`).
+fn parse_params(toks: &[Token]) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut depth = 0isize;
+    let mut start = 0usize;
+    let mut slices = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            "," if depth == 0 => {
+                slices.push(&toks[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < toks.len() {
+        slices.push(&toks[start..]);
+    }
+    for slice in slices {
+        if slice.is_empty() {
+            continue;
+        }
+        if slice.iter().any(|t| t.text == "self") {
+            params.push(Param {
+                name: "self".to_string(),
+                ty: "Self".to_string(),
+            });
+            continue;
+        }
+        let colon = slice.iter().position(|t| t.text == ":");
+        let (pat, ty) = match colon {
+            Some(c) => (&slice[..c], join_tokens(&slice[c + 1..])),
+            None => (slice, String::new()),
+        };
+        let name = pattern_names(pat).into_iter().next().unwrap_or_default();
+        params.push(Param { name, ty });
+    }
+    params
+}
+
+/// True when `{` after this expression should be read as a struct
+/// literal (only plain paths qualify; `foo()` `{…}` never does).
+fn struct_lit_candidate(expr: &Expr) -> bool {
+    match expr {
+        Expr::Path { segs, .. } => segs
+            .last()
+            .is_some_and(|s| s.chars().next().is_some_and(|c| c.is_uppercase())),
+        _ => false,
+    }
+}
+
+/// Joins token texts with single spaces (type renderings).
+fn join_tokens(toks: &[Token]) -> String {
+    let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+    texts.join(" ")
+}
+
+/// Extracts binding names from a pattern token slice.
+///
+/// Heuristic, tuned for this workspace's style: a lowercase-or-`_`
+/// starting identifier binds unless it is a keyword, is a path segment
+/// (`a::b`), names a struct field before `:`, or heads a call/struct
+/// pattern (`Some(…)`, `Foo{…}`). Uppercase identifiers are taken as
+/// unit variants/consts (`None`, `ClassId`), per Rust convention.
+fn pattern_names(toks: &[Token]) -> Vec<String> {
+    const KEYWORDS: [&str; 6] = ["ref", "mut", "box", "true", "false", "_"];
+    let mut names = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !matches!(t.kind, TokKind::Ident | TokKind::RawIdent) {
+            continue;
+        }
+        let text = t.text.as_str();
+        if KEYWORDS.contains(&text) {
+            continue;
+        }
+        if text.chars().next().is_some_and(|c| c.is_uppercase()) {
+            continue;
+        }
+        let prev = i
+            .checked_sub(1)
+            .map(|j| toks[j].text.as_str())
+            .unwrap_or("");
+        let next = toks.get(i + 1).map(|t| t.text.as_str()).unwrap_or("");
+        if prev == "::" || matches!(next, "::" | "(" | "{" | "!") {
+            continue;
+        }
+        // `field : subpat` — the field name does not bind.
+        if next == ":" {
+            continue;
+        }
+        if !names.contains(&t.text) {
+            names.push(t.text.clone());
+        }
+    }
+    names
+}
+
+/// Flattens a use-tree token slice into its leaves.
+fn flatten_use(toks: &[Token], prefix: &mut Vec<String>, leaves: &mut Vec<UseLeaf>) {
+    let mut i = 0usize;
+    let base_len = prefix.len();
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "{" => {
+                // Group: split top-level commas, recurse per element.
+                let mut depth = 0usize;
+                let mut j = i;
+                let mut start = i + 1;
+                while let Some(tj) = toks.get(j) {
+                    match tj.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                if start < j {
+                                    flatten_use(&toks[start..j], prefix, leaves);
+                                }
+                                break;
+                            }
+                        }
+                        "," if depth == 1 => {
+                            if start < j {
+                                flatten_use(&toks[start..j], prefix, leaves);
+                            }
+                            start = j + 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                prefix.truncate(base_len);
+                return;
+            }
+            "::" => {
+                i += 1;
+            }
+            "as" => {
+                // `path as alias`.
+                if let Some(alias) = toks.get(i + 1) {
+                    if !prefix.is_empty() {
+                        leaves.push(UseLeaf {
+                            path: prefix.clone(),
+                            alias: alias.text.clone(),
+                        });
+                    }
+                }
+                prefix.truncate(base_len);
+                return;
+            }
+            "*" => {
+                leaves.push(UseLeaf {
+                    path: prefix.clone(),
+                    alias: "*".to_string(),
+                });
+                prefix.truncate(base_len);
+                return;
+            }
+            _ if matches!(t.kind, TokKind::Ident | TokKind::RawIdent) => {
+                prefix.push(t.text.clone());
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    if prefix.len() > base_len {
+        let alias = prefix.last().cloned().unwrap_or_default();
+        leaves.push(UseLeaf {
+            path: prefix.clone(),
+            alias,
+        });
+    }
+    prefix.truncate(base_len);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask;
+
+    fn parse(src: &str) -> File {
+        parse_file(&mask(src))
+    }
+
+    fn only_fn(file: &File) -> FnItem {
+        for item in &file.items {
+            if let ItemKind::Fn(f) = &item.kind {
+                return f.clone();
+            }
+        }
+        panic!("no fn item parsed");
+    }
+
+    #[test]
+    fn tokenizes_idents_literals_and_ops() {
+        let m = mask("let x = foo(\"body\", 'c', 1.5, 0..3);\n");
+        let toks = tokenize(&m);
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "let", "x", "=", "foo", "(", "body", ",", "c", ",", "1.5", ",", "0", "..", "3",
+                ")", ";"
+            ]
+        );
+        assert_eq!(toks[5].kind, TokKind::Str);
+        assert_eq!(toks[7].kind, TokKind::Char);
+        assert_eq!(toks[9].kind, TokKind::Number);
+    }
+
+    #[test]
+    fn raw_identifier_is_one_token() {
+        let m = mask("let r#type = r#match;\n");
+        let toks = tokenize(&m);
+        assert_eq!(toks[1].kind, TokKind::RawIdent);
+        assert_eq!(toks[1].text, "type");
+        assert_eq!(toks[3].text, "match");
+    }
+
+    #[test]
+    fn lifetimes_and_labels_tokenize() {
+        let m = mask("fn f<'a>(x: &'a str) { 'outer: loop { break 'outer; } }\n");
+        let toks = tokenize(&m);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'outer"));
+    }
+
+    #[test]
+    fn parses_fn_with_params_and_body() {
+        let file = parse("pub fn add(a: u32, b: u32) -> u32 { a + b }\n");
+        let f = only_fn(&file);
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "a");
+        assert_eq!(f.params[0].ty, "u32");
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn parses_self_receiver() {
+        let file = parse("impl Foo { fn go(&mut self, n: usize) {} }\n");
+        let ItemKind::Impl {
+            type_name, items, ..
+        } = &file.items[0].kind
+        else {
+            panic!("expected impl");
+        };
+        assert_eq!(type_name, "Foo");
+        let ItemKind::Fn(f) = &items[0].kind else {
+            panic!("expected fn in impl");
+        };
+        assert_eq!(f.params[0].name, "self");
+        assert_eq!(f.params[1].name, "n");
+    }
+
+    #[test]
+    fn trait_impl_records_both_names() {
+        let file = parse("impl Drop for Guard<'_, T> { fn drop(&mut self) {} }\n");
+        let ItemKind::Impl {
+            type_name,
+            trait_name,
+            ..
+        } = &file.items[0].kind
+        else {
+            panic!("expected impl");
+        };
+        assert_eq!(type_name, "Guard");
+        assert_eq!(trait_name.as_deref(), Some("Drop"));
+    }
+
+    #[test]
+    fn use_tree_flattens() {
+        let file = parse(
+            "use std::collections::{BTreeMap, btree_map::Entry as E};\nuse crate::lexer::mask;\n",
+        );
+        let ItemKind::Use { leaves } = &file.items[0].kind else {
+            panic!("expected use");
+        };
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[0].alias, "BTreeMap");
+        assert_eq!(leaves[0].path, vec!["std", "collections", "BTreeMap"]);
+        assert_eq!(leaves[1].alias, "E");
+        assert_eq!(
+            leaves[1].path,
+            vec!["std", "collections", "btree_map", "Entry"]
+        );
+        let ItemKind::Use { leaves } = &file.items[1].kind else {
+            panic!("expected use");
+        };
+        assert_eq!(leaves[0].alias, "mask");
+    }
+
+    #[test]
+    fn method_chain_parses() {
+        let file = parse("fn f() { let x = a.b().c(1, 2).d; }\n");
+        let f = only_fn(&file);
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Let { init: Some(e), .. } = &body.stmts[0] else {
+            panic!("expected let");
+        };
+        let Expr::Field { recv, name, .. } = e else {
+            panic!("expected field access, got {e:?}");
+        };
+        assert_eq!(name, "d");
+        let Expr::MethodCall { name, args, .. } = recv.as_ref() else {
+            panic!("expected method call");
+        };
+        assert_eq!(name, "c");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn closures_and_loops_parse() {
+        let src = "fn f() { let g = move |job, lane| job + lane; for x in 0..3 { g(x, 1); } }\n";
+        let f = only_fn(&parse(src));
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Let { init: Some(e), .. } = &body.stmts[0] else {
+            panic!("expected let");
+        };
+        let Expr::Closure { params, .. } = e else {
+            panic!("expected closure, got {e:?}");
+        };
+        assert_eq!(params, &vec!["job".to_string(), "lane".to_string()]);
+        let Stmt::Expr(Expr::For { names, .. }) = &body.stmts[1] else {
+            panic!("expected for loop");
+        };
+        assert_eq!(names, &vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn match_and_if_let_bind_names() {
+        let src = "fn f(r: R) { match r.lock() { Ok(guard) => guard.recv(), Err(_) => {} } if let Some(v) = opt { use_it(v); } }\n";
+        let f = only_fn(&parse(src));
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Expr(Expr::Match { arms, .. }) = &body.stmts[0] else {
+            panic!("expected match");
+        };
+        assert_eq!(arms[0].names, vec!["guard".to_string()]);
+        assert!(arms[1].names.is_empty());
+        let Stmt::Expr(Expr::Match { arms, .. }) = &body.stmts[1] else {
+            panic!("expected desugared if-let");
+        };
+        assert_eq!(arms[0].names, vec!["v".to_string()]);
+    }
+
+    #[test]
+    fn struct_literals_vs_blocks() {
+        let src = "fn f() { let a = Foo { x: 1, y: 2 }; if cond { body(); } }\n";
+        let f = only_fn(&parse(src));
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Let { init: Some(e), .. } = &body.stmts[0] else {
+            panic!("expected let");
+        };
+        let Expr::StructLit { path, fields, .. } = e else {
+            panic!("expected struct literal, got {e:?}");
+        };
+        assert_eq!(path, &vec!["Foo".to_string()]);
+        assert_eq!(fields.len(), 2);
+        let Stmt::Expr(Expr::If { then, .. }) = &body.stmts[1] else {
+            panic!("expected if");
+        };
+        assert_eq!(then.stmts.len(), 1);
+    }
+
+    #[test]
+    fn macro_args_are_seen() {
+        let f = only_fn(&parse("fn f() { assert_eq!(a.lock(), b); }\n"));
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Expr(Expr::MacroCall { name, args, .. }) = &body.stmts[0] else {
+            panic!("expected macro call");
+        };
+        assert_eq!(name, "assert_eq");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn item_spans_tile_the_token_stream() {
+        let src =
+            "//! docs\nuse a::b;\npub fn f() { g(1); }\nmod m { fn h() {} }\nstruct S { x: u32 }\n";
+        let file = parse(src);
+        let mut next = 0usize;
+        for item in &file.items {
+            assert_eq!(item.tok_start, next, "gap before item {:?}", item.kind);
+            assert!(item.tok_end > item.tok_start);
+            next = item.tok_end;
+        }
+        assert_eq!(next, file.n_tokens, "trailing tokens unconsumed");
+    }
+
+    #[test]
+    fn cfg_test_attribute_detected() {
+        let src = "#[cfg(test)]\nmod tests { #[test] fn t() {} }\n";
+        let file = parse(src);
+        assert!(file.items[0].is_test());
+        let ItemKind::Mod {
+            items: Some(inner), ..
+        } = &file.items[0].kind
+        else {
+            panic!("expected inline mod");
+        };
+        assert!(inner[0].is_test());
+    }
+
+    #[test]
+    fn let_type_ascription_captured() {
+        let f = only_fn(&parse(
+            "fn f() { let m: Mutex<Scratch> = Mutex::new(s); }\n",
+        ));
+        let body = f.body.as_ref().unwrap();
+        let Stmt::Let { ty: Some(ty), .. } = &body.stmts[0] else {
+            panic!("expected typed let");
+        };
+        assert!(ty.contains("Mutex"));
+    }
+
+    #[test]
+    fn generics_and_turbofish_do_not_derail() {
+        let src = "fn f() { let v = Vec::<u64>::with_capacity(n); let c: BTreeMap<String, Vec<u8>> = x.collect::<BTreeMap<_, _>>(); }\n";
+        let f = only_fn(&parse(src));
+        let body = f.body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 2);
+        let Stmt::Let { init: Some(e), .. } = &body.stmts[0] else {
+            panic!("expected let");
+        };
+        let Expr::Call { callee, .. } = e else {
+            panic!("expected call, got {e:?}");
+        };
+        assert_eq!(
+            callee.as_path(),
+            Some(&["Vec", "with_capacity"].map(String::from)[..])
+        );
+    }
+
+    #[test]
+    fn degenerate_input_never_panics() {
+        for src in [
+            "",
+            "}}}",
+            "fn",
+            "fn (",
+            "let x = ;",
+            "impl { }",
+            "match { }",
+            "#",
+            "fn f() { a..; ..b; .. }",
+            "fn f() { x.0.1; }",
+        ] {
+            let _ = parse(src);
+        }
+    }
+}

@@ -71,6 +71,18 @@ pub struct PanicStats {
     pub lib_lines: u32,
     /// `(sites + annotated) / lib_lines * 1000`, rounded to 2 decimals.
     pub density_per_kloc: f64,
+    /// Panic tokens inside functions reachable from a hot entry point
+    /// (the panic-path rule's count; annotated sites included).
+    pub hot_sites: u32,
+}
+
+/// Per-rule rollup in the v2 schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleStat {
+    /// All findings of the rule (allowed and baselined included).
+    pub findings: u32,
+    /// Findings that fail the audit.
+    pub unsuppressed: u32,
 }
 
 /// The complete audit result.
@@ -87,8 +99,16 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of findings that fail the audit.
     pub unsuppressed: u32,
+    /// Per-rule finding/unsuppressed counts (the bench sidecar's
+    /// source of truth).
+    pub rule_stats: BTreeMap<String, RuleStat>,
     /// Per-crate panic-hygiene accounting.
     pub panic_hygiene: BTreeMap<String, PanicStats>,
+    /// Per-phase analysis wall time in milliseconds. `null` unless
+    /// requested (`--timings` / [`crate::run_with_timing`]): the
+    /// canonical report must be byte-identical across reruns, so the
+    /// default path never stamps wall time.
+    pub timing_ms: Option<BTreeMap<String, f64>>,
 }
 
 impl Report {
@@ -106,13 +126,37 @@ impl Report {
             ))
         });
         let unsuppressed = findings.iter().filter(|f| f.unsuppressed()).count() as u32;
+        let mut rule_stats: BTreeMap<String, RuleStat> = ALL_RULES
+            .iter()
+            .map(|r| {
+                (
+                    r.name().to_string(),
+                    RuleStat {
+                        findings: 0,
+                        unsuppressed: 0,
+                    },
+                )
+            })
+            .collect();
+        for f in &findings {
+            let stat = rule_stats.entry(f.rule.clone()).or_insert(RuleStat {
+                findings: 0,
+                unsuppressed: 0,
+            });
+            stat.findings += 1;
+            if f.unsuppressed() {
+                stat.unsuppressed += 1;
+            }
+        }
         Self {
-            schema_version: 1,
+            schema_version: 2,
             files_scanned,
             rules: ALL_RULES.iter().map(|r| r.name().to_string()).collect(),
             findings,
             unsuppressed,
+            rule_stats,
             panic_hygiene,
+            timing_ms: None,
         }
     }
 
@@ -153,7 +197,7 @@ impl Report {
                 .filter(|f| f.rule == rule.name() && f.unsuppressed())
                 .count();
             out.push_str(&format!(
-                "  {:<14} {:>4} finding(s), {:>3} unsuppressed — {}\n",
+                "  {:<18} {:>4} finding(s), {:>3} unsuppressed — {}\n",
                 rule.name(),
                 total,
                 bad,
@@ -170,9 +214,15 @@ impl Report {
                 "at budget"
             };
             out.push_str(&format!(
-                "  {:<16} {:>3}/{:<3} ({} annotated, {:.2}/kLoC) {}\n",
-                krate, s.sites, s.baseline, s.annotated, s.density_per_kloc, status
+                "  {:<16} {:>3}/{:<3} ({} annotated, {} hot, {:.2}/kLoC) {}\n",
+                krate, s.sites, s.baseline, s.annotated, s.hot_sites, s.density_per_kloc, status
             ));
+        }
+        if let Some(timing) = &self.timing_ms {
+            out.push_str("analysis wall time (ms):\n");
+            for (phase, ms) in timing {
+                out.push_str(&format!("  {phase:<18} {ms:>9.3}\n"));
+            }
         }
         out
     }
@@ -203,6 +253,7 @@ mod tests {
                 baseline: 5,
                 lib_lines: 1000,
                 density_per_kloc: 4.0,
+                hot_sites: 2,
             },
         );
         let r = Report::assemble(
@@ -232,6 +283,7 @@ mod tests {
                 baseline: 2,
                 lib_lines: 100,
                 density_per_kloc: 90.0,
+                hot_sites: 0,
             },
         );
         let r = Report::assemble(1, Vec::new(), stats);

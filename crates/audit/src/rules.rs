@@ -41,10 +41,28 @@ pub enum RuleId {
     /// justification) is itself a finding — suppressions must be
     /// auditable.
     AllowSyntax,
+    /// Semantic: every RNG construction must be fed a seed-derived
+    /// expression, and RNG constructions inside a `qcpa_par` job
+    /// closure must key through `stream_seed(seed, stream, index)`.
+    RngTaint,
+    /// Semantic: the static lock graph must be acyclic, and no guard
+    /// may be held across a channel send/recv or a park/wait/join.
+    LockOrder,
+    /// Semantic: reductions on merge-reachable paths must not iterate
+    /// hash-ordered containers.
+    OrderedReduction,
+    /// Semantic: every `QCPA_*` key read in library code must appear in
+    /// the README, and every README knob-table row must be backed by a
+    /// live key in the code.
+    EnvDocDrift,
+    /// Semantic: panic sites (unwrap/expect/panic!/unreachable!) inside
+    /// functions reachable from hot entry points (`run_open*`,
+    /// `optimize*`, `execute`) — ratcheted with the per-crate budget.
+    PanicPath,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [RuleId; 8] = [
+pub const ALL_RULES: [RuleId; 13] = [
     RuleId::HashIter,
     RuleId::WallClock,
     RuleId::Entropy,
@@ -53,6 +71,11 @@ pub const ALL_RULES: [RuleId; 8] = [
     RuleId::UnsafeAudit,
     RuleId::EnvAccess,
     RuleId::AllowSyntax,
+    RuleId::RngTaint,
+    RuleId::LockOrder,
+    RuleId::OrderedReduction,
+    RuleId::EnvDocDrift,
+    RuleId::PanicPath,
 ];
 
 impl RuleId {
@@ -67,6 +90,11 @@ impl RuleId {
             RuleId::UnsafeAudit => "unsafe-audit",
             RuleId::EnvAccess => "env-access",
             RuleId::AllowSyntax => "allow-syntax",
+            RuleId::RngTaint => "rng-taint",
+            RuleId::LockOrder => "lock-order",
+            RuleId::OrderedReduction => "ordered-reduction",
+            RuleId::EnvDocDrift => "env-doc-drift",
+            RuleId::PanicPath => "panic-path",
         }
     }
 
@@ -86,6 +114,11 @@ impl RuleId {
             RuleId::UnsafeAudit => "unsafe without SAFETY comment / missing forbid(unsafe_code)",
             RuleId::EnvAccess => "env reads outside the QCPA_* config surface",
             RuleId::AllowSyntax => "malformed audit:allow annotation",
+            RuleId::RngTaint => "RNG constructed from a non-seed-derived expression",
+            RuleId::LockOrder => "lock-order inversion or guard held across a blocking call",
+            RuleId::OrderedReduction => "hash-ordered reduction on a merge-reachable path",
+            RuleId::EnvDocDrift => "QCPA_* key undocumented in README (or documented but dead)",
+            RuleId::PanicPath => "panic site reachable from a hot entry point",
         }
     }
 }
@@ -116,8 +149,9 @@ pub const DETERMINISTIC_CRATES: [&str; 6] = [
     "qcpa-lp",
 ];
 
-/// Crates allowed to read the wall clock (measurement infrastructure).
-const WALL_CLOCK_CRATES: [&str; 2] = ["qcpa-obs", "qcpa-bench"];
+/// Crates allowed to read the wall clock (measurement infrastructure,
+/// plus the audit tool's own per-rule timing instrumentation).
+const WALL_CLOCK_CRATES: [&str; 3] = ["qcpa-obs", "qcpa-bench", "qcpa-audit"];
 
 /// Files allowed to read the wall clock inside otherwise-deterministic
 /// crates: the MIP solver's time-budget cutoff, which affects only how
@@ -165,12 +199,11 @@ pub fn parse_allows(
     let mut findings = Vec::new();
     for (line, comment) in masked.comments.iter().enumerate() {
         // Doc comments are prose: the annotation grammar must be
-        // documentable without suppressing (or tripping) anything.
-        let trimmed = comment.trim_start();
-        if ["///", "//!", "/**", "/*!"]
-            .iter()
-            .any(|d| trimmed.starts_with(d))
-        {
+        // documentable without suppressing (or tripping) anything. The
+        // lexer's per-line doc classification covers the continuation
+        // lines of multi-line `/** */` / `/*! */` blocks, which a
+        // prefix check on the line's own text would misread.
+        if masked.doc_comment[line] {
             continue;
         }
         let Some(pos) = comment.find(MARKER) else {
@@ -209,12 +242,23 @@ pub fn parse_allows(
 /// annotation: on the same line, or on a run of comment-only lines
 /// immediately above it.
 pub fn allow_for<'a>(ctx: &'a FileCtx<'_>, rule: RuleId, line: usize) -> Option<&'a Allow> {
-    let hit = |l: usize| ctx.allows.iter().find(|a| a.line == l && a.rule == rule);
+    allow_covering(ctx.allows, ctx.masked, rule, line)
+}
+
+/// [`allow_for`] without a full `FileCtx` — the semantic pass carries
+/// allows and masked streams per file but no per-rule context struct.
+pub fn allow_covering<'a>(
+    allows: &'a [Allow],
+    masked: &Masked,
+    rule: RuleId,
+    line: usize,
+) -> Option<&'a Allow> {
+    let hit = |l: usize| allows.iter().find(|a| a.line == l && a.rule == rule);
     if let Some(a) = hit(line) {
         return Some(a);
     }
     let mut l = line;
-    while l > 0 && ctx.masked.is_comment_only(l - 1) {
+    while l > 0 && masked.is_comment_only(l - 1) {
         l -= 1;
         if let Some(a) = hit(l) {
             return Some(a);
@@ -271,7 +315,7 @@ pub fn mark_test_lines(masked: &Masked) -> Vec<bool> {
 
 /// Finds word-bounded occurrences of `token` in `hay` (identifier
 /// characters on either side of the match disqualify it).
-fn token_hits(hay: &str, token: &str) -> Vec<usize> {
+pub(crate) fn token_hits(hay: &str, token: &str) -> Vec<usize> {
     let mut hits = Vec::new();
     let mut from = 0usize;
     let ident = |c: char| c.is_alphanumeric() || c == '_';

@@ -1,0 +1,1153 @@
+//! The five cross-function semantic rules, run over the parsed AST and
+//! per-crate call graph.
+//!
+//! Where the lexical rules ([`crate::rules`]) reject single tokens, the
+//! rules here follow values and control flow:
+//!
+//! - **rng-taint** — every RNG construction must be fed a seed-derived
+//!   expression, and a construction *inside* a `qcpa_par` job closure
+//!   must key through `stream_seed(seed, stream, index)` so replays are
+//!   schedule-independent.
+//! - **lock-order** — builds the static lock graph (acquisitions seen
+//!   while other guards are held, plus calls into lock-taking fns) and
+//!   flags order inversions and guards held across blocking calls
+//!   (`send`/`recv`/`park`/`wait`/argless `join`).
+//! - **ordered-reduction** — `+=`/`sum()`/`fold()` reductions reachable
+//!   from merge/combine/reduce entry points must not iterate
+//!   hash-ordered containers.
+//! - **env-doc-drift** — the `QCPA_*` keys read in library code and the
+//!   knob rows documented in README.md must be a bijection.
+//! - **panic-path** — panic sites inside functions reachable from hot
+//!   entry points (`run_open*`, `optimize*`, `execute`), ratcheted with
+//!   the same per-crate budget as panic-hygiene.
+//!
+//! All rules under-approximate: an ambiguous method call resolves to no
+//! callee, an unshapeable expression is `Expr::Unknown`, and neither
+//! produces findings. False silence is possible; false noise is not,
+//! which is what lets `cargo test` gate on a clean workspace run.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Block, Expr, Stmt};
+use crate::callgraph::{CrateGraph, FnNode};
+use crate::lexer::LitKind;
+use crate::report::Finding;
+use crate::rules::{self, Allow, RuleId};
+
+/// Per-file suppression context for the semantic pass.
+pub struct FilePrep {
+    /// Parsed `audit:allow` annotations.
+    pub allows: Vec<Allow>,
+    /// Per-line flag: inside a `#[cfg(test)]` block.
+    pub test_lines: Vec<bool>,
+}
+
+/// Builds the suppression context for every file of a graph. Malformed
+/// annotations were already reported by the lexical pass, so the
+/// `allow-syntax` findings are dropped here.
+pub fn prep_files(graph: &CrateGraph) -> Vec<FilePrep> {
+    graph
+        .files
+        .iter()
+        .map(|f| {
+            let raw: Vec<&str> = f.lines.iter().map(String::as_str).collect();
+            let (allows, _) = rules::parse_allows(&f.rel, &f.masked, &raw);
+            FilePrep {
+                allows,
+                test_lines: rules::mark_test_lines(&f.masked),
+            }
+        })
+        .collect()
+}
+
+/// Builds a finding at `(file, line)` of the graph, applying any
+/// covering `audit:allow` annotation.
+fn mk_finding(
+    rule: RuleId,
+    prefix: &str,
+    graph: &CrateGraph,
+    preps: &[FilePrep],
+    file: usize,
+    line: usize,
+) -> Finding {
+    let sf = &graph.files[file];
+    let path = if prefix.is_empty() {
+        sf.rel.clone()
+    } else {
+        format!("{prefix}/{}", sf.rel)
+    };
+    let raw = sf.lines.get(line).map(String::as_str).unwrap_or("");
+    let mut f = Finding::new(rule, &path, line, raw);
+    if let Some(a) = rules::allow_covering(&preps[file].allows, &sf.masked, rule, line) {
+        f.allowed = true;
+        f.justification = Some(a.justification.clone());
+    }
+    f
+}
+
+/// Structural walk over every block of a body (the `then` of an `if`,
+/// a loop body, … are `Block`s without being `Expr::Block` nodes, so
+/// `Expr::walk` cannot surface them).
+fn walk_blocks<'a>(b: &'a Block, f: &mut impl FnMut(&'a Block)) {
+    f(b);
+    for stmt in &b.stmts {
+        match stmt {
+            Stmt::Let { init: Some(e), .. } | Stmt::Expr(e) => walk_blocks_expr(e, f),
+            _ => {}
+        }
+    }
+}
+
+fn walk_blocks_expr<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Block)) {
+    match e {
+        Expr::Block(b) => walk_blocks(b, f),
+        Expr::If {
+            cond, then, els, ..
+        } => {
+            walk_blocks_expr(cond, f);
+            walk_blocks(then, f);
+            if let Some(e) = els {
+                walk_blocks_expr(e, f);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            walk_blocks_expr(scrutinee, f);
+            for arm in arms {
+                walk_blocks_expr(&arm.body, f);
+            }
+        }
+        Expr::For { iter, body, .. } => {
+            walk_blocks_expr(iter, f);
+            walk_blocks(body, f);
+        }
+        Expr::While { cond, body, .. } => {
+            if let Some(c) = cond {
+                walk_blocks_expr(c, f);
+            }
+            walk_blocks(body, f);
+        }
+        Expr::Closure { body, .. } => walk_blocks_expr(body, f),
+        Expr::Call { callee, args, .. } => {
+            walk_blocks_expr(callee, f);
+            for a in args {
+                walk_blocks_expr(a, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_blocks_expr(recv, f);
+            for a in args {
+                walk_blocks_expr(a, f);
+            }
+        }
+        Expr::Field { recv, .. } => walk_blocks_expr(recv, f),
+        Expr::Index { recv, index, .. } => {
+            walk_blocks_expr(recv, f);
+            walk_blocks_expr(index, f);
+        }
+        Expr::Assign { target, value, .. } => {
+            walk_blocks_expr(target, f);
+            walk_blocks_expr(value, f);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_blocks_expr(lhs, f);
+            walk_blocks_expr(rhs, f);
+        }
+        Expr::Unary { expr, .. } => walk_blocks_expr(expr, f),
+        Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+            for e in elems {
+                walk_blocks_expr(e, f);
+            }
+        }
+        Expr::StructLit { fields, .. } => {
+            for (_, e) in fields {
+                walk_blocks_expr(e, f);
+            }
+        }
+        Expr::MacroCall { args, .. } => {
+            for a in args {
+                walk_blocks_expr(a, f);
+            }
+        }
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Unknown { .. } => {}
+    }
+}
+
+/// Single-name `let` bindings of a body, innermost-last (later
+/// bindings shadow earlier ones of the same name, which matches how a
+/// depth-limited lookup should resolve).
+fn collect_lets(body: &Block) -> BTreeMap<&str, &Expr> {
+    let mut lets = BTreeMap::new();
+    walk_blocks(body, &mut |b| {
+        for stmt in &b.stmts {
+            if let Stmt::Let {
+                names,
+                init: Some(e),
+                ..
+            } = stmt
+            {
+                if let [name] = names.as_slice() {
+                    lets.insert(name.as_str(), e);
+                }
+            }
+        }
+    });
+    lets
+}
+
+// ---------------------------------------------------------------------
+// Rule: rng-taint
+// ---------------------------------------------------------------------
+
+/// RNG constructor names whose first argument is the seed expression.
+const RNG_CTORS: [&str; 2] = ["seed_from_u64", "from_seed"];
+
+/// Determinism taint: every RNG construction in non-test code must be
+/// fed a seed-derived expression; constructions inside a `qcpa_par` job
+/// closure must additionally key through `stream_seed`, because the
+/// driver-side seed alone is identical across jobs and lanes.
+pub fn rng_taint(prefix: &str, graph: &CrateGraph, preps: &[FilePrep]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for node in &graph.fns {
+        if node.is_test {
+            continue;
+        }
+        let Some(body) = &node.item.body else {
+            continue;
+        };
+        let lets = collect_lets(body);
+        // Addresses of every expression inside a job closure: the
+        // worker fn handed to `with_session` (arg 1) or the job closure
+        // of a `pool.map(n, |j| …)` fan-out, following one level of
+        // `let work = |…| …;` indirection.
+        let mut in_job: BTreeSet<usize> = BTreeSet::new();
+        body.walk(&mut |e| {
+            if let Some(job) = job_closure(e, &lets) {
+                job.walk(&mut |sub| {
+                    in_job.insert(sub as *const Expr as usize);
+                });
+            }
+        });
+        body.walk(&mut |e| {
+            let Expr::Call { callee, args, line } = e else {
+                return;
+            };
+            let Some(last) = callee.as_path().and_then(|s| s.last()) else {
+                return;
+            };
+            if !RNG_CTORS.contains(&last.as_str()) {
+                return;
+            }
+            let ok = match args.first() {
+                None => false,
+                Some(arg) => {
+                    if in_job.contains(&(e as *const Expr as usize)) {
+                        arg.mentions("stream_seed")
+                    } else {
+                        seed_derived(arg, &lets, 2)
+                    }
+                }
+            };
+            if !ok {
+                out.push(mk_finding(
+                    RuleId::RngTaint,
+                    prefix,
+                    graph,
+                    preps,
+                    node.file,
+                    *line,
+                ));
+            }
+        });
+    }
+    out
+}
+
+/// The job-closure expression of a `qcpa_par` fan-out, if `e` is one.
+fn job_closure<'a>(e: &'a Expr, lets: &BTreeMap<&'a str, &'a Expr>) -> Option<&'a Expr> {
+    let candidate = match e {
+        Expr::Call { callee, args, .. }
+            if callee
+                .as_path()
+                .and_then(|s| s.last())
+                .is_some_and(|l| l == "with_session") =>
+        {
+            args.get(1)
+        }
+        Expr::MethodCall {
+            recv, name, args, ..
+        } if name == "map"
+            && recv
+                .place_text()
+                .is_some_and(|p| p.to_ascii_lowercase().contains("pool")) =>
+        {
+            args.iter().find(|a| {
+                matches!(a, Expr::Closure { .. }) || a.as_path().is_some_and(|s| s.len() == 1)
+            })
+        }
+        _ => None,
+    }?;
+    match candidate {
+        c @ Expr::Closure { .. } => Some(c),
+        Expr::Path { segs, .. } if segs.len() == 1 => lets
+            .get(segs[0].as_str())
+            .copied()
+            .filter(|e| matches!(e, Expr::Closure { .. })),
+        _ => None,
+    }
+}
+
+/// True when the expression is visibly seed-derived: it mentions a
+/// `seed`-named path/field, calls `stream_seed`, or is a numeric
+/// constant (a fixed seed is deterministic by definition). A bare
+/// single-name path follows its `let` initializer up to `depth` hops.
+fn seed_derived(e: &Expr, lets: &BTreeMap<&str, &Expr>, depth: u32) -> bool {
+    let mut ok = false;
+    e.walk(&mut |x| match x {
+        Expr::Lit { text, .. } if text.starts_with(|c: char| c.is_ascii_digit()) => {
+            ok = true;
+        }
+        Expr::Path { segs, .. } if segs.iter().any(|s| s.to_ascii_lowercase().contains("seed")) => {
+            ok = true;
+        }
+        Expr::Field { name, .. } if name.to_ascii_lowercase().contains("seed") => ok = true,
+        _ => {}
+    });
+    if ok {
+        return true;
+    }
+    if depth > 0 {
+        if let Expr::Path { segs, .. } = e {
+            if let [name] = segs.as_slice() {
+                if let Some(init) = lets.get(name.as_str()) {
+                    return seed_derived(init, lets, depth - 1);
+                }
+            }
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Rule: lock-order
+// ---------------------------------------------------------------------
+
+/// Method names that block: holding any guard across one is a finding.
+/// `join` only counts argless (thread join), so `Vec::join("…")` while
+/// holding a guard stays clean.
+const BLOCKING: [&str; 5] = ["send", "recv", "recv_timeout", "park", "wait"];
+
+/// One deferred lock-graph edge from a call made while holding guards.
+struct PendingCall {
+    callee: String,
+    held: Vec<String>,
+    file: usize,
+    line: usize,
+}
+
+/// Static lock-order analysis. Within each function the walker tracks
+/// which guards are live (let-bound guards until end of block;
+/// match-scrutinee and for-iter temporaries across the arms/body;
+/// same-statement chains until the `;`), records an edge for every
+/// acquisition under a held guard, and flags blocking calls made while
+/// holding. Calls into lock-taking fns of the same crate made while
+/// holding add interprocedural edges. A cycle in the resulting graph is
+/// an order inversion; every edge on a cycle is reported.
+pub fn lock_order(prefix: &str, graph: &CrateGraph, preps: &[FilePrep]) -> Vec<Finding> {
+    // Direct lock places per fn (for interprocedural edges) and unique
+    // fn-name resolution (ambiguous names drop, under-approximating).
+    let mut direct: Vec<BTreeSet<String>> = vec![BTreeSet::new(); graph.fns.len()];
+    let mut by_name: BTreeMap<&str, Option<usize>> = BTreeMap::new();
+    for (i, node) in graph.fns.iter().enumerate() {
+        by_name
+            .entry(node.name.as_str())
+            .and_modify(|slot| *slot = None)
+            .or_insert(Some(i));
+    }
+
+    let mut edges: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+    let mut blocking: Vec<(usize, usize)> = Vec::new();
+    let mut pending: Vec<PendingCall> = Vec::new();
+
+    for (i, node) in graph.fns.iter().enumerate() {
+        if node.is_test {
+            continue;
+        }
+        let Some(body) = &node.item.body else {
+            continue;
+        };
+        let mut w = LockWalk {
+            held: Vec::new(),
+            edges: &mut edges,
+            blocking: &mut blocking,
+            pending: &mut pending,
+            acquired: &mut direct[i],
+            file: node.file,
+        };
+        w.scan_block(body);
+    }
+
+    // Interprocedural edges: a call made while holding guards orders
+    // the held places before everything the callee locks directly.
+    for call in &pending {
+        let Some(&Some(j)) = by_name.get(call.callee.as_str()) else {
+            continue;
+        };
+        for a in &call.held {
+            for b in &direct[j] {
+                if a != b {
+                    edges
+                        .entry((a.clone(), b.clone()))
+                        .or_insert((call.file, call.line));
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for ((a, b), (file, line)) in &edges {
+        if reaches(&edges, b, a) {
+            out.push(mk_finding(
+                RuleId::LockOrder,
+                prefix,
+                graph,
+                preps,
+                *file,
+                *line,
+            ));
+        }
+    }
+    for (file, line) in blocking {
+        out.push(mk_finding(
+            RuleId::LockOrder,
+            prefix,
+            graph,
+            preps,
+            file,
+            line,
+        ));
+    }
+    out
+}
+
+/// True when the lock graph has a path `from → … → to`.
+fn reaches(edges: &BTreeMap<(String, String), (usize, usize)>, from: &str, to: &str) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(cur) = stack.pop() {
+        if cur == to {
+            return true;
+        }
+        if !seen.insert(cur) {
+            continue;
+        }
+        for (a, b) in edges.keys() {
+            if a == cur {
+                stack.push(b);
+            }
+        }
+    }
+    false
+}
+
+struct LockWalk<'a> {
+    /// Guards live at this point: (place, acquisition line).
+    held: Vec<(String, usize)>,
+    edges: &'a mut BTreeMap<(String, String), (usize, usize)>,
+    blocking: &'a mut Vec<(usize, usize)>,
+    pending: &'a mut Vec<PendingCall>,
+    acquired: &'a mut BTreeSet<String>,
+    file: usize,
+}
+
+impl LockWalk<'_> {
+    fn scan_block(&mut self, b: &Block) {
+        let base = self.held.len();
+        for stmt in &b.stmts {
+            match stmt {
+                Stmt::Let {
+                    init: Some(e),
+                    line,
+                    ..
+                } => {
+                    let mut tmp = Vec::new();
+                    self.scan_expr(e, &mut tmp);
+                    if let Some(place) = guard_binding(e) {
+                        self.held.push((place, *line));
+                    }
+                }
+                Stmt::Expr(e) => {
+                    let mut tmp = Vec::new();
+                    self.scan_expr(e, &mut tmp);
+                }
+                _ => {}
+            }
+        }
+        self.held.truncate(base);
+    }
+
+    /// Records an acquisition: edges from everything currently live,
+    /// then the new place joins the same-statement temporaries.
+    fn acquire(&mut self, place: String, line: usize, tmp: &mut Vec<String>) {
+        self.acquired.insert(place.clone());
+        for (h, _) in &self.held {
+            if *h != place {
+                self.edges
+                    .entry((h.clone(), place.clone()))
+                    .or_insert((self.file, line));
+            }
+        }
+        for t in tmp.iter() {
+            if *t != place {
+                self.edges
+                    .entry((t.clone(), place.clone()))
+                    .or_insert((self.file, line));
+            }
+        }
+        tmp.push(place);
+    }
+
+    fn live(&self, tmp: &[String]) -> Vec<String> {
+        self.held
+            .iter()
+            .map(|(p, _)| p.clone())
+            .chain(tmp.iter().cloned())
+            .collect()
+    }
+
+    fn scan_expr(&mut self, e: &Expr, tmp: &mut Vec<String>) {
+        match e {
+            Expr::MethodCall {
+                recv,
+                name,
+                args,
+                line,
+            } => {
+                self.scan_expr(recv, tmp);
+                for a in args {
+                    self.scan_expr(a, tmp);
+                }
+                let live = self.live(tmp);
+                if name == "lock" && args.is_empty() {
+                    if let Some(p) = recv.place_text() {
+                        self.acquire(p, *line, tmp);
+                    }
+                } else if !live.is_empty()
+                    && (BLOCKING.contains(&name.as_str()) || (name == "join" && args.is_empty()))
+                {
+                    self.blocking.push((self.file, *line));
+                } else if !live.is_empty() {
+                    self.pending.push(PendingCall {
+                        callee: name.clone(),
+                        held: live,
+                        file: self.file,
+                        line: *line,
+                    });
+                }
+            }
+            Expr::Call { callee, args, line } => {
+                self.scan_expr(callee, tmp);
+                for a in args {
+                    self.scan_expr(a, tmp);
+                }
+                let live = self.live(tmp);
+                if !live.is_empty() {
+                    if let Some(last) = callee.as_path().and_then(|s| s.last()) {
+                        self.pending.push(PendingCall {
+                            callee: last.clone(),
+                            held: live,
+                            file: self.file,
+                            line: *line,
+                        });
+                    }
+                }
+            }
+            // A closure body runs later, on an unknown stack: guards
+            // held at the definition site are not held inside it.
+            Expr::Closure { body, .. } => {
+                let saved = std::mem::take(&mut self.held);
+                let mut inner = Vec::new();
+                self.scan_expr(body, &mut inner);
+                self.held = saved;
+            }
+            Expr::Block(b) => self.scan_block(b),
+            Expr::If {
+                cond, then, els, ..
+            } => {
+                // Condition temporaries drop before the branches run.
+                let mut ctmp = Vec::new();
+                self.scan_expr(cond, &mut ctmp);
+                self.scan_block(then);
+                if let Some(e) = els {
+                    let mut etmp = Vec::new();
+                    self.scan_expr(e, &mut etmp);
+                }
+            }
+            Expr::Match {
+                scrutinee,
+                arms,
+                line,
+            } => {
+                // Scrutinee temporaries live across the arms (the
+                // `match ch.lock() { Ok(g) => g.recv(), … }` shape).
+                let mut stmp = Vec::new();
+                self.scan_expr(scrutinee, &mut stmp);
+                let base = self.held.len();
+                for p in stmp {
+                    self.held.push((p, *line));
+                }
+                for arm in arms {
+                    let mut atmp = Vec::new();
+                    self.scan_expr(&arm.body, &mut atmp);
+                }
+                self.held.truncate(base);
+            }
+            Expr::For {
+                iter, body, line, ..
+            } => {
+                // Iterator temporaries live for the whole loop.
+                let mut itmp = Vec::new();
+                self.scan_expr(iter, &mut itmp);
+                let base = self.held.len();
+                for p in itmp {
+                    self.held.push((p, *line));
+                }
+                self.scan_block(body);
+                self.held.truncate(base);
+            }
+            Expr::While { cond, body, .. } => {
+                if let Some(c) = cond {
+                    let mut ctmp = Vec::new();
+                    self.scan_expr(c, &mut ctmp);
+                }
+                self.scan_block(body);
+            }
+            Expr::Field { recv, .. } => self.scan_expr(recv, tmp),
+            Expr::Index { recv, index, .. } => {
+                self.scan_expr(recv, tmp);
+                self.scan_expr(index, tmp);
+            }
+            Expr::Assign { target, value, .. } => {
+                self.scan_expr(target, tmp);
+                self.scan_expr(value, tmp);
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.scan_expr(lhs, tmp);
+                self.scan_expr(rhs, tmp);
+            }
+            Expr::Unary { expr, .. } => self.scan_expr(expr, tmp),
+            Expr::Tuple { elems, .. } | Expr::Array { elems, .. } => {
+                for e in elems {
+                    self.scan_expr(e, tmp);
+                }
+            }
+            Expr::StructLit { fields, .. } => {
+                for (_, e) in fields {
+                    self.scan_expr(e, tmp);
+                }
+            }
+            Expr::MacroCall { args, .. } => {
+                for a in args {
+                    self.scan_expr(a, tmp);
+                }
+            }
+            Expr::Path { .. } | Expr::Lit { .. } | Expr::Unknown { .. } => {}
+        }
+    }
+}
+
+/// The lock place a `let` binds as a guard, seen through the trailing
+/// `unwrap`/`expect` family. A longer chain (`….lock().unwrap().pop()`)
+/// binds the *result*, not the guard, and returns `None`.
+fn guard_binding(e: &Expr) -> Option<String> {
+    match e {
+        Expr::MethodCall { recv, name, .. }
+            if matches!(
+                name.as_str(),
+                "unwrap" | "expect" | "unwrap_or_else" | "unwrap_or_default"
+            ) =>
+        {
+            guard_binding(recv)
+        }
+        Expr::MethodCall {
+            recv, name, args, ..
+        } if name == "lock" && args.is_empty() => recv.place_text(),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: ordered-reduction
+// ---------------------------------------------------------------------
+
+/// Iterator-producing method names whose receiver decides the order.
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "values",
+    "values_mut",
+    "keys",
+    "drain",
+];
+
+/// Ordered-reduction: in functions reachable from a merge/combine/
+/// reduce entry point, a `for` loop accumulating with `+=`/`*=` (or a
+/// `sum()`/`product()`/`fold()` chain) must not draw its iterator from
+/// a hash-ordered container — float addition is not associative, so
+/// hash order changes the result bits.
+pub fn ordered_reduction(prefix: &str, graph: &CrateGraph, preps: &[FilePrep]) -> Vec<Finding> {
+    let roots: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            let lc = n.name.to_ascii_lowercase();
+            !n.is_test && (lc.contains("merge") || lc.contains("combine") || lc.contains("reduce"))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let reach = graph.reachable(roots);
+    let mut out = Vec::new();
+    for &i in &reach {
+        let node = &graph.fns[i];
+        if node.is_test {
+            continue;
+        }
+        let Some(body) = &node.item.body else {
+            continue;
+        };
+        // Parameter and ascribed `let` types, for
+        // `fn merge(m: &HashMap<…>)` / `let m: HashMap<…> = …`.
+        let mut tys: BTreeMap<&str, &str> = BTreeMap::new();
+        for p in &node.item.params {
+            tys.insert(p.name.as_str(), p.ty.as_str());
+        }
+        walk_blocks(body, &mut |b| {
+            for stmt in &b.stmts {
+                if let Stmt::Let {
+                    names, ty: Some(t), ..
+                } = stmt
+                {
+                    if let [name] = names.as_slice() {
+                        tys.insert(name.as_str(), t.as_str());
+                    }
+                }
+            }
+        });
+        body.walk(&mut |e| match e {
+            Expr::For {
+                iter, body, line, ..
+            } if hash_iter(iter, &tys) && has_accum(body) => {
+                out.push(mk_finding(
+                    RuleId::OrderedReduction,
+                    prefix,
+                    graph,
+                    preps,
+                    node.file,
+                    *line,
+                ));
+            }
+            Expr::MethodCall {
+                recv, name, line, ..
+            } if matches!(name.as_str(), "sum" | "product" | "fold") && hash_iter(recv, &tys) => {
+                out.push(mk_finding(
+                    RuleId::OrderedReduction,
+                    prefix,
+                    graph,
+                    preps,
+                    node.file,
+                    *line,
+                ));
+            }
+            _ => {}
+        });
+    }
+    out
+}
+
+/// True when the expression draws an iterator off a hash-ordered
+/// receiver (name or ascribed type mentions `Hash`).
+fn hash_iter(e: &Expr, tys: &BTreeMap<&str, &str>) -> bool {
+    let mut hit = false;
+    e.walk(&mut |x| {
+        let Expr::MethodCall { recv, name, .. } = x else {
+            return;
+        };
+        if !ITER_METHODS.contains(&name.as_str()) {
+            return;
+        }
+        let Some(place) = recv.place_text() else {
+            return;
+        };
+        if place.to_ascii_lowercase().contains("hash") {
+            hit = true;
+            return;
+        }
+        let root = place.split(['.', '[', ':', '(', ' ']).next().unwrap_or("");
+        if tys.get(root).is_some_and(|t| t.contains("Hash")) {
+            hit = true;
+        }
+    });
+    hit
+}
+
+/// True when the block accumulates with `+=` or `*=`.
+fn has_accum(b: &Block) -> bool {
+    let mut hit = false;
+    b.walk(&mut |e| {
+        if let Expr::Assign { op, .. } = e {
+            if op == "+=" || op == "*=" {
+                hit = true;
+            }
+        }
+    });
+    hit
+}
+
+// ---------------------------------------------------------------------
+// Rule: env-doc-drift
+// ---------------------------------------------------------------------
+
+/// Env-surface bijection. `used` comes from string literals in library
+/// code (the lexer's literal spans, so comments and doc prose never
+/// count); `documented` is any README mention; knob-table rows (lines
+/// starting with `|`) additionally assert the key is alive somewhere
+/// in the workspace. Returns nothing when README is absent (fixture
+/// corpora without docs stay clean).
+pub fn env_doc_drift(
+    units: &[(String, CrateGraph, Vec<FilePrep>)],
+    readme_name: &str,
+    readme: Option<&str>,
+) -> Vec<Finding> {
+    let Some(text) = readme else {
+        return Vec::new();
+    };
+    // key → every literal site: (unit, file, line, in-test).
+    let mut used: BTreeMap<String, Vec<(usize, usize, usize, bool)>> = BTreeMap::new();
+    for (u, (_, graph, preps)) in units.iter().enumerate() {
+        for (fi, sf) in graph.files.iter().enumerate() {
+            for lit in &sf.masked.literals {
+                if lit.kind != LitKind::Str || !is_qcpa_key(&lit.text) {
+                    continue;
+                }
+                let in_test = preps[fi].test_lines.get(lit.line).copied().unwrap_or(false);
+                used.entry(lit.text.clone())
+                    .or_default()
+                    .push((u, fi, lit.line, in_test));
+            }
+        }
+    }
+    let documented = readme_keys(text);
+    let mut out = Vec::new();
+    for (key, sites) in &used {
+        if documented.contains(key) {
+            continue;
+        }
+        // Keys only tests read are not part of the public surface.
+        let Some(&(u, fi, line, _)) = sites.iter().find(|s| !s.3) else {
+            continue;
+        };
+        let (prefix, graph, preps) = &units[u];
+        out.push(mk_finding(
+            RuleId::EnvDocDrift,
+            prefix,
+            graph,
+            preps,
+            fi,
+            line,
+        ));
+    }
+    // Documented-but-dead: knob-table rows whose key no source (not
+    // even a test) reads. README lines carry no Rust comments, so
+    // these findings cannot be suppressed inline — delete the row.
+    for (line_no, lt) in text.lines().enumerate() {
+        if !lt.trim_start().starts_with('|') {
+            continue;
+        }
+        for key in extract_keys(lt) {
+            if !used.contains_key(&key) {
+                out.push(Finding::new(RuleId::EnvDocDrift, readme_name, line_no, lt));
+            }
+        }
+    }
+    out
+}
+
+/// True for a complete `QCPA_*` key (not a bare prefix like `QCPA_` or
+/// `QCPA_CTRL_`, which code composes with a suffix at run time).
+fn is_qcpa_key(s: &str) -> bool {
+    s.len() > 5
+        && s.starts_with("QCPA_")
+        && !s.ends_with('_')
+        && s.chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Every complete `QCPA_*` key mentioned anywhere in the text.
+fn readme_keys(text: &str) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    for line in text.lines() {
+        for key in extract_keys(line) {
+            keys.insert(key);
+        }
+    }
+    keys
+}
+
+/// Extracts the complete `QCPA_*` keys appearing in one line.
+fn extract_keys(line: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    while let Some(found) = line[i..].find("QCPA_") {
+        let start = i + found;
+        // Must not extend an identifier to the left.
+        if start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+            i = start + 5;
+            continue;
+        }
+        let mut end = start;
+        while end < line.len()
+            && (bytes[end].is_ascii_uppercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        let key = &line[start..end];
+        if is_qcpa_key(key) {
+            keys.push(key.to_string());
+        }
+        i = end.max(start + 5);
+    }
+    keys
+}
+
+// ---------------------------------------------------------------------
+// Rule: panic-path
+// ---------------------------------------------------------------------
+
+/// Panic-introducing tokens counted on hot lines.
+const PANIC_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// True when `node` is a hot entry point of the crate.
+fn is_entry(node: &FnNode) -> bool {
+    !node.is_test
+        && (node.name.starts_with("run_open")
+            || node.name.starts_with("optimize")
+            || node.name == "execute")
+}
+
+/// Panic reachability: every panic token inside a function reachable
+/// from a hot entry point. Sites are ratcheted with the crate's
+/// panic-hygiene budget: `within_budget` marks them baselined (counted,
+/// surfaced as `hot_sites`, not a failure); an over-budget crate fails
+/// on them just as it fails panic-hygiene. Returns the findings and the
+/// total hot-site count (annotated sites included — the metric tracks
+/// exposure, not annotation coverage).
+pub fn panic_path(
+    prefix: &str,
+    graph: &CrateGraph,
+    preps: &[FilePrep],
+    within_budget: bool,
+) -> (Vec<Finding>, u32) {
+    let entries: Vec<usize> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| is_entry(n))
+        .map(|(i, _)| i)
+        .collect();
+    let hot = graph.reachable(entries);
+    let mut out = Vec::new();
+    let mut count = 0u32;
+    for &i in &hot {
+        let node = &graph.fns[i];
+        if node.is_test {
+            continue;
+        }
+        let sf = &graph.files[node.file];
+        let prep = &preps[node.file];
+        for line in node.line..=node.end_line {
+            if line >= sf.masked.n_lines() {
+                break;
+            }
+            if prep.test_lines.get(line).copied().unwrap_or(false) {
+                continue;
+            }
+            // Lines of a nested fn belong to that fn's own node.
+            if graph.fn_at(node.file, line) != Some(i) {
+                continue;
+            }
+            let code = &sf.masked.code[line];
+            let hits: u32 = PANIC_TOKENS
+                .iter()
+                .map(|t| rules::token_hits(code, t).len() as u32)
+                .sum();
+            if hits == 0 {
+                continue;
+            }
+            count += hits;
+            let mut f = mk_finding(RuleId::PanicPath, prefix, graph, preps, node.file, line);
+            if !f.allowed {
+                f.baselined = within_budget;
+            }
+            out.push(f);
+        }
+    }
+    (out, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(files: &[(&str, &str)]) -> CrateGraph {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(r, s)| (r.to_string(), s.to_string()))
+            .collect();
+        CrateGraph::build("t", &sources)
+    }
+
+    fn run_rule<F>(files: &[(&str, &str)], f: F) -> Vec<Finding>
+    where
+        F: Fn(&str, &CrateGraph, &[FilePrep]) -> Vec<Finding>,
+    {
+        let g = graph_of(files);
+        let preps = prep_files(&g);
+        f("crates/t", &g, &preps)
+    }
+
+    #[test]
+    fn rng_from_seed_field_is_clean() {
+        let fs = run_rule(
+            &[(
+                "src/lib.rs",
+                "pub fn go(cfg: &Cfg) -> u64 {\n    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 3);\n    rng.next()\n}\n",
+            )],
+            rng_taint,
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn rng_from_wall_clock_fires() {
+        let fs = run_rule(
+            &[(
+                "src/lib.rs",
+                "pub fn go() -> u64 {\n    let nonce = now_nanos();\n    let mut rng = ChaCha8Rng::seed_from_u64(nonce);\n    rng.next()\n}\n",
+            )],
+            rng_taint,
+        );
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "rng-taint");
+        assert_eq!(fs[0].file, "crates/t/src/lib.rs");
+    }
+
+    #[test]
+    fn job_closure_requires_stream_seed() {
+        let src = "pub fn fan(seed: u64) {\n    let work = |j: u64, _lane: usize| {\n        let mut rng = ChaCha8Rng::seed_from_u64(seed);\n        rng.next()\n    };\n    qcpa_par::with_session(4, work, |session| {\n        session.run();\n    });\n}\n";
+        let fs = run_rule(&[("src/lib.rs", src)], rng_taint);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        let fixed = src.replace(
+            "seed_from_u64(seed)",
+            "seed_from_u64(qcpa_par::stream_seed(seed, gen, j))",
+        );
+        let fs = run_rule(&[("src/lib.rs", &fixed)], rng_taint);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn lock_order_inversion_fires() {
+        let src = "pub fn ab(a: &M, b: &M) {\n    let ga = a.lock().unwrap();\n    let gb = b.lock().unwrap();\n    drop((ga, gb));\n}\npub fn ba(a: &M, b: &M) {\n    let gb = b.lock().unwrap();\n    let ga = a.lock().unwrap();\n    drop((ga, gb));\n}\n";
+        let fs = run_rule(&[("src/lib.rs", src)], lock_order);
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == "lock-order"));
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let src = "pub fn ab(a: &M, b: &M) {\n    let ga = a.lock().unwrap();\n    let gb = b.lock().unwrap();\n    drop((ga, gb));\n}\npub fn ab2(a: &M, b: &M) {\n    let ga = a.lock().unwrap();\n    let gb = b.lock().unwrap();\n    drop((gb, ga));\n}\n";
+        let fs = run_rule(&[("src/lib.rs", src)], lock_order);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn guard_across_recv_fires_and_allows() {
+        let src = "pub fn worker(rx: &Mutex<Receiver<u64>>) -> Option<u64> {\n    match rx.lock() {\n        Ok(guard) => guard.recv().ok(),\n        Err(_) => None,\n    }\n}\n";
+        let fs = run_rule(&[("src/lib.rs", src)], lock_order);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(!fs[0].allowed);
+        let annotated = src.replace(
+            "Ok(guard) => guard.recv().ok(),",
+            "// audit:allow(lock-order): single-consumer park point\n        Ok(guard) => guard.recv().ok(),",
+        );
+        let fs = run_rule(&[("src/lib.rs", &annotated)], lock_order);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].allowed);
+    }
+
+    #[test]
+    fn hash_reduction_on_merge_path_fires() {
+        let src = "pub fn merge_shards(shards: &HashMap<u64, f64>) -> f64 {\n    let mut total = 0.0;\n    for v in shards.values() {\n        total += v;\n    }\n    total\n}\n";
+        let fs = run_rule(&[("src/lib.rs", src)], ordered_reduction);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "ordered-reduction");
+    }
+
+    #[test]
+    fn btree_reduction_is_clean() {
+        let src = "pub fn merge_shards(shards: &BTreeMap<u64, f64>) -> f64 {\n    let mut total = 0.0;\n    for v in shards.values() {\n        total += v;\n    }\n    total\n}\n";
+        let fs = run_rule(&[("src/lib.rs", src)], ordered_reduction);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn env_drift_both_directions() {
+        let units = vec![(
+            "crates/t".to_string(),
+            graph_of(&[(
+                "src/lib.rs",
+                "pub fn knob() -> Option<String> {\n    std::env::var(\"QCPA_UNDOCUMENTED\").ok()\n}\n",
+            )]),
+            Vec::new(),
+        )];
+        let units: Vec<_> = units
+            .into_iter()
+            .map(|(p, g, _): (String, CrateGraph, Vec<FilePrep>)| {
+                let preps = prep_files(&g);
+                (p, g, preps)
+            })
+            .collect();
+        let readme = "| Knob | Meaning |\n| --- | --- |\n| `QCPA_DEAD_KNOB` | gone |\n";
+        let fs = env_doc_drift(&units, "README.md", Some(readme));
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs.iter().any(|f| f.snippet.contains("QCPA_UNDOCUMENTED")));
+        assert!(fs
+            .iter()
+            .any(|f| f.file == "README.md" && f.snippet.contains("QCPA_DEAD_KNOB")));
+    }
+
+    #[test]
+    fn panic_path_separates_hot_from_cold() {
+        let src = "pub fn run_open(x: Option<u64>) -> u64 {\n    helper(x)\n}\nfn helper(x: Option<u64>) -> u64 {\n    x.unwrap()\n}\nfn cold(x: Option<u64>) -> u64 {\n    x.unwrap()\n}\n";
+        let g = graph_of(&[("src/lib.rs", src)]);
+        let preps = prep_files(&g);
+        let (fs, count) = panic_path("crates/t", &g, &preps, true);
+        assert_eq!(count, 1, "{fs:?}");
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].baselined);
+        let (fs, _) = panic_path("crates/t", &g, &preps, false);
+        assert!(fs[0].unsuppressed());
+    }
+}

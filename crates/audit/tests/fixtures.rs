@@ -45,10 +45,65 @@ fn corpus_finding_counts_are_exact() {
     assert_eq!(count(&report, "wall-clock", false), 1);
     assert_eq!(count(&report, "entropy", false), 1);
     assert_eq!(count(&report, "spawn", false), 1);
-    assert_eq!(count(&report, "panic-hygiene", false), 1);
+    assert_eq!(count(&report, "panic-hygiene", false), 5);
     assert_eq!(count(&report, "unsafe-audit", false), 2);
     assert_eq!(count(&report, "env-access", false), 1);
     assert_eq!(count(&report, "allow-syntax", false), 2);
+    // Semantic rules: one deliberate violation each in the semantic
+    // fixture crate (rng-taint twice: one suppressed), the inversion
+    // cycle reported from both edges, and the env-drift pair
+    // (undocumented key + dead README knob row).
+    assert_eq!(count(&report, "rng-taint", false), 2);
+    assert_eq!(count(&report, "rng-taint", true), 1);
+    assert_eq!(count(&report, "lock-order", false), 2);
+    assert_eq!(count(&report, "ordered-reduction", false), 1);
+    assert_eq!(count(&report, "env-doc-drift", false), 2);
+    assert_eq!(count(&report, "panic-path", false), 1);
+}
+
+#[test]
+fn semantic_findings_land_where_expected() {
+    let report = run(&fixture("tree")).expect("fixture tree scans");
+    let drift: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "env-doc-drift")
+        .map(|f| f.file.as_str())
+        .collect();
+    assert!(drift.contains(&"README.md"), "dead knob row: {drift:?}");
+    assert!(
+        drift.contains(&"crates/semantic/src/lib.rs"),
+        "undocumented key: {drift:?}"
+    );
+    let hot = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "panic-path")
+        .expect("hot panic site");
+    assert!(hot.file.ends_with("crates/core/src/lib.rs"));
+    assert!(hot.snippet.contains("unwrap"));
+    assert!(hot.unsuppressed(), "no baseline → over budget → fails");
+    let core = report.panic_hygiene.get("qcpa-core").expect("core stats");
+    assert_eq!(core.hot_sites, 1);
+    let sem = report
+        .panic_hygiene
+        .get("qcpa-semantic")
+        .expect("semantic fixture stats");
+    assert_eq!(sem.hot_sites, 0, "no hot entry point in that crate");
+}
+
+#[test]
+fn suppressed_rng_taint_carries_its_justification() {
+    let report = run(&fixture("tree")).expect("fixture tree scans");
+    let allowed = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "rng-taint" && f.allowed)
+        .expect("annotated taint site");
+    assert_eq!(
+        allowed.justification.as_deref(),
+        Some("fixture demonstrates a suppressed taint")
+    );
 }
 
 #[test]

@@ -1,0 +1,145 @@
+//! Property tests for the semantic layer: the recursive-descent parser
+//! must account for every token (item spans tile the stream) and never
+//! panic, on well-formed and degenerate input alike; and the call
+//! graph must be a pure function of the source set, independent of the
+//! order files are handed in. A final plain test pins the whole
+//! report's byte determinism across reruns.
+
+use proptest::prelude::*;
+use qcpa_audit::callgraph::CrateGraph;
+use qcpa_audit::lexer::mask;
+use qcpa_audit::parser::parse_file;
+
+/// Item-level building blocks: realistic shapes the workspace uses,
+/// plus degenerate fragments the parser must absorb without losing
+/// token accounting.
+const SEGMENTS: &[&str] = &[
+    "pub fn free(x: u64) -> u64 { x + 1 }\n",
+    "fn generic<T: Clone>(v: Vec<T>) -> usize { v.len() }\n",
+    "pub struct S { pub a: u64, b: Option<String> }\n",
+    "impl S { fn m(&self) -> u64 { self.a } }\n",
+    "mod inner { pub fn nested() -> u32 { 7 } }\n",
+    "use std::collections::{BTreeMap, BTreeSet as Set};\n",
+    "const K: u64 = 0xFF;\n",
+    "pub enum E { A, B(u32), C { x: f64 } }\n",
+    "fn ctrl(n: u64) -> u64 {\n    let mut acc = 0;\n    for i in 0..n { if i % 2 == 0 { acc += i; } else { acc -= 1; } }\n    while acc > 100 { acc /= 2; }\n    match acc { 0 => 1, v => v }\n}\n",
+    "fn closures() -> u64 { let f = |x: u64| x * 2; (0..4).map(f).sum() }\n",
+    "fn iflet(o: Option<u64>) -> u64 { if let Some(v) = o { v } else { 0 } }\n",
+    "macro_rules! mk { ($x:expr) => { $x + 1 }; }\n",
+    "#[cfg(test)]\nmod tests { #[test] fn t() { assert_eq!(1, 1); } }\n",
+    "fn turbo() -> Vec<u64> { Vec::<u64>::with_capacity(4) }\n",
+    "fn strange() { let r#type = 1; let _ = r#type; }\n",
+    "fn lifetimes<'a>(s: &'a str) -> &'a str { &s[1..] }\n",
+    // Degenerate fragments: unclosed groups, stray closers, bare
+    // keywords. The parser must absorb them and keep tiling.
+    "fn broken( {\n",
+    "} ) ;\n",
+    "let orphan = ;\n",
+    "impl {\n}\n",
+    "fn no_body();\n",
+];
+
+/// Asserts the top-level item spans tile `[0, n_tokens)` exactly.
+fn assert_tiles(src: &str) -> Result<(), TestCaseError> {
+    let masked = mask(src);
+    let file = parse_file(&masked);
+    let mut cursor = 0usize;
+    for item in &file.items {
+        prop_assert_eq!(
+            item.tok_start,
+            cursor,
+            "gap or overlap before item at line {}",
+            item.line + 1
+        );
+        prop_assert!(item.tok_end > item.tok_start, "empty item span");
+        cursor = item.tok_end;
+    }
+    prop_assert_eq!(cursor, file.n_tokens, "trailing tokens unaccounted");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every concatenation of segments parses without panicking and
+    /// with item spans covering every token exactly once.
+    fn item_spans_tile_any_segment_mix(
+        picks in proptest::collection::vec(0usize..SEGMENTS.len(), 1..16),
+    ) {
+        let mut src = String::new();
+        for &i in &picks {
+            src.push_str(SEGMENTS[i]);
+        }
+        assert_tiles(&src)?;
+    }
+
+    /// Parsing is a pure function: two parses of the same source
+    /// produce structurally identical ASTs.
+    fn parsing_is_deterministic(
+        picks in proptest::collection::vec(0usize..SEGMENTS.len(), 1..12),
+    ) {
+        let src: String = picks.iter().map(|&i| SEGMENTS[i]).collect();
+        let masked = mask(&src);
+        let a = parse_file(&masked);
+        let b = parse_file(&masked);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The call graph does not depend on the order source files are
+    /// supplied: same keys, same edges, either way.
+    fn call_graph_ignores_file_order(
+        picks in proptest::collection::vec(0usize..SEGMENTS.len(), 1..8),
+    ) {
+        let lib: String = picks.iter().map(|&i| SEGMENTS[i]).collect();
+        let extra = "pub fn caller() -> u64 { free(1) + generic(vec![1u8]) as u64 }\n";
+        let forward = vec![
+            ("src/lib.rs".to_string(), lib.clone()),
+            ("src/extra.rs".to_string(), extra.to_string()),
+        ];
+        let backward = vec![forward[1].clone(), forward[0].clone()];
+        let g1 = CrateGraph::build("t", &forward);
+        let g2 = CrateGraph::build("t", &backward);
+        let keys1: Vec<&String> = g1.fns.iter().map(|f| &f.key).collect();
+        let keys2: Vec<&String> = g2.fns.iter().map(|f| &f.key).collect();
+        prop_assert_eq!(keys1, keys2);
+        let edges = |g: &CrateGraph| -> Vec<(String, String)> {
+            let mut out = Vec::new();
+            for (i, callees) in g.calls.iter().enumerate() {
+                for &j in callees {
+                    out.push((g.fns[i].key.clone(), g.fns[j].key.clone()));
+                }
+            }
+            out
+        };
+        prop_assert_eq!(edges(&g1), edges(&g2));
+    }
+
+    /// Raw identifiers, comments and strings never desynchronize the
+    /// token accounting (regression guard for the lexer/tokenizer
+    /// hand-off).
+    fn tiling_survives_comment_noise(
+        n in 0usize..6,
+        picks in proptest::collection::vec(0usize..SEGMENTS.len(), 1..6),
+    ) {
+        let mut src = String::new();
+        for &i in &picks {
+            for _ in 0..n {
+                src.push_str("// noise with fn and { unbalanced\n");
+            }
+            src.push_str(SEGMENTS[i]);
+            src.push_str("/* block fn garbage ( */\n");
+        }
+        assert_tiles(&src)?;
+    }
+}
+
+/// The full report — semantic pass included — must be byte-identical
+/// across reruns on the same tree (the canonical JSON never embeds
+/// wall time or iteration order).
+#[test]
+fn report_is_byte_deterministic_across_reruns() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/tree");
+    let a = qcpa_audit::run(&root).expect("first run").to_json();
+    let b = qcpa_audit::run(&root).expect("second run").to_json();
+    assert_eq!(a, b);
+}

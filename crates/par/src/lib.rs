@@ -276,6 +276,10 @@ where
                 // poisoned by a panicking sibling, or a disconnected
                 // sender (session dropped), both end the worker.
                 let job = match job_rx.lock() {
+                    // audit:allow(lock-order): the worker's park point — the
+                    // shared-channel guard is held across recv() by design so
+                    // exactly one idle worker wakes per job; no other lock is
+                    // ever taken while it is held.
                     Ok(guard) => guard.recv(),
                     Err(_) => break,
                 };

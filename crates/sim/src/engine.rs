@@ -273,9 +273,7 @@ pub(crate) fn nearest_rank(values: &mut [f64], q: f64) -> f64 {
         return 0.0;
     }
     let rank = ((values.len() as f64 * q).ceil() as usize).clamp(1, values.len());
-    let (_, v, _) = values.select_nth_unstable_by(rank - 1, |a, b| {
-        a.partial_cmp(b).expect("responses are finite")
-    });
+    let (_, v, _) = values.select_nth_unstable_by(rank - 1, |a, b| a.total_cmp(b));
     *v
 }
 

@@ -11,9 +11,11 @@
 #                               # conformance at both thread counts, and
 #                               # the quick bench-matrix corner
 #   ./scripts/check.sh --deep   # fast tier + the test suite under
-#                               # ThreadSanitizer (requires a nightly
-#                               # toolchain with rust-src; skipped with a
-#                               # warning otherwise)
+#                               # ThreadSanitizer and a Miri pass over
+#                               # the threaded crate (each requires a
+#                               # nightly toolchain with the matching
+#                               # component; skipped with a warning
+#                               # otherwise)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,12 +32,17 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-# The static-analysis gate: exits nonzero on any unsuppressed finding
-# (hash-ordered iteration in deterministic crates, wall-clock reads,
-# ambient entropy, stray spawns, undocumented unsafe, panic-hygiene
-# ratchet regressions, off-surface env reads). See DESIGN.md §11.
-echo "== qcpa-audit (static analysis) =="
-cargo run -q -p qcpa-audit
+# The static-analysis gate: exits nonzero on any unsuppressed finding.
+# Two layers run in every tier — the lexical token rules (hash-ordered
+# iteration in deterministic crates, wall-clock reads, ambient entropy,
+# stray spawns, undocumented unsafe, panic-hygiene ratchet regressions,
+# off-surface env reads; DESIGN.md §11) and the semantic AST/call-graph
+# rules (determinism taint across job boundaries, lock-order inversions
+# and guards held across blocking calls, hash-ordered float reductions,
+# env-surface ↔ README bijection, hot-path panic reachability;
+# DESIGN.md §16). `--timings` prints the per-phase analysis cost.
+echo "== qcpa-audit (static analysis: lexical + semantic) =="
+cargo run -q -p qcpa-audit -- --timings
 
 run_tsan() {
     # TSan needs -Zbuild-std, i.e. a nightly toolchain with rust-src.
@@ -60,6 +67,24 @@ run_tsan() {
     RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
         QCPA_THREADS=4 cargo +nightly test -q --test conformance \
         -Zbuild-std --target "$host"
+}
+
+run_miri() {
+    # Miri interprets the program, so UB (data races, invalid aliasing,
+    # uninitialized reads) is caught exactly, not probabilistically —
+    # complementary to TSan. It is ~100x slower than native, so scope
+    # to the one crate that owns all the unsafe/concurrency surface.
+    if ! cargo +nightly --version >/dev/null 2>&1; then
+        echo "WARNING: --deep Miri tier skipped: no nightly toolchain installed" >&2
+        return 0
+    fi
+    if ! cargo +nightly miri --version >/dev/null 2>&1; then
+        echo "WARNING: --deep Miri tier skipped: miri not installed" \
+            "(rustup component add miri --toolchain nightly)" >&2
+        return 0
+    fi
+    echo "== Miri (qcpa-par unit tests, nightly) =="
+    QCPA_THREADS=2 cargo +nightly miri test -q -p qcpa-par --lib
 }
 
 if [[ "$FAST" == "1" || "$DEEP" == "1" ]]; then
@@ -91,6 +116,7 @@ if [[ "$FAST" == "1" || "$DEEP" == "1" ]]; then
     cargo run --release -q -p qcpa-bench --bin bench_trend
     if [[ "$DEEP" == "1" ]]; then
         run_tsan
+        run_miri
         echo "Deep checks passed."
     else
         echo "Fast checks passed."
